@@ -1,0 +1,61 @@
+"""Shared machinery for the per-figure kernel benchmarks.
+
+Each figure file (``bench_fig4_bluesky.py`` ... ``bench_fig7_dgx1v.py``)
+does two things:
+
+1. wall-clock-benchmarks this package's numpy kernel implementations on
+   representative Table II tensors (the measurable part of the suite);
+2. regenerates the figure's modeled GFLOPS table (kernels x formats x
+   all 30 tensors against the Roofline performance line) and prints it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_kernel_figure
+from repro.bench.harness import BenchmarkHarness, average_efficiency, average_gflops
+from repro.core.registry import make_operands, run_algorithm
+from repro.datasets import get_dataset
+
+
+def time_kernel_cell(
+    benchmark, harness: BenchmarkHarness, dataset_key: str, kernel: str, fmt: str
+) -> None:
+    """pytest-benchmark one kernel+format's numpy implementation."""
+    spec = get_dataset(dataset_key)
+    x = harness.tensor(spec)
+    hicoo = harness.hicoo_tensor(spec) if fmt == "HiCOO" else None
+    algorithm = f"{fmt}-{kernel}-{harness.target}"
+    operands = make_operands(x, kernel, mode=0, rank=harness.rank, seed=0)
+    benchmark(
+        run_algorithm,
+        algorithm,
+        x,
+        operands,
+        mode=0,
+        rank=harness.rank,
+        block_size=harness.block_size,
+        hicoo=hicoo,
+    )
+
+
+def emit_figure_table(benchmark, harness: BenchmarkHarness, figure: str) -> None:
+    """Regenerate the modeled figure and print it (one benchmark round)."""
+
+    def build():
+        return run_kernel_figure(harness.spec.name, harness=harness)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(result.report)
+    averages = average_gflops(result.results)
+    efficiencies = average_efficiency(result.results)
+    print(f"\n{figure} summary — average over all 30 tensors:")
+    for kernel in ("TEW", "TS", "TTV", "TTM", "MTTKRP"):
+        coo = averages[(kernel, "COO")]
+        hicoo = averages[(kernel, "HiCOO")]
+        print(
+            f"  {kernel:7s} COO {coo:7.1f} GF "
+            f"({efficiencies[(kernel, 'COO')] * 100:4.0f}%)   "
+            f"HiCOO {hicoo:7.1f} GF "
+            f"({efficiencies[(kernel, 'HiCOO')] * 100:4.0f}%)"
+        )

@@ -1,0 +1,77 @@
+"""Ablation: HiCOO block size B.
+
+The paper fixes B = 128 "to fit into the last-level cache in all
+platforms" and limits element indices to 8 bits (B <= 256).  This
+ablation sweeps B over the legal powers of two and reports, for a
+clustered and a hyper-sparse tensor:
+
+* HiCOO storage (compression ratio vs COO);
+* block count and occupancy (HiCOO-MTTKRP-GPU's parallelism);
+* modeled HiCOO-MTTKRP GFLOPS on Bluesky and DGX-1P;
+* wall-clock of the conversion itself.
+"""
+
+import pytest
+
+from repro.core import make_schedule
+from repro.formats import CooTensor, HicooTensor
+from repro.generators import powerlaw_tensor
+from repro.machine import predict
+
+BLOCK_SIZES = (4, 16, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return powerlaw_tensor((50_000, 50_000, 64), 60_000, dense_modes=(2,), seed=0)
+
+
+@pytest.fixture(scope="module")
+def hypersparse():
+    return CooTensor.random((2_000_000, 2_000_000, 2_000_000), 60_000, seed=1)
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_conversion_wallclock(benchmark, clustered, block_size):
+    hicoo = benchmark(HicooTensor.from_coo, clustered, block_size)
+    assert hicoo.nnz == clustered.nnz
+
+
+def test_block_size_sweep_report(benchmark, clustered, hypersparse):
+    def sweep():
+        rows = []
+        for name, tensor in (("clustered", clustered), ("hypersparse", hypersparse)):
+            for block_size in BLOCK_SIZES:
+                hicoo = HicooTensor.from_coo(tensor, block_size)
+                schedule = make_schedule(
+                    "HiCOO-MTTKRP-OMP", tensor, mode=0, rank=16,
+                    block_size=block_size, hicoo=hicoo,
+                )
+                cpu = predict("bluesky", schedule)
+                gpu = predict("dgx1p", schedule)
+                rows.append(
+                    (
+                        name, block_size, hicoo.num_blocks,
+                        hicoo.average_block_occupancy(),
+                        hicoo.compression_ratio(), cpu.gflops, gpu.gflops,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'tensor':12s} {'B':>4s} {'blocks':>8s} {'occupancy':>10s} "
+        f"{'compress':>9s} {'CPU GF':>7s} {'GPU GF':>7s}"
+    )
+    for name, b, nb, occ, ratio, cpu, gpu in rows:
+        print(
+            f"{name:12s} {b:4d} {nb:8d} {occ:10.2f} {ratio:9.2f} "
+            f"{cpu:7.2f} {gpu:7.2f}"
+        )
+    # Clustered tensors keep compressing as B grows; hyper-sparse ones
+    # saturate at ~1 nonzero per block regardless of B.
+    clustered_rows = [r for r in rows if r[0] == "clustered"]
+    assert clustered_rows[-1][3] > clustered_rows[0][3]
+    hyper_rows = [r for r in rows if r[0] == "hypersparse"]
+    assert hyper_rows[-1][3] < 2.0

@@ -1,0 +1,121 @@
+"""Extension: CSF vs COO vs HiCOO for MTTKRP (the paper's future work).
+
+The paper commits to adding CSF "in the near future" (Sections III/VII).
+This bench compares the three formats on MTTKRP — storage, wall-clock of
+the numpy kernels, and the modeled GFLOPS on Bluesky and DGX-1V — for a
+long-fiber tensor (where CSF's tree reuse shines) and a hyper-sparse one
+(where every format degenerates toward COO).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    make_schedule,
+    mttkrp_coo,
+    mttkrp_csf,
+    mttkrp_hicoo,
+    schedule_mttkrp_csf,
+)
+from repro.formats import CooTensor, CsfTensor, HicooTensor, csf_for_mode
+from repro.generators import powerlaw_tensor
+from repro.machine import predict
+
+
+@pytest.fixture(scope="module")
+def long_fiber():
+    # Power-law with a short dense mode: fibers along mode 2 are long.
+    return powerlaw_tensor((40_000, 40_000, 96), 80_000, dense_modes=(2,), seed=0)
+
+
+@pytest.fixture(scope="module")
+def hypersparse():
+    return CooTensor.random((1_000_000,) * 3, 80_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def factors(long_fiber):
+    rng = np.random.default_rng(2)
+    return [
+        rng.uniform(0.5, 1.5, size=(s, 16)).astype(np.float32)
+        for s in long_fiber.shape
+    ]
+
+
+def test_mttkrp_coo_wallclock(benchmark, long_fiber, factors):
+    benchmark(mttkrp_coo, long_fiber, factors, 0)
+
+
+def test_mttkrp_hicoo_wallclock(benchmark, long_fiber, factors):
+    hicoo = HicooTensor.from_coo(long_fiber, 128)
+    benchmark(mttkrp_hicoo, hicoo, factors, 0)
+
+
+def test_mttkrp_csf_wallclock(benchmark, long_fiber, factors):
+    tree = csf_for_mode(long_fiber, 0)
+    benchmark(mttkrp_csf, tree, factors, 0)
+
+
+def test_csf_build_wallclock(benchmark, long_fiber):
+    tree = benchmark(csf_for_mode, long_fiber, 0)
+    assert tree.nnz == long_fiber.nnz
+
+
+def test_format_comparison_report(benchmark, long_fiber, hypersparse, factors):
+    def sweep():
+        rows = []
+        for name, tensor in (
+            ("long-fiber", long_fiber),
+            ("hypersparse", hypersparse),
+        ):
+            hicoo = HicooTensor.from_coo(tensor, 128)
+            tree = csf_for_mode(tensor, 0)
+            coo_schedule = make_schedule("COO-MTTKRP-OMP", tensor, mode=0, rank=16)
+            hicoo_schedule = make_schedule(
+                "HiCOO-MTTKRP-OMP", tensor, mode=0, rank=16, hicoo=hicoo
+            )
+            csf_schedule = schedule_mttkrp_csf(tree, 0, 16)
+            for fmt, storage, schedule in (
+                ("COO", tensor.storage_bytes(), coo_schedule),
+                ("HiCOO", hicoo.storage_bytes(), hicoo_schedule),
+                ("CSF", tree.storage_bytes(), csf_schedule),
+            ):
+                cpu = predict("bluesky", schedule)
+                gpu = predict("dgx1v", schedule)
+                rows.append(
+                    (
+                        name, fmt, storage / 1e6, schedule.flops / 1e6,
+                        schedule.atomic_updates, cpu.gflops, gpu.gflops,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'tensor':12s} {'format':6s} {'MB':>7s} {'Mflops':>8s} "
+        f"{'atomics':>9s} {'CPU GF':>7s} {'GPU GF':>7s}"
+    )
+    for name, fmt, mb, mflops, atomics, cpu, gpu in rows:
+        print(
+            f"{name:12s} {fmt:6s} {mb:7.2f} {mflops:8.2f} {atomics:9d} "
+            f"{cpu:7.2f} {gpu:7.2f}"
+        )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # CSF on long fibers: smaller storage, fewer flops, no atomics, and a
+    # faster modeled CPU MTTKRP than COO.
+    lf_csf = by_key[("long-fiber", "CSF")]
+    lf_coo = by_key[("long-fiber", "COO")]
+    assert lf_csf[2] < lf_coo[2]
+    assert lf_csf[3] < lf_coo[3]
+    assert lf_csf[4] == 0
+    assert lf_csf[5] > lf_coo[5]
+
+
+def test_csf_correctness_on_bench_tensor(benchmark, long_fiber, factors):
+    def check():
+        a = mttkrp_coo(long_fiber, factors, 0)
+        b = mttkrp_csf(long_fiber, factors, 0)
+        return np.allclose(a, b, rtol=1e-2, atol=1e-2)
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

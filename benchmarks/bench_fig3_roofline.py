@@ -1,0 +1,36 @@
+"""Figure 3: ERT-style Roofline models for the four platforms.
+
+Benchmarks the ERT bandwidth sweep per platform and prints each roofline
+(ceilings, ridge points, kernel OI markers) — the data behind Figure 3.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig3
+from repro.platforms import all_platforms, run_ert
+from repro.roofline import TABLE1_KERNEL_OI, RooflineModel
+
+
+def test_fig3_report(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print()
+    print(result.report)
+    assert len(result.rows) == 32
+
+
+@pytest.mark.parametrize("platform", [s.name for s in all_platforms()])
+def test_ert_sweep(benchmark, platform):
+    result = benchmark(run_ert, platform)
+    assert result.llc_bandwidth_gbs > result.dram_bandwidth_gbs
+
+
+def test_all_kernels_left_of_every_ridge(benchmark):
+    def check():
+        for spec in all_platforms():
+            model = RooflineModel.for_platform(spec)
+            ridge = model.ridge_point("ERT-DRAM")
+            for oi in TABLE1_KERNEL_OI.values():
+                assert oi < ridge
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Figure 4: five kernels x {COO, HiCOO} on Bluesky.
+
+Regenerates the modeled GFLOPS-vs-Roofline table for all 30 Table II
+tensors on the Bluesky platform model, and wall-clock-benchmarks this
+package's numpy kernels on three representative tensors.
+"""
+
+import pytest
+
+from _figure_common import emit_figure_table, time_kernel_cell
+from conftest import REPRESENTATIVE_KEYS
+from repro.core.analysis import KERNELS
+
+
+def test_fig4_report(benchmark, bluesky):
+    emit_figure_table(benchmark, bluesky, "Figure 4 (Bluesky)")
+
+
+@pytest.mark.parametrize("dataset", REPRESENTATIVE_KEYS)
+@pytest.mark.parametrize("fmt", ["COO", "HiCOO"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig4_kernel_wallclock(benchmark, bluesky, dataset, kernel, fmt):
+    time_kernel_cell(benchmark, bluesky, dataset, kernel, fmt)

@@ -1,0 +1,23 @@
+"""Figure 5: five kernels x {COO, HiCOO} on Wingtip.
+
+Regenerates the modeled GFLOPS-vs-Roofline table for all 30 Table II
+tensors on the Wingtip platform model, and wall-clock-benchmarks this
+package's numpy kernels on three representative tensors.
+"""
+
+import pytest
+
+from _figure_common import emit_figure_table, time_kernel_cell
+from conftest import REPRESENTATIVE_KEYS
+from repro.core.analysis import KERNELS
+
+
+def test_fig5_report(benchmark, wingtip):
+    emit_figure_table(benchmark, wingtip, "Figure 5 (Wingtip)")
+
+
+@pytest.mark.parametrize("dataset", REPRESENTATIVE_KEYS)
+@pytest.mark.parametrize("fmt", ["COO", "HiCOO"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig5_kernel_wallclock(benchmark, wingtip, dataset, kernel, fmt):
+    time_kernel_cell(benchmark, wingtip, dataset, kernel, fmt)

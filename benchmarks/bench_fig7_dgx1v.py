@@ -1,0 +1,23 @@
+"""Figure 7: five kernels x {COO, HiCOO} on DGX-1V.
+
+Regenerates the modeled GFLOPS-vs-Roofline table for all 30 Table II
+tensors on the DGX-1V platform model, and wall-clock-benchmarks this
+package's numpy kernels on three representative tensors.
+"""
+
+import pytest
+
+from _figure_common import emit_figure_table, time_kernel_cell
+from conftest import REPRESENTATIVE_KEYS
+from repro.core.analysis import KERNELS
+
+
+def test_fig7_report(benchmark, dgx1v):
+    emit_figure_table(benchmark, dgx1v, "Figure 7 (DGX-1V)")
+
+
+@pytest.mark.parametrize("dataset", REPRESENTATIVE_KEYS)
+@pytest.mark.parametrize("fmt", ["COO", "HiCOO"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig7_kernel_wallclock(benchmark, dgx1v, dataset, kernel, fmt):
+    time_kernel_cell(benchmark, dgx1v, dataset, kernel, fmt)

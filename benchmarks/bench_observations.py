@@ -1,0 +1,26 @@
+"""Section V-C: evaluate the paper's five observations over all platforms.
+
+Runs the full (platform x dataset x kernel x format) modeled sweep once,
+prints each observation's evidence, and asserts that all five hold.
+"""
+
+from repro.bench.observations import collect_results, evaluate_all_observations
+
+from conftest import BENCH_SCALE, harness_for
+
+
+def test_observations_hold(benchmark):
+    def run():
+        results = {
+            platform: harness_for(platform).run_suite()
+            for platform in ("bluesky", "wingtip", "dgx1p", "dgx1v")
+        }
+        return evaluate_all_observations(results, scale_divisor=BENCH_SCALE)
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for report in reports:
+        print(report.detail)
+        print()
+    failed = [r for r in reports if not r.holds]
+    assert not failed, ", ".join(r.observation for r in failed)

@@ -1,0 +1,67 @@
+"""Pre-processing vs kernel time (the suite's design trade-off).
+
+Section III: "we use more pre-processing to trade for less kernel
+computation time".  This bench wall-clocks each algorithm's
+pre-processing stage, reports the modeled amortization point (how many
+kernel runs pay for the stage), and quantifies CSF's mode-specific tax
+(one tree per mode) against mode-generic COO/HiCOO.
+"""
+
+import pytest
+
+from repro.core.preprocessing import analyze, csf_tree_costs, run_stage
+from repro.formats import CooTensor
+
+ALGORITHMS = (
+    "COO-TS-OMP",
+    "COO-TTV-OMP",
+    "COO-TTM-OMP",
+    "HiCOO-TS-OMP",
+    "HiCOO-MTTKRP-OMP",
+)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return CooTensor.random((200_000, 200_000, 200_000), 200_000, seed=0)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_stage_wallclock(benchmark, tensor, algorithm):
+    seconds = benchmark(run_stage, algorithm, tensor)
+    assert seconds is not None
+
+
+def test_amortization_report(benchmark, tensor):
+    def sweep():
+        return [analyze(a, tensor, "bluesky", mode=0) for a in ALGORITHMS]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'algorithm':18s} {'stage':18s} {'pre(model)':>11s} "
+        f"{'pre(wall)':>10s} {'kernel':>9s} {'amortize':>9s}"
+    )
+    for r in reports:
+        print(
+            f"{r.algorithm:18s} {r.stage:18s} {r.modeled_seconds * 1e3:9.3f}ms "
+            f"{r.measured_seconds * 1e3:8.2f}ms {r.kernel_seconds * 1e3:7.3f}ms "
+            f"{r.amortization_runs:8.1f}x"
+        )
+    # Sorting-based stages amortize over more than one run of a *cheap*
+    # kernel; the HiCOO conversion pays for itself within a single
+    # (expensive, atomics-bound) MTTKRP execution — the trade the suite
+    # is designed around.
+    by_alg = {r.algorithm: r for r in reports}
+    assert by_alg["COO-TTV-OMP"].amortization_runs > 1.0
+    assert by_alg["HiCOO-MTTKRP-OMP"].amortization_runs < 1.0
+
+    csf = csf_tree_costs(tensor, "bluesky")
+    total = sum(csf.values())
+    print(
+        f"\nCSF mode-specific tax: {len(csf)} trees, "
+        f"{total * 1e3:.2f}ms modeled total "
+        f"(mode-generic HiCOO converts once: "
+        f"{by_alg['HiCOO-MTTKRP-OMP'].modeled_seconds * 1e3:.2f}ms)"
+    )
+    assert total > by_alg["HiCOO-MTTKRP-OMP"].modeled_seconds

@@ -1,0 +1,114 @@
+"""Table I: kernel work/traffic/OI analysis, pinned and timed.
+
+Benchmarks the five numpy kernels on one fixed tensor whose measured
+schedules must reproduce Table I's closed-form flop and byte counts, and
+prints the regenerated table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import run_table1
+from repro.core import (
+    make_schedule,
+    mttkrp_coo,
+    tew_coo,
+    ts,
+    ttm_coo,
+    ttv_coo,
+)
+from repro.core.analysis import kernel_cost
+from repro.formats import CooTensor, HicooTensor
+
+NNZ = 200_000
+SHAPE = (20_000, 20_000, 20_000)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return CooTensor.random(SHAPE, NNZ, seed=0)
+
+
+@pytest.fixture(scope="module")
+def operands(tensor):
+    rng = np.random.default_rng(1)
+    return {
+        "partner": CooTensor(
+            tensor.shape,
+            tensor.indices,
+            rng.uniform(0.5, 1.5, size=tensor.nnz).astype(np.float32),
+        ),
+        "vector": rng.uniform(0.5, 1.5, size=SHAPE[0]).astype(np.float32),
+        "matrix": rng.uniform(0.5, 1.5, size=(SHAPE[0], 16)).astype(np.float32),
+        "factors": [
+            rng.uniform(0.5, 1.5, size=(s, 16)).astype(np.float32)
+            for s in tensor.shape
+        ],
+    }
+
+
+def test_table1_report(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(result.report)
+    ois = {row["Kernel"]: float(row["OI (COO)"]) for row in result.rows}
+    assert ois["TEW"] == pytest.approx(1 / 12, abs=1e-3)
+    assert ois["TS"] == pytest.approx(1 / 8, abs=1e-3)
+
+
+def test_tew_wallclock(benchmark, tensor, operands):
+    benchmark(tew_coo, tensor, operands["partner"], "add")
+    schedule = make_schedule("COO-TEW-OMP", tensor)
+    assert schedule.total_bytes == kernel_cost("TEW", tensor.nnz).coo_bytes
+
+
+def test_ts_wallclock(benchmark, tensor):
+    benchmark(ts, tensor, 2.0, "mul")
+    schedule = make_schedule("COO-TS-OMP", tensor)
+    assert schedule.total_bytes == kernel_cost("TS", tensor.nnz).coo_bytes
+
+
+def test_ttv_wallclock(benchmark, tensor, operands):
+    benchmark(ttv_coo, tensor, operands["vector"], 0)
+    schedule = make_schedule("COO-TTV-OMP", tensor, mode=0)
+    cost = kernel_cost("TTV", tensor.nnz, num_fibers=tensor.num_fibers(0))
+    assert schedule.total_bytes == cost.coo_bytes
+
+
+def test_ttm_wallclock(benchmark, tensor, operands):
+    benchmark(ttm_coo, tensor, operands["matrix"], 0)
+    schedule = make_schedule("COO-TTM-OMP", tensor, mode=0, rank=16)
+    cost = kernel_cost(
+        "TTM", tensor.nnz, num_fibers=tensor.num_fibers(0), rank=16
+    )
+    assert schedule.total_bytes == cost.coo_bytes
+
+
+def test_mttkrp_wallclock(benchmark, tensor, operands):
+    benchmark(mttkrp_coo, tensor, operands["factors"], 0)
+    schedule = make_schedule("COO-MTTKRP-OMP", tensor, mode=0, rank=16)
+    assert schedule.total_bytes == kernel_cost("MTTKRP", tensor.nnz, rank=16).coo_bytes
+
+
+def test_mttkrp_hicoo_traffic_bound(benchmark, tensor, operands):
+    hicoo = HicooTensor.from_coo(tensor, 128)
+    from repro.core import mttkrp_hicoo
+
+    benchmark(mttkrp_hicoo, hicoo, operands["factors"], 0)
+    # Table I: HiCOO's factor traffic is capped at n_b * B rows, so it
+    # beats COO whenever blocks compress (n_b * B < M).  On clustered
+    # nonzeros the HiCOO bound must win; on this hyper-sparse tensor
+    # (one nonzero per block) the block metadata makes it lose — the
+    # paper's stated reason HiCOO "could not be beneficial for
+    # hyper-sparse tensors".
+    clustered = CooTensor.random((512, 512, 512), tensor.nnz, seed=1)
+    clustered_hicoo = HicooTensor.from_coo(clustered, 128)
+    assert clustered_hicoo.average_block_occupancy() > 2
+    coo_clustered = make_schedule("COO-MTTKRP-OMP", clustered, mode=0, rank=16)
+    hicoo_clustered = make_schedule(
+        "HiCOO-MTTKRP-OMP", clustered, mode=0, rank=16, hicoo=clustered_hicoo
+    )
+    assert hicoo_clustered.total_bytes < coo_clustered.total_bytes
+    hyper = make_schedule("HiCOO-MTTKRP-OMP", tensor, mode=0, rank=16, hicoo=hicoo)
+    coo_hyper = make_schedule("COO-MTTKRP-OMP", tensor, mode=0, rank=16)
+    assert hyper.total_bytes > coo_hyper.total_bytes

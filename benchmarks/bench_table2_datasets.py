@@ -1,0 +1,52 @@
+"""Table II: dataset realization — generator throughput plus the table.
+
+Benchmarks the two synthetic generators (stochastic Kronecker and biased
+power law) at small/medium sizes and the real stand-in path, then prints
+the regenerated Table II at benchmark scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table2
+from repro.datasets import get_dataset
+from repro.generators import kronecker_tensor, powerlaw_tensor
+
+from conftest import BENCH_SCALE
+
+
+def test_table2_report(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"scale_divisor": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert len(result.rows) == 30
+
+
+@pytest.mark.parametrize("nnz", [10_000, 50_000])
+def test_kronecker_generator(benchmark, nnz):
+    tensor = benchmark(
+        kronecker_tensor, (1 << 17, 1 << 17, 1 << 17), nnz, seed=0
+    )
+    assert tensor.nnz == nnz
+
+
+@pytest.mark.parametrize("nnz", [10_000, 50_000])
+def test_powerlaw_generator(benchmark, nnz):
+    tensor = benchmark(
+        powerlaw_tensor,
+        (1 << 18, 1 << 18, 128),
+        nnz,
+        dense_modes=(2,),
+        seed=0,
+    )
+    assert tensor.nnz == nnz
+
+
+@pytest.mark.parametrize("key", ["r2", "r11", "s1", "s13"])
+def test_registry_realization(benchmark, key):
+    spec = get_dataset(key)
+    tensor = benchmark.pedantic(
+        spec.realize, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    assert tensor.order == spec.order

@@ -1,0 +1,31 @@
+"""Table III: platform parameters, and execution-model prediction cost.
+
+Prints the regenerated Table III and benchmarks how fast the execution
+models lower a schedule (the models must stay cheap enough to sweep all
+figures in one run).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table3
+from repro.core import make_schedule
+from repro.formats import CooTensor
+from repro.machine import execution_model
+from repro.platforms import all_platforms
+
+
+def test_table3_report(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print()
+    print(result.report)
+    assert len(result.rows) == 4
+
+
+@pytest.mark.parametrize("platform", [s.name for s in all_platforms()])
+def test_prediction_throughput(benchmark, platform):
+    tensor = CooTensor.random((5000, 5000, 5000), 50_000, seed=0)
+    model = execution_model(platform)
+    target = "GPU" if model.spec.is_gpu else "OMP"
+    schedule = make_schedule(f"COO-MTTKRP-{target}", tensor, mode=0)
+    estimate = benchmark(model.predict, schedule)
+    assert estimate.seconds > 0

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one paper artifact (table or figure).
+Harnesses and realized datasets are cached per session so the expensive
+tensor generation happens once per platform.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+The modeled figure tables are printed as part of the benchmark run (the
+printing is wrapped in a one-round benchmark so ``--benchmark-only``
+keeps it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchmarkHarness
+
+#: Dataset scale for benchmark runs: paper sizes / 2048 keeps the whole
+#: suite's wall-clock in minutes while preserving the figures' shape
+#: (the harness scales the modeled LLC with it).
+BENCH_SCALE = 2048
+
+#: Representative datasets whose numpy kernels are wall-clock-timed in
+#: each figure benchmark: one real stand-in, one regular synthetic, one
+#: irregular synthetic.
+REPRESENTATIVE_KEYS = ("r2", "s2", "s5")
+
+_HARNESSES = {}
+
+
+def harness_for(platform: str) -> BenchmarkHarness:
+    """Session-cached harness (tensors realized once per platform)."""
+    if platform not in _HARNESSES:
+        _HARNESSES[platform] = BenchmarkHarness(
+            platform, scale_divisor=BENCH_SCALE
+        )
+    return _HARNESSES[platform]
+
+
+@pytest.fixture(scope="session")
+def bluesky():
+    return harness_for("bluesky")
+
+
+@pytest.fixture(scope="session")
+def wingtip():
+    return harness_for("wingtip")
+
+
+@pytest.fixture(scope="session")
+def dgx1p():
+    return harness_for("dgx1p")
+
+
+@pytest.fixture(scope="session")
+def dgx1v():
+    return harness_for("dgx1v")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: build a sparse tensor, run every kernel, model a platform.
+
+Walks the public API end to end:
+
+1. generate a synthetic sparse tensor with the Kronecker generator;
+2. convert it between COO and HiCOO;
+3. run the five benchmark kernels (TEW, TS, TTV, TTM, MTTKRP);
+4. extract each kernel's machine schedule and predict its runtime on the
+   paper's four modeled platforms;
+5. compare against the Roofline performance bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. A power-law-structured sparse tensor from the Kronecker model.
+    x = repro.kronecker_tensor((4096, 4096, 4096), 50_000, seed=7)
+    print(f"tensor      : {x}")
+    print(f"COO storage : {x.storage_bytes() / 1e6:.2f} MB")
+
+    # 2. HiCOO conversion (block size 128, as in the paper's experiments).
+    h = repro.HicooTensor.from_coo(x, 128)
+    print(
+        f"HiCOO       : {h.num_blocks} blocks, "
+        f"{h.storage_bytes() / 1e6:.2f} MB "
+        f"(compression ratio {h.compression_ratio():.2f}x)"
+    )
+
+    # 3. Run all five kernels through the COO reference implementations.
+    y = repro.ts(x, 3.0, "mul")
+    print(f"TS          : scaled {y.nnz} values")
+
+    partner = repro.CooTensor(
+        x.shape, x.indices, repro.random_vector(x.nnz, seed=1)
+    )
+    z = repro.tew_coo(x, partner, "add")
+    print(f"TEW         : {z.nnz} output nonzeros")
+
+    v = repro.random_vector(x.shape[2], seed=2)
+    t_ttv = repro.ttv_coo(x, v, mode=2)
+    print(f"TTV         : output {t_ttv}")
+
+    u = repro.random_matrix(x.shape[1], 16, seed=3)
+    t_ttm = repro.ttm_coo(x, u, mode=1)
+    print(f"TTM         : output fibers {t_ttm.nnz_fibers} (dense rank 16)")
+
+    factors = [repro.random_matrix(s, 16, seed=4 + i) for i, s in enumerate(x.shape)]
+    m = repro.mttkrp_coo(x, factors, mode=0)
+    print(f"MTTKRP      : output matrix {m.shape}, norm {np.linalg.norm(m):.3g}")
+
+    # 4. Model each kernel on the paper's platforms.
+    print("\nModeled GFLOPS (COO algorithms):")
+    header = f"{'kernel':8s}" + "".join(
+        f"{spec.name:>10s}" for spec in repro.all_platforms()
+    )
+    print(header)
+    for kernel in repro.KERNELS:
+        row = f"{kernel:8s}"
+        for spec in repro.all_platforms():
+            target = "GPU" if spec.is_gpu else "OMP"
+            schedule = repro.make_schedule(f"COO-{kernel}-{target}", x, mode=0)
+            estimate = repro.predict(spec, schedule)
+            row += f"{estimate.gflops:10.1f}"
+        print(row)
+
+    # 5. Roofline bound for MTTKRP on the V100.
+    model = repro.RooflineModel.for_platform("dgx1v")
+    cost = repro.kernel_cost("MTTKRP", x.nnz, rank=16)
+    bound = model.roofline_performance(cost)
+    schedule = repro.make_schedule("COO-MTTKRP-GPU", x, mode=0)
+    achieved = repro.predict("dgx1v", schedule).gflops
+    print(
+        f"\nMTTKRP on DGX-1V: {achieved:.1f} GFLOPS achieved vs "
+        f"{bound:.1f} GFLOPS roofline ({achieved / bound * 100:.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Roofline analysis: regenerate Figure 3 and place real kernels on it.
+
+Builds the ERT-style Roofline model of all four Table III platforms,
+prints each platform's ceilings and kernel markers (the content of the
+paper's Figure 3), draws an ASCII roofline, and then situates a concrete
+tensor's five kernels against their Roofline performance the way
+Figures 4-7 do.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.bench.harness import BenchmarkHarness
+from repro.platforms import all_platforms, run_ert
+from repro.roofline import RooflineModel, roofline_ascii, roofline_text
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Figure 3: Roofline models of the four modeled platforms")
+    print("=" * 70)
+    for spec in all_platforms():
+        ert = run_ert(spec)
+        model = RooflineModel.for_platform(spec, ert)
+        print()
+        print(roofline_text(model))
+
+    print()
+    print(roofline_ascii(RooflineModel.for_platform("dgx1v")))
+
+    print()
+    print("=" * 70)
+    print("Placing one tensor's kernels against the roofline (fig. 4 style)")
+    print("=" * 70)
+    harness = BenchmarkHarness("bluesky", scale_divisor=1024)
+    print(
+        f"{'kernel':8s} {'format':6s} {'GFLOPS':>8s} {'roofline':>9s} "
+        f"{'efficiency':>10s}"
+    )
+    for fmt in ("COO", "HiCOO"):
+        for kernel in ("TEW", "TS", "TTV", "TTM", "MTTKRP"):
+            r = harness.run_cell("s2", kernel, fmt)
+            print(
+                f"{kernel:8s} {fmt:6s} {r.gflops:8.1f} "
+                f"{r.roofline_gflops:9.1f} {r.efficiency * 100:9.0f}%"
+            )
+    print(
+        "\nStreaming kernels (TEW/TS) sit near or above the line when the"
+        "\nworking set is cache-resident; MTTKRP sits far below it because"
+        "\natomic updates and factor-row gathers waste the streamed bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

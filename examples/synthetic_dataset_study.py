@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Synthetic dataset study: Kronecker vs power-law tensor structure.
+
+Reproduces the paper's Section IV argument that synthetic tensors are
+needed for systematic benchmarking: it generates the regular (Kronecker)
+and irregular (power-law) families at several sizes, then shows how the
+structural features that drive kernel performance differ —
+
+* degree skew (hub concentration) per mode;
+* mode-``n`` fiber counts (TTV/TTM parallelism and output size);
+* HiCOO block occupancy (the format's compression and the
+  HiCOO-MTTKRP-GPU load-imbalance story);
+* the resulting modeled TTV performance on a CPU and a GPU.
+
+Run:  python examples/synthetic_dataset_study.py
+"""
+
+from repro.core import make_schedule
+from repro.formats import HicooTensor
+from repro.generators import degree_tail_ratio, kronecker_tensor, powerlaw_tensor
+from repro.machine import predict
+
+
+def describe(name, tensor):
+    hicoo = HicooTensor.from_coo(tensor, 128)
+    skew = degree_tail_ratio(tensor, 0)
+    fibers = tensor.num_fibers(0)
+    occupancy = hicoo.average_block_occupancy()
+
+    cpu = predict("bluesky", make_schedule("COO-TTV-OMP", tensor, mode=0))
+    gpu = predict("dgx1v", make_schedule("COO-TTV-GPU", tensor, mode=0))
+    gpu_mttkrp_coo = predict(
+        "dgx1v", make_schedule("COO-MTTKRP-GPU", tensor, mode=0)
+    )
+    gpu_mttkrp_hicoo = predict(
+        "dgx1v", make_schedule("HiCOO-MTTKRP-GPU", tensor, mode=0, hicoo=hicoo)
+    )
+    print(
+        f"{name:10s} nnz={tensor.nnz:>7d} skew={skew:7.1f} "
+        f"fibers={fibers:>7d} blockOcc={occupancy:6.2f} "
+        f"TTV[cpu/gpu]={cpu.gflops:6.1f}/{gpu.gflops:6.1f} GF "
+        f"MTTKRP-GPU[coo/hicoo]={gpu_mttkrp_coo.gflops:6.1f}/"
+        f"{gpu_mttkrp_hicoo.gflops:6.1f} GF"
+    )
+
+
+def main() -> None:
+    print("Regular (Kronecker) family — equidimensional, fractal hubs:")
+    for name, size, nnz in (
+        ("kronS", 1 << 14, 20_000),
+        ("kronM", 1 << 17, 80_000),
+        ("kronL", 1 << 20, 300_000),
+    ):
+        tensor = kronecker_tensor((size, size, size), nnz, seed=11)
+        describe(name, tensor)
+
+    print("\nIrregular (power-law) family — two sparse modes, one short dense:")
+    for name, size, dense, nnz in (
+        ("plS", 1 << 15, 76, 20_000),
+        ("plM", 1 << 18, 126, 80_000),
+        ("plL", 1 << 21, 168, 300_000),
+    ):
+        tensor = powerlaw_tensor(
+            (size, size, dense), nnz, dense_modes=(2,), seed=12
+        )
+        describe(name, tensor)
+
+    print(
+        "\nReading the table: power-law tensors concentrate nonzeros on hub"
+        "\nindices (large skew), which shortens some fibers and lengthens"
+        "\nothers — the load imbalance that hurts fiber-parallel TTV — while"
+        "\nhyper-sparse Kronecker tensors leave HiCOO blocks nearly empty"
+        "\n(blockOcc ~ 1), which is exactly why HiCOO-MTTKRP-GPU loses to"
+        "\nCOO-MTTKRP-GPU in the paper's Observation 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

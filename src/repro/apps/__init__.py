@@ -1,0 +1,36 @@
+"""Application workloads built on the benchmark kernels.
+
+The paper motivates its kernels through two tensor methods: the tensor
+power method (TTV) and CANDECOMP/PARAFAC decomposition (MTTKRP).  This
+subpackage implements both on top of the suite's sparse kernels, serving
+as realistic end-to-end workloads for the examples and integration tests.
+"""
+
+from .cpd import CpdResult, cp_als, random_low_rank_tensor
+from .tucker import TuckerResult, hooi, hosvd, ttm_chain
+from .power_method import (
+    PowerMethodResult,
+    deflate,
+    orthogonal_decomposition,
+    power_iteration,
+    rank1_tensor,
+    symmetric_tensor_from_components,
+    tensor_apply,
+)
+
+__all__ = [
+    "cp_als",
+    "CpdResult",
+    "random_low_rank_tensor",
+    "hosvd",
+    "hooi",
+    "ttm_chain",
+    "TuckerResult",
+    "power_iteration",
+    "orthogonal_decomposition",
+    "PowerMethodResult",
+    "tensor_apply",
+    "rank1_tensor",
+    "symmetric_tensor_from_components",
+    "deflate",
+]

@@ -1,0 +1,165 @@
+"""Tensor power method: orthogonal rank-1 decomposition via repeated TTV.
+
+The paper motivates TTV as "a critical computational kernel of the tensor
+power method ... an approach for orthogonal tensor decomposition, that
+decomposes a symmetric tensor into a collection of orthogonal vectors
+with corresponding weights" (Section II-C, after Anandkumar et al.).
+
+For a symmetric third-order tensor ``T`` the iteration is
+
+    v  <-  T x_2 v x_3 v   (a vector), then normalize,
+
+which converges to the dominant robust eigenvector; deflating
+``T - lambda * v ⊗ v ⊗ v`` and repeating extracts further components.
+This implementation works on sparse COO tensors using the suite's TTV
+kernel and supports arbitrary (cubical) orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.ttv import ttv_coo
+from ..errors import IncompatibleOperandsError
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+
+@dataclass(frozen=True)
+class PowerMethodResult:
+    """One extracted component: eigenvalue, eigenvector, iterations used."""
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def _check_cubical(tensor: CooTensor) -> int:
+    size = tensor.shape[0]
+    if any(s != size for s in tensor.shape):
+        raise IncompatibleOperandsError(
+            f"the tensor power method needs a cubical tensor, got {tensor.shape}"
+        )
+    return size
+
+
+def tensor_apply(tensor: CooTensor, vector: np.ndarray) -> np.ndarray:
+    """Contract every mode except the first with ``vector``: ``T(I, v, ..., v)``.
+
+    Implemented as a chain of mode-(last) TTVs, each one shrinking the
+    tensor by one order — exactly the suite's sparse TTV kernel applied
+    ``order - 1`` times.
+    """
+    current = tensor
+    while current.order > 1:
+        current = ttv_coo(current, vector, current.order - 1)
+    return current.to_dense()
+
+
+def power_iteration(
+    tensor: CooTensor,
+    *,
+    start: Optional[np.ndarray] = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+) -> PowerMethodResult:
+    """Extract the dominant robust eigenpair of a cubical sparse tensor."""
+    size = _check_cubical(tensor)
+    rng = np.random.default_rng(seed)
+    v = start.astype(np.float64) if start is not None else rng.normal(size=size)
+    norm = np.linalg.norm(v)
+    if norm == 0:
+        raise IncompatibleOperandsError("start vector must be nonzero")
+    v = v / norm
+    eigenvalue = 0.0
+    for iteration in range(1, max_iterations + 1):
+        w = tensor_apply(tensor, v.astype(np.float32)).astype(np.float64)
+        norm = np.linalg.norm(w)
+        if norm == 0:
+            return PowerMethodResult(0.0, v, iteration, True)
+        new_v = w / norm
+        eigenvalue = float(new_v @ tensor_apply(tensor, new_v.astype(np.float32)))
+        if np.linalg.norm(new_v - v) < tolerance or (
+            np.linalg.norm(new_v + v) < tolerance
+        ):
+            return PowerMethodResult(eigenvalue, new_v, iteration, True)
+        v = new_v
+    return PowerMethodResult(eigenvalue, v, max_iterations, False)
+
+
+def rank1_tensor(weight: float, vector: np.ndarray, order: int) -> CooTensor:
+    """Dense rank-1 tensor ``weight * v ⊗ ... ⊗ v`` as a COO tensor."""
+    dense = np.asarray(vector, dtype=np.float64)
+    out = dense
+    for _ in range(order - 1):
+        out = np.multiply.outer(out, dense)
+    return CooTensor.from_dense((weight * out).astype(VALUE_DTYPE))
+
+
+def symmetric_tensor_from_components(
+    weights: np.ndarray, vectors: np.ndarray
+) -> CooTensor:
+    """Build a symmetric third-order tensor ``sum_k w_k v_k^⊗3``.
+
+    ``vectors`` holds one component per column.  Used to construct
+    ground-truth inputs for the power method in tests and examples.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    size, count = vectors.shape
+    if weights.shape != (count,):
+        raise IncompatibleOperandsError("one weight per component required")
+    dense = np.zeros((size, size, size))
+    for k in range(count):
+        v = vectors[:, k]
+        dense += weights[k] * np.einsum("i,j,k->ijk", v, v, v)
+    return CooTensor.from_dense(dense.astype(VALUE_DTYPE))
+
+
+def deflate(tensor: CooTensor, result: PowerMethodResult) -> CooTensor:
+    """Subtract an extracted rank-1 component (densifying the pattern)."""
+    component = rank1_tensor(
+        result.eigenvalue, result.eigenvector, tensor.order
+    )
+    from ..core.tew import tew_general_coo
+
+    return tew_general_coo(tensor, component, "sub").sum_duplicates()
+
+
+def orthogonal_decomposition(
+    tensor: CooTensor,
+    num_components: int,
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    restarts: int = 5,
+    seed: int = 0,
+) -> List[PowerMethodResult]:
+    """Greedy power-method decomposition with deflation.
+
+    Each round runs several random restarts, keeps the eigenpair with
+    the largest eigenvalue magnitude, and deflates.  For a tensor built
+    from orthogonal components this recovers them (up to sign) in
+    decreasing weight order.
+    """
+    components: List[PowerMethodResult] = []
+    current = tensor
+    for round_index in range(num_components):
+        best: Optional[PowerMethodResult] = None
+        for restart in range(restarts):
+            candidate = power_iteration(
+                current,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+                seed=seed + 1000 * round_index + restart,
+            )
+            if best is None or abs(candidate.eigenvalue) > abs(best.eigenvalue):
+                best = candidate
+        assert best is not None
+        components.append(best)
+        current = deflate(current, best)
+    return components

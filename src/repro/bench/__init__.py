@@ -1,0 +1,82 @@
+"""Benchmark harness, paper-artifact experiments, and observation checks."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_kernel_figure,
+    run_observations,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from .export import (
+    dumps_csv,
+    figure_series,
+    read_json,
+    write_csv,
+    write_json,
+)
+from .formatting import format_gflops, format_table, results_table
+from .harness import (
+    BenchmarkHarness,
+    BenchResult,
+    average_efficiency,
+    average_gflops,
+)
+from .observations import (
+    ObservationReport,
+    collect_results,
+    evaluate_all_observations,
+)
+from .sweeps import (
+    block_size_sweep,
+    gpu_count_sweep,
+    rank_sweep,
+    reorder_sweep,
+    sweep_report,
+)
+from .verify import VerificationReport, verify_suite
+
+__all__ = [
+    "BenchmarkHarness",
+    "BenchResult",
+    "average_gflops",
+    "average_efficiency",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_kernel_figure",
+    "run_observations",
+    "ObservationReport",
+    "collect_results",
+    "evaluate_all_observations",
+    "format_table",
+    "format_gflops",
+    "results_table",
+    "write_csv",
+    "write_json",
+    "read_json",
+    "dumps_csv",
+    "figure_series",
+    "block_size_sweep",
+    "rank_sweep",
+    "reorder_sweep",
+    "gpu_count_sweep",
+    "sweep_report",
+    "verify_suite",
+    "VerificationReport",
+]

@@ -1,0 +1,159 @@
+"""Export benchmark results to CSV / JSON for external plotting.
+
+The paper's figures are bar charts over (tensor, kernel, format) cells;
+this module serializes :class:`~repro.bench.harness.BenchResult` lists in
+the layout a plotting script (matplotlib, gnuplot, a spreadsheet) wants,
+and round-trips them so sweeps can be archived and re-analyzed without
+re-running the models.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from ..machine.result import ExecutionEstimate
+from .harness import BenchResult
+
+PathOrFile = Union[str, Path, TextIO]
+
+_CSV_COLUMNS = (
+    "dataset",
+    "tensor_name",
+    "platform",
+    "kernel",
+    "tensor_format",
+    "gflops",
+    "roofline_gflops",
+    "efficiency",
+    "modeled_seconds",
+    "measured_seconds",
+)
+
+
+def result_to_record(result: BenchResult) -> Dict[str, object]:
+    """Flatten one result into a JSON/CSV-friendly dict."""
+    return {
+        "dataset": result.dataset,
+        "tensor_name": result.tensor_name,
+        "platform": result.platform,
+        "kernel": result.kernel,
+        "tensor_format": result.tensor_format,
+        "gflops": result.gflops,
+        "roofline_gflops": result.roofline_gflops,
+        "efficiency": result.efficiency,
+        "modeled_seconds": result.modeled.seconds,
+        "measured_seconds": result.measured_seconds,
+        "flops": result.modeled.flops,
+        "algorithm": result.modeled.algorithm,
+    }
+
+
+def record_to_result(record: Dict[str, object]) -> BenchResult:
+    """Rebuild a :class:`BenchResult` from a flattened record."""
+    modeled = ExecutionEstimate(
+        platform=str(record["platform"]),
+        algorithm=str(record.get("algorithm", "")),
+        seconds=float(record["modeled_seconds"]),
+        flops=int(record.get("flops", 0)),
+    )
+    measured = record.get("measured_seconds")
+    return BenchResult(
+        dataset=str(record["dataset"]),
+        tensor_name=str(record["tensor_name"]),
+        platform=str(record["platform"]),
+        kernel=str(record["kernel"]),
+        tensor_format=str(record["tensor_format"]),
+        modeled=modeled,
+        roofline_gflops=float(record["roofline_gflops"]),
+        measured_seconds=float(measured) if measured not in (None, "") else None,
+    )
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8", newline=""), True
+    return target, False
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8", newline=""), True
+    return source, False
+
+
+def write_csv(results: Sequence[BenchResult], target: PathOrFile) -> None:
+    """Write results as CSV with a fixed, documented column set."""
+    handle, owns = _open_for_write(target)
+    try:
+        writer = csv.DictWriter(
+            handle, fieldnames=_CSV_COLUMNS, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for result in results:
+            record = result_to_record(result)
+            writer.writerow({k: record.get(k) for k in _CSV_COLUMNS})
+    finally:
+        if owns:
+            handle.close()
+
+
+def dumps_csv(results: Sequence[BenchResult]) -> str:
+    """Serialize results to a CSV string."""
+    buffer = io.StringIO()
+    write_csv(results, buffer)
+    return buffer.getvalue()
+
+
+def write_json(
+    results: Sequence[BenchResult],
+    target: PathOrFile,
+    *,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write results (plus optional run metadata) as a JSON document."""
+    document = {
+        "metadata": metadata or {},
+        "results": [result_to_record(r) for r in results],
+    }
+    handle, owns = _open_for_write(target)
+    try:
+        json.dump(document, handle, indent=2)
+    finally:
+        if owns:
+            handle.close()
+
+
+def read_json(source: PathOrFile) -> List[BenchResult]:
+    """Load results previously written by :func:`write_json`."""
+    handle, owns = _open_for_read(source)
+    try:
+        document = json.load(handle)
+    finally:
+        if owns:
+            handle.close()
+    return [record_to_result(r) for r in document["results"]]
+
+
+def figure_series(
+    results: Sequence[BenchResult],
+) -> Dict[str, Dict[str, List[float]]]:
+    """Group results into plottable series.
+
+    Returns ``{ "<kernel>/<format>": {"labels": [...], "gflops": [...],
+    "roofline": [...]} }`` with datasets in their first-seen (Table II)
+    order — one series per bar group of Figures 4-7.
+    """
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for result in results:
+        key = f"{result.kernel}/{result.tensor_format}"
+        bucket = series.setdefault(
+            key, {"labels": [], "gflops": [], "roofline": []}
+        )
+        bucket["labels"].append(result.dataset)
+        bucket["gflops"].append(result.gflops)
+        bucket["roofline"].append(result.roofline_gflops)
+    return series

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark and experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = (),
+    *,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` fixes the column order; when omitted, the first row's key
+    order is used.  Values are stringified; floats keep their repr unless
+    pre-formatted by the caller.
+    """
+    rows = list(rows)
+    if not rows:
+        return title or "(no rows)"
+    cols: List[str] = list(columns) if columns else list(rows[0].keys())
+    table: List[List[str]] = [[str(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(cols[i]), max(len(row[i]) for row in table))
+        for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_gflops(value: float) -> str:
+    """Compact GFLOPS rendering used throughout the reports."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def results_table(results, *, title: str = "") -> str:
+    """Render a list of :class:`BenchResult` as a text table."""
+    rows: List[Dict[str, str]] = []
+    for r in results:
+        row = {
+            "No.": r.dataset,
+            "Tensor": r.tensor_name,
+            "Kernel": r.kernel,
+            "Format": r.tensor_format,
+            "GFLOPS": format_gflops(r.gflops),
+            "Roofline": format_gflops(r.roofline_gflops),
+            "Eff.": f"{r.efficiency * 100:.0f}%",
+        }
+        if r.measured_seconds is not None:
+            row["Wall(ms)"] = f"{r.measured_seconds * 1e3:.2f}"
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,285 @@
+"""Benchmark harness: run (kernel × format × platform × tensor) cells.
+
+One :class:`BenchResult` corresponds to one bar of Figures 4-7: a kernel
+in a format on a platform fed one Table II tensor, reported in GFLOPS
+against the tensor's exact Roofline performance.  Following Section V-A2,
+TTV/TTM/MTTKRP results are averaged over all tensor modes, TEW uses
+addition and TS multiplication, rank is 16, and the HiCOO block size is
+128.
+
+Each cell is produced twice:
+
+* ``modeled`` — the numeric kernel's schedule lowered by the platform's
+  execution model (the reproduction of the paper's hardware numbers);
+* ``measured_seconds`` (optional) — wall-clock of this package's numpy
+  implementation on the host, for pytest-benchmark runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.analysis import DEFAULT_RANK, KERNELS, kernel_cost
+from ..core.registry import make_operands, make_schedule, run_algorithm
+from ..datasets.registry import DEFAULT_SCALE_DIVISOR, DatasetSpec, datasets, get_dataset
+from ..formats.coo import CooTensor
+from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from ..machine import execution_model
+from ..machine.result import ExecutionEstimate
+from ..platforms.specs import PlatformSpec, get_platform
+from ..roofline.model import RooflineModel
+
+#: Kernels whose time is averaged across all tensor modes (Section V-A2).
+MODE_AVERAGED_KERNELS = ("TTV", "TTM", "MTTKRP")
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One figure cell: a kernel+format on a platform for one tensor."""
+
+    dataset: str
+    tensor_name: str
+    platform: str
+    kernel: str
+    tensor_format: str
+    modeled: ExecutionEstimate
+    roofline_gflops: float
+    measured_seconds: Optional[float] = None
+
+    @property
+    def gflops(self) -> float:
+        """Modeled GFLOPS (the figures' y-axis)."""
+        return self.modeled.gflops
+
+    @property
+    def efficiency(self) -> float:
+        """Modeled GFLOPS over Roofline performance (can exceed 1)."""
+        return self.modeled.efficiency(self.roofline_gflops)
+
+    @property
+    def measured_gflops(self) -> Optional[float]:
+        """Wall-clock GFLOPS of the numpy kernel, when measured."""
+        if not self.measured_seconds:
+            return None
+        return self.modeled.flops / self.measured_seconds / 1e9
+
+
+class BenchmarkHarness:
+    """Runs the suite's kernels for one platform at one dataset scale."""
+
+    def __init__(
+        self,
+        platform: Union[str, PlatformSpec],
+        *,
+        scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+        rank: int = DEFAULT_RANK,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        measure_wallclock: bool = False,
+        wallclock_repeats: int = 3,
+    ) -> None:
+        self.spec = get_platform(platform) if isinstance(platform, str) else platform
+        self.scale_divisor = scale_divisor
+        self.rank = rank
+        self.block_size = block_size
+        self.measure_wallclock = measure_wallclock
+        self.wallclock_repeats = wallclock_repeats
+        # Datasets are shrunk by scale_divisor, so the modeled LLC shrinks
+        # with them: a tensor that exceeded the cache at paper scale must
+        # still exceed it here, or every kernel would look cache-resident
+        # (DESIGN.md substitution #2/#3).  Bandwidths and peaks stay at
+        # Table III values, so GFLOPS remain comparable to the paper's.
+        self.model = execution_model(self._scaled_spec())
+        self.roofline = RooflineModel.for_platform(self.spec)
+        self._tensor_cache: Dict[str, CooTensor] = {}
+        self._hicoo_cache: Dict[str, HicooTensor] = {}
+
+    # ------------------------------------------------------------------
+
+    def _scaled_spec(self) -> PlatformSpec:
+        """The platform spec with its LLC scaled down with the datasets."""
+        if self.scale_divisor <= 1:
+            return self.spec
+        scaled_llc = max(self.spec.llc_bytes // self.scale_divisor, 4096)
+        return replace(self.spec, llc_bytes=scaled_llc)
+
+    @property
+    def target(self) -> str:
+        """``"OMP"`` on CPUs, ``"GPU"`` on GPUs — the algorithm suffix."""
+        return "GPU" if self.spec.is_gpu else "OMP"
+
+    def tensor(self, spec: DatasetSpec) -> CooTensor:
+        """Realize (and cache) a dataset at this harness's scale."""
+        if spec.key not in self._tensor_cache:
+            self._tensor_cache[spec.key] = spec.realize(self.scale_divisor)
+        return self._tensor_cache[spec.key]
+
+    def hicoo_tensor(self, spec: DatasetSpec) -> HicooTensor:
+        """HiCOO conversion of a dataset (cached pre-processing)."""
+        if spec.key not in self._hicoo_cache:
+            self._hicoo_cache[spec.key] = HicooTensor.from_coo(
+                self.tensor(spec), self.block_size
+            )
+        return self._hicoo_cache[spec.key]
+
+    # ------------------------------------------------------------------
+
+    def run_cell(
+        self,
+        dataset: Union[str, DatasetSpec],
+        kernel: str,
+        tensor_format: str,
+    ) -> BenchResult:
+        """Benchmark one kernel+format on one dataset."""
+        spec = get_dataset(dataset) if isinstance(dataset, str) else dataset
+        kernel = kernel.upper()
+        x = self.tensor(spec)
+        hicoo = (
+            self.hicoo_tensor(spec) if tensor_format.upper() == "HICOO" else None
+        )
+        algorithm = f"{tensor_format}-{kernel}-{self.target}"
+        modes = (
+            range(x.order) if kernel in MODE_AVERAGED_KERNELS else (0,)
+        )
+        second_sum = 0.0
+        flops_sum = 0
+        measured_sum: Optional[float] = 0.0 if self.measure_wallclock else None
+        for mode in modes:
+            schedule = make_schedule(
+                algorithm,
+                x,
+                mode=mode,
+                rank=self.rank,
+                block_size=self.block_size,
+                hicoo=hicoo,
+            )
+            estimate = self.model.predict(schedule)
+            second_sum += estimate.seconds
+            flops_sum += schedule.flops
+            if self.measure_wallclock:
+                measured_sum += self._measure(algorithm, x, mode, hicoo)
+        count = len(tuple(modes))
+        modeled = ExecutionEstimate(
+            platform=self.spec.name,
+            algorithm=algorithm,
+            seconds=second_sum / count,
+            flops=flops_sum // count,
+            breakdown={},
+        )
+        roofline = self._roofline_gflops(x, kernel, tensor_format, hicoo)
+        return BenchResult(
+            dataset=spec.key,
+            tensor_name=spec.name,
+            platform=self.spec.name,
+            kernel=kernel,
+            tensor_format=tensor_format,
+            modeled=modeled,
+            roofline_gflops=roofline,
+            measured_seconds=(
+                measured_sum / count if measured_sum is not None else None
+            ),
+        )
+
+    def _measure(
+        self,
+        algorithm: str,
+        x: CooTensor,
+        mode: int,
+        hicoo: Optional[HicooTensor],
+    ) -> float:
+        """Best-of-N wall-clock of the numpy kernel implementation."""
+        kernel = algorithm.split("-")[1]
+        operands = make_operands(x, kernel, mode=mode, rank=self.rank, seed=mode)
+        best = float("inf")
+        for _ in range(self.wallclock_repeats):
+            start = time.perf_counter()
+            run_algorithm(
+                algorithm,
+                x,
+                operands,
+                mode=mode,
+                rank=self.rank,
+                block_size=self.block_size,
+                hicoo=hicoo,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def _roofline_gflops(
+        self,
+        x: CooTensor,
+        kernel: str,
+        tensor_format: str,
+        hicoo: Optional[HicooTensor],
+    ) -> float:
+        """Exact-OI Roofline performance (the figures' red line)."""
+        if kernel in ("TTV", "TTM"):
+            fiber_counts = [x.num_fibers(m) for m in range(x.order)]
+            num_fibers = int(sum(fiber_counts) / len(fiber_counts))
+        else:
+            num_fibers = None
+        num_blocks = hicoo.num_blocks if hicoo is not None else None
+        cost = kernel_cost(
+            kernel,
+            x.nnz,
+            num_fibers=num_fibers,
+            rank=self.rank,
+            num_blocks=num_blocks,
+            block_size=self.block_size,
+        )
+        return self.roofline.roofline_performance(cost, tensor_format)
+
+    # ------------------------------------------------------------------
+
+    def run_dataset(
+        self,
+        dataset: Union[str, DatasetSpec],
+        *,
+        kernels: Sequence[str] = KERNELS,
+        formats: Sequence[str] = ("COO", "HiCOO"),
+    ) -> List[BenchResult]:
+        """All kernel+format cells for one dataset."""
+        return [
+            self.run_cell(dataset, kernel, tensor_format)
+            for tensor_format in formats
+            for kernel in kernels
+        ]
+
+    def run_suite(
+        self,
+        collection: Optional[str] = None,
+        *,
+        kernels: Sequence[str] = KERNELS,
+        formats: Sequence[str] = ("COO", "HiCOO"),
+        dataset_keys: Optional[Sequence[str]] = None,
+    ) -> List[BenchResult]:
+        """The full figure for this platform: all datasets, all cells."""
+        if dataset_keys is not None:
+            specs: Tuple[DatasetSpec, ...] = tuple(
+                get_dataset(k) for k in dataset_keys
+            )
+        else:
+            specs = datasets(collection)
+        results: List[BenchResult] = []
+        for spec in specs:
+            results.extend(
+                self.run_dataset(spec, kernels=kernels, formats=formats)
+            )
+        return results
+
+
+def average_gflops(results: Sequence[BenchResult]) -> Dict[Tuple[str, str], float]:
+    """Mean GFLOPS per (kernel, format) over a result set."""
+    sums: Dict[Tuple[str, str], List[float]] = {}
+    for r in results:
+        sums.setdefault((r.kernel, r.tensor_format), []).append(r.gflops)
+    return {key: sum(v) / len(v) for key, v in sums.items()}
+
+
+def average_efficiency(results: Sequence[BenchResult]) -> Dict[Tuple[str, str], float]:
+    """Mean efficiency per (kernel, format) over a result set."""
+    sums: Dict[Tuple[str, str], List[float]] = {}
+    for r in results:
+        sums.setdefault((r.kernel, r.tensor_format), []).append(r.efficiency)
+    return {key: sum(v) / len(v) for key, v in sums.items()}

@@ -1,0 +1,177 @@
+"""Parameter sweep utilities: the ablation studies as a library API.
+
+The ablation benchmarks in ``benchmarks/`` each inline a small sweep;
+this module exposes the same studies programmatically so users can run
+them on their own tensors — HiCOO block size, matrix rank, reordering
+scheme, GPU count — and get structured rows back (ready for
+:mod:`repro.bench.export`'s CSV/JSON writers or the text formatter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.analysis import DEFAULT_RANK, kernel_cost
+from ..core.registry import make_schedule
+from ..formats.coo import CooTensor
+from ..formats.hicoo import HicooTensor
+from ..formats.reorder import (
+    block_density_relabel,
+    degree_relabel,
+    locality_metrics,
+    random_relabel,
+)
+from ..machine import MultiGpuExecutionModel, execution_model
+from ..platforms.specs import PlatformSpec, get_platform
+from .formatting import format_table
+
+DEFAULT_BLOCK_SIZES = (4, 16, 64, 128, 256)
+DEFAULT_RANKS = (4, 16, 64, 256)
+REORDER_SCHEMES = ("original", "random", "degree", "block-density")
+
+
+def block_size_sweep(
+    tensor: CooTensor,
+    platform: Union[str, PlatformSpec] = "bluesky",
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    *,
+    rank: int = DEFAULT_RANK,
+) -> List[Dict[str, object]]:
+    """HiCOO block size B vs compression, occupancy, and modeled MTTKRP."""
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    model = execution_model(spec)
+    target = "GPU" if spec.is_gpu else "OMP"
+    rows: List[Dict[str, object]] = []
+    for block_size in block_sizes:
+        hicoo = HicooTensor.from_coo(tensor, block_size)
+        schedule = make_schedule(
+            f"HiCOO-MTTKRP-{target}", tensor, mode=0, rank=rank,
+            block_size=block_size, hicoo=hicoo,
+        )
+        estimate = model.predict(schedule)
+        rows.append(
+            {
+                "block_size": block_size,
+                "num_blocks": hicoo.num_blocks,
+                "occupancy": hicoo.average_block_occupancy(),
+                "compression": hicoo.compression_ratio(),
+                "mttkrp_gflops": estimate.gflops,
+            }
+        )
+    return rows
+
+
+def rank_sweep(
+    tensor: CooTensor,
+    platform: Union[str, PlatformSpec] = "dgx1v",
+    ranks: Sequence[int] = DEFAULT_RANKS,
+) -> List[Dict[str, object]]:
+    """Rank R vs operational intensity and modeled TTM/MTTKRP GFLOPS."""
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    model = execution_model(spec)
+    target = "GPU" if spec.is_gpu else "OMP"
+    fibers = tensor.num_fibers(0)
+    rows: List[Dict[str, object]] = []
+    for rank in ranks:
+        ttm_cost = kernel_cost("TTM", tensor.nnz, num_fibers=fibers, rank=rank)
+        mttkrp_cost = kernel_cost("MTTKRP", tensor.nnz, rank=rank)
+        ttm = model.predict(
+            make_schedule(f"COO-TTM-{target}", tensor, mode=0, rank=rank)
+        )
+        mttkrp = model.predict(
+            make_schedule(f"COO-MTTKRP-{target}", tensor, mode=0, rank=rank)
+        )
+        rows.append(
+            {
+                "rank": rank,
+                "ttm_oi": ttm_cost.operational_intensity(),
+                "ttm_gflops": ttm.gflops,
+                "mttkrp_oi": mttkrp_cost.operational_intensity(),
+                "mttkrp_gflops": mttkrp.gflops,
+            }
+        )
+    return rows
+
+
+def reorder_sweep(
+    tensor: CooTensor,
+    platform: Union[str, PlatformSpec] = "bluesky",
+    *,
+    block_size: int = 128,
+    rank: int = DEFAULT_RANK,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Relabeling scheme vs HiCOO locality and modeled HiCOO-MTTKRP."""
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    model = execution_model(spec)
+    target = "GPU" if spec.is_gpu else "OMP"
+    variants = {
+        "original": tensor,
+        "random": random_relabel(tensor, seed=seed)[0],
+        "degree": degree_relabel(tensor)[0],
+        "block-density": block_density_relabel(tensor, block_size)[0],
+    }
+    rows: List[Dict[str, object]] = []
+    for scheme, variant in variants.items():
+        metrics = locality_metrics(variant, block_size)
+        hicoo = HicooTensor.from_coo(variant, block_size)
+        schedule = make_schedule(
+            f"HiCOO-MTTKRP-{target}", variant, mode=0, rank=rank,
+            block_size=block_size, hicoo=hicoo,
+        )
+        estimate = model.predict(schedule)
+        rows.append(
+            {
+                "scheme": scheme,
+                "occupancy": metrics["block_occupancy"],
+                "compression": metrics["storage_ratio"],
+                "mttkrp_gflops": estimate.gflops,
+            }
+        )
+    return rows
+
+
+def gpu_count_sweep(
+    tensor: CooTensor,
+    platform: Union[str, PlatformSpec] = "dgx1v",
+    gpu_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    kernel: str = "MTTKRP",
+    rank: int = DEFAULT_RANK,
+) -> List[Dict[str, object]]:
+    """GPU count vs modeled speedup for one kernel (strong scaling)."""
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    schedule = make_schedule(
+        f"COO-{kernel.upper()}-GPU", tensor, mode=0, rank=rank
+    )
+    baseline: Optional[float] = None
+    rows: List[Dict[str, object]] = []
+    for count in gpu_counts:
+        estimate = MultiGpuExecutionModel(spec, count).predict(schedule)
+        if baseline is None:
+            baseline = estimate.seconds
+        rows.append(
+            {
+                "gpus": count,
+                "seconds": estimate.seconds,
+                "speedup": baseline / estimate.seconds if estimate.seconds else 0.0,
+                "comm_fraction": (
+                    estimate.communication_seconds / estimate.seconds
+                    if estimate.seconds
+                    else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+def sweep_report(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render sweep rows as an aligned text table."""
+    formatted = [
+        {
+            k: (f"{v:.3f}" if isinstance(v, float) else v)
+            for k, v in row.items()
+        }
+        for row in rows
+    ]
+    return format_table(formatted, title=title)

@@ -1,0 +1,173 @@
+"""Suite self-verification: cross-check every algorithm's numerics.
+
+A benchmark suite is only useful if its reference implementations agree
+with each other; this module runs every registered algorithm (plus the
+CSF extension kernels) on a set of probe tensors and checks:
+
+* COO and HiCOO (and CSF, where applicable) produce identical values;
+* OMP and GPU variants produce identical values (they differ only in
+  schedule);
+* each kernel matches the dense numpy reference implementation.
+
+``python -m repro verify`` runs it from the command line; CI-style usage
+is ``verify_suite().all_passed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.csf_kernels import mttkrp_csf, ttv_csf
+from ..core.reference import dense_mttkrp, dense_ttm, dense_ttv
+from ..core.registry import make_operands, run_algorithm
+from ..formats.coo import CooTensor
+from ..formats.convert import to_coo
+from ..generators.kronecker import kronecker_tensor
+from ..generators.powerlaw import powerlaw_tensor
+
+#: Probe tensors: small enough to densify, structurally diverse.
+def _probe_tensors() -> List[CooTensor]:
+    return [
+        CooTensor.random((24, 18, 15), 400, seed=1),
+        kronecker_tensor((32, 32, 32), 500, seed=2),
+        powerlaw_tensor((40, 40, 8), 300, dense_modes=(2,), seed=3),
+        CooTensor.random((12, 10, 8, 6), 250, seed=4),
+    ]
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one check."""
+
+    check: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """All checks of a verification run."""
+
+    results: List[VerificationResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every check succeeded."""
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> List[VerificationResult]:
+        """The failed checks."""
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        """Text report of every check."""
+        lines = []
+        for r in self.results:
+            mark = "ok  " if r.passed else "FAIL"
+            lines.append(f"[{mark}] {r.check}" + (f" — {r.detail}" if r.detail else ""))
+        passed = sum(r.passed for r in self.results)
+        lines.append(f"{passed}/{len(self.results)} checks passed")
+        return "\n".join(lines)
+
+
+def _as_comparable(result) -> np.ndarray:
+    """Normalize any kernel output to a dense array for comparison."""
+    if isinstance(result, np.ndarray):
+        return result.astype(np.float64)
+    return to_coo(result).to_dense().astype(np.float64)
+
+
+def _close(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.allclose(a, b, rtol=1e-3, atol=1e-3))
+
+
+def verify_suite(
+    tensors: Optional[Sequence[CooTensor]] = None,
+    *,
+    rank: int = 8,
+    block_size: int = 8,
+) -> VerificationReport:
+    """Run all cross-checks; returns a :class:`VerificationReport`."""
+    report = VerificationReport()
+    if tensors is None:
+        tensors = _probe_tensors()
+    for t_index, tensor in enumerate(tensors):
+        dense = tensor.to_dense().astype(np.float64)
+        for kernel in ("TEW", "TS", "TTV", "TTM", "MTTKRP"):
+            mode = t_index % tensor.order
+            operands = make_operands(
+                tensor, kernel, mode=mode, rank=rank, seed=t_index
+            )
+            outputs = {}
+            for fmt in ("COO", "HiCOO"):
+                for target in ("OMP", "GPU"):
+                    name = f"{fmt}-{kernel}-{target}"
+                    outputs[name] = _as_comparable(
+                        run_algorithm(
+                            name, tensor, operands, mode=mode,
+                            rank=rank, block_size=block_size,
+                        )
+                    )
+            baseline_name = f"COO-{kernel}-OMP"
+            baseline = outputs[baseline_name]
+            for name, value in outputs.items():
+                if name == baseline_name:
+                    continue
+                report.results.append(
+                    VerificationResult(
+                        check=f"t{t_index} {name} == {baseline_name}",
+                        passed=_close(value, baseline),
+                    )
+                )
+            reference = _dense_reference(
+                kernel, dense, tensor, operands, mode
+            )
+            if reference is not None:
+                report.results.append(
+                    VerificationResult(
+                        check=f"t{t_index} {baseline_name} == dense reference",
+                        passed=_close(baseline, reference),
+                    )
+                )
+            if kernel == "MTTKRP":
+                csf_out = mttkrp_csf(tensor, operands.factors, mode)
+                report.results.append(
+                    VerificationResult(
+                        check=f"t{t_index} CSF-MTTKRP == {baseline_name}",
+                        passed=_close(csf_out.astype(np.float64), baseline),
+                    )
+                )
+            if kernel == "TTV":
+                csf_out = _as_comparable(
+                    ttv_csf(tensor, operands.vector, mode)
+                )
+                report.results.append(
+                    VerificationResult(
+                        check=f"t{t_index} CSF-TTV == {baseline_name}",
+                        passed=_close(csf_out, baseline),
+                    )
+                )
+    return report
+
+
+def _dense_reference(kernel, dense, tensor, operands, mode):
+    """The dense numpy reference output for a kernel, densified."""
+    if kernel == "TEW":
+        return dense + operands.second_tensor.to_dense().astype(np.float64)
+    if kernel == "TS":
+        scaled = dense.copy()
+        scaled[dense != 0] *= operands.scalar
+        return scaled
+    if kernel == "TTV":
+        return dense_ttv(dense, operands.vector.astype(np.float64), mode)
+    if kernel == "TTM":
+        return dense_ttm(dense, operands.matrix.astype(np.float64), mode)
+    if kernel == "MTTKRP":
+        return dense_mttkrp(
+            dense, [f.astype(np.float64) for f in operands.factors], mode
+        )
+    return None

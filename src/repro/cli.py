@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro`` / ``pasta-bench``.
+
+Subcommands mirror the PASTA suite's executables plus the paper's
+artifacts:
+
+* ``run`` — run one algorithm on one dataset and report GFLOPS;
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
+* ``fig3`` ... ``fig7`` — regenerate the paper's figures (text series);
+* ``observations`` — evaluate the paper's five observations;
+* ``generate`` — emit a synthetic tensor as FROSTT ``.tns`` text;
+* ``list`` — list algorithms, datasets, and platforms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.experiments import EXPERIMENTS, run_experiment
+from .bench.formatting import format_table
+from .bench.harness import BenchmarkHarness
+from .core.registry import algorithm_descriptions, parse_algorithm_name
+from .datasets.registry import DEFAULT_SCALE_DIVISOR, datasets, get_dataset
+from .generators.kronecker import kronecker_tensor
+from .generators.powerlaw import powerlaw_tensor
+from .io.frostt import write_tns
+from .platforms.specs import PLATFORMS
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale-divisor",
+        type=int,
+        default=DEFAULT_SCALE_DIVISOR,
+        help="shrink paper dataset sizes by this factor (1 = paper scale)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pasta-bench",
+        description="Sparse tensor benchmark suite (IISWC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one dataset")
+    run.add_argument("algorithm", help="e.g. COO-TTV-OMP or HiCOO-MTTKRP-GPU")
+    run.add_argument("dataset", help="Table II key (r1-r15, s1-s15) or name")
+    run.add_argument("--platform", default=None, help="platform to model")
+    run.add_argument("--mode", type=int, default=0)
+    run.add_argument("--rank", type=int, default=16)
+    run.add_argument(
+        "--wallclock", action="store_true", help="also time the numpy kernel"
+    )
+    _add_scale_argument(run)
+
+    for name, fn in EXPERIMENTS.items():
+        exp = sub.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
+        if name not in ("table1", "table3", "fig3"):
+            _add_scale_argument(exp)
+        if name.startswith("fig") and name != "fig3":
+            exp.add_argument(
+                "--output-json", default=None, metavar="PATH",
+                help="also write the figure's results as JSON",
+            )
+            exp.add_argument(
+                "--output-csv", default=None, metavar="PATH",
+                help="also write the figure's results as CSV",
+            )
+
+    feats = sub.add_parser(
+        "features",
+        help="extract a tensor's structural features (optionally emit a stand-in)",
+    )
+    feats.add_argument(
+        "source", help="Table II key/name, or a path to a .tns file"
+    )
+    feats.add_argument(
+        "--stand-in", default=None, metavar="PATH",
+        help="also synthesize a matching stand-in tensor to this .tns path",
+    )
+    feats.add_argument("--stand-in-scale", type=float, default=1.0)
+    feats.add_argument("--seed", type=int, default=0)
+    _add_scale_argument(feats)
+
+    gen = sub.add_parser("generate", help="emit a synthetic tensor (.tns)")
+    gen.add_argument("generator", choices=["kronecker", "powerlaw"])
+    gen.add_argument("--dims", required=True, help="comma-separated sizes")
+    gen.add_argument("--nnz", type=int, required=True)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--alpha", type=float, default=2.0)
+    gen.add_argument("--dense-modes", default="", help="comma-separated modes")
+    gen.add_argument("--output", "-o", default="-", help="path or - for stdout")
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ablation sweep on one dataset"
+    )
+    sweep.add_argument(
+        "study", choices=["block-size", "rank", "reorder", "gpus"]
+    )
+    sweep.add_argument("dataset", help="Table II key (r1-r15, s1-s15) or name")
+    sweep.add_argument("--platform", default=None)
+    _add_scale_argument(sweep)
+
+    sub.add_parser("list", help="list algorithms, datasets, platforms")
+    sub.add_parser(
+        "verify",
+        help="cross-check all algorithms' numerics against each other "
+        "and the dense references",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    parsed = parse_algorithm_name(args.algorithm)
+    platform = args.platform
+    if platform is None:
+        platform = "dgx1v" if parsed.target == "GPU" else "bluesky"
+    harness = BenchmarkHarness(
+        platform,
+        scale_divisor=args.scale_divisor,
+        rank=args.rank,
+        measure_wallclock=args.wallclock,
+    )
+    if (parsed.target == "GPU") != harness.spec.is_gpu:
+        print(
+            f"error: algorithm targets {parsed.target} but platform "
+            f"{harness.spec.name} is a {'GPU' if harness.spec.is_gpu else 'CPU'}",
+            file=sys.stderr,
+        )
+        return 2
+    result = harness.run_cell(args.dataset, parsed.kernel, parsed.tensor_format)
+    print(f"algorithm : {args.algorithm}")
+    print(f"platform  : {harness.spec.name}")
+    print(f"dataset   : {result.dataset} ({result.tensor_name})")
+    print(f"modeled   : {result.gflops:.2f} GFLOPS "
+          f"({result.modeled.seconds * 1e3:.3f} ms)")
+    print(f"roofline  : {result.roofline_gflops:.2f} GFLOPS")
+    print(f"efficiency: {result.efficiency * 100:.1f}%")
+    if result.measured_seconds is not None:
+        print(
+            f"wallclock : {result.measured_seconds * 1e3:.3f} ms "
+            f"({result.measured_gflops:.3f} GFLOPS on this host's numpy)"
+        )
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    import os
+
+    from .datasets.features import extract_features, synthesize_like
+    from .io.frostt import read_tns
+
+    if os.path.exists(args.source):
+        tensor = read_tns(args.source)
+    else:
+        tensor = get_dataset(args.source).realize(args.scale_divisor)
+    features = extract_features(tensor)
+    print(features.summary())
+    if args.stand_in:
+        stand_in = synthesize_like(
+            features, seed=args.seed, scale=args.stand_in_scale
+        )
+        write_tns(stand_in, args.stand_in)
+        print(
+            f"\nwrote stand-in with {stand_in.nnz} nonzeros to {args.stand_in}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dims = tuple(int(d) for d in args.dims.split(","))
+    if args.generator == "kronecker":
+        tensor = kronecker_tensor(dims, args.nnz, seed=args.seed)
+    else:
+        dense = (
+            tuple(int(m) for m in args.dense_modes.split(","))
+            if args.dense_modes
+            else ()
+        )
+        tensor = powerlaw_tensor(
+            dims, args.nnz, alpha=args.alpha, dense_modes=dense, seed=args.seed
+        )
+    if args.output == "-":
+        write_tns(tensor, sys.stdout)
+    else:
+        write_tns(tensor, args.output)
+        print(f"wrote {tensor.nnz} nonzeros to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.sweeps import (
+        block_size_sweep,
+        gpu_count_sweep,
+        rank_sweep,
+        reorder_sweep,
+        sweep_report,
+    )
+
+    tensor = get_dataset(args.dataset).realize(args.scale_divisor)
+    study = args.study
+    if study == "block-size":
+        platform = args.platform or "bluesky"
+        rows = block_size_sweep(tensor, platform)
+    elif study == "rank":
+        platform = args.platform or "dgx1v"
+        rows = rank_sweep(tensor, platform)
+    elif study == "reorder":
+        platform = args.platform or "bluesky"
+        rows = reorder_sweep(tensor, platform)
+    else:
+        platform = args.platform or "dgx1v"
+        rows = gpu_count_sweep(tensor, platform)
+    print(
+        sweep_report(
+            rows, title=f"{study} sweep on {args.dataset} ({platform})"
+        )
+    )
+    return 0
+
+
+def _cmd_list() -> int:
+    print("Algorithms:")
+    for name, description in algorithm_descriptions().items():
+        print(f"  {name:<18} {description}")
+    print("\nDatasets (Table II):")
+    rows = [
+        {
+            "key": d.key,
+            "name": d.name,
+            "collection": d.collection,
+            "order": d.order,
+            "paper nnz": d.paper_nnz,
+        }
+        for d in datasets()
+    ]
+    print(format_table(rows))
+    print("\nPlatforms (Table III): " + ", ".join(sorted(PLATFORMS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "features":
+        return _cmd_features(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "verify":
+        from .bench.verify import verify_suite
+
+        report = verify_suite()
+        print(report.summary())
+        return 0 if report.all_passed else 1
+    kwargs = {}
+    if hasattr(args, "scale_divisor"):
+        kwargs["scale_divisor"] = args.scale_divisor
+    result = run_experiment(args.command, **kwargs)
+    print(result.report)
+    if getattr(args, "output_json", None):
+        from .bench.export import write_json
+
+        write_json(
+            result.results,
+            args.output_json,
+            metadata={"experiment": args.command, **kwargs},
+        )
+        print(f"wrote JSON to {args.output_json}", file=sys.stderr)
+    if getattr(args, "output_csv", None):
+        from .bench.export import write_csv
+
+        write_csv(result.results, args.output_csv)
+        print(f"wrote CSV to {args.output_csv}", file=sys.stderr)
+    if args.command == "observations":
+        failed = [r for r in result.rows if r["Holds"] != "yes"]
+        return 1 if failed else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""The five benchmark kernels and their analytic/schedule models.
+
+Numeric entry points: :func:`tew_coo`, :func:`tew_hicoo`,
+:func:`tew_general_coo`, :func:`ts`, :func:`ttv_coo`, :func:`ttv_hicoo`,
+:func:`ttm_coo`, :func:`ttm_hicoo`, :func:`mttkrp_coo`,
+:func:`mttkrp_hicoo`; or go through the named registry
+(:func:`run_algorithm` with e.g. ``"HiCOO-MTTKRP-GPU"``).
+"""
+
+from .analysis import (
+    DEFAULT_RANK,
+    KERNELS,
+    KernelCost,
+    kernel_cost,
+    mttkrp_cost,
+    table1,
+    tew_cost,
+    ts_cost,
+    ttm_cost,
+    ttv_cost,
+)
+from .contraction import contract, inner_product, sparse_ttm, sparse_ttv
+from .preprocessing import (
+    PreprocessingReport,
+    analyze as analyze_preprocessing,
+    csf_tree_costs,
+    modeled_stage_seconds,
+    run_stage,
+)
+from .csf_kernels import mttkrp_csf, schedule_mttkrp_csf, ttv_csf
+from .mttkrp import (
+    check_factors,
+    mttkrp_coo,
+    mttkrp_hicoo,
+    schedule_mttkrp_coo,
+    schedule_mttkrp_hicoo,
+)
+from .reference import (
+    dense_kronecker,
+    dense_mttkrp,
+    dense_ttm,
+    dense_ttv,
+    khatri_rao,
+    unfold,
+)
+from .registry import (
+    AlgorithmName,
+    KernelOperands,
+    algorithm_descriptions,
+    all_algorithm_names,
+    make_operands,
+    make_schedule,
+    parse_algorithm_name,
+    run_algorithm,
+)
+from .schedule import (
+    GRAIN_BLOCK,
+    GRAIN_FIBER,
+    GRAIN_NONZERO,
+    KernelSchedule,
+    estimate_conflict_fraction,
+    uniform_work_units,
+)
+from .tew import OPERATIONS, schedule_tew, tew_coo, tew_general_coo, tew_hicoo
+from .ts import schedule_ts, ts, ts_add, ts_div, ts_mul, ts_sub
+from .ttm import schedule_ttm, ttm_coo, ttm_ghicoo_direct, ttm_hicoo
+from .ttv import schedule_ttv, ttv_coo, ttv_ghicoo_direct, ttv_hicoo
+
+__all__ = [
+    "KERNELS",
+    "DEFAULT_RANK",
+    "KernelCost",
+    "kernel_cost",
+    "table1",
+    "tew_cost",
+    "ts_cost",
+    "ttv_cost",
+    "ttm_cost",
+    "mttkrp_cost",
+    "tew_coo",
+    "tew_hicoo",
+    "tew_general_coo",
+    "OPERATIONS",
+    "ts",
+    "ts_add",
+    "ts_sub",
+    "ts_mul",
+    "ts_div",
+    "ttv_coo",
+    "ttv_hicoo",
+    "ttv_ghicoo_direct",
+    "ttm_coo",
+    "ttm_hicoo",
+    "ttm_ghicoo_direct",
+    "mttkrp_coo",
+    "mttkrp_hicoo",
+    "mttkrp_csf",
+    "ttv_csf",
+    "schedule_mttkrp_csf",
+    "contract",
+    "inner_product",
+    "sparse_ttv",
+    "sparse_ttm",
+    "PreprocessingReport",
+    "analyze_preprocessing",
+    "run_stage",
+    "modeled_stage_seconds",
+    "csf_tree_costs",
+    "check_factors",
+    "dense_ttv",
+    "dense_ttm",
+    "dense_mttkrp",
+    "dense_kronecker",
+    "khatri_rao",
+    "unfold",
+    "KernelSchedule",
+    "GRAIN_NONZERO",
+    "GRAIN_FIBER",
+    "GRAIN_BLOCK",
+    "uniform_work_units",
+    "estimate_conflict_fraction",
+    "schedule_tew",
+    "schedule_ts",
+    "schedule_ttv",
+    "schedule_ttm",
+    "schedule_mttkrp_coo",
+    "schedule_mttkrp_hicoo",
+    "AlgorithmName",
+    "KernelOperands",
+    "parse_algorithm_name",
+    "all_algorithm_names",
+    "make_operands",
+    "run_algorithm",
+    "make_schedule",
+    "algorithm_descriptions",
+]

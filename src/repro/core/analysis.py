@@ -1,0 +1,175 @@
+"""Analytic kernel cost model — the paper's Table I.
+
+For each of the five kernels this module gives the floating-point work and
+the *upper-bound* memory access in bytes for COO and HiCOO storage, as a
+function of the tensor's measured features: ``M`` nonzeros, ``M_F``
+mode-``n`` fibers, ``n_b`` HiCOO blocks, rank ``R``, and block size ``B``.
+Indices are 32-bit and values single-precision, as in the paper.
+
+The ratios reproduce Table I's OI column for cubical third-order tensors
+(``1/12``, ``1/8``, ``~1/6``, ``~1/2``, ``~1/4``) and, because they take
+the actual ``M_F``/``n_b`` of a concrete tensor, also provide the exact
+per-tensor OI used for the figures' "Roofline performance" line
+(Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import PastaError
+
+KERNELS = ("TEW", "TS", "TTV", "TTM", "MTTKRP")
+
+#: Default dense-matrix column count; the paper uses 16 for TTM and MTTKRP
+#: "to reflect the low-rank feature in popular tensor methods".
+DEFAULT_RANK = 16
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Closed-form cost of one kernel on one tensor."""
+
+    kernel: str
+    flops: int
+    coo_bytes: int
+    hicoo_bytes: int
+
+    def operational_intensity(self, tensor_format: str = "COO") -> float:
+        """Flops per upper-bound byte for the chosen format."""
+        bytes_ = self.bytes_for(tensor_format)
+        if bytes_ == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / bytes_
+
+    def bytes_for(self, tensor_format: str) -> int:
+        """Upper-bound bytes for ``"COO"`` or ``"HiCOO"`` storage."""
+        name = tensor_format.upper()
+        if name == "COO":
+            return self.coo_bytes
+        if name == "HICOO":
+            return self.hicoo_bytes
+        raise PastaError(f"unknown format for cost analysis: {tensor_format!r}")
+
+
+def tew_cost(nnz: int) -> KernelCost:
+    """TEW (same pattern): ``M`` flops, ``12M`` bytes in either format.
+
+    Reads both input value streams and writes the output value stream;
+    indices were materialized during pre-processing.
+    """
+    return KernelCost("TEW", nnz, 12 * nnz, 12 * nnz)
+
+
+def ts_cost(nnz: int) -> KernelCost:
+    """TS: ``M`` flops, ``8M`` bytes (read values, write values)."""
+    return KernelCost("TS", nnz, 8 * nnz, 8 * nnz)
+
+
+def ttv_cost(nnz: int, num_fibers: int) -> KernelCost:
+    """TTV: ``2M`` flops, ``12M + 12 M_F`` bytes in either format.
+
+    Per nonzero: 4-byte value, 4-byte product-mode index, and a 4-byte
+    irregular gather from the dense vector; per output fiber: a 12-byte
+    output entry (value plus the two retained indices for order 3).
+    """
+    return KernelCost(
+        "TTV", 2 * nnz, 12 * nnz + 12 * num_fibers, 12 * nnz + 12 * num_fibers
+    )
+
+
+def ttm_cost(nnz: int, num_fibers: int, rank: int = DEFAULT_RANK) -> KernelCost:
+    """TTM: ``2MR`` flops; Table I row four.
+
+    COO: ``4MR + 4 M_F R + 8 M_F + 8M + 8 M_F`` — matrix-row gathers per
+    nonzero, output rows per fiber, plus value/index streams; HiCOO saves
+    one ``8 M_F`` term through its compressed output indexing.
+    """
+    coo = 4 * nnz * rank + 4 * num_fibers * rank + 8 * num_fibers + 8 * nnz + 8 * num_fibers
+    hicoo = 4 * nnz * rank + 4 * num_fibers * rank + 8 * nnz + 8 * num_fibers
+    return KernelCost("TTM", 2 * nnz * rank, coo, hicoo)
+
+
+def mttkrp_cost(
+    nnz: int,
+    rank: int = DEFAULT_RANK,
+    *,
+    num_blocks: Optional[int] = None,
+    block_size: Optional[int] = None,
+) -> KernelCost:
+    """MTTKRP: ``3MR`` flops; Table I row five.
+
+    COO: ``12MR + 16M`` — per nonzero, three ``4R``-byte matrix-row
+    accesses (two reads plus the atomic output update) and four 4-byte
+    streams (value and three indices).  HiCOO:
+    ``12 R min(n_b * M_B, M) + 7M + 20 n_b`` — matrix rows are reused
+    inside each block (``M_B = B`` rows per block per matrix at most),
+    each nonzero streams only ``3 + 4 = 7`` bytes of element indices and
+    value, and each block carries 20 bytes of metadata.
+
+    When ``num_blocks``/``block_size`` are omitted, the HiCOO bound falls
+    back to the COO matrix traffic (no blocking benefit assumed).
+    """
+    coo = 12 * nnz * rank + 16 * nnz
+    if num_blocks is None or block_size is None:
+        matrix_rows = nnz
+        blocks = 0
+    else:
+        matrix_rows = min(num_blocks * block_size, nnz)
+        blocks = num_blocks
+    hicoo = 12 * rank * matrix_rows + 7 * nnz + 20 * blocks
+    return KernelCost("MTTKRP", 3 * nnz * rank, coo, hicoo)
+
+
+def kernel_cost(
+    kernel: str,
+    nnz: int,
+    *,
+    num_fibers: Optional[int] = None,
+    rank: int = DEFAULT_RANK,
+    num_blocks: Optional[int] = None,
+    block_size: Optional[int] = None,
+) -> KernelCost:
+    """Dispatch to the cost function of the named kernel."""
+    name = kernel.upper()
+    if name == "TEW":
+        return tew_cost(nnz)
+    if name == "TS":
+        return ts_cost(nnz)
+    if name == "TTV":
+        if num_fibers is None:
+            raise PastaError("TTV cost needs num_fibers")
+        return ttv_cost(nnz, num_fibers)
+    if name == "TTM":
+        if num_fibers is None:
+            raise PastaError("TTM cost needs num_fibers")
+        return ttm_cost(nnz, num_fibers, rank)
+    if name == "MTTKRP":
+        return mttkrp_cost(nnz, rank, num_blocks=num_blocks, block_size=block_size)
+    raise PastaError(f"unknown kernel: {kernel!r}")
+
+
+def table1(
+    nnz: int = 1_000_000,
+    num_fibers: Optional[int] = None,
+    rank: int = DEFAULT_RANK,
+    num_blocks: Optional[int] = None,
+    block_size: int = 128,
+) -> Dict[str, KernelCost]:
+    """Reproduce Table I for a cubical third-order tensor.
+
+    Defaults follow the table's regime ``I << M_F << M``: when not given,
+    ``M_F = M / 8`` and ``n_b = M / 16``.
+    """
+    if num_fibers is None:
+        num_fibers = max(nnz // 8, 1)
+    if num_blocks is None:
+        num_blocks = max(nnz // 16, 1)
+    return {
+        "TEW": tew_cost(nnz),
+        "TS": ts_cost(nnz),
+        "TTV": ttv_cost(nnz, num_fibers),
+        "TTM": ttm_cost(nnz, num_fibers, rank),
+        "MTTKRP": mttkrp_cost(nnz, rank, num_blocks=num_blocks, block_size=block_size),
+    }

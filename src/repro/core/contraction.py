@@ -1,0 +1,166 @@
+"""General sparse x sparse tensor contraction.
+
+The paper's future-work list includes "tensor contraction, a sparse
+tensor with a sparse vector/matrix products" (Section VII); TTM itself is
+introduced as "a special case of tensor contraction" (Section II-D).
+This module implements the general case: contract a sparse COO tensor
+with another sparse COO tensor over any pairing of equal-sized modes,
+following :func:`numpy.tensordot`'s output convention (free modes of the
+first operand, then free modes of the second).
+
+The algorithm is a vectorized sort-merge join: contracted coordinates
+are linearized into join keys, matching key groups are paired by a
+closed-form Cartesian expansion (no Python loop over keys), and the
+resulting coordinate products are combined and deduplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import IncompatibleOperandsError
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+
+def _normalize_mode_lists(
+    x: CooTensor, y: CooTensor, modes_x: Sequence[int], modes_y: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    modes_x = tuple(x.check_mode(m) for m in modes_x)
+    modes_y = tuple(y.check_mode(m) for m in modes_y)
+    if len(modes_x) != len(modes_y):
+        raise IncompatibleOperandsError(
+            f"contract {len(modes_x)} modes of x against {len(modes_y)} of y"
+        )
+    if len(set(modes_x)) != len(modes_x) or len(set(modes_y)) != len(modes_y):
+        raise IncompatibleOperandsError("contracted modes must be distinct")
+    for mx, my in zip(modes_x, modes_y):
+        if x.shape[mx] != y.shape[my]:
+            raise IncompatibleOperandsError(
+                f"mode {mx} of x (size {x.shape[mx]}) does not match "
+                f"mode {my} of y (size {y.shape[my]})"
+            )
+    return modes_x, modes_y
+
+
+def _join_keys(indices: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Linearize coordinate columns into int64 join keys."""
+    strides = np.ones(len(dims), dtype=np.int64)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * int(dims[i + 1])
+    return (indices.astype(np.int64) * strides[:, None]).sum(axis=0)
+
+
+def _segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    boundary = sorted_keys[1:] != sorted_keys[:-1]
+    return np.flatnonzero(np.concatenate(([True], boundary))).astype(np.int64)
+
+
+def contract(
+    x: CooTensor,
+    y: CooTensor,
+    modes_x: Sequence[int],
+    modes_y: Sequence[int],
+) -> Union[CooTensor, float]:
+    """Contract ``x`` with ``y`` over the paired modes.
+
+    Returns a COO tensor over (free modes of ``x``) + (free modes of
+    ``y``); when every mode is contracted (a full inner product), the
+    scalar value is returned instead.
+    """
+    modes_x, modes_y = _normalize_mode_lists(x, y, modes_x, modes_y)
+    free_x = [m for m in range(x.order) if m not in modes_x]
+    free_y = [m for m in range(y.order) if m not in modes_y]
+    shared_dims = [x.shape[m] for m in modes_x]
+
+    key_x = _join_keys(x.indices[list(modes_x)], shared_dims)
+    key_y = _join_keys(y.indices[list(modes_y)], shared_dims)
+    order_x = np.argsort(key_x, kind="stable")
+    order_y = np.argsort(key_y, kind="stable")
+    sorted_kx = key_x[order_x]
+    sorted_ky = key_y[order_y]
+    starts_x = _segment_starts(sorted_kx)
+    starts_y = _segment_starts(sorted_ky)
+    keys_x = sorted_kx[starts_x] if starts_x.size else sorted_kx
+    keys_y = sorted_ky[starts_y] if starts_y.size else sorted_ky
+    common, pos_x, pos_y = np.intersect1d(keys_x, keys_y, return_indices=True)
+
+    out_shape = tuple(x.shape[m] for m in free_x) + tuple(
+        y.shape[m] for m in free_y
+    )
+    if common.size == 0:
+        if not out_shape:
+            return 0.0
+        return CooTensor.empty(out_shape)
+
+    counts_x = np.diff(np.concatenate([starts_x, [sorted_kx.size]]))[pos_x]
+    counts_y = np.diff(np.concatenate([starts_y, [sorted_ky.size]]))[pos_y]
+    seg_x = starts_x[pos_x]
+    seg_y = starts_y[pos_y]
+
+    # Cartesian expansion of matched segments, fully vectorized.
+    pairs_per_key = counts_x * counts_y
+    total = int(pairs_per_key.sum())
+    key_of_pair = np.repeat(np.arange(common.size), pairs_per_key)
+    offset_of_key = np.concatenate(([0], np.cumsum(pairs_per_key)[:-1]))
+    within = np.arange(total) - offset_of_key[key_of_pair]
+    cy = counts_y[key_of_pair]
+    x_pos = order_x[seg_x[key_of_pair] + within // cy]
+    y_pos = order_y[seg_y[key_of_pair] + within % cy]
+
+    values = (
+        x.values[x_pos].astype(np.float64) * y.values[y_pos].astype(np.float64)
+    )
+    if not out_shape:
+        return float(values.sum())
+    out_indices = np.empty((len(free_x) + len(free_y), total), dtype=INDEX_DTYPE)
+    for row, mode in enumerate(free_x):
+        out_indices[row] = x.indices[mode][x_pos]
+    for row, mode in enumerate(free_y):
+        out_indices[len(free_x) + row] = y.indices[mode][y_pos]
+    result = CooTensor(
+        out_shape, out_indices, values.astype(VALUE_DTYPE), validate=False
+    )
+    return result.sum_duplicates()
+
+
+def inner_product(x: CooTensor, y: CooTensor) -> float:
+    """Full inner product ``<x, y>`` of same-shaped sparse tensors."""
+    if x.shape != y.shape:
+        raise IncompatibleOperandsError(
+            f"inner product needs equal shapes, got {x.shape} vs {y.shape}"
+        )
+    result = contract(x, y, range(x.order), range(y.order))
+    assert isinstance(result, float)
+    return result
+
+
+def sparse_ttv(x: CooTensor, v: CooTensor, mode: int) -> CooTensor:
+    """Sparse tensor times *sparse* vector (order-1 tensor) in ``mode``."""
+    if v.order != 1:
+        raise IncompatibleOperandsError("v must be an order-1 sparse tensor")
+    result = contract(x, v, [mode], [0])
+    assert isinstance(result, CooTensor)
+    return result
+
+
+def sparse_ttm(x: CooTensor, matrix: CooTensor, mode: int) -> CooTensor:
+    """Sparse tensor times *sparse* matrix in ``mode``.
+
+    The matrix follows the suite's TTM convention (``(I_mode, R)``); its
+    second mode becomes the output's last mode, then is rotated into the
+    contracted mode's position to match :func:`repro.core.ttm_coo`.
+    """
+    if matrix.order != 2:
+        raise IncompatibleOperandsError("matrix must be an order-2 sparse tensor")
+    mode = x.check_mode(mode)
+    result = contract(x, matrix, [mode], [0])
+    assert isinstance(result, CooTensor)
+    # Free modes are (x-free..., R); rotate R back into `mode`'s slot.
+    order = result.order
+    permutation = list(range(order - 1))
+    permutation.insert(mode, order - 1)
+    return result.permute_modes(permutation)

@@ -1,0 +1,233 @@
+"""Kernel schedules: the machine-visible footprint of one kernel run.
+
+The paper's observations all hinge on quantities the hardware sees rather
+than on the arithmetic itself: how many bytes stream sequentially versus
+land on irregular addresses, how evenly work divides across threads or
+thread blocks, and how many atomic updates collide.  A
+:class:`KernelSchedule` captures exactly those quantities for a concrete
+(kernel, format, tensor) triple.  The numeric kernel implementations in
+this package produce correct values; their companion ``schedule_*``
+functions produce these schedules, which the :mod:`repro.machine` models
+lower to predicted runtimes on the paper's four platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Parallelization grains used by the suite's algorithms.
+GRAIN_NONZERO = "nonzero"
+GRAIN_FIBER = "fiber"
+GRAIN_BLOCK = "block"
+GRAIN_MATRIX_ROW = "matrix-row"
+
+_VALID_GRAINS = (GRAIN_NONZERO, GRAIN_FIBER, GRAIN_BLOCK, GRAIN_MATRIX_ROW)
+
+
+@dataclass
+class KernelSchedule:
+    """What one kernel execution asks of the machine.
+
+    Attributes
+    ----------
+    kernel / tensor_format:
+        Names for reporting, e.g. ``"MTTKRP"`` / ``"HiCOO"``.
+    flops:
+        Floating-point operations performed.
+    streamed_bytes:
+        Bytes moved with a sequential (prefetch-friendly) pattern: value
+        arrays, index arrays, output streams.
+    irregular_bytes:
+        Bytes moved through data-dependent addresses: vector/matrix row
+        gathers, atomic update targets.  These defeat prefetching and pay
+        full memory latency unless they hit in cache.
+    work_units:
+        Per-parallel-unit work sizes (nonzeros per fiber, per block, or a
+        uniform chunking for nonzero-parallel kernels).  The spread of
+        this array is the source of load imbalance.
+    parallel_grain:
+        Which unit ``work_units`` counts: one of ``nonzero``, ``fiber``,
+        ``block``, ``matrix-row``.
+    atomic_updates:
+        Number of atomic read-modify-write operations issued.
+    atomic_conflict_fraction:
+        Estimated fraction of atomic updates that contend with another
+        thread for the same address (0 when no atomics are used).
+    working_set_bytes:
+        Bytes that must be resident for the kernel to run from cache: the
+        reusable operands (input/output values, dense matrices).  Drives
+        the cache-residency effects of the paper's Observation 2.
+    reuse_bytes:
+        The portion of traffic that is *re-referenced* and therefore can be
+        served by the LLC when ``working_set_bytes`` fits.
+    writeallocate_bytes:
+        Output-stream bytes whose stores pay read-for-ownership traffic.
+        Table I's upper bounds (and ERT's streaming-store micro-kernels)
+        do not count this, which is one reason measured kernels sit below
+        the Roofline line at large sizes.
+    irregular_chunk_bytes:
+        Contiguous bytes fetched per irregular access: 4 for a scalar
+        vector gather (TTV), ``4R`` for a matrix-row gather (TTM/MTTKRP).
+        Wider chunks coalesce better on GPUs and use cache lines better
+        on CPUs.
+    random_operand_bytes:
+        Size of the dense operand the irregular accesses target (the TTV
+        vector, the TTM matrix, the MTTKRP factors).  When it fits in the
+        LLC the gathers are served from cache.
+    notes:
+        Free-form diagnostic counters (fiber count, block count, ...).
+    """
+
+    kernel: str
+    tensor_format: str
+    flops: int
+    streamed_bytes: int
+    irregular_bytes: int
+    work_units: np.ndarray
+    parallel_grain: str
+    atomic_updates: int = 0
+    atomic_conflict_fraction: float = 0.0
+    working_set_bytes: int = 0
+    reuse_bytes: int = 0
+    writeallocate_bytes: int = 0
+    irregular_chunk_bytes: int = 4
+    random_operand_bytes: int = 0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.parallel_grain not in _VALID_GRAINS:
+            raise ValueError(
+                f"parallel_grain must be one of {_VALID_GRAINS}, "
+                f"got {self.parallel_grain!r}"
+            )
+        self.work_units = np.asarray(self.work_units, dtype=np.int64)
+        if self.flops < 0 or self.streamed_bytes < 0 or self.irregular_bytes < 0:
+            raise ValueError("schedule counters must be non-negative")
+        if not 0.0 <= self.atomic_conflict_fraction <= 1.0:
+            raise ValueError("atomic_conflict_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes the kernel moves, streamed plus irregular."""
+        return self.streamed_bytes + self.irregular_bytes
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per byte against the upper-bound traffic (Table I's OI)."""
+        if self.total_bytes == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.total_bytes
+
+    @property
+    def num_work_units(self) -> int:
+        """Number of independent parallel units."""
+        return int(self.work_units.size)
+
+    def load_imbalance(self, workers: int) -> float:
+        """Makespan-over-mean ratio when units are greedily scheduled.
+
+        Uses the longest-processing-time bound: with total work ``W``
+        spread over ``workers`` and a largest indivisible unit ``u_max``,
+        the makespan is at least ``max(W / workers, u_max)``.  This
+        matches OpenMP dynamic scheduling and the GPU block scheduler: a
+        single giant fiber or tensor block serializes on one worker no
+        matter how the rest balance.  Returns 1.0 for perfect balance;
+        TTV on skewed fiber lengths and HiCOO-MTTKRP-GPU on skewed block
+        occupancies yield larger values.
+        """
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if self.work_units.size == 0:
+            return 1.0
+        total = float(self.work_units.sum())
+        if total == 0.0:
+            return 1.0
+        mean_bin = total / min(workers, self.work_units.size)
+        heaviest = float(self.work_units.max())
+        return max(mean_bin, heaviest) / mean_bin
+
+    def scaled(self, factor: float) -> "KernelSchedule":
+        """A copy with all volume counters scaled (for iteration counts)."""
+        return KernelSchedule(
+            kernel=self.kernel,
+            tensor_format=self.tensor_format,
+            flops=int(self.flops * factor),
+            streamed_bytes=int(self.streamed_bytes * factor),
+            irregular_bytes=int(self.irregular_bytes * factor),
+            work_units=self.work_units,
+            parallel_grain=self.parallel_grain,
+            atomic_updates=int(self.atomic_updates * factor),
+            atomic_conflict_fraction=self.atomic_conflict_fraction,
+            working_set_bytes=self.working_set_bytes,
+            reuse_bytes=int(self.reuse_bytes * factor),
+            writeallocate_bytes=int(self.writeallocate_bytes * factor),
+            irregular_chunk_bytes=self.irregular_chunk_bytes,
+            random_operand_bytes=self.random_operand_bytes,
+            notes=dict(self.notes),
+        )
+
+
+def warp_divergence_factor(work_units: np.ndarray, warp_size: int = 32) -> float:
+    """Slowdown from intra-warp divergence when one thread owns one unit.
+
+    GPU TTV/TTM assign one thread per fiber; a warp runs as long as its
+    longest fiber, so the factor is (sum over warps of the max unit) over
+    (sum of all units).  Uniform units give 1.0.
+    """
+    units = np.asarray(work_units, dtype=np.float64)
+    if units.size == 0:
+        return 1.0
+    total = units.sum()
+    if total == 0:
+        return 1.0
+    pad = (-units.size) % warp_size
+    padded = np.concatenate([units, np.zeros(pad)])
+    warps = padded.reshape(-1, warp_size)
+    warp_time = warps.max(axis=1) * warp_size
+    return float(warp_time.sum() / total)
+
+
+def uniform_work_units(total_work: int, grain_size: int = 256) -> np.ndarray:
+    """Split embarrassingly parallel work into near-equal chunks.
+
+    Mirrors the suite's GPU launch of ``M / 256`` one-dimensional thread
+    blocks of 256 threads for nonzero-parallel kernels.
+    """
+    if total_work <= 0:
+        return np.zeros(0, dtype=np.int64)
+    full, rem = divmod(total_work, grain_size)
+    units = [grain_size] * full
+    if rem:
+        units.append(rem)
+    return np.asarray(units, dtype=np.int64)
+
+
+def estimate_conflict_fraction(
+    targets: np.ndarray, num_targets: Optional[int] = None
+) -> float:
+    """Estimate the fraction of atomic updates that collide.
+
+    Uses the observed multiplicity of each update target: with ``c_i``
+    updates landing on target ``i``, every update beyond the first on a
+    target is counted as conflicting, so the fraction is
+    ``sum(c_i - 1) / sum(c_i)``.  This is an upper bound for time-local
+    contention but tracks the paper's point that MTTKRP's data race cost
+    "may influence its performance differently depending on the non-zero
+    distribution of an input tensor".
+    """
+    targets = np.asarray(targets)
+    if targets.size == 0:
+        return 0.0
+    counts = np.bincount(
+        targets.astype(np.int64),
+        minlength=num_targets if num_targets else 0,
+    )
+    counts = counts[counts > 0]
+    total = counts.sum()
+    conflicts = (counts - 1).sum()
+    return float(conflicts) / float(total) if total else 0.0

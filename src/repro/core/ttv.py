@@ -1,0 +1,206 @@
+"""Tensor-times-vector (TTV) product in a chosen mode.
+
+Paper Section II-C / III-B/III-D: ``Y = X ×_n v`` contracts mode ``n`` of a
+sparse tensor with a dense vector, producing an order-``(N-1)`` sparse
+tensor with one nonzero per mode-``n`` fiber of ``X`` (the sparse-dense
+property of Li et al.).  The pre-processing stage groups nonzeros into
+fibers and pre-allocates the output, exactly as Algorithm 1's lines 1-2;
+the value computation then reduces each fiber.
+
+The HiCOO variant represents the input in gHiCOO with the product mode
+left *uncompressed*, which lets the kernel read product-mode coordinates
+directly and keeps fibers intact across block boundaries (Section III-D1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import IncompatibleOperandsError
+from ..formats.coo import VALUE_DTYPE, CooTensor
+from ..formats.ghicoo import GHicooTensor
+from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from .schedule import GRAIN_FIBER, KernelSchedule
+
+
+def _check_vector(x_shape_mode: int, v: np.ndarray) -> np.ndarray:
+    v = np.asarray(v, dtype=VALUE_DTYPE)
+    if v.ndim != 1:
+        raise IncompatibleOperandsError(f"v must be a vector, got ndim={v.ndim}")
+    if v.shape[0] != x_shape_mode:
+        raise IncompatibleOperandsError(
+            f"vector length {v.shape[0]} does not match mode size {x_shape_mode}"
+        )
+    return v
+
+
+def _reduce_fibers(
+    ordered: CooTensor, fptr: np.ndarray, mode: int, per_nonzero: np.ndarray
+) -> Tuple[Tuple[int, ...], np.ndarray, np.ndarray]:
+    """Segment-reduce per-nonzero contributions into fiber outputs.
+
+    Returns the reduced output shape, the retained (non-product-mode)
+    indices of each fiber, and the per-fiber sums.
+    """
+    other_modes = [m for m in range(ordered.order) if m != mode]
+    out_shape = tuple(ordered.shape[m] for m in other_modes)
+    num_fibers = len(fptr) - 1
+    if num_fibers == 0:
+        return out_shape, np.empty((len(other_modes), 0), dtype=ordered.indices.dtype), (
+            np.empty(0, dtype=VALUE_DTYPE)
+        )
+    sums = np.add.reduceat(per_nonzero.astype(np.float64), fptr[:-1])
+    out_indices = ordered.indices[other_modes][:, fptr[:-1]]
+    return out_shape, out_indices, sums.astype(VALUE_DTYPE)
+
+
+def ttv_coo(x: CooTensor, v: np.ndarray, mode: int) -> CooTensor:
+    """COO-TTV (Algorithm 1): ``Y = X ×_mode v`` with a COO output.
+
+    The output has one nonzero per mode-``mode`` fiber of ``X`` and drops
+    that mode from the shape.
+    """
+    mode = x.check_mode(mode)
+    v = _check_vector(x.shape[mode], v)
+    ordered, fptr = x.fiber_partition(mode)
+    per_nonzero = ordered.values * v[ordered.indices[mode]]
+    out_shape, out_indices, out_values = _reduce_fibers(ordered, fptr, mode, per_nonzero)
+    return CooTensor(out_shape, out_indices, out_values, validate=False)
+
+
+def ttv_hicoo(
+    x: Union[CooTensor, HicooTensor, GHicooTensor],
+    v: np.ndarray,
+    mode: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> HicooTensor:
+    """HiCOO-TTV: gHiCOO input (product mode uncompressed), HiCOO output.
+
+    The value computation is identical to COO-TTV (paper: "the same
+    computation will be implemented ... as in their COO counterparts");
+    only the storage of the input and the pre-allocated output differ.
+    The kernel itself runs directly on the gHiCOO arrays
+    (:func:`ttv_ghicoo_direct`).
+    """
+    if isinstance(x, GHicooTensor):
+        block_size = x.block_size
+        mode = mode % x.order if -x.order <= mode < x.order else mode
+        if tuple(x.uncompressed_modes) == (mode % x.order,):
+            return ttv_ghicoo_direct(x, v, mode)
+        coo = x.to_coo()
+    elif isinstance(x, HicooTensor):
+        coo = x.to_coo()
+        block_size = x.block_size
+    else:
+        coo = x
+    mode = coo.check_mode(mode)
+    # The gHiCOO representation the kernel consumes: compress all modes
+    # except the product mode.  Building it exercises the same
+    # pre-processing path the benchmark times.
+    compressed = [m for m in range(coo.order) if m != mode]
+    ghicoo = GHicooTensor.from_coo(coo, compressed, block_size)
+    return ttv_ghicoo_direct(ghicoo, v, mode)
+
+
+def ttv_ghicoo_direct(
+    ghicoo: GHicooTensor, v: np.ndarray, mode: int
+) -> HicooTensor:
+    """TTV directly on gHiCOO arrays, never materializing COO.
+
+    Exploits the representation's design (paper Section III-D1): with the
+    product mode *uncompressed*, every mode-``mode`` fiber lies entirely
+    inside one block — fixing the other modes fixes the block — so the
+    kernel can (a) group fibers by sorting only within the blocked
+    order, (b) reduce each fiber with no data race between blocks, and
+    (c) emit the output's HiCOO block structure for free, reusing the
+    input's ``binds``.
+    """
+    order = ghicoo.order
+    if not -order <= mode < order:
+        raise IncompatibleOperandsError(
+            f"mode {mode} out of range for order-{order} tensor"
+        )
+    mode = mode % order
+    if tuple(ghicoo.uncompressed_modes) != (mode,):
+        raise IncompatibleOperandsError(
+            f"direct gHiCOO TTV needs exactly the product mode {mode} "
+            f"uncompressed, got uncompressed={ghicoo.uncompressed_modes}"
+        )
+    v = _check_vector(ghicoo.shape[mode], v)
+    nnz = ghicoo.nnz
+    out_shape = tuple(
+        s for m, s in enumerate(ghicoo.shape) if m != mode
+    )
+    if nnz == 0:
+        empty = CooTensor.empty(out_shape)
+        return HicooTensor.from_coo(empty, ghicoo.block_size)
+    # Sort nonzeros by (block, element indices of the compressed modes):
+    # fibers become contiguous, and blocks stay contiguous.
+    block_of = np.repeat(
+        np.arange(ghicoo.num_blocks, dtype=np.int64), ghicoo.nnz_per_block()
+    )
+    sort_keys = tuple(reversed((block_of,) + tuple(ghicoo.einds)))
+    perm = np.lexsort(sort_keys)
+    block_sorted = block_of[perm]
+    einds_sorted = ghicoo.einds[:, perm]
+    values_sorted = ghicoo.values[perm]
+    product_idx = ghicoo.cinds[0][perm]
+    # Fiber boundaries: change of block or of any compressed element index.
+    changed = block_sorted[1:] != block_sorted[:-1]
+    changed |= np.any(einds_sorted[:, 1:] != einds_sorted[:, :-1], axis=0)
+    starts = np.flatnonzero(np.concatenate(([True], changed)))
+    contributions = values_sorted.astype(np.float64) * v[product_idx]
+    sums = np.add.reduceat(contributions, starts)
+    # Output structure: one nonzero per fiber; block ids and element
+    # indices come straight from the input's compressed modes.
+    fiber_blocks = block_sorted[starts]
+    fiber_einds = einds_sorted[:, starts]
+    block_changed = fiber_blocks[1:] != fiber_blocks[:-1]
+    out_block_starts = np.flatnonzero(np.concatenate(([True], block_changed)))
+    bptr = np.concatenate([out_block_starts, [len(starts)]]).astype(np.int64)
+    binds = ghicoo.binds[:, fiber_blocks[out_block_starts]]
+    return HicooTensor(
+        out_shape,
+        ghicoo.block_size,
+        bptr,
+        binds,
+        fiber_einds,
+        sums.astype(VALUE_DTYPE),
+        validate=False,
+    )
+
+
+def schedule_ttv(
+    x: CooTensor, mode: int, tensor_format: str = "COO"
+) -> KernelSchedule:
+    """Machine schedule of TTV (Table I row three).
+
+    Parallelized over fibers; ``work_units`` are the actual fiber lengths,
+    whose skew produces the load imbalance the paper flags for
+    COO-TTV-OMP/GPU.  Traffic: ``8M`` streamed input (values plus
+    product-mode indices), ``4M`` irregular vector gathers, and ``12 M_F``
+    streamed output entries.
+    """
+    mode = x.check_mode(mode)
+    _, fptr = x.fiber_partition(mode)
+    fiber_lengths = np.diff(fptr)
+    nnz = x.nnz
+    num_fibers = len(fiber_lengths)
+    vector_bytes = 4 * x.shape[mode]
+    return KernelSchedule(
+        kernel="TTV",
+        tensor_format=tensor_format,
+        flops=2 * nnz,
+        streamed_bytes=8 * nnz + 12 * num_fibers,
+        irregular_bytes=4 * nnz,
+        work_units=fiber_lengths,
+        parallel_grain=GRAIN_FIBER,
+        working_set_bytes=8 * nnz + 12 * num_fibers + vector_bytes,
+        reuse_bytes=max(4 * nnz - vector_bytes, 0),
+        writeallocate_bytes=12 * num_fibers,
+        irregular_chunk_bytes=4,
+        random_operand_bytes=vector_bytes,
+        notes={"num_fibers": float(num_fibers), "vector_bytes": float(vector_bytes)},
+    )

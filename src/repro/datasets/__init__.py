@@ -1,0 +1,38 @@
+"""Table II dataset registry (scaled real stand-ins + synthetic recipes),
+plus tensor feature extraction and synthetic stand-in fitting."""
+
+from .features import (
+    TensorFeatures,
+    extract_features,
+    feature_distance,
+    fit_powerlaw_alpha,
+    synthesize_like,
+)
+from .registry import (
+    ALL_DATASETS,
+    DEFAULT_SCALE_DIVISOR,
+    REAL_DATASETS,
+    SYNTHETIC_DATASETS,
+    DatasetSpec,
+    datasets,
+    get_dataset,
+    realize,
+    table2,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ALL_DATASETS",
+    "REAL_DATASETS",
+    "SYNTHETIC_DATASETS",
+    "DEFAULT_SCALE_DIVISOR",
+    "datasets",
+    "get_dataset",
+    "realize",
+    "table2",
+    "TensorFeatures",
+    "extract_features",
+    "synthesize_like",
+    "feature_distance",
+    "fit_powerlaw_alpha",
+]

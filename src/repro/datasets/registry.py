@@ -1,0 +1,276 @@
+"""Dataset registry — the paper's Table II, at configurable scale.
+
+Table II(a)'s fifteen real tensors (FROSTT, HaTen2, CHOA) are multi-GB
+downloads and one is private medical data, so this registry realizes
+*stand-ins*: power-law tensors with the same order, the same
+dimension-ratio profile, and nnz scaled by ``1/scale_divisor`` (DESIGN.md
+substitution #2).  Table II(b)'s fifteen synthetic tensors are realized
+with the paper's own generators (stochastic Kronecker for the regular
+family, biased power law for the irregular families) at the same scale.
+Passing ``scale_divisor=1`` requests the paper's full sizes.
+
+Every dataset is deterministic: the seed is derived from the dataset key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import DatasetError
+from ..formats.coo import CooTensor
+from ..generators.kronecker import kronecker_tensor
+from ..generators.powerlaw import powerlaw_tensor
+
+#: Default downscaling of nnz relative to the paper (DESIGN.md #2/#3).
+DEFAULT_SCALE_DIVISOR = 512
+
+#: Modes at or below this size are treated as short dense-ish modes and
+#: drawn uniformly by the stand-in generator (they are fully covered).
+SHORT_MODE_THRESHOLD = 1024
+
+#: Largest scaled dimension; keeps HiCOO block Morton codes in 62 bits
+#: for fourth-order tensors.
+MAX_SCALED_DIM = 1 << 22
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table II row.
+
+    ``generator`` is ``"kron"`` (stochastic Kronecker), ``"pl"`` (biased
+    power law), or ``"standin"`` (power-law stand-in for a real tensor).
+    ``dense_modes`` marks the short dense modes of the irregular
+    families.
+    """
+
+    key: str
+    name: str
+    collection: str  # "real" or "synthetic"
+    generator: str
+    order: int
+    paper_dims: Tuple[int, ...]
+    paper_nnz: int
+    dense_modes: Tuple[int, ...] = ()
+    alpha: float = 2.0
+
+    @property
+    def paper_density(self) -> float:
+        """Density at the paper's full scale."""
+        cells = 1.0
+        for d in self.paper_dims:
+            cells *= float(d)
+        return self.paper_nnz / cells
+
+    def scaled_dims(self, scale_divisor: int) -> Tuple[int, ...]:
+        """Shrink large modes so density ordering is roughly preserved.
+
+        Modes at or below :data:`SHORT_MODE_THRESHOLD` keep their paper
+        size (they are semantic, e.g. 24 hours); larger modes share the
+        nnz scale factor equally on a per-mode basis.
+        """
+        if scale_divisor <= 1:
+            return self.paper_dims
+        large = [d for d in self.paper_dims if d > SHORT_MODE_THRESHOLD]
+        if not large:
+            return self.paper_dims
+        per_mode = scale_divisor ** (1.0 / len(large))
+        dims = []
+        for d in self.paper_dims:
+            if d <= SHORT_MODE_THRESHOLD:
+                dims.append(d)
+            else:
+                dims.append(
+                    min(max(int(round(d / per_mode)), SHORT_MODE_THRESHOLD + 1),
+                        MAX_SCALED_DIM)
+                )
+        return tuple(dims)
+
+    def scaled_nnz(self, scale_divisor: int) -> int:
+        """Scaled nonzero count (at least 1000 so kernels stay meaningful)."""
+        if scale_divisor <= 1:
+            return self.paper_nnz
+        return max(self.paper_nnz // scale_divisor, 1000)
+
+    def seed(self) -> int:
+        """Deterministic per-dataset seed."""
+        return sum(ord(c) * 131**i for i, c in enumerate(self.key)) % (2**31)
+
+    def realize(
+        self, scale_divisor: int = DEFAULT_SCALE_DIVISOR
+    ) -> CooTensor:
+        """Generate the tensor at the requested scale."""
+        dims = self.scaled_dims(scale_divisor)
+        nnz = self.scaled_nnz(scale_divisor)
+        capacity = 1
+        for d in dims:
+            capacity *= d
+        nnz = min(nnz, max(capacity // 2, 1))
+        if self.generator == "kron":
+            return kronecker_tensor(dims, nnz, seed=self.seed())
+        if self.generator in ("pl", "standin"):
+            if self.generator == "standin":
+                dense = tuple(
+                    m for m, d in enumerate(dims) if d <= SHORT_MODE_THRESHOLD
+                )
+            else:
+                dense = self.dense_modes
+            return powerlaw_tensor(
+                dims, nnz, alpha=self.alpha, dense_modes=dense, seed=self.seed()
+            )
+        raise DatasetError(f"unknown generator {self.generator!r} for {self.key}")
+
+    def table_row(self, scale_divisor: int = DEFAULT_SCALE_DIVISOR) -> Dict[str, str]:
+        """A Table II style row at the given scale."""
+        dims = self.scaled_dims(scale_divisor)
+        nnz = self.scaled_nnz(scale_divisor)
+        cells = 1.0
+        for d in dims:
+            cells *= float(d)
+        gen = {"kron": "Kron.", "pl": "PL", "standin": "PL (stand-in)"}[self.generator]
+        return {
+            "No.": self.key,
+            "Tensor": self.name,
+            "Gen.": gen,
+            "Order": str(self.order),
+            "Dimensions": "x".join(str(d) for d in dims),
+            "#Nnzs": str(nnz),
+            "Density": f"{nnz / cells:.2E}",
+        }
+
+
+def _real(key, name, dims, nnz, alpha=2.0):
+    return DatasetSpec(
+        key=key,
+        name=name,
+        collection="real",
+        generator="standin",
+        order=len(dims),
+        paper_dims=tuple(dims),
+        paper_nnz=nnz,
+        alpha=alpha,
+    )
+
+
+def _synth(key, name, gen, dims, nnz, dense_modes=(), alpha=2.0):
+    return DatasetSpec(
+        key=key,
+        name=name,
+        collection="synthetic",
+        generator=gen,
+        order=len(dims),
+        paper_dims=tuple(dims),
+        paper_nnz=nnz,
+        dense_modes=tuple(dense_modes),
+        alpha=alpha,
+    )
+
+
+_K = 1000
+_M = 1000 * 1000
+
+#: Table II(a): real tensors, in paper order (r1-r15).
+REAL_DATASETS: Tuple[DatasetSpec, ...] = (
+    _real("r1", "vast", (165 * _K, 11 * _K, 2), 26 * _M),
+    _real("r2", "nell2", (12 * _K, 9 * _K, 29 * _K), 77 * _M),
+    _real("r3", "choa", (712 * _K, 10 * _K, 767), 27 * _M),
+    _real("r4", "darpa", (22 * _K, 22 * _K, 24 * _M), 28 * _M),
+    _real("r5", "fb-m", (23 * _M, 23 * _M, 166), 100 * _M),
+    _real("r6", "fb-s", (39 * _M, 39 * _M, 532), 140 * _M),
+    _real("r7", "flickr", (320 * _K, 28 * _M, 1600 * _K), 113 * _M),
+    _real("r8", "deli", (533 * _K, 17 * _M, 2500 * _K), 140 * _M),
+    _real("r9", "nell1", (2900 * _K, 2100 * _K, 25 * _M), 144 * _M),
+    _real("r10", "crime4d", (6 * _K, 24, 77, 32), 5 * _M),
+    _real("r11", "uber4d", (183, 24, 1140, 1717), 3 * _M),
+    _real("r12", "nips4d", (2 * _K, 3 * _K, 14 * _K, 17), 3 * _M),
+    _real("r13", "enron4d", (6 * _K, 6 * _K, 244 * _K, 1 * _K), 54 * _M),
+    _real("r14", "flickr4d", (320 * _K, 28 * _M, 1600 * _K, 731), 113 * _M),
+    _real("r15", "deli4d", (533 * _K, 17 * _M, 2500 * _K, 1 * _K), 140 * _M),
+)
+
+#: Table II(b): synthetic tensors (s1-s15) with their generators.
+SYNTHETIC_DATASETS: Tuple[DatasetSpec, ...] = (
+    _synth("s1", "regS", "kron", (65 * _K,) * 3, 1_100 * _K),
+    _synth("s2", "regM", "kron", (1100 * _K,) * 3, 11_500 * _K),
+    _synth("s3", "regL", "kron", (8300 * _K,) * 3, 94 * _M),
+    _synth("s4", "irrS", "pl", (32 * _K, 32 * _K, 76), 1 * _M, dense_modes=(2,)),
+    _synth("s5", "irrM", "pl", (524 * _K, 524 * _K, 126), 10 * _M, dense_modes=(2,)),
+    _synth("s6", "irrL", "pl", (4200 * _K, 4200 * _K, 168), 84 * _M, dense_modes=(2,)),
+    _synth("s7", "regS4d", "kron", (8200,) * 4, 1 * _M),
+    _synth("s8", "regM4d", "kron", (2100 * _K,) * 4, 11_200 * _K),
+    _synth("s9", "regL4d", "kron", (8300 * _K,) * 4, 110 * _M),
+    _synth(
+        "s10", "irrS4d", "pl", (1600 * _K,) * 3 + (82,), 1_000 * _K, dense_modes=(3,)
+    ),
+    _synth(
+        "s11", "irrM4d", "pl", (2600 * _K,) * 3 + (144,), 10_800 * _K, dense_modes=(3,)
+    ),
+    _synth(
+        "s12", "irrL4d", "pl", (4200 * _K,) * 3 + (226,), 100 * _M, dense_modes=(3,)
+    ),
+    _synth(
+        "s13",
+        "irr2S4d",
+        "pl",
+        (1000 * _K, 1000 * _K, 122, 436),
+        1600 * _K,
+        dense_modes=(2, 3),
+    ),
+    _synth(
+        "s14",
+        "irr2M4d",
+        "pl",
+        (4200 * _K, 4200 * _K, 232, 746),
+        19_900 * _K,
+        dense_modes=(2, 3),
+    ),
+    _synth(
+        "s15",
+        "irr2L4d",
+        "pl",
+        (8300 * _K, 8300 * _K, 952, 324),
+        109 * _M,
+        dense_modes=(2, 3),
+    ),
+)
+
+ALL_DATASETS: Tuple[DatasetSpec, ...] = REAL_DATASETS + SYNTHETIC_DATASETS
+
+_BY_KEY: Dict[str, DatasetSpec] = {d.key: d for d in ALL_DATASETS}
+_BY_NAME: Dict[str, DatasetSpec] = {d.name: d for d in ALL_DATASETS}
+
+
+def get_dataset(key_or_name: str) -> DatasetSpec:
+    """Look up a dataset by its Table II number (``"r4"``) or name."""
+    key = key_or_name.strip()
+    if key in _BY_KEY:
+        return _BY_KEY[key]
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    raise DatasetError(
+        f"unknown dataset {key_or_name!r}; use r1-r15, s1-s15, or a tensor name"
+    )
+
+
+def datasets(collection: Optional[str] = None) -> Tuple[DatasetSpec, ...]:
+    """All datasets, optionally filtered to ``"real"`` or ``"synthetic"``."""
+    if collection is None:
+        return ALL_DATASETS
+    if collection not in ("real", "synthetic"):
+        raise DatasetError(f"collection must be 'real' or 'synthetic', got {collection!r}")
+    return tuple(d for d in ALL_DATASETS if d.collection == collection)
+
+
+def realize(
+    key_or_name: str, scale_divisor: int = DEFAULT_SCALE_DIVISOR
+) -> CooTensor:
+    """Generate a Table II tensor by key or name at the given scale."""
+    return get_dataset(key_or_name).realize(scale_divisor)
+
+
+def table2(
+    collection: Optional[str] = None,
+    scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+) -> Tuple[Dict[str, str], ...]:
+    """Reproduce Table II rows at the given scale."""
+    return tuple(d.table_row(scale_divisor) for d in datasets(collection))

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the sparse tensor benchmark suite.
+
+Every error raised by this package derives from :class:`PastaError`, so
+callers can catch one type to handle anything the suite raises.  The
+subclasses separate the three failure domains a user can hit: malformed
+tensors, incompatible operands, and invalid format parameters.
+"""
+
+from __future__ import annotations
+
+
+class PastaError(Exception):
+    """Base class for all errors raised by the benchmark suite."""
+
+
+class TensorShapeError(PastaError):
+    """A tensor's shape, order, or index arrays are inconsistent."""
+
+
+class IncompatibleOperandsError(PastaError):
+    """Two operands cannot be combined (orders, shapes, or patterns differ)."""
+
+
+class FormatParameterError(PastaError):
+    """A format parameter is out of range (e.g. HiCOO block size > 256)."""
+
+
+class ModeError(PastaError):
+    """A mode index is out of range for the tensor's order."""
+
+
+class DatasetError(PastaError):
+    """A dataset name is unknown or a dataset recipe cannot be realized."""
+
+
+class PlatformError(PastaError):
+    """A platform name is unknown or its parameters are inconsistent."""

@@ -1,0 +1,70 @@
+"""Sparse tensor storage formats: COO, sCOO, HiCOO, gHiCOO, sHiCOO.
+
+The two headline formats are :class:`CooTensor` (the mode-generic baseline)
+and :class:`HicooTensor` (block-compressed hierarchical coordinates); the
+semi-sparse variants carry dense mode(s) for TTM outputs, and gHiCOO blocks
+only a chosen subset of modes.
+"""
+
+from .coo import CooTensor, concatenate_tensors
+from .convert import choose_format, convert, to_coo, to_ghicoo, to_hicoo
+from .csf import CsfTensor, csf_for_mode, csf_storage_bytes
+from .fcoo import FcooTensor, segmented_sum, ttm_fcoo, ttv_fcoo
+from .ghicoo import GHicooTensor
+from .hicoo import DEFAULT_BLOCK_SIZE, MAX_BLOCK_SIZE, HicooTensor, blocks_histogram
+from .morton import morton_decode, morton_encode, morton_sort_order
+from .reorder import (
+    apply_relabeling,
+    block_density_relabel,
+    degree_relabel,
+    locality_metrics,
+    random_relabel,
+)
+from .scoo import SemiSparseCooTensor
+from .shicoo import SHicooTensor
+from .storage import (
+    StorageBreakdown,
+    breakdown,
+    coo_storage_bytes,
+    ghicoo_storage_bytes,
+    hicoo_storage_bytes,
+    storage_bytes,
+)
+
+__all__ = [
+    "CooTensor",
+    "SemiSparseCooTensor",
+    "HicooTensor",
+    "GHicooTensor",
+    "SHicooTensor",
+    "CsfTensor",
+    "csf_for_mode",
+    "csf_storage_bytes",
+    "FcooTensor",
+    "ttv_fcoo",
+    "ttm_fcoo",
+    "segmented_sum",
+    "DEFAULT_BLOCK_SIZE",
+    "MAX_BLOCK_SIZE",
+    "concatenate_tensors",
+    "convert",
+    "to_coo",
+    "to_hicoo",
+    "to_ghicoo",
+    "choose_format",
+    "morton_encode",
+    "morton_decode",
+    "morton_sort_order",
+    "apply_relabeling",
+    "random_relabel",
+    "degree_relabel",
+    "block_density_relabel",
+    "locality_metrics",
+    "blocks_histogram",
+    "StorageBreakdown",
+    "breakdown",
+    "storage_bytes",
+    "coo_storage_bytes",
+    "hicoo_storage_bytes",
+    "ghicoo_storage_bytes",
+]

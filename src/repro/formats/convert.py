@@ -1,0 +1,105 @@
+"""Conversions between the suite's tensor formats.
+
+All conversions round-trip numerically (HiCOO changes the nonzero order to
+Morton order, which is invisible through :meth:`CooTensor.allclose`).
+:func:`choose_format` implements the paper's format-selection heuristic:
+HiCOO compresses well unless the tensor is hyper-sparse (blocks nearly
+always hold a single nonzero), in which case gHiCOO or plain COO wins.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..errors import FormatParameterError
+from .coo import CooTensor
+from .ghicoo import GHicooTensor
+from .hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from .scoo import SemiSparseCooTensor
+from .shicoo import SHicooTensor
+
+AnySparse = Union[CooTensor, HicooTensor, GHicooTensor, SemiSparseCooTensor, SHicooTensor]
+
+
+def to_coo(tensor: AnySparse) -> CooTensor:
+    """Convert any supported format to plain COO."""
+    if isinstance(tensor, CooTensor):
+        return tensor
+    if isinstance(tensor, (HicooTensor, GHicooTensor)):
+        return tensor.to_coo()
+    if isinstance(tensor, SemiSparseCooTensor):
+        return tensor.to_coo()
+    if isinstance(tensor, SHicooTensor):
+        return tensor.to_coo()
+    raise TypeError(f"unsupported tensor type: {type(tensor).__name__}")
+
+
+def to_hicoo(tensor: AnySparse, block_size: int = DEFAULT_BLOCK_SIZE) -> HicooTensor:
+    """Convert any supported general sparse format to HiCOO."""
+    if isinstance(tensor, HicooTensor) and tensor.block_size == block_size:
+        return tensor
+    return HicooTensor.from_coo(to_coo(tensor), block_size)
+
+
+def to_ghicoo(
+    tensor: AnySparse,
+    compressed_modes: Sequence[int],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> GHicooTensor:
+    """Convert any supported general sparse format to gHiCOO."""
+    return GHicooTensor.from_coo(to_coo(tensor), compressed_modes, block_size)
+
+
+def convert(tensor: AnySparse, target: str, **kwargs) -> AnySparse:
+    """Convert by format name: ``coo``, ``hicoo``, ``ghicoo``, ``scoo``, ``shicoo``.
+
+    ``ghicoo`` requires ``compressed_modes=...``; ``scoo``/``shicoo``
+    require ``dense_modes=...``.  ``block_size`` is honored by the HiCOO
+    family.
+    """
+    name = target.lower()
+    if name == "coo":
+        return to_coo(tensor)
+    if name == "hicoo":
+        return to_hicoo(tensor, kwargs.get("block_size", DEFAULT_BLOCK_SIZE))
+    if name == "ghicoo":
+        if "compressed_modes" not in kwargs:
+            raise FormatParameterError("gHiCOO conversion needs compressed_modes=...")
+        return to_ghicoo(
+            tensor,
+            kwargs["compressed_modes"],
+            kwargs.get("block_size", DEFAULT_BLOCK_SIZE),
+        )
+    if name == "scoo":
+        if "dense_modes" not in kwargs:
+            raise FormatParameterError("sCOO conversion needs dense_modes=...")
+        return SemiSparseCooTensor.from_coo(to_coo(tensor), kwargs["dense_modes"])
+    if name == "shicoo":
+        if "dense_modes" not in kwargs:
+            raise FormatParameterError("sHiCOO conversion needs dense_modes=...")
+        return SHicooTensor.from_coo(
+            to_coo(tensor),
+            kwargs["dense_modes"],
+            kwargs.get("block_size", DEFAULT_BLOCK_SIZE),
+        )
+    raise FormatParameterError(f"unknown format name: {target!r}")
+
+
+def choose_format(
+    tensor: CooTensor,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    *,
+    min_occupancy: float = 1.25,
+) -> str:
+    """Pick ``"hicoo"`` or ``"coo"`` for a tensor by block occupancy.
+
+    The HiCOO paper observes the format "could not be beneficial for
+    hyper-sparse tensors where most tensor blocks only consist of one or
+    few non-zeros"; below ``min_occupancy`` average nonzeros per block the
+    block metadata outweighs the element-index savings and COO is the
+    better choice.
+    """
+    hicoo = HicooTensor.from_coo(tensor, block_size)
+    if hicoo.average_block_occupancy() >= min_occupancy:
+        return "hicoo"
+    return "coo"

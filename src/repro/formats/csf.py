@@ -1,0 +1,225 @@
+"""Compressed Sparse Fiber (CSF) format (Smith & Karypis, SPLATT).
+
+The paper lists CSF among the formats "considered for our benchmark
+suite in the near future" (Sections III and VII).  CSF stores a sparse
+tensor as a forest: level 0 holds the distinct root-mode indices, each
+deeper level the distinct index extensions, and the leaf level one entry
+per nonzero.  Per level ``l`` the arrays are
+
+* ``fids[l]`` — the index value of each node at level ``l``;
+* ``fptr[l]`` — for ``l < order-1``, the children range of each node
+  (``fptr[l][k] .. fptr[l][k+1]`` indexes level ``l+1``).
+
+Unlike COO/HiCOO, CSF is **mode-specific**: a tree rooted at mode ``n``
+serves mode-``n`` computations best, which is exactly the mode-
+orientation trade-off the paper discusses (Section I).  Use
+:meth:`CsfTensor.from_coo` with an explicit ``mode_order`` or
+:func:`csf_for_mode` to root the tree at a kernel's target mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+PTR_DTYPE = np.int64
+
+
+def _prefix_boundaries(sorted_indices: np.ndarray, depth: int) -> np.ndarray:
+    """Start offsets of distinct prefixes of the first ``depth`` rows."""
+    nnz = sorted_indices.shape[1]
+    if nnz == 0:
+        return np.empty(0, dtype=PTR_DTYPE)
+    prefix = sorted_indices[:depth]
+    boundary = np.any(prefix[:, 1:] != prefix[:, :-1], axis=0)
+    return np.flatnonzero(np.concatenate(([True], boundary))).astype(PTR_DTYPE)
+
+
+class CsfTensor:
+    """A sparse tensor as a compressed sparse fiber tree.
+
+    Attributes
+    ----------
+    shape:
+        Dimension sizes in *original* mode numbering.
+    mode_order:
+        Tree level per original mode: ``mode_order[0]`` is the root mode.
+    fids:
+        One index array per level; ``fids[-1]`` has one entry per nonzero.
+    fptr:
+        One children-pointer array per non-leaf level, each of length
+        ``len(fids[l]) + 1``.
+    values:
+        Nonzero values, aligned with the leaf level.
+    """
+
+    __slots__ = ("shape", "mode_order", "fids", "fptr", "values")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        mode_order: Sequence[int],
+        fids: List[np.ndarray],
+        fptr: List[np.ndarray],
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.mode_order: Tuple[int, ...] = tuple(int(m) for m in mode_order)
+        self.fids = [np.ascontiguousarray(f, dtype=INDEX_DTYPE) for f in fids]
+        self.fptr = [np.ascontiguousarray(p, dtype=PTR_DTYPE) for p in fptr]
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        order = len(self.shape)
+        if sorted(self.mode_order) != list(range(order)):
+            raise ModeError(f"mode_order {self.mode_order} is not a permutation")
+        if len(self.fids) != order:
+            raise TensorShapeError(f"need {order} fid levels, got {len(self.fids)}")
+        if len(self.fptr) != order - 1:
+            raise TensorShapeError(
+                f"need {order - 1} fptr levels, got {len(self.fptr)}"
+            )
+        if self.values.shape != (self.fids[-1].shape[0],):
+            raise TensorShapeError("values must align with the leaf level")
+        for level in range(order - 1):
+            nodes = self.fids[level].shape[0]
+            if self.fptr[level].shape != (nodes + 1,):
+                raise TensorShapeError(
+                    f"fptr[{level}] must have length {nodes + 1}"
+                )
+            if nodes and (
+                self.fptr[level][0] != 0
+                or self.fptr[level][-1] != self.fids[level + 1].shape[0]
+            ):
+                raise TensorShapeError(f"fptr[{level}] must span level {level + 1}")
+            if np.any(np.diff(self.fptr[level]) <= 0):
+                raise TensorShapeError(f"fptr[{level}] must be strictly increasing")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def root_mode(self) -> int:
+        """The original mode at the top of the tree."""
+        return self.mode_order[0]
+
+    def nodes_per_level(self) -> Tuple[int, ...]:
+        """Node counts level by level (root first)."""
+        return tuple(f.shape[0] for f in self.fids)
+
+    def storage_bytes(self) -> int:
+        """Bytes across all fid/fptr/value arrays."""
+        total = self.values.nbytes
+        total += sum(f.nbytes for f in self.fids)
+        total += sum(p.nbytes for p in self.fptr)
+        return total
+
+    def leaf_counts_per_root(self) -> np.ndarray:
+        """Nonzeros under each root node (the work-unit distribution)."""
+        counts = np.ones(self.fids[-1].shape[0], dtype=np.int64)
+        for level in range(self.order - 2, -1, -1):
+            counts = np.add.reduceat(counts, self.fptr[level][:-1])
+        return counts
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: CooTensor,
+        mode_order: Optional[Sequence[int]] = None,
+    ) -> "CsfTensor":
+        """Build the CSF tree for a mode order (default: natural order)."""
+        if mode_order is None:
+            mode_order = tuple(range(tensor.order))
+        mode_order = tuple(tensor.check_mode(m) for m in mode_order)
+        if sorted(mode_order) != list(range(tensor.order)):
+            raise ModeError(f"{mode_order} is not a permutation of the modes")
+        ordered = tensor.sum_duplicates().sorted_lexicographic(mode_order)
+        permuted = ordered.indices[list(mode_order)]
+        order = tensor.order
+        fids: List[np.ndarray] = []
+        fptr: List[np.ndarray] = []
+        previous_starts: Optional[np.ndarray] = None
+        level_starts: List[np.ndarray] = [
+            _prefix_boundaries(permuted, depth) for depth in range(1, order + 1)
+        ]
+        for level in range(order):
+            starts = level_starts[level]
+            fids.append(permuted[level][starts].astype(INDEX_DTYPE))
+            if previous_starts is not None:
+                # Children pointers: positions of this level's starts
+                # within the previous level's grouping.
+                child_index = np.searchsorted(starts, previous_starts)
+                fptr.append(
+                    np.concatenate([child_index, [starts.shape[0]]]).astype(PTR_DTYPE)
+                )
+            previous_starts = starts
+        return cls(
+            tensor.shape, mode_order, fids, fptr, ordered.values, validate=False
+        )
+
+    def expand_level(self, level: int) -> np.ndarray:
+        """The level's index value expanded to one entry per nonzero."""
+        if not 0 <= level < self.order:
+            raise ModeError(f"level {level} out of range")
+        expanded = self.fids[level]
+        for l in range(level, self.order - 1):
+            counts = np.diff(self.fptr[l])
+            expanded = np.repeat(expanded, counts)
+        return expanded
+
+    def to_coo(self) -> CooTensor:
+        """Expand back to COO (original mode numbering)."""
+        order = self.order
+        indices = np.empty((order, self.nnz), dtype=INDEX_DTYPE)
+        for level, mode in enumerate(self.mode_order):
+            indices[mode] = self.expand_level(level)
+        return CooTensor(self.shape, indices, self.values, validate=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"CsfTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"mode_order={self.mode_order}, nodes={self.nodes_per_level()})"
+        )
+
+
+def csf_for_mode(tensor: CooTensor, mode: int) -> CsfTensor:
+    """A CSF tree rooted at ``mode`` (remaining modes in natural order).
+
+    This is the representation mode-``mode`` MTTKRP/TTV want; building
+    one tree per mode is CSF's storage-for-speed trade-off versus the
+    mode-generic COO/HiCOO (paper Section III).
+    """
+    mode = tensor.check_mode(mode)
+    rest = [m for m in range(tensor.order) if m != mode]
+    return CsfTensor.from_coo(tensor, [mode] + rest)
+
+
+def csf_storage_bytes(
+    order: int, nnz: int, nodes_per_level: Sequence[int]
+) -> int:
+    """Closed-form CSF bytes for given per-level node counts."""
+    total = 4 * nnz  # values
+    for level, nodes in enumerate(nodes_per_level):
+        total += 4 * nodes  # fids
+        if level < order - 1:
+            total += 8 * (nodes + 1)  # fptr
+    return total

@@ -1,0 +1,253 @@
+"""Flagged COO (F-COO) format (Liu et al., CLUSTER'17).
+
+F-COO is listed among the formats the paper surveys (Section III).  It
+is a GPU-oriented variant of COO built for *one* operation mode: the
+indices of the product mode are stored per nonzero, while the remaining
+modes are replaced by two flag arrays —
+
+* ``bit_flags`` — 1 where a nonzero *starts a new fiber* (the previous
+  nonzero belongs to a different combination of non-product indices);
+* ``start_flags`` — the retained (non-product) indices, stored *only*
+  for fiber starts.
+
+Kernels then run as a segmented reduction over the bit flags, which maps
+onto GPU segmented-scan primitives without any atomics; the flags make
+the format smaller than COO whenever fibers are longer than one nonzero.
+Like CSF (and unlike COO/HiCOO), F-COO is mode-specific: one instance
+serves one product mode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+
+class FcooTensor:
+    """A sparse tensor in F-COO form for one product mode.
+
+    Attributes
+    ----------
+    shape:
+        Full dimension sizes (original mode numbering).
+    product_mode:
+        The mode whose index is kept per nonzero.
+    product_indices:
+        ``(nnz,)`` indices of the product mode.
+    bit_flags:
+        ``(nnz,)`` boolean; True where a new fiber starts.
+    start_indices:
+        ``(order - 1, num_fibers)`` retained indices of each fiber, in
+        ascending original mode order.
+    values:
+        ``(nnz,)`` nonzero values, fiber-contiguous.
+    """
+
+    __slots__ = (
+        "shape",
+        "product_mode",
+        "product_indices",
+        "bit_flags",
+        "start_indices",
+        "values",
+    )
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        product_mode: int,
+        product_indices: np.ndarray,
+        bit_flags: np.ndarray,
+        start_indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.product_mode = int(product_mode)
+        self.product_indices = np.ascontiguousarray(
+            product_indices, dtype=INDEX_DTYPE
+        )
+        self.bit_flags = np.ascontiguousarray(bit_flags, dtype=bool)
+        self.start_indices = np.ascontiguousarray(
+            start_indices, dtype=INDEX_DTYPE
+        )
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        order = len(self.shape)
+        if not 0 <= self.product_mode < order:
+            raise ModeError(
+                f"product mode {self.product_mode} out of range for order {order}"
+            )
+        nnz = self.values.shape[0]
+        if self.product_indices.shape != (nnz,):
+            raise TensorShapeError("product_indices must have one entry per nonzero")
+        if self.bit_flags.shape != (nnz,):
+            raise TensorShapeError("bit_flags must have one entry per nonzero")
+        if nnz and not self.bit_flags[0]:
+            raise TensorShapeError("the first nonzero must start a fiber")
+        fibers = int(self.bit_flags.sum())
+        if self.start_indices.shape != (order - 1, fibers):
+            raise TensorShapeError(
+                f"start_indices must have shape ({order - 1}, {fibers}), "
+                f"got {self.start_indices.shape}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of product-mode fibers (flagged starts)."""
+        return int(self.bit_flags.sum())
+
+    def fiber_pointer(self) -> np.ndarray:
+        """Start offsets of each fiber plus the terminating nnz."""
+        starts = np.flatnonzero(self.bit_flags)
+        return np.concatenate([starts, [self.nnz]]).astype(np.int64)
+
+    def storage_bytes(self) -> int:
+        """Bytes across values, product indices, flags (1 bit/8 here as
+        one byte, the practical packing), and fiber-start indices."""
+        return (
+            self.values.nbytes
+            + self.product_indices.nbytes
+            + self.bit_flags.nbytes // 8 + 1
+            + self.start_indices.nbytes
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, tensor: CooTensor, product_mode: int) -> "FcooTensor":
+        """Build F-COO for one product mode (fiber-sorts the nonzeros)."""
+        product_mode = tensor.check_mode(product_mode)
+        ordered, fptr = tensor.fiber_partition(product_mode)
+        other = [m for m in range(tensor.order) if m != product_mode]
+        nnz = ordered.nnz
+        flags = np.zeros(nnz, dtype=bool)
+        if nnz:
+            flags[fptr[:-1]] = True
+        start_indices = ordered.indices[other][:, fptr[:-1]]
+        return cls(
+            tensor.shape,
+            product_mode,
+            ordered.indices[product_mode],
+            flags,
+            start_indices,
+            ordered.values,
+            validate=False,
+        )
+
+    def to_coo(self) -> CooTensor:
+        """Expand back to plain COO."""
+        if self.nnz == 0:
+            return CooTensor.empty(self.shape)
+        fiber_of = np.cumsum(self.bit_flags) - 1
+        other = [m for m in range(self.order) if m != self.product_mode]
+        indices = np.empty((self.order, self.nnz), dtype=INDEX_DTYPE)
+        for row, mode in enumerate(other):
+            indices[mode] = self.start_indices[row][fiber_of]
+        indices[self.product_mode] = self.product_indices
+        return CooTensor(self.shape, indices, self.values, validate=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"FcooTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"product_mode={self.product_mode}, fibers={self.num_fibers})"
+        )
+
+
+def segmented_sum(values: np.ndarray, bit_flags: np.ndarray) -> np.ndarray:
+    """Segmented reduction over flag-delimited segments.
+
+    The primitive F-COO kernels are built on (a segmented scan's final
+    per-segment values); one output per flagged start.
+    """
+    values = np.asarray(values)
+    bit_flags = np.asarray(bit_flags, dtype=bool)
+    if values.shape[0] != bit_flags.shape[0]:
+        raise TensorShapeError("values and flags must align")
+    if values.shape[0] == 0:
+        return np.empty((0,) + values.shape[1:], dtype=values.dtype)
+    if not bit_flags[0]:
+        raise TensorShapeError("the first element must start a segment")
+    starts = np.flatnonzero(bit_flags)
+    return np.add.reduceat(values, starts, axis=0)
+
+
+def ttv_fcoo(fcoo: FcooTensor, vector: np.ndarray) -> CooTensor:
+    """F-COO TTV: one segmented sum over the flags, no atomics.
+
+    Contracts the instance's product mode with ``vector``; the output's
+    nonzeros are exactly the flagged fiber starts.
+    """
+    vector = np.asarray(vector, dtype=VALUE_DTYPE)
+    if vector.shape != (fcoo.shape[fcoo.product_mode],):
+        raise TensorShapeError(
+            f"vector must have length {fcoo.shape[fcoo.product_mode]}"
+        )
+    out_shape = tuple(
+        s for m, s in enumerate(fcoo.shape) if m != fcoo.product_mode
+    )
+    if fcoo.nnz == 0:
+        return CooTensor.empty(out_shape)
+    contributions = fcoo.values.astype(np.float64) * vector[
+        fcoo.product_indices
+    ]
+    sums = segmented_sum(contributions, fcoo.bit_flags)
+    return CooTensor(
+        out_shape,
+        fcoo.start_indices,
+        sums.astype(VALUE_DTYPE),
+        validate=False,
+    )
+
+
+def ttm_fcoo(fcoo: FcooTensor, matrix: np.ndarray):
+    """F-COO TTM: segmented sum of ``value * U[i_n, :]`` rows.
+
+    Returns the semi-sparse output as an
+    :class:`~repro.formats.scoo.SemiSparseCooTensor`.
+    """
+    from .scoo import SemiSparseCooTensor
+
+    matrix = np.asarray(matrix, dtype=VALUE_DTYPE)
+    if matrix.ndim != 2 or matrix.shape[0] != fcoo.shape[fcoo.product_mode]:
+        raise TensorShapeError(
+            f"matrix must have {fcoo.shape[fcoo.product_mode]} rows"
+        )
+    rank = matrix.shape[1]
+    out_shape = list(fcoo.shape)
+    out_shape[fcoo.product_mode] = rank
+    if fcoo.nnz == 0:
+        return SemiSparseCooTensor(
+            out_shape,
+            [fcoo.product_mode],
+            np.empty((fcoo.order - 1, 0), dtype=INDEX_DTYPE),
+            np.empty((0, rank), dtype=VALUE_DTYPE),
+        )
+    rows = fcoo.values[:, None].astype(np.float64) * matrix[fcoo.product_indices]
+    sums = segmented_sum(rows, fcoo.bit_flags)
+    return SemiSparseCooTensor(
+        out_shape,
+        [fcoo.product_mode],
+        fcoo.start_indices,
+        sums.astype(VALUE_DTYPE),
+    )

@@ -1,0 +1,211 @@
+"""Generalized HiCOO (gHiCOO): block-compress only a subset of modes.
+
+gHiCOO (paper Section III-C, Figure 2(b)) generalizes HiCOO by letting the
+caller choose which modes are compressed into block/element index pairs and
+which stay as plain COO index arrays.  Two motivations from the paper:
+
+* hyper-sparse tensors, where most HiCOO blocks would hold one nonzero, can
+  keep their sparsest mode(s) in COO to avoid block-metadata blow-up; and
+* TTV/TTM leave the product mode uncompressed so the kernel can read the
+  product-mode coordinate directly and "bypass the blocking nature of
+  HiCOO", avoiding inter-block data races.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .hicoo import (
+    BPTR_DTYPE,
+    DEFAULT_BLOCK_SIZE,
+    ELEMENT_DTYPE,
+    _group_sorted_blocks,
+    check_block_size,
+)
+from .morton import morton_sort_order
+
+
+class GHicooTensor:
+    """A sparse tensor with HiCOO blocking on selected modes only.
+
+    Attributes
+    ----------
+    shape:
+        Dimension sizes for all modes.
+    compressed_modes:
+        Modes stored as block + element indices (sorted ascending).
+    uncompressed_modes:
+        Modes stored as full 32-bit COO index arrays.
+    bptr / binds / einds / values:
+        As in :class:`~repro.formats.hicoo.HicooTensor`, but ``binds`` and
+        ``einds`` cover only the compressed modes.  Blocks are defined by
+        the compressed-mode coordinates alone.
+    cinds:
+        ``(num_uncompressed, nnz)`` COO indices of the uncompressed modes.
+    """
+
+    __slots__ = (
+        "shape",
+        "block_size",
+        "compressed_modes",
+        "uncompressed_modes",
+        "bptr",
+        "binds",
+        "einds",
+        "cinds",
+        "values",
+    )
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_size: int,
+        compressed_modes: Sequence[int],
+        bptr: np.ndarray,
+        binds: np.ndarray,
+        einds: np.ndarray,
+        cinds: np.ndarray,
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.block_size = check_block_size(block_size)
+        order = len(self.shape)
+        self.compressed_modes: Tuple[int, ...] = tuple(sorted(compressed_modes))
+        self.uncompressed_modes: Tuple[int, ...] = tuple(
+            m for m in range(order) if m not in self.compressed_modes
+        )
+        self.bptr = np.ascontiguousarray(bptr, dtype=BPTR_DTYPE)
+        self.binds = np.ascontiguousarray(binds, dtype=INDEX_DTYPE)
+        self.einds = np.ascontiguousarray(einds, dtype=ELEMENT_DTYPE)
+        self.cinds = np.ascontiguousarray(cinds, dtype=INDEX_DTYPE)
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        order = len(self.shape)
+        if not self.compressed_modes:
+            raise ModeError("gHiCOO requires at least one compressed mode")
+        if any(m < 0 or m >= order for m in self.compressed_modes):
+            raise ModeError(
+                f"compressed modes {self.compressed_modes} out of range for order {order}"
+            )
+        nc = len(self.compressed_modes)
+        nu = len(self.uncompressed_modes)
+        if self.binds.ndim != 2 or self.binds.shape[0] != nc:
+            raise TensorShapeError(f"binds must have {nc} rows, got {self.binds.shape}")
+        if self.einds.ndim != 2 or self.einds.shape[0] != nc:
+            raise TensorShapeError(f"einds must have {nc} rows, got {self.einds.shape}")
+        nnz = self.einds.shape[1]
+        if self.cinds.shape != (nu, nnz):
+            raise TensorShapeError(
+                f"cinds must have shape ({nu}, {nnz}), got {self.cinds.shape}"
+            )
+        if self.values.shape != (nnz,):
+            raise TensorShapeError(f"values must have length {nnz}")
+        nb = self.binds.shape[1]
+        if self.bptr.shape != (nb + 1,):
+            raise TensorShapeError("bptr length must be num_blocks + 1")
+        if nb and (self.bptr[0] != 0 or self.bptr[-1] != nnz):
+            raise TensorShapeError("bptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.bptr) <= 0):
+            raise TensorShapeError("bptr must be strictly increasing")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes, compressed plus uncompressed."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of nonempty blocks over the compressed modes."""
+        return int(self.binds.shape[1])
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Nonzero count of each block."""
+        return np.diff(self.bptr)
+
+    def storage_bytes(self) -> int:
+        """Bytes across all index and value arrays."""
+        return (
+            self.bptr.nbytes
+            + self.binds.nbytes
+            + self.einds.nbytes
+            + self.cinds.nbytes
+            + self.values.nbytes
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: CooTensor,
+        compressed_modes: Sequence[int],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "GHicooTensor":
+        """Convert COO to gHiCOO compressing only the given modes."""
+        block_size = check_block_size(block_size)
+        comp = sorted({tensor.check_mode(m) for m in compressed_modes})
+        if not comp:
+            raise ModeError("must compress at least one mode")
+        uncomp = [m for m in range(tensor.order) if m not in comp]
+        idx = tensor.indices.astype(np.int64)
+        block_coords = idx[comp] // block_size
+        perm = morton_sort_order(block_coords)
+        idx = idx[:, perm]
+        block_coords = block_coords[:, perm]
+        values = tensor.values[perm]
+        starts, bptr = _group_sorted_blocks(block_coords)
+        binds = block_coords[:, starts].astype(INDEX_DTYPE)
+        einds = (idx[comp] % block_size).astype(ELEMENT_DTYPE)
+        cinds = idx[uncomp].astype(INDEX_DTYPE)
+        return cls(
+            tensor.shape, block_size, comp, bptr, binds, einds, cinds, values,
+            validate=False,
+        )
+
+    def to_coo(self) -> CooTensor:
+        """Expand back to COO."""
+        if self.nnz == 0:
+            return CooTensor.empty(self.shape)
+        counts = self.nnz_per_block()
+        expanded = np.repeat(self.binds, counts, axis=1).astype(np.int64)
+        full = np.empty((self.order, self.nnz), dtype=INDEX_DTYPE)
+        for row, mode in enumerate(self.compressed_modes):
+            full[mode] = (expanded[row] * self.block_size + self.einds[row]).astype(
+                INDEX_DTYPE
+            )
+        for row, mode in enumerate(self.uncompressed_modes):
+            full[mode] = self.cinds[row]
+        return CooTensor(self.shape, full, self.values, validate=False)
+
+    def uncompressed_index(self, mode: int) -> np.ndarray:
+        """The full COO index array of an uncompressed mode.
+
+        This is the fast path TTV/TTM rely on: the product mode is left
+        uncompressed so its coordinates are read directly here.
+        """
+        mode = mode % self.order if -self.order <= mode < self.order else mode
+        if mode not in self.uncompressed_modes:
+            raise ModeError(f"mode {mode} is compressed; its index is blocked")
+        return self.cinds[self.uncompressed_modes.index(mode)]
+
+    def __repr__(self) -> str:
+        return (
+            f"GHicooTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"blocks={self.num_blocks}, compressed={self.compressed_modes})"
+        )

@@ -1,0 +1,232 @@
+"""Hierarchical COOrdinate (HiCOO) format (Li et al., SC'18).
+
+HiCOO compresses COO indices in units of sparse blocks of a pre-specified
+block size ``B``: each nonzero stores only an 8-bit *element index* inside
+its block, while each block stores one 32-bit *block index* per mode plus
+an entry in the ``bptr`` block pointer array.  Nonzeros are laid out with
+blocks in Morton (Z-curve) order, which gives the format mode-generic
+locality — one representation serves computations in every mode.
+
+For an order-``N`` tensor with ``M`` nonzeros in ``n_b`` blocks, storage is
+``(N + 4) * M`` bytes for elements (``N`` one-byte element indices plus a
+4-byte value each) plus ``(4 * N + 8) * n_b + 8`` bytes of block metadata
+(``N`` 4-byte block indices and an 8-byte ``bptr`` entry per block).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FormatParameterError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .morton import morton_sort_order
+
+ELEMENT_DTYPE = np.uint8
+BPTR_DTYPE = np.int64
+
+#: Block size used throughout the paper's experiments (Section V-A2).
+DEFAULT_BLOCK_SIZE = 128
+
+#: Element indices are stored in 8 bits, so blocks cannot exceed 256.
+MAX_BLOCK_SIZE = 256
+
+
+def check_block_size(block_size: int) -> int:
+    """Validate a HiCOO block size (power of two, at most 256)."""
+    if block_size < 1 or block_size > MAX_BLOCK_SIZE:
+        raise FormatParameterError(
+            f"block size must be in [1, {MAX_BLOCK_SIZE}], got {block_size}"
+        )
+    if block_size & (block_size - 1):
+        raise FormatParameterError(f"block size must be a power of two, got {block_size}")
+    return block_size
+
+
+def _group_sorted_blocks(block_coords: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Given per-nonzero block coords already sorted so equal blocks are
+    contiguous, return ``(block_starts, bptr)``."""
+    nnz = block_coords.shape[1]
+    if nnz == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=BPTR_DTYPE)
+    boundary = np.any(block_coords[:, 1:] != block_coords[:, :-1], axis=0)
+    starts = np.flatnonzero(np.concatenate(([True], boundary)))
+    bptr = np.concatenate([starts, [nnz]]).astype(BPTR_DTYPE)
+    return starts, bptr
+
+
+class HicooTensor:
+    """An arbitrary-order sparse tensor in HiCOO format.
+
+    Attributes
+    ----------
+    shape:
+        Dimension sizes.
+    block_size:
+        Edge length ``B`` of the cubical index blocks.
+    bptr:
+        ``(num_blocks + 1,)`` nonzero offsets of each block.
+    binds:
+        ``(order, num_blocks)`` block indices (coordinates ``// B``).
+    einds:
+        ``(order, nnz)`` 8-bit element indices (coordinates ``% B``).
+    values:
+        ``(nnz,)`` nonzero values.
+    """
+
+    __slots__ = ("shape", "block_size", "bptr", "binds", "einds", "values")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_size: int,
+        bptr: np.ndarray,
+        binds: np.ndarray,
+        einds: np.ndarray,
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.block_size = check_block_size(block_size)
+        self.bptr = np.ascontiguousarray(bptr, dtype=BPTR_DTYPE)
+        self.binds = np.ascontiguousarray(binds, dtype=INDEX_DTYPE)
+        self.einds = np.ascontiguousarray(einds, dtype=ELEMENT_DTYPE)
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        order = len(self.shape)
+        if self.binds.ndim != 2 or self.binds.shape[0] != order:
+            raise TensorShapeError(
+                f"binds must have shape ({order}, num_blocks), got {self.binds.shape}"
+            )
+        if self.einds.ndim != 2 or self.einds.shape[0] != order:
+            raise TensorShapeError(
+                f"einds must have shape ({order}, nnz), got {self.einds.shape}"
+            )
+        nb = self.binds.shape[1]
+        nnz = self.einds.shape[1]
+        if self.bptr.shape != (nb + 1,):
+            raise TensorShapeError(
+                f"bptr must have length num_blocks + 1 = {nb + 1}, got {self.bptr.shape}"
+            )
+        if self.values.shape != (nnz,):
+            raise TensorShapeError(
+                f"values must have length {nnz}, got {self.values.shape}"
+            )
+        if nb and (self.bptr[0] != 0 or self.bptr[-1] != nnz):
+            raise TensorShapeError("bptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.bptr) <= 0):
+            raise TensorShapeError("bptr must be strictly increasing (no empty blocks)")
+        if nnz and self.einds.max() >= self.block_size:
+            raise TensorShapeError("element indices must be < block_size")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.einds.shape[1])
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of nonempty index blocks (``n_b`` in Table I)."""
+        return int(self.binds.shape[1])
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Nonzero count of each block, in storage order."""
+        return np.diff(self.bptr)
+
+    def average_block_occupancy(self) -> float:
+        """Mean nonzeros per block; the HiCOO paper's compression driver."""
+        if self.num_blocks == 0:
+            return 0.0
+        return self.nnz / self.num_blocks
+
+    def storage_bytes(self) -> int:
+        """Bytes across ``bptr``, ``binds``, ``einds`` and values."""
+        return (
+            self.bptr.nbytes + self.binds.nbytes + self.einds.nbytes + self.values.nbytes
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: CooTensor,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "HicooTensor":
+        """Convert a COO tensor to HiCOO with the given block size."""
+        block_size = check_block_size(block_size)
+        idx = tensor.indices.astype(np.int64)
+        block_coords = idx // block_size
+        perm = morton_sort_order(block_coords)
+        idx = idx[:, perm]
+        block_coords = block_coords[:, perm]
+        values = tensor.values[perm]
+        starts, bptr = _group_sorted_blocks(block_coords)
+        binds = block_coords[:, starts].astype(INDEX_DTYPE)
+        einds = (idx % block_size).astype(ELEMENT_DTYPE)
+        return cls(
+            tensor.shape, block_size, bptr, binds, einds, values, validate=False
+        )
+
+    def to_coo(self) -> CooTensor:
+        """Expand back to COO (nonzeros stay in HiCOO's Morton order)."""
+        counts = self.nnz_per_block()
+        if self.num_blocks == 0:
+            return CooTensor.empty(self.shape)
+        expanded_binds = np.repeat(self.binds, counts, axis=1).astype(np.int64)
+        indices = expanded_binds * self.block_size + self.einds
+        return CooTensor(
+            self.shape, indices.astype(INDEX_DTYPE), self.values, validate=False
+        )
+
+    def block_of_nonzero(self) -> np.ndarray:
+        """For each nonzero, the index of the block containing it."""
+        return np.repeat(
+            np.arange(self.num_blocks, dtype=np.int64), self.nnz_per_block()
+        )
+
+    def full_indices(self) -> np.ndarray:
+        """Reconstructed ``(order, nnz)`` element coordinates."""
+        return self.to_coo().indices
+
+    def compression_ratio(self) -> float:
+        """COO bytes divided by HiCOO bytes for this tensor (> 1 is a win)."""
+        coo_bytes = 4 * (self.order + 1) * self.nnz
+        own = self.storage_bytes()
+        return coo_bytes / own if own else float("inf")
+
+    def __repr__(self) -> str:
+        return (
+            f"HicooTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"blocks={self.num_blocks}, B={self.block_size})"
+        )
+
+
+def blocks_histogram(tensor: HicooTensor, bins: Optional[Sequence[int]] = None):
+    """Histogram of block occupancies, for compression/imbalance studies.
+
+    Returns ``(counts, edges)`` as :func:`numpy.histogram` does.  The
+    default bin edges separate near-empty blocks (1, 2-3, 4-7, ...) in
+    powers of two up to the block capacity.
+    """
+    occupancy = tensor.nnz_per_block()
+    if bins is None:
+        capacity = tensor.block_size ** tensor.order
+        edges = [1]
+        while edges[-1] < min(capacity, 2**20):
+            edges.append(edges[-1] * 2)
+        edges.append(max(capacity, edges[-1]) + 1)
+        bins = edges
+    return np.histogram(occupancy, bins=np.asarray(bins))

@@ -1,0 +1,184 @@
+"""Semi-sparse COO (sCOO) for tensors with dense mode(s).
+
+A mode is *dense* when every fiber along it is a dense vector.  sCOO
+(paper Figure 1(b), after Li et al. IA^3'16) stores the dense mode(s) as a
+dense value block per remaining sparse coordinate and keeps COO index
+arrays only for the sparse modes.  The output of TTM is exactly such a
+tensor: the product mode becomes a dense mode of length ``R``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+
+class SemiSparseCooTensor:
+    """A tensor with some modes sparse (COO indices) and some dense.
+
+    Parameters
+    ----------
+    shape:
+        Full dimension sizes, covering sparse and dense modes.
+    dense_modes:
+        Modes stored densely.  Must be nonempty and within range.
+    indices:
+        ``(num_sparse_modes, nnz)`` coordinates for the sparse modes, in
+        increasing mode number.
+    values:
+        ``(nnz, *dense_shape)`` dense value block per sparse coordinate,
+        where ``dense_shape`` lists the dense mode sizes in increasing
+        mode number.
+    """
+
+    __slots__ = ("shape", "dense_modes", "sparse_modes", "indices", "values")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dense_modes: Sequence[int],
+        indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        order = len(self.shape)
+        normalized = sorted({m % order if -order <= m < order else m for m in dense_modes})
+        self.dense_modes: Tuple[int, ...] = tuple(normalized)
+        self.sparse_modes: Tuple[int, ...] = tuple(
+            m for m in range(order) if m not in self.dense_modes
+        )
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        order = len(self.shape)
+        if not self.dense_modes:
+            raise ModeError("sCOO requires at least one dense mode")
+        if any(m < 0 or m >= order for m in self.dense_modes):
+            raise ModeError(f"dense modes {self.dense_modes} out of range for order {order}")
+        if not self.sparse_modes:
+            raise ModeError("sCOO requires at least one sparse mode")
+        if self.indices.ndim != 2 or self.indices.shape[0] != len(self.sparse_modes):
+            raise TensorShapeError(
+                f"indices must have shape ({len(self.sparse_modes)}, nnz), "
+                f"got {self.indices.shape}"
+            )
+        expected_dense = tuple(self.shape[m] for m in self.dense_modes)
+        if self.values.shape != (self.indices.shape[1],) + expected_dense:
+            raise TensorShapeError(
+                f"values must have shape (nnz, *{expected_dense}), got {self.values.shape}"
+            )
+        for row, mode in enumerate(self.sparse_modes):
+            column = self.indices[row]
+            if column.size and (column.min() < 0 or column.max() >= self.shape[mode]):
+                raise TensorShapeError(f"mode-{mode} indices out of range")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes, counting sparse and dense."""
+        return len(self.shape)
+
+    @property
+    def nnz_fibers(self) -> int:
+        """Number of stored sparse coordinates (dense fibers)."""
+        return int(self.indices.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored scalar values (fibers times dense block size)."""
+        return int(self.values.size)
+
+    def dense_block_size(self) -> int:
+        """Product of the dense mode sizes."""
+        size = 1
+        for m in self.dense_modes:
+            size *= self.shape[m]
+        return size
+
+    def storage_bytes(self) -> int:
+        """Bytes of index plus value storage."""
+        return self.indices.nbytes + self.values.nbytes
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, tensor: CooTensor, dense_modes: Sequence[int]
+    ) -> "SemiSparseCooTensor":
+        """Densify the given modes of a COO tensor.
+
+        Every distinct combination of sparse-mode coordinates becomes one
+        dense block; missing positions inside a block are zero-filled.
+        """
+        order = tensor.order
+        dense = sorted({tensor.check_mode(m) for m in dense_modes})
+        sparse = [m for m in range(order) if m not in dense]
+        if not sparse:
+            raise ModeError("at least one mode must stay sparse")
+        ordered = tensor.sorted_lexicographic(sparse + dense)
+        if ordered.nnz == 0:
+            dense_shape = tuple(tensor.shape[m] for m in dense)
+            return cls(
+                tensor.shape,
+                dense,
+                np.empty((len(sparse), 0), dtype=INDEX_DTYPE),
+                np.empty((0,) + dense_shape, dtype=VALUE_DTYPE),
+            )
+        sparse_idx = ordered.indices[sparse]
+        boundary = np.any(sparse_idx[:, 1:] != sparse_idx[:, :-1], axis=0)
+        starts = np.flatnonzero(np.concatenate(([True], boundary)))
+        fiber_of_nnz = np.cumsum(np.concatenate(([False], boundary)))
+        dense_shape = tuple(tensor.shape[m] for m in dense)
+        values = np.zeros((len(starts),) + dense_shape, dtype=VALUE_DTYPE)
+        dense_coords = tuple(ordered.indices[m] for m in dense)
+        np.add.at(values, (fiber_of_nnz,) + dense_coords, ordered.values)
+        return cls(tensor.shape, dense, sparse_idx[:, starts], values)
+
+    def to_coo(self, *, drop_zeros: bool = True) -> CooTensor:
+        """Expand to plain COO (optionally keeping explicit zeros)."""
+        nnz = self.nnz_fibers
+        block = self.dense_block_size()
+        if nnz == 0:
+            return CooTensor.empty(self.shape)
+        dense_shape = tuple(self.shape[m] for m in self.dense_modes)
+        dense_grid = np.indices(dense_shape).reshape(len(self.dense_modes), -1)
+        order = self.order
+        full = np.empty((order, nnz * block), dtype=INDEX_DTYPE)
+        for row, mode in enumerate(self.sparse_modes):
+            full[mode] = np.repeat(self.indices[row], block)
+        for row, mode in enumerate(self.dense_modes):
+            full[mode] = np.tile(dense_grid[row], nnz).astype(INDEX_DTYPE)
+        values = self.values.reshape(-1)
+        if drop_zeros:
+            keep = values != 0
+            full = full[:, keep]
+            values = values[keep]
+        return CooTensor(self.shape, full, values, validate=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy array."""
+        return self.to_coo(drop_zeros=False).to_dense()
+
+    def allclose(
+        self, other: "SemiSparseCooTensor", *, rtol: float = 1e-5, atol: float = 1e-6
+    ) -> bool:
+        """Numeric equality via dense materialization."""
+        if self.shape != other.shape:
+            return False
+        return bool(np.allclose(self.to_dense(), other.to_dense(), rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:
+        return (
+            f"SemiSparseCooTensor(shape={self.shape}, dense_modes={self.dense_modes}, "
+            f"fibers={self.nnz_fibers})"
+        )

@@ -1,0 +1,196 @@
+"""Semi-sparse HiCOO (sHiCOO) for tensors with dense mode(s).
+
+sHiCOO (paper Section III-C, Figure 2(c)) is HiCOO's counterpart to sCOO:
+the sparse modes are block-compressed into ``bptr`` / ``binds`` / ``einds``
+while the dense mode(s) are stored as a dense value block per sparse
+coordinate.  HiCOO-TTM emits its semi-sparse output in this format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .hicoo import (
+    BPTR_DTYPE,
+    DEFAULT_BLOCK_SIZE,
+    ELEMENT_DTYPE,
+    _group_sorted_blocks,
+    check_block_size,
+)
+from .morton import morton_sort_order
+from .scoo import SemiSparseCooTensor
+
+
+class SHicooTensor:
+    """A semi-sparse tensor: HiCOO-blocked sparse modes plus dense modes.
+
+    Attributes mirror :class:`~repro.formats.hicoo.HicooTensor` over the
+    *sparse* modes, with ``values`` of shape ``(nnz_fibers, *dense_shape)``
+    (the dense mode sizes in increasing mode number).
+    """
+
+    __slots__ = (
+        "shape",
+        "block_size",
+        "dense_modes",
+        "sparse_modes",
+        "bptr",
+        "binds",
+        "einds",
+        "values",
+    )
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_size: int,
+        dense_modes: Sequence[int],
+        bptr: np.ndarray,
+        binds: np.ndarray,
+        einds: np.ndarray,
+        values: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.block_size = check_block_size(block_size)
+        order = len(self.shape)
+        self.dense_modes: Tuple[int, ...] = tuple(sorted(m % order for m in dense_modes))
+        self.sparse_modes: Tuple[int, ...] = tuple(
+            m for m in range(order) if m not in self.dense_modes
+        )
+        self.bptr = np.ascontiguousarray(bptr, dtype=BPTR_DTYPE)
+        self.binds = np.ascontiguousarray(binds, dtype=INDEX_DTYPE)
+        self.einds = np.ascontiguousarray(einds, dtype=ELEMENT_DTYPE)
+        self.values = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if not self.dense_modes:
+            raise ModeError("sHiCOO requires at least one dense mode")
+        if not self.sparse_modes:
+            raise ModeError("sHiCOO requires at least one sparse mode")
+        ns = len(self.sparse_modes)
+        if self.binds.ndim != 2 or self.binds.shape[0] != ns:
+            raise TensorShapeError(f"binds must have {ns} rows, got {self.binds.shape}")
+        if self.einds.ndim != 2 or self.einds.shape[0] != ns:
+            raise TensorShapeError(f"einds must have {ns} rows, got {self.einds.shape}")
+        nnz = self.einds.shape[1]
+        dense_shape = tuple(self.shape[m] for m in self.dense_modes)
+        if self.values.shape != (nnz,) + dense_shape:
+            raise TensorShapeError(
+                f"values must have shape ({nnz}, *{dense_shape}), got {self.values.shape}"
+            )
+        nb = self.binds.shape[1]
+        if self.bptr.shape != (nb + 1,):
+            raise TensorShapeError("bptr length must be num_blocks + 1")
+        if nb and (self.bptr[0] != 0 or self.bptr[-1] != nnz):
+            raise TensorShapeError("bptr must start at 0 and end at nnz_fibers")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes, sparse plus dense."""
+        return len(self.shape)
+
+    @property
+    def nnz_fibers(self) -> int:
+        """Number of stored sparse coordinates (dense fibers)."""
+        return int(self.einds.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored scalar values."""
+        return int(self.values.size)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of nonempty blocks over the sparse modes."""
+        return int(self.binds.shape[1])
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Fiber count of each block."""
+        return np.diff(self.bptr)
+
+    def storage_bytes(self) -> int:
+        """Bytes across all index and value arrays."""
+        return (
+            self.bptr.nbytes + self.binds.nbytes + self.einds.nbytes + self.values.nbytes
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_scoo(
+        cls, tensor: SemiSparseCooTensor, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> "SHicooTensor":
+        """Block-compress the sparse modes of an sCOO tensor."""
+        block_size = check_block_size(block_size)
+        idx = tensor.indices.astype(np.int64)
+        block_coords = idx // block_size
+        perm = morton_sort_order(block_coords)
+        idx = idx[:, perm]
+        block_coords = block_coords[:, perm]
+        values = tensor.values[perm]
+        starts, bptr = _group_sorted_blocks(block_coords)
+        binds = block_coords[:, starts].astype(INDEX_DTYPE)
+        einds = (idx % block_size).astype(ELEMENT_DTYPE)
+        return cls(
+            tensor.shape,
+            block_size,
+            tensor.dense_modes,
+            bptr,
+            binds,
+            einds,
+            values,
+            validate=False,
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: CooTensor,
+        dense_modes: Sequence[int],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "SHicooTensor":
+        """Densify the given modes of a COO tensor, blocking the rest."""
+        return cls.from_scoo(
+            SemiSparseCooTensor.from_coo(tensor, dense_modes), block_size
+        )
+
+    def to_scoo(self) -> SemiSparseCooTensor:
+        """Expand the blocked sparse modes back to plain sCOO."""
+        counts = self.nnz_per_block()
+        if self.num_blocks == 0:
+            dense_shape = tuple(self.shape[m] for m in self.dense_modes)
+            return SemiSparseCooTensor(
+                self.shape,
+                self.dense_modes,
+                np.empty((len(self.sparse_modes), 0), dtype=INDEX_DTYPE),
+                np.empty((0,) + dense_shape, dtype=VALUE_DTYPE),
+            )
+        expanded = np.repeat(self.binds, counts, axis=1).astype(np.int64)
+        indices = (expanded * self.block_size + self.einds).astype(INDEX_DTYPE)
+        return SemiSparseCooTensor(
+            self.shape, self.dense_modes, indices, self.values, validate=False
+        )
+
+    def to_coo(self, *, drop_zeros: bool = True) -> CooTensor:
+        """Expand to plain COO."""
+        return self.to_scoo().to_coo(drop_zeros=drop_zeros)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy array."""
+        return self.to_scoo().to_dense()
+
+    def __repr__(self) -> str:
+        return (
+            f"SHicooTensor(shape={self.shape}, dense_modes={self.dense_modes}, "
+            f"fibers={self.nnz_fibers}, blocks={self.num_blocks})"
+        )

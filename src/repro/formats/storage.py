@@ -1,0 +1,97 @@
+"""Analytic storage accounting for the suite's tensor formats.
+
+These formulas restate the paper's storage math so tests can pin the byte
+counts of real arrays against the closed-form expressions:
+
+* COO: ``4 * (N + 1) * M`` — ``N`` 32-bit index arrays plus 32-bit values.
+* HiCOO: ``(N + 4) * M`` element bytes plus ``(4N + 8) * n_b + 8`` block
+  metadata bytes (Table I's ``20 * n_b`` term for ``N = 3``).
+* sCOO: sparse-mode indices plus one dense value block per fiber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .coo import CooTensor
+from .ghicoo import GHicooTensor
+from .hicoo import HicooTensor
+from .scoo import SemiSparseCooTensor
+from .shicoo import SHicooTensor
+
+AnyTensor = Union[CooTensor, SemiSparseCooTensor, HicooTensor, GHicooTensor, SHicooTensor]
+
+INDEX_BYTES = 4
+VALUE_BYTES = 4
+ELEMENT_INDEX_BYTES = 1
+BPTR_BYTES = 8
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Bytes per structural component of a stored tensor."""
+
+    index_bytes: int
+    value_bytes: int
+    metadata_bytes: int
+
+    @property
+    def total(self) -> int:
+        """All bytes of the representation."""
+        return self.index_bytes + self.value_bytes + self.metadata_bytes
+
+
+def coo_storage_bytes(order: int, nnz: int) -> int:
+    """Closed-form COO bytes: ``4 * (order + 1) * nnz``."""
+    return INDEX_BYTES * (order + 1) * nnz
+
+
+def hicoo_storage_bytes(order: int, nnz: int, num_blocks: int) -> int:
+    """Closed-form HiCOO bytes for ``nnz`` nonzeros in ``num_blocks`` blocks."""
+    element_bytes = (ELEMENT_INDEX_BYTES * order + VALUE_BYTES) * nnz
+    block_bytes = (INDEX_BYTES * order + BPTR_BYTES) * num_blocks + BPTR_BYTES
+    return element_bytes + block_bytes
+
+
+def ghicoo_storage_bytes(
+    num_compressed: int, num_uncompressed: int, nnz: int, num_blocks: int
+) -> int:
+    """Closed-form gHiCOO bytes: blocked modes plus raw COO modes."""
+    element_bytes = (
+        ELEMENT_INDEX_BYTES * num_compressed + INDEX_BYTES * num_uncompressed + VALUE_BYTES
+    ) * nnz
+    block_bytes = (INDEX_BYTES * num_compressed + BPTR_BYTES) * num_blocks + BPTR_BYTES
+    return element_bytes + block_bytes
+
+
+def breakdown(tensor: AnyTensor) -> StorageBreakdown:
+    """Split a tensor's storage into index, value, and metadata bytes."""
+    if isinstance(tensor, CooTensor):
+        return StorageBreakdown(tensor.indices.nbytes, tensor.values.nbytes, 0)
+    if isinstance(tensor, SemiSparseCooTensor):
+        return StorageBreakdown(tensor.indices.nbytes, tensor.values.nbytes, 0)
+    if isinstance(tensor, HicooTensor):
+        return StorageBreakdown(
+            tensor.einds.nbytes,
+            tensor.values.nbytes,
+            tensor.binds.nbytes + tensor.bptr.nbytes,
+        )
+    if isinstance(tensor, GHicooTensor):
+        return StorageBreakdown(
+            tensor.einds.nbytes + tensor.cinds.nbytes,
+            tensor.values.nbytes,
+            tensor.binds.nbytes + tensor.bptr.nbytes,
+        )
+    if isinstance(tensor, SHicooTensor):
+        return StorageBreakdown(
+            tensor.einds.nbytes,
+            tensor.values.nbytes,
+            tensor.binds.nbytes + tensor.bptr.nbytes,
+        )
+    raise TypeError(f"unsupported tensor type: {type(tensor).__name__}")
+
+
+def storage_bytes(tensor: AnyTensor) -> int:
+    """Total bytes of any supported tensor representation."""
+    return breakdown(tensor).total

@@ -1,0 +1,45 @@
+"""Synthetic tensor generators: stochastic Kronecker and biased power law."""
+
+from .graphs import (
+    degree_powerlaw_pvalue_proxy,
+    generator_profile,
+    mode_pair_edges,
+    sampled_clustering_coefficient,
+    sampled_effective_diameter,
+)
+from .kronecker import (
+    default_initiator,
+    expected_cell_probabilities,
+    kronecker_levels_for_shape,
+    kronecker_tensor,
+    sample_kronecker_coordinates,
+)
+from .powerlaw import (
+    DEFAULT_ALPHA,
+    degree_tail_ratio,
+    lift_tensor,
+    mode_degree_distribution,
+    powerlaw_edge_stream,
+    powerlaw_indices,
+    powerlaw_tensor,
+)
+
+__all__ = [
+    "kronecker_tensor",
+    "default_initiator",
+    "sample_kronecker_coordinates",
+    "expected_cell_probabilities",
+    "kronecker_levels_for_shape",
+    "powerlaw_tensor",
+    "powerlaw_indices",
+    "powerlaw_edge_stream",
+    "lift_tensor",
+    "mode_degree_distribution",
+    "degree_tail_ratio",
+    "DEFAULT_ALPHA",
+    "generator_profile",
+    "mode_pair_edges",
+    "sampled_clustering_coefficient",
+    "sampled_effective_diameter",
+    "degree_powerlaw_pvalue_proxy",
+]

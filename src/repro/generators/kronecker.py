@@ -1,0 +1,177 @@
+"""Stochastic Kronecker tensor generator (paper Section IV-B1).
+
+Extends the stochastic Kronecker graph model (Leskovec et al.) to order-N
+tensors: an N-mode *initiator* tensor of cell probabilities is Kronecker-
+multiplied with itself ``levels`` times, and nonzeros are Bernoulli
+samples of the resulting probability tensor.  Sampling never materializes
+the product — each nonzero descends the recursion, choosing one initiator
+cell per level with probability proportional to the initiator values and
+accumulating digits of its coordinates (the Graph500 R-MAT scheme,
+generalized to N modes).
+
+The paper's trick for arbitrary dimension sizes is also implemented: run
+one extra Kronecker level and strip coordinates falling outside the
+requested shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TensorShapeError
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+
+def default_initiator(order: int) -> np.ndarray:
+    """The canonical skewed 2-per-mode initiator.
+
+    Generalizes the Graph500 R-MAT parameters (a=0.57, b=c=0.19, d=0.05)
+    to order ``N``: cell probability decays geometrically with the number
+    of '1' digits in the cell's coordinates, normalized to sum to 1.
+    """
+    if order < 1:
+        raise TensorShapeError(f"order must be >= 1, got {order}")
+    high, low = 0.7, 0.3
+    cells = np.ones((2,) * order, dtype=np.float64)
+    for axis in range(order):
+        shape = [1] * order
+        shape[axis] = 2
+        cells = cells * np.array([high, low]).reshape(shape)
+    return cells / cells.sum()
+
+
+def _check_initiator(initiator: np.ndarray) -> np.ndarray:
+    initiator = np.asarray(initiator, dtype=np.float64)
+    if initiator.ndim < 1:
+        raise TensorShapeError("initiator must be a tensor")
+    if np.any(initiator < 0):
+        raise TensorShapeError("initiator probabilities must be non-negative")
+    total = initiator.sum()
+    if total <= 0:
+        raise TensorShapeError("initiator must have positive mass")
+    return initiator / total
+
+
+def sample_kronecker_coordinates(
+    initiator: np.ndarray,
+    levels: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``count`` coordinates from the ``levels``-fold Kronecker power.
+
+    Returns an ``(order, count)`` int64 array.  Coordinates follow the
+    exact cell probabilities of the Kronecker product of ``initiator``
+    with itself ``levels`` times.
+    """
+    initiator = _check_initiator(initiator)
+    order = initiator.ndim
+    base = np.asarray(initiator.shape, dtype=np.int64)
+    flat_probs = initiator.reshape(-1)
+    coords = np.zeros((order, count), dtype=np.int64)
+    for _ in range(levels):
+        cells = rng.choice(flat_probs.size, size=count, p=flat_probs)
+        digits = np.asarray(np.unravel_index(cells, initiator.shape), dtype=np.int64)
+        coords = coords * base[:, None] + digits
+    return coords
+
+
+def kronecker_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    initiator: Optional[np.ndarray] = None,
+    seed: Optional[int] = None,
+    max_attempts: int = 64,
+) -> CooTensor:
+    """Generate a sparse tensor from the stochastic Kronecker model.
+
+    Parameters
+    ----------
+    shape:
+        Requested dimension sizes.  When a size is not a power of the
+        initiator's edge length, an extra Kronecker level is run and
+        out-of-range coordinates are stripped (paper Section IV-B1).
+    nnz:
+        Number of distinct nonzeros to produce.
+    initiator:
+        N-mode probability tensor; defaults to the skewed R-MAT-style
+        initiator of matching order.
+    seed:
+        Random seed for reproducibility.
+    """
+    shape = tuple(int(s) for s in shape)
+    order = len(shape)
+    if initiator is None:
+        initiator = default_initiator(order)
+    initiator = _check_initiator(initiator)
+    if initiator.ndim != order:
+        raise TensorShapeError(
+            f"initiator order {initiator.ndim} != tensor order {order}"
+        )
+    capacity = 1
+    for s in shape:
+        capacity *= s
+    if nnz > capacity:
+        raise TensorShapeError(f"cannot fit {nnz} nonzeros into shape {shape}")
+    rng = np.random.default_rng(seed)
+    # Levels so that every mode covers its dimension (plus the extra
+    # iteration when sizes are not exact powers).
+    levels = max(
+        int(math.ceil(math.log(size, edge))) if size > 1 else 1
+        for size, edge in zip(shape, initiator.shape)
+    )
+    unique: np.ndarray = np.empty((order, 0), dtype=np.int64)
+    for _ in range(max_attempts):
+        need = nnz - unique.shape[1]
+        if need <= 0:
+            break
+        batch = sample_kronecker_coordinates(
+            initiator, levels, max(2 * need, 1024), rng
+        )
+        in_range = np.ones(batch.shape[1], dtype=bool)
+        for mode, size in enumerate(shape):
+            in_range &= batch[mode] < size
+        batch = batch[:, in_range]
+        combined = np.concatenate([unique, batch], axis=1)
+        unique = np.unique(combined, axis=1)
+    if unique.shape[1] < nnz:
+        raise TensorShapeError(
+            f"could not sample {nnz} distinct coordinates in shape {shape}; "
+            f"got {unique.shape[1]} after {max_attempts} attempts"
+        )
+    keep = rng.permutation(unique.shape[1])[:nnz]
+    indices = unique[:, keep].astype(INDEX_DTYPE)
+    values = rng.uniform(0.5, 1.5, size=nnz).astype(VALUE_DTYPE)
+    return CooTensor(shape, indices, values).sorted_lexicographic()
+
+
+def expected_cell_probabilities(
+    initiator: np.ndarray, levels: int
+) -> np.ndarray:
+    """Dense probability tensor of the ``levels``-fold Kronecker power.
+
+    Exponential in ``levels`` — only for validating the sampler on tiny
+    instances (tests compare the sampler's empirical distribution to
+    this exact product).
+    """
+    from ..core.reference import dense_kronecker
+
+    initiator = _check_initiator(initiator)
+    result = initiator
+    for _ in range(levels - 1):
+        result = dense_kronecker(result, initiator)
+    return result
+
+
+def kronecker_levels_for_shape(
+    shape: Sequence[int], initiator_shape: Tuple[int, ...]
+) -> int:
+    """Kronecker levels needed to cover ``shape`` (with the strip trick)."""
+    return max(
+        int(math.ceil(math.log(size, edge))) if size > 1 else 1
+        for size, edge in zip(shape, initiator_shape)
+    )

@@ -1,0 +1,5 @@
+"""Tensor file I/O (FROSTT ``.tns`` coordinate text format)."""
+
+from .frostt import dumps_tns, loads_tns, read_tns, roundtrip_equal, write_tns
+
+__all__ = ["read_tns", "write_tns", "dumps_tns", "loads_tns", "roundtrip_equal"]

@@ -1,0 +1,120 @@
+"""FROSTT ``.tns`` text format I/O.
+
+The Formidable Repository of Open Sparse Tensors and Tools stores sparse
+tensors as whitespace-separated text: one nonzero per line, ``order``
+1-based indices followed by the value.  Comment lines start with ``#``.
+This is the interchange format the paper's suite consumes ("any set of
+tensors provided that they are expressed using coordinate format").
+FROSTT ships its downloads gzipped; paths ending in ``.gz`` are read and
+written through gzip transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Optional, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from ..errors import TensorShapeError
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        if str(source).endswith(".gz"):
+            return gzip.open(source, "rt", encoding="utf-8"), True
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        if str(target).endswith(".gz"):
+            return gzip.open(target, "wt", encoding="utf-8"), True
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def read_tns(
+    source: PathOrFile, shape: Optional[Sequence[int]] = None
+) -> CooTensor:
+    """Read a FROSTT ``.tns`` file into a COO tensor.
+
+    Indices in the file are 1-based and converted to 0-based.  When
+    ``shape`` is omitted, each dimension is the maximum index observed in
+    that mode.
+    """
+    handle, owns = _open_for_read(source)
+    try:
+        rows = []
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise TensorShapeError(
+                    f"line {lineno}: need at least one index and a value"
+                )
+            rows.append(parts)
+    finally:
+        if owns:
+            handle.close()
+    if not rows:
+        if shape is None:
+            raise TensorShapeError("empty .tns input and no shape given")
+        return CooTensor.empty(shape)
+    order = len(rows[0]) - 1
+    for lineno, parts in enumerate(rows, start=1):
+        if len(parts) != order + 1:
+            raise TensorShapeError(
+                f"inconsistent column count at data row {lineno}: "
+                f"expected {order + 1}, got {len(parts)}"
+            )
+    data = np.array(rows, dtype=np.float64)
+    indices = data[:, :order].astype(np.int64).T - 1
+    values = data[:, order].astype(VALUE_DTYPE)
+    if np.any(indices < 0):
+        raise TensorShapeError(".tns indices must be 1-based positive integers")
+    if shape is None:
+        shape = tuple(int(indices[m].max()) + 1 for m in range(order))
+    return CooTensor(shape, indices.astype(INDEX_DTYPE), values)
+
+
+def write_tns(tensor: CooTensor, target: PathOrFile, *, header: bool = True) -> None:
+    """Write a COO tensor as FROSTT ``.tns`` text (1-based indices)."""
+    handle, owns = _open_for_write(target)
+    try:
+        if header:
+            dims = " ".join(str(s) for s in tensor.shape)
+            handle.write(f"# order={tensor.order} dims={dims} nnz={tensor.nnz}\n")
+        indices = tensor.indices.astype(np.int64) + 1
+        for x in range(tensor.nnz):
+            coords = " ".join(str(indices[m, x]) for m in range(tensor.order))
+            handle.write(f"{coords} {tensor.values[x]:.9g}\n")
+    finally:
+        if owns:
+            handle.close()
+
+
+def dumps_tns(tensor: CooTensor, *, header: bool = True) -> str:
+    """Serialize a COO tensor to a ``.tns`` string."""
+    buffer = io.StringIO()
+    write_tns(tensor, buffer, header=header)
+    return buffer.getvalue()
+
+
+def loads_tns(text: str, shape: Optional[Sequence[int]] = None) -> CooTensor:
+    """Parse a ``.tns`` string into a COO tensor."""
+    return read_tns(io.StringIO(text), shape)
+
+
+def roundtrip_equal(tensor: CooTensor) -> Tuple[bool, CooTensor]:
+    """Serialize then parse; returns (values survived, parsed tensor)."""
+    parsed = loads_tns(dumps_tns(tensor), tensor.shape)
+    return tensor.allclose(parsed), parsed

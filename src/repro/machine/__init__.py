@@ -1,0 +1,71 @@
+"""Execution models: lower kernel schedules to per-platform runtimes.
+
+:func:`execution_model` picks the CPU or GPU model for a Table III
+platform; :func:`predict` is the one-call path from a schedule to an
+:class:`ExecutionEstimate`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.schedule import KernelSchedule
+from ..platforms.specs import PlatformSpec, get_platform
+from .cpu import CpuExecutionModel
+from .gpu import GpuExecutionModel
+from .distributed import DistributedEstimate, DistributedExecutionModel
+from .memory import MemoryModel
+from .multigpu import (
+    DGX_GPU_COUNT,
+    MultiGpuEstimate,
+    MultiGpuExecutionModel,
+    shard_schedule,
+)
+from .params import (
+    DEFAULT_CPU_PARAMS,
+    DEFAULT_GPU_PARAMS,
+    CpuParams,
+    GpuParams,
+    obtainable_dram_bandwidth_gbs,
+    obtainable_llc_bandwidth_gbs,
+)
+from .result import ExecutionEstimate
+
+AnyExecutionModel = Union[CpuExecutionModel, GpuExecutionModel]
+
+
+def execution_model(platform: Union[str, PlatformSpec]) -> AnyExecutionModel:
+    """Build the right execution model for a platform name or spec."""
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    if spec.is_gpu:
+        return GpuExecutionModel(spec)
+    return CpuExecutionModel(spec)
+
+
+def predict(
+    platform: Union[str, PlatformSpec], schedule: KernelSchedule
+) -> ExecutionEstimate:
+    """Predict one kernel's runtime on one platform."""
+    return execution_model(platform).predict(schedule)
+
+
+__all__ = [
+    "CpuExecutionModel",
+    "GpuExecutionModel",
+    "MemoryModel",
+    "MultiGpuExecutionModel",
+    "MultiGpuEstimate",
+    "DGX_GPU_COUNT",
+    "shard_schedule",
+    "DistributedExecutionModel",
+    "DistributedEstimate",
+    "ExecutionEstimate",
+    "CpuParams",
+    "GpuParams",
+    "DEFAULT_CPU_PARAMS",
+    "DEFAULT_GPU_PARAMS",
+    "obtainable_dram_bandwidth_gbs",
+    "obtainable_llc_bandwidth_gbs",
+    "execution_model",
+    "predict",
+]

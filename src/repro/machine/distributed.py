@@ -1,0 +1,143 @@
+"""Distributed-memory execution model (paper future work: "distributed
+systems").
+
+Models data-parallel execution of one kernel across ``num_nodes``
+machines of a homogeneous cluster, each node being one Table III
+platform lowered by its own single-node model.  The communication story
+mirrors :mod:`repro.machine.multigpu` but over a cluster interconnect
+(InfiniBand-class by default, an order of magnitude slower than NVLink):
+
+* dense operands are broadcast once per kernel;
+* kernels with atomic output updates (MTTKRP) all-reduce per-node
+  partial outputs.
+
+The model's purpose is the qualitative shape a distributed port of the
+suite would show: streaming kernels keep scaling across nodes while the
+non-streaming kernels hit the interconnect wall much earlier than on
+NVLink — the classic reason distributed sparse tensor decompositions
+partition by output rows instead of nonzeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..core.schedule import KernelSchedule
+from ..errors import PlatformError
+from ..platforms.specs import PlatformSpec, get_platform
+from .cpu import CpuExecutionModel
+from .gpu import GpuExecutionModel
+from .multigpu import shard_schedule
+
+#: EDR InfiniBand-class effective bandwidth per node (GB/s).
+DEFAULT_NETWORK_GBS = 12.0
+
+#: Per-message latency; dominates tiny exchanges.
+DEFAULT_NETWORK_LATENCY_S = 2.0e-6
+
+MAX_NODES = 1024
+
+
+@dataclass(frozen=True)
+class DistributedEstimate:
+    """Estimate for a multi-node run."""
+
+    platform: str
+    algorithm: str
+    num_nodes: int
+    seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    flops: int
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved GFLOPS."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Compute share of the total time (1 = no communication cost)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.compute_seconds / self.seconds
+
+
+class DistributedExecutionModel:
+    """Predicts kernel runtimes across a homogeneous cluster."""
+
+    def __init__(
+        self,
+        platform: Union[str, PlatformSpec],
+        num_nodes: int,
+        *,
+        network_gbs: float = DEFAULT_NETWORK_GBS,
+        network_latency_s: float = DEFAULT_NETWORK_LATENCY_S,
+    ) -> None:
+        spec = get_platform(platform) if isinstance(platform, str) else platform
+        if not 1 <= num_nodes <= MAX_NODES:
+            raise PlatformError(
+                f"num_nodes must be in [1, {MAX_NODES}], got {num_nodes}"
+            )
+        if network_gbs <= 0:
+            raise PlatformError("network bandwidth must be positive")
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.network_gbs = network_gbs
+        self.network_latency_s = network_latency_s
+        self.node_model = (
+            GpuExecutionModel(spec) if spec.is_gpu else CpuExecutionModel(spec)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _communication_seconds(self, schedule: KernelSchedule) -> float:
+        if self.num_nodes == 1:
+            return 0.0
+        hops = (self.num_nodes - 1) / self.num_nodes
+        bytes_moved = schedule.random_operand_bytes * hops
+        if schedule.atomic_updates:
+            output_bytes = schedule.random_operand_bytes / 3.0
+            bytes_moved += 2.0 * output_bytes * hops
+        transfer = bytes_moved / (self.network_gbs * 1e9)
+        # Ring steps: 2 (p - 1) messages worth of latency.
+        latency = 2.0 * (self.num_nodes - 1) * self.network_latency_s
+        return transfer + latency
+
+    def predict(self, schedule: KernelSchedule) -> DistributedEstimate:
+        """Lower a schedule to a multi-node runtime estimate."""
+        shard_seconds: List[float] = []
+        for shard in range(self.num_nodes):
+            shard_sched = shard_schedule(schedule, self.num_nodes, shard)
+            shard_seconds.append(self.node_model.predict(shard_sched).seconds)
+        compute = max(shard_seconds) if shard_seconds else 0.0
+        communication = self._communication_seconds(schedule)
+        return DistributedEstimate(
+            platform=f"{self.spec.name} x{self.num_nodes} nodes",
+            algorithm=(
+                f"{schedule.tensor_format}-{schedule.kernel}-DIST"
+                f"x{self.num_nodes}"
+            ),
+            num_nodes=self.num_nodes,
+            seconds=compute + communication,
+            compute_seconds=compute,
+            communication_seconds=communication,
+            flops=schedule.flops,
+        )
+
+    def scaling_curve(
+        self, schedule: KernelSchedule, node_counts: List[int]
+    ) -> List[DistributedEstimate]:
+        """Estimates at the given node counts (a strong-scaling study)."""
+        return [
+            DistributedExecutionModel(
+                self.spec,
+                n,
+                network_gbs=self.network_gbs,
+                network_latency_s=self.network_latency_s,
+            ).predict(schedule)
+            for n in node_counts
+        ]

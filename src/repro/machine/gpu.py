@@ -1,0 +1,136 @@
+"""GPU execution model (CUDA-style grids of thread blocks).
+
+Lowers a :class:`~repro.core.schedule.KernelSchedule` to a predicted
+runtime on a Tesla P100/V100 from Table III.  Captured effects:
+
+* **global-memory streaming** at obtainable HBM2 bandwidth, with the much
+  smaller L2 giving less cache relief than CPU LLCs (Observation 4: HiCOO
+  "does not benefit as much as on CPUs");
+* **coalescing** — irregular traffic is derated by how much of each
+  32-byte sector a gather chunk uses: TTM/MTTKRP's ``4R``-byte row
+  gathers coalesce, TTV's 4-byte vector gathers do not;
+* **warp divergence** — fiber-parallel kernels (one thread per fiber)
+  run each warp as long as its longest fiber;
+* **device saturation** — block-parallel kernels (HiCOO-MTTKRP-GPU maps
+  one tensor block to one CUDA block) lose throughput twice: idle SMs
+  when blocks are few, and idle threads when a tensor block holds far
+  fewer nonzeros than the 256 launched threads;
+* **atomics** — fast hardware atomicAdd, further accelerated on Volta
+  (``improved_atomics``), with a contention term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import (
+    GRAIN_BLOCK,
+    GRAIN_FIBER,
+    KernelSchedule,
+    warp_divergence_factor,
+)
+from ..errors import PlatformError
+from ..platforms.specs import PlatformSpec
+from .memory import MemoryModel
+from .params import DEFAULT_GPU_PARAMS, GpuParams
+from .result import ExecutionEstimate
+
+
+class GpuExecutionModel:
+    """Predicts kernel runtimes for one GPU platform."""
+
+    def __init__(self, spec: PlatformSpec, params: GpuParams = DEFAULT_GPU_PARAMS):
+        if not spec.is_gpu:
+            raise PlatformError(f"{spec.name} is a CPU; use CpuExecutionModel")
+        self.spec = spec
+        self.params = params
+        self.memory = MemoryModel.for_platform(spec)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrent_blocks(self) -> int:
+        """Thread blocks resident across the device at full occupancy."""
+        return self.spec.sm_count * self.params.blocks_per_sm
+
+    def _utilization(self, schedule: KernelSchedule) -> float:
+        """Fraction of device throughput the launch shape can use."""
+        units = schedule.num_work_units
+        if units == 0:
+            return 1.0
+        saturating = self.concurrent_blocks * self.params.min_saturating_blocks_factor
+        device_fill = min(1.0, units / saturating)
+        if schedule.parallel_grain != GRAIN_BLOCK:
+            return device_fill
+        # One tensor block per CUDA block: threads beyond the block's
+        # nonzero count idle (HiCOO-MTTKRP-GPU's lower parallelism).
+        work = np.asarray(schedule.work_units, dtype=np.float64)
+        mean_occupancy = float(work.mean()) if work.size else 0.0
+        thread_fill = min(1.0, mean_occupancy / self.params.threads_per_block)
+        # Idle threads still burn issue slots but memory requests shrink;
+        # the square root softens the penalty toward bandwidth, not
+        # thread count.
+        return device_fill * max(thread_fill, 1e-3) ** 0.5
+
+    def predict(self, schedule: KernelSchedule) -> ExecutionEstimate:
+        """Lower a schedule to a runtime estimate on this GPU."""
+        params = self.params
+        spec = self.spec
+
+        stream_seconds = self.memory.streamed_seconds(
+            schedule.streamed_bytes + schedule.writeallocate_bytes,
+            schedule.working_set_bytes,
+        )
+        gather_seconds = self.memory.gather_seconds(
+            schedule.irregular_bytes,
+            schedule.random_operand_bytes,
+            schedule.irregular_chunk_bytes,
+        )
+
+        divergence = 1.0
+        if schedule.parallel_grain == GRAIN_FIBER:
+            # Square root: the warp scheduler hides part of the idle
+            # lanes' time behind other resident warps' memory stalls.
+            divergence = warp_divergence_factor(schedule.work_units) ** 0.5
+
+        utilization = self._utilization(schedule)
+
+        compute_seconds = schedule.flops / (
+            spec.peak_sp_gflops * 1e9 * params.compute_efficiency
+        )
+
+        atomic_seconds = 0.0
+        if schedule.atomic_updates:
+            per_atomic = params.atomic_seconds
+            if spec.improved_atomics:
+                per_atomic /= params.improved_atomic_speedup
+            per_atomic *= (
+                1.0
+                + params.atomic_conflict_multiplier
+                * schedule.atomic_conflict_fraction
+            )
+            # Atomics retire in parallel across SMs; conflicts serialize.
+            atomic_seconds = schedule.atomic_updates * per_atomic / spec.sm_count
+
+        # Square root again: thousands of resident warps absorb most of
+        # the tail; only the longest serial chain's residue survives.
+        imbalance = schedule.load_imbalance(self.concurrent_blocks) ** 0.5
+        memory_seconds = (stream_seconds + gather_seconds) * divergence
+        base = max(memory_seconds, compute_seconds)
+        seconds = base * imbalance / max(utilization, 1e-6) + atomic_seconds
+
+        return ExecutionEstimate(
+            platform=spec.name,
+            algorithm=f"{schedule.tensor_format}-{schedule.kernel}-GPU",
+            seconds=seconds,
+            flops=schedule.flops,
+            breakdown={
+                "stream": stream_seconds,
+                "gather": gather_seconds,
+                "compute": compute_seconds,
+                "atomic": atomic_seconds,
+                "imbalance": imbalance,
+                "divergence": divergence,
+                "utilization": utilization,
+            },
+        )

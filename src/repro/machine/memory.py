@@ -1,0 +1,115 @@
+"""Two-level memory hierarchy model: LLC over DRAM/HBM.
+
+Both execution models move a kernel's streamed and irregular traffic
+through this model.  The central quantity is the *residency fraction* —
+how much of a reusable working set the last-level cache can hold — which
+blends the LLC and DRAM service rates.  Small tensors therefore run at
+cache bandwidth and can exceed the DRAM roofline, exactly the paper's
+Observation 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platforms.specs import PlatformSpec
+from .params import (
+    DEFAULT_CPU_PARAMS,
+    DEFAULT_GPU_PARAMS,
+    obtainable_dram_bandwidth_gbs,
+    obtainable_llc_bandwidth_gbs,
+)
+
+_GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Bandwidths and capacity of one platform's memory hierarchy.
+
+    Attributes
+    ----------
+    dram_bandwidth_gbs / llc_bandwidth_gbs:
+        Obtainable (ERT-style) bandwidths, already derated from the
+        theoretical peak.
+    llc_bytes:
+        Last-level cache capacity.
+    dram_gather_floor / llc_gather_efficiency:
+        Worst-case fraction of each level's bandwidth that data-dependent
+        accesses attain (see :mod:`repro.machine.params`).
+    cache_line_bytes:
+        Transfer granularity used to judge how well an irregular chunk
+        utilizes a transaction.
+    """
+
+    dram_bandwidth_gbs: float
+    llc_bandwidth_gbs: float
+    llc_bytes: int
+    dram_gather_floor: float
+    llc_gather_efficiency: float
+    cache_line_bytes: int
+
+    @classmethod
+    def for_platform(cls, spec: PlatformSpec) -> "MemoryModel":
+        """Build the memory model from Table III parameters."""
+        params = DEFAULT_GPU_PARAMS if spec.is_gpu else DEFAULT_CPU_PARAMS
+        line = params.coalesce_bytes if spec.is_gpu else params.cache_line_bytes
+        return cls(
+            dram_bandwidth_gbs=obtainable_dram_bandwidth_gbs(spec),
+            llc_bandwidth_gbs=obtainable_llc_bandwidth_gbs(spec),
+            llc_bytes=spec.llc_bytes,
+            dram_gather_floor=params.dram_gather_floor,
+            llc_gather_efficiency=params.llc_gather_efficiency,
+            cache_line_bytes=line,
+        )
+
+    # ------------------------------------------------------------------
+
+    def residency_fraction(self, working_set_bytes: int) -> float:
+        """Fraction of a working set the LLC can keep resident.
+
+        1.0 when the set fits entirely; otherwise the capacity ratio
+        (a streaming-reuse approximation of the hit rate).
+        """
+        if working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, self.llc_bytes / working_set_bytes)
+
+    def streamed_seconds(self, num_bytes: int, working_set_bytes: int) -> float:
+        """Time to move sequential traffic, given the kernel's working set.
+
+        Traffic resident in the LLC moves at cache bandwidth; the rest at
+        DRAM bandwidth.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        resident = self.residency_fraction(working_set_bytes)
+        bandwidth = (
+            resident * self.llc_bandwidth_gbs
+            + (1.0 - resident) * self.dram_bandwidth_gbs
+        )
+        return num_bytes / (bandwidth * _GIGA)
+
+    def gather_seconds(
+        self,
+        num_bytes: int,
+        operand_bytes: int,
+        chunk_bytes: int,
+    ) -> float:
+        """Time to move irregular traffic targeting a reusable operand.
+
+        ``operand_bytes`` is the dense structure being gathered from
+        (vector, matrix, factors): when it fits in the LLC, gathers are
+        served from cache.  ``chunk_bytes`` is the contiguous run per
+        access — wide chunks (matrix rows) use transactions fully, 4-byte
+        scalar gathers waste most of each line.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        resident = self.residency_fraction(operand_bytes)
+        chunk_utilization = min(1.0, chunk_bytes / self.cache_line_bytes)
+        dram_efficiency = max(self.dram_gather_floor, chunk_utilization)
+        llc_rate = self.llc_bandwidth_gbs * self.llc_gather_efficiency
+        dram_rate = self.dram_bandwidth_gbs * dram_efficiency
+        bandwidth = resident * llc_rate + (1.0 - resident) * dram_rate
+        return num_bytes / (bandwidth * _GIGA)

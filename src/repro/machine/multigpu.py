@@ -1,0 +1,154 @@
+"""Multi-GPU execution model (paper future work: "multiple GPUs").
+
+The DGX-1 machines in Table III carry eight P100/V100 GPUs linked by
+NVLink; the paper models a single GPU and lists multi-GPU among its
+future platforms.  This extension models data-parallel execution across
+``num_gpus`` devices of one DGX box:
+
+* the kernel's work units are dealt round-robin across devices and each
+  shard is lowered by the single-GPU model;
+* dense operands (vectors/matrices/factors) are replicated, paying a
+  broadcast over NVLink once per kernel;
+* kernels with atomic output updates (MTTKRP) additionally pay an
+  all-reduce of the output matrix, since cross-device atomics are
+  replaced by per-device partials plus a reduction — the standard
+  multi-GPU MTTKRP strategy.
+
+The model reproduces the expected shape: streaming kernels scale nearly
+linearly until NVLink traffic dominates, while MTTKRP's reduction caps
+its speedup well below the device count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.schedule import KernelSchedule
+from ..errors import PlatformError
+from ..platforms.specs import PlatformSpec
+from .gpu import GpuExecutionModel
+from .result import ExecutionEstimate
+
+#: NVLink aggregate bandwidth per GPU, by microarchitecture (GB/s).
+NVLINK_BANDWIDTH_GBS = {"Pascal": 80.0, "Volta": 150.0}
+
+#: GPUs in a DGX-1 chassis.
+DGX_GPU_COUNT = 8
+
+
+@dataclass(frozen=True)
+class MultiGpuEstimate:
+    """Estimate for a multi-GPU run, with its scaling context."""
+
+    platform: str
+    algorithm: str
+    num_gpus: int
+    seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    flops: int
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved GFLOPS."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    def speedup_over(self, single: ExecutionEstimate) -> float:
+        """Speedup relative to a single-GPU estimate."""
+        if self.seconds <= 0:
+            return 0.0
+        return single.seconds / self.seconds
+
+
+def shard_schedule(
+    schedule: KernelSchedule, num_shards: int, shard: int
+) -> KernelSchedule:
+    """The work one device receives under round-robin unit dealing."""
+    if not 0 <= shard < num_shards:
+        raise PlatformError(f"shard {shard} out of range for {num_shards} devices")
+    units = schedule.work_units[shard::num_shards]
+    total = float(schedule.work_units.sum())
+    fraction = float(units.sum()) / total if total else 1.0 / num_shards
+    sharded = schedule.scaled(fraction)
+    return KernelSchedule(
+        kernel=sharded.kernel,
+        tensor_format=sharded.tensor_format,
+        flops=sharded.flops,
+        streamed_bytes=sharded.streamed_bytes,
+        irregular_bytes=sharded.irregular_bytes,
+        work_units=units,
+        parallel_grain=schedule.parallel_grain,
+        atomic_updates=sharded.atomic_updates,
+        atomic_conflict_fraction=schedule.atomic_conflict_fraction,
+        working_set_bytes=int(schedule.working_set_bytes * fraction),
+        reuse_bytes=sharded.reuse_bytes,
+        writeallocate_bytes=sharded.writeallocate_bytes,
+        irregular_chunk_bytes=schedule.irregular_chunk_bytes,
+        random_operand_bytes=schedule.random_operand_bytes,
+        notes=dict(schedule.notes),
+    )
+
+
+class MultiGpuExecutionModel:
+    """Predicts kernel runtimes across several GPUs of one platform."""
+
+    def __init__(self, spec: PlatformSpec, num_gpus: int = DGX_GPU_COUNT):
+        if not spec.is_gpu:
+            raise PlatformError(f"{spec.name} is not a GPU platform")
+        if not 1 <= num_gpus <= DGX_GPU_COUNT:
+            raise PlatformError(
+                f"num_gpus must be in [1, {DGX_GPU_COUNT}], got {num_gpus}"
+            )
+        self.spec = spec
+        self.num_gpus = num_gpus
+        self.single = GpuExecutionModel(spec)
+        self.nvlink_gbs = NVLINK_BANDWIDTH_GBS.get(spec.microarch, 80.0)
+
+    # ------------------------------------------------------------------
+
+    def _communication_seconds(self, schedule: KernelSchedule) -> float:
+        """Broadcast of dense operands plus output all-reduce (if atomics)."""
+        if self.num_gpus == 1:
+            return 0.0
+        hops = (self.num_gpus - 1) / self.num_gpus
+        bytes_moved = schedule.random_operand_bytes * hops
+        if schedule.atomic_updates:
+            # Ring all-reduce of per-device partial outputs: the output
+            # matrix is the atomic target, sized like one of the dense
+            # factor operands (approximated as a third of their total).
+            output_bytes = schedule.random_operand_bytes / 3.0
+            bytes_moved += 2.0 * output_bytes * hops
+        return bytes_moved / (self.nvlink_gbs * 1e9)
+
+    def predict(self, schedule: KernelSchedule) -> MultiGpuEstimate:
+        """Lower a schedule to a multi-GPU runtime estimate."""
+        shard_seconds: List[float] = []
+        for shard in range(self.num_gpus):
+            shard_sched = shard_schedule(schedule, self.num_gpus, shard)
+            shard_seconds.append(self.single.predict(shard_sched).seconds)
+        compute = max(shard_seconds) if shard_seconds else 0.0
+        communication = self._communication_seconds(schedule)
+        return MultiGpuEstimate(
+            platform=f"{self.spec.name} x{self.num_gpus}",
+            algorithm=(
+                f"{schedule.tensor_format}-{schedule.kernel}-GPU"
+                f"x{self.num_gpus}"
+            ),
+            num_gpus=self.num_gpus,
+            seconds=compute + communication,
+            compute_seconds=compute,
+            communication_seconds=communication,
+            flops=schedule.flops,
+        )
+
+    def scaling_curve(self, schedule: KernelSchedule) -> List[MultiGpuEstimate]:
+        """Estimates for 1..num_gpus devices (a strong-scaling study)."""
+        return [
+            MultiGpuExecutionModel(self.spec, g).predict(schedule)
+            for g in range(1, self.num_gpus + 1)
+        ]

@@ -1,0 +1,102 @@
+"""Calibration constants of the execution models.
+
+These are microarchitectural efficiency factors, not per-benchmark fudge
+factors: each is a single number describing one hardware mechanism
+(obtainable fraction of peak bandwidth, gather efficiency, NUMA remote
+penalty, atomic cost) and is shared by *all* kernels on a platform kind.
+Values follow commonly measured ranges for the paper's generation of
+hardware (STREAM/ERT results for Skylake/Haswell DDR4 and P100/V100 HBM2,
+pointer-chase gather rates, omp-atomic microbenchmarks) and are tuned only
+so the suite reproduces the paper's qualitative observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platforms.specs import PlatformSpec
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """CPU execution model constants."""
+
+    #: Fraction of theoretical DRAM bandwidth that streaming code attains
+    #: (ERT/STREAM typically land at 75-85% on DDR4 Xeons).
+    dram_efficiency: float = 0.80
+    #: LLC bandwidth relative to obtainable DRAM bandwidth.
+    llc_bandwidth_ratio: float = 4.0
+    #: Fraction of bandwidth attained by 4-byte irregular gathers that
+    #: miss the LLC (one cache line moved per useful element at worst).
+    dram_gather_floor: float = 0.125
+    #: Fraction of LLC bandwidth attained by irregular LLC-resident loads.
+    llc_gather_efficiency: float = 0.55
+    #: Extra cost multiplier per additional NUMA socket applied to
+    #: irregular traffic (remote accesses cross the interconnect, whose
+    #: per-hop latency exceeds local DRAM several-fold on 4-socket rings).
+    numa_penalty_per_socket: float = 1.3
+    #: Fraction of the irregular NUMA penalty that also hits the streamed
+    #: traffic of non-streaming kernels (their output writes scatter
+    #: across sockets; streaming kernels interleave cleanly via numactl).
+    numa_stream_fraction: float = 0.25
+    #: Seconds per scalar atomic add, uncontended ("omp atomic").
+    atomic_seconds: float = 8e-9
+    #: Extra serialization per conflicting atomic (cache-line ping-pong).
+    atomic_conflict_multiplier: float = 4.0
+    #: Fraction of peak flops reachable by these scalar-ish sparse loops.
+    compute_efficiency: float = 0.35
+    #: Streamed-bandwidth bonus for HiCOO's Morton-ordered, more compact
+    #: layout on CPUs (Observation 4: better locality, smaller footprint).
+    hicoo_stream_bonus: float = 1.25
+    #: Cache line size in bytes.
+    cache_line_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """GPU execution model constants."""
+
+    #: Obtainable fraction of HBM2 bandwidth (ERT lands near 75-80%).
+    dram_efficiency: float = 0.78
+    #: L2 bandwidth relative to obtainable DRAM bandwidth.
+    llc_bandwidth_ratio: float = 3.0
+    #: Gather floor for fully uncoalesced 4-byte accesses from DRAM
+    #: (a 32-byte sector per useful word).
+    dram_gather_floor: float = 0.125
+    #: Fraction of L2 bandwidth for irregular L2-resident loads.
+    llc_gather_efficiency: float = 0.5
+    #: Seconds per atomicAdd (global memory, Pascal generation); hardware
+    #: atomics retire at L2 and are far cheaper than CPU locked ops.
+    atomic_seconds: float = 0.5e-9
+    #: Extra serialization per conflicting atomic.
+    atomic_conflict_multiplier: float = 4.0
+    #: Volta's improved atomics divide atomic cost by this factor
+    #: (independent int/fp datapaths also hide address arithmetic).
+    improved_atomic_speedup: float = 4.0
+    #: Fraction of peak flops reachable by these sparse kernels.
+    compute_efficiency: float = 0.25
+    #: Thread blocks resident per SM (occupancy) for these small kernels.
+    blocks_per_sm: int = 8
+    #: Threads per block the suite launches.
+    threads_per_block: int = 256
+    #: Transaction granularity for coalescing in bytes (sector size).
+    coalesce_bytes: int = 32
+    #: Minimum effective parallel units to saturate the device; fewer
+    #: units leave SMs idle (HiCOO-MTTKRP-GPU's low parallelism).
+    min_saturating_blocks_factor: float = 1.0
+
+
+DEFAULT_CPU_PARAMS = CpuParams()
+DEFAULT_GPU_PARAMS = GpuParams()
+
+
+def obtainable_dram_bandwidth_gbs(spec: PlatformSpec) -> float:
+    """ERT-style obtainable DRAM/HBM bandwidth for a platform."""
+    params = DEFAULT_GPU_PARAMS if spec.is_gpu else DEFAULT_CPU_PARAMS
+    return spec.mem_bw_gbs * params.dram_efficiency
+
+
+def obtainable_llc_bandwidth_gbs(spec: PlatformSpec) -> float:
+    """ERT-style obtainable last-level-cache bandwidth for a platform."""
+    params = DEFAULT_GPU_PARAMS if spec.is_gpu else DEFAULT_CPU_PARAMS
+    return obtainable_dram_bandwidth_gbs(spec) * params.llc_bandwidth_ratio

@@ -1,0 +1,45 @@
+"""Execution estimate: the output of lowering a schedule onto a platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ExecutionEstimate:
+    """Predicted execution of one kernel on one platform.
+
+    Attributes
+    ----------
+    platform / algorithm:
+        Names for reporting (e.g. ``"Bluesky"`` / ``"COO-TTV-OMP"``).
+    seconds:
+        Predicted kernel time (pre-processing excluded, as in the paper's
+        timed region).
+    flops:
+        Floating point operations of the kernel.
+    breakdown:
+        Component seconds: ``stream``, ``gather``, ``compute``,
+        ``atomic``, plus dimensionless factors ``imbalance``, ``numa`` or
+        ``divergence``/``utilization`` that scaled them.
+    """
+
+    platform: str
+    algorithm: str
+    seconds: float
+    flops: int
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOPS implied by the estimate."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    def efficiency(self, roofline_gflops: float) -> float:
+        """Achieved over Roofline performance (can exceed 1 via caches)."""
+        if roofline_gflops <= 0.0:
+            return 0.0
+        return self.gflops / roofline_gflops

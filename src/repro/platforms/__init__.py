@@ -1,0 +1,28 @@
+"""Modeled platforms (Table III) and the ERT bandwidth sweep."""
+
+from .ert import ErtResult, run_ert
+from .specs import (
+    BLUESKY,
+    DGX_1P,
+    DGX_1V,
+    PLATFORMS,
+    WINGTIP,
+    PlatformSpec,
+    all_platforms,
+    get_platform,
+    table3,
+)
+
+__all__ = [
+    "PlatformSpec",
+    "BLUESKY",
+    "WINGTIP",
+    "DGX_1P",
+    "DGX_1V",
+    "PLATFORMS",
+    "get_platform",
+    "all_platforms",
+    "table3",
+    "ErtResult",
+    "run_ert",
+]

@@ -1,0 +1,95 @@
+"""Empirical Roofline Tool (ERT) simulation.
+
+The paper runs Berkeley's ERT, which sweeps STREAM-like micro-kernels
+over working-set sizes to measure each memory level's obtainable
+bandwidth.  We run the same sweep through our execution models: for each
+working-set size a triad-style schedule (two loads and a store per
+element, two flops) is lowered by the platform's model and the achieved
+bandwidth is recorded.  Small sets report the LLC ceiling, large sets the
+DRAM/HBM ceiling — the two lines Figure 3 plots as "ERT-LLC" and
+"ERT-DRAM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..core.schedule import GRAIN_NONZERO, KernelSchedule, uniform_work_units
+from .specs import PlatformSpec, get_platform
+
+#: STREAM triad moves 12 bytes and does 2 flops per element.
+_TRIAD_BYTES_PER_ELEMENT = 12
+_TRIAD_FLOPS_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class ErtResult:
+    """Measured machine ceilings from the ERT sweep.
+
+    ``sweep`` holds ``(working_set_bytes, bandwidth_gbs)`` samples so the
+    full bandwidth-vs-size curve can be plotted or inspected.
+    """
+
+    platform: str
+    dram_bandwidth_gbs: float
+    llc_bandwidth_gbs: float
+    peak_gflops: float
+    sweep: Tuple[Tuple[int, float], ...]
+
+
+def _triad_schedule(num_elements: int) -> KernelSchedule:
+    """A STREAM-triad micro-kernel schedule over ``num_elements``."""
+    return KernelSchedule(
+        kernel="TS",  # streaming kernel class: no gathers, no atomics
+        tensor_format="COO",
+        flops=_TRIAD_FLOPS_PER_ELEMENT * num_elements,
+        streamed_bytes=_TRIAD_BYTES_PER_ELEMENT * num_elements,
+        irregular_bytes=0,
+        work_units=uniform_work_units(num_elements),
+        parallel_grain=GRAIN_NONZERO,
+        working_set_bytes=_TRIAD_BYTES_PER_ELEMENT * num_elements,
+    )
+
+
+def run_ert(
+    platform: Union[str, PlatformSpec],
+    *,
+    min_bytes: int = 64 * 1024,
+    max_bytes: int = 4 * 2**30,
+    points: int = 24,
+) -> ErtResult:
+    """Sweep working-set sizes and report obtainable bandwidths.
+
+    The LLC ceiling is the best bandwidth observed (smallest sets); the
+    DRAM ceiling is the asymptotic bandwidth at the largest sets.
+    """
+    # Imported here: repro.machine depends on repro.platforms.specs, so a
+    # module-level import would be circular.
+    from ..machine import execution_model
+
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    model = execution_model(spec)
+    sizes = np.unique(
+        np.geomspace(min_bytes, max_bytes, points).astype(np.int64)
+    )
+    sweep: List[Tuple[int, float]] = []
+    for working_set in sizes:
+        elements = max(int(working_set) // _TRIAD_BYTES_PER_ELEMENT, 1)
+        estimate = model.predict(_triad_schedule(elements))
+        bandwidth = (
+            _TRIAD_BYTES_PER_ELEMENT * elements / estimate.seconds / 1e9
+            if estimate.seconds > 0
+            else 0.0
+        )
+        sweep.append((int(working_set), bandwidth))
+    bandwidths = [bw for _, bw in sweep]
+    return ErtResult(
+        platform=spec.name,
+        dram_bandwidth_gbs=min(bandwidths[-3:]),
+        llc_bandwidth_gbs=max(bandwidths),
+        peak_gflops=spec.peak_sp_gflops,
+        sweep=tuple(sweep),
+    )

@@ -1,0 +1,205 @@
+"""Platform parameters — the paper's Table III.
+
+Two Intel CPU machines (Bluesky, Wingtip) and two NVIDIA DGX GPUs
+(DGX-1P with a Tesla P100, DGX-1V with a Tesla V100).  These numbers
+parameterize the execution models in :mod:`repro.machine`; nothing here
+queries the host — the four platforms are *modeled*, as documented in
+DESIGN.md's substitution notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import PlatformError
+
+KIND_CPU = "cpu"
+KIND_GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of Table III plus the microarchitectural details the
+    execution models need.
+
+    Attributes
+    ----------
+    name / processor / microarch / compiler:
+        Identification strings straight from Table III.
+    kind:
+        ``"cpu"`` or ``"gpu"``.
+    frequency_ghz:
+        Core clock.
+    cores:
+        Physical CPU cores or CUDA cores.
+    sockets:
+        NUMA socket count (1 for GPUs).
+    sm_count:
+        Streaming multiprocessors (0 for CPUs).
+    peak_sp_tflops:
+        Theoretical single-precision peak.
+    llc_bytes:
+        Last-level cache capacity.
+    mem_bytes / mem_type / mem_freq_ghz:
+        Main/global memory capacity, technology, and clock.
+    mem_bw_gbs:
+        Theoretical peak memory bandwidth in GB/s.
+    improved_atomics:
+        Volta's faster atomics and the independent int/fp datapaths the
+        paper credits for V100 MTTKRP results (Observation 2).
+    """
+
+    name: str
+    kind: str
+    processor: str
+    microarch: str
+    frequency_ghz: float
+    cores: int
+    sockets: int
+    sm_count: int
+    peak_sp_tflops: float
+    llc_bytes: int
+    mem_bytes: int
+    mem_type: str
+    mem_freq_ghz: float
+    mem_bw_gbs: float
+    compiler: str
+    improved_atomics: bool = False
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Peak single-precision performance in GFLOPS."""
+        return self.peak_sp_tflops * 1000.0
+
+    @property
+    def is_gpu(self) -> bool:
+        """Whether this platform is modeled with the GPU execution model."""
+        return self.kind == KIND_GPU
+
+    def summary_row(self) -> Dict[str, str]:
+        """Table III style row for reporting."""
+        return {
+            "Platform": self.name,
+            "Processor": self.processor,
+            "Microarch": self.microarch,
+            "Frequency": f"{self.frequency_ghz:.2f} GHz",
+            "#Cores": str(self.cores),
+            "Peak SP Perf.": f"{self.peak_sp_tflops:.1f} TFLOPS",
+            "LLC size": f"{self.llc_bytes // (1024 * 1024)} MB",
+            "Mem. size": f"{self.mem_bytes // 2**30} GB",
+            "Mem. type": self.mem_type,
+            "Mem. freq.": f"{self.mem_freq_ghz:.3f} GHz",
+            "Mem. BW": f"{self.mem_bw_gbs:.0f} GB/s",
+            "Compiler": self.compiler,
+        }
+
+
+BLUESKY = PlatformSpec(
+    name="Bluesky",
+    kind=KIND_CPU,
+    processor="Intel Xeon Gold 6126",
+    microarch="Skylake",
+    frequency_ghz=2.60,
+    cores=24,
+    sockets=2,
+    sm_count=0,
+    peak_sp_tflops=1.0,
+    llc_bytes=19 * 1024 * 1024,
+    mem_bytes=196 * 2**30,
+    mem_type="DDR4",
+    mem_freq_ghz=2.666,
+    mem_bw_gbs=256.0,
+    compiler="gcc 7.1.0",
+)
+
+WINGTIP = PlatformSpec(
+    name="Wingtip",
+    kind=KIND_CPU,
+    processor="Intel Xeon E7-4850v3",
+    microarch="Haswell",
+    frequency_ghz=2.20,
+    cores=56,
+    sockets=4,
+    sm_count=0,
+    peak_sp_tflops=2.0,
+    llc_bytes=35 * 1024 * 1024,
+    mem_bytes=2114 * 2**30,
+    mem_type="DDR4",
+    mem_freq_ghz=2.133,
+    mem_bw_gbs=273.0,
+    compiler="gcc 5.5.0",
+)
+
+DGX_1P = PlatformSpec(
+    name="DGX-1P",
+    kind=KIND_GPU,
+    processor="NVIDIA Tesla P100",
+    microarch="Pascal",
+    frequency_ghz=1.48,
+    cores=3584,
+    sockets=1,
+    sm_count=56,
+    peak_sp_tflops=10.6,
+    llc_bytes=3 * 1024 * 1024,
+    mem_bytes=16 * 2**30,
+    mem_type="HBM2",
+    mem_freq_ghz=0.715,
+    mem_bw_gbs=732.0,
+    compiler="CUDA Tkit 9.1",
+)
+
+DGX_1V = PlatformSpec(
+    name="DGX-1V",
+    kind=KIND_GPU,
+    processor="NVIDIA Tesla V100",
+    microarch="Volta",
+    frequency_ghz=1.53,
+    cores=5120,
+    sockets=1,
+    sm_count=80,
+    peak_sp_tflops=14.9,
+    llc_bytes=6 * 1024 * 1024,
+    mem_bytes=16 * 2**30,
+    mem_type="HBM2",
+    mem_freq_ghz=0.877,
+    mem_bw_gbs=900.0,
+    compiler="CUDA Tkit 9.0",
+    improved_atomics=True,
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "bluesky": BLUESKY,
+    "wingtip": WINGTIP,
+    "dgx1p": DGX_1P,
+    "dgx1v": DGX_1V,
+}
+
+#: Aliases accepted by :func:`get_platform`.
+_ALIASES = {
+    "dgx-1p": "dgx1p",
+    "dgx-1v": "dgx1v",
+    "p100": "dgx1p",
+    "v100": "dgx1v",
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform by name (case-insensitive, aliases allowed)."""
+    key = name.lower().strip()
+    key = _ALIASES.get(key, key)
+    if key not in PLATFORMS:
+        raise PlatformError(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
+        )
+    return PLATFORMS[key]
+
+
+def all_platforms() -> Tuple[PlatformSpec, ...]:
+    """All four platforms in Table III order."""
+    return (BLUESKY, WINGTIP, DGX_1P, DGX_1V)
+
+
+def table3() -> Tuple[Dict[str, str], ...]:
+    """Reproduce Table III as a tuple of rows."""
+    return tuple(spec.summary_row() for spec in all_platforms())

@@ -1,0 +1,6 @@
+"""Roofline performance models (Figure 3) and their text renderings."""
+
+from .model import TABLE1_KERNEL_OI, RooflineModel
+from .report import roofline_ascii, roofline_text
+
+__all__ = ["RooflineModel", "TABLE1_KERNEL_OI", "roofline_text", "roofline_ascii"]

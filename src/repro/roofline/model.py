@@ -1,0 +1,94 @@
+"""Roofline performance model (Williams et al.) for the four platforms.
+
+A Roofline plots attainable GFLOPS against operational intensity (OI):
+``min(peak, OI * bandwidth)`` for each bandwidth ceiling.  Figure 3 draws,
+per platform, the ERT-measured DRAM and LLC ceilings plus the theoretical
+peak compute and DRAM lines, and marks the five kernels' OIs on the
+ERT-DRAM line.  The "Roofline performance" red line of Figures 4-7 is
+``OI * ERT-DRAM bandwidth`` with the OI computed from the *actual* tensor
+(exact ``M_F``/``n_b`` terms), as Section V-B specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.analysis import KernelCost
+from ..platforms.ert import ErtResult, run_ert
+from ..platforms.specs import PlatformSpec, get_platform
+
+#: Table I OIs for cubical third-order tensors, used as Figure 3 markers.
+TABLE1_KERNEL_OI = {
+    "TEW": 1.0 / 12.0,
+    "TS": 1.0 / 8.0,
+    "TTV": 1.0 / 6.0,
+    "TTM": 1.0 / 2.0,
+    "MTTKRP": 1.0 / 4.0,
+}
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """One platform's rooflines.
+
+    ``bandwidth_ceilings_gbs`` maps ceiling names to GB/s; the plot's
+    slanted lines.  ``peak_gflops`` is the flat compute roof.
+    """
+
+    platform: str
+    peak_gflops: float
+    bandwidth_ceilings_gbs: Dict[str, float]
+
+    @classmethod
+    def for_platform(
+        cls, platform: Union[str, PlatformSpec], ert: Optional[ErtResult] = None
+    ) -> "RooflineModel":
+        """Build the Figure 3 model: ERT ceilings plus theoretical DRAM."""
+        spec = get_platform(platform) if isinstance(platform, str) else platform
+        if ert is None:
+            ert = run_ert(spec)
+        return cls(
+            platform=spec.name,
+            peak_gflops=spec.peak_sp_gflops,
+            bandwidth_ceilings_gbs={
+                "ERT-LLC": ert.llc_bandwidth_gbs,
+                "ERT-DRAM": ert.dram_bandwidth_gbs,
+                "Theoretical-DRAM": spec.mem_bw_gbs,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def attainable_gflops(self, oi: float, ceiling: str = "ERT-DRAM") -> float:
+        """``min(peak, OI * bandwidth)`` under the named ceiling."""
+        bandwidth = self.bandwidth_ceilings_gbs[ceiling]
+        return min(self.peak_gflops, oi * bandwidth)
+
+    def roofline_performance(self, cost: KernelCost, tensor_format: str = "COO") -> float:
+        """The figures' red line: exact OI times ERT-DRAM bandwidth."""
+        return self.attainable_gflops(cost.operational_intensity(tensor_format))
+
+    def ridge_point(self, ceiling: str = "ERT-DRAM") -> float:
+        """OI where the bandwidth roof meets the compute roof."""
+        bandwidth = self.bandwidth_ceilings_gbs[ceiling]
+        return self.peak_gflops / bandwidth if bandwidth else float("inf")
+
+    def series(
+        self,
+        ceiling: str,
+        oi_range: Tuple[float, float] = (2.0**-6, 2.0**6),
+        points: int = 49,
+    ) -> List[Tuple[float, float]]:
+        """Sampled ``(OI, attainable GFLOPS)`` pairs for plotting a roof."""
+        ois = np.geomspace(oi_range[0], oi_range[1], points)
+        return [(float(oi), self.attainable_gflops(float(oi), ceiling)) for oi in ois]
+
+    def kernel_markers(self, ceiling: str = "ERT-DRAM") -> Dict[str, Tuple[float, float]]:
+        """Figure 3's kernel markers: Table I OI on the chosen ceiling."""
+        return {
+            kernel: (oi, self.attainable_gflops(oi, ceiling))
+            for kernel, oi in TABLE1_KERNEL_OI.items()
+        }

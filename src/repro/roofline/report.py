@@ -1,0 +1,66 @@
+"""Text rendering of Roofline models (Figure 3 without a plotting stack).
+
+The repository has no matplotlib dependency, so Figure 3 is emitted as
+the numeric series a plotting tool would consume plus an ASCII sketch for
+quick terminal inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import RooflineModel
+
+
+def roofline_text(model: RooflineModel) -> str:
+    """Human-readable summary of one platform's rooflines."""
+    lines: List[str] = [f"Roofline — {model.platform}"]
+    lines.append(f"  peak SP compute: {model.peak_gflops:.0f} GFLOPS")
+    for name, bandwidth in model.bandwidth_ceilings_gbs.items():
+        ridge = model.ridge_point(name) if bandwidth else float("inf")
+        lines.append(
+            f"  {name:<16} {bandwidth:7.1f} GB/s   ridge OI = {ridge:6.2f} flops/byte"
+        )
+    lines.append("  kernel markers on ERT-DRAM:")
+    for kernel, (oi, gflops) in model.kernel_markers().items():
+        lines.append(f"    {kernel:<7} OI={oi:6.3f}  ->  {gflops:8.1f} GFLOPS")
+    return "\n".join(lines)
+
+
+def roofline_ascii(model: RooflineModel, width: int = 60, height: int = 16) -> str:
+    """A log-log ASCII sketch of the ERT-DRAM roofline with markers."""
+    import math
+
+    oi_lo, oi_hi = 2.0**-6, 2.0**6
+    series = model.series("ERT-DRAM", (oi_lo, oi_hi), width)
+    perf_values = [p for _, p in series] + [model.peak_gflops]
+    p_lo = min(p for p in perf_values if p > 0) / 2
+    p_hi = model.peak_gflops * 2
+
+    def col(oi: float) -> int:
+        return int(
+            (math.log2(oi) - math.log2(oi_lo))
+            / (math.log2(oi_hi) - math.log2(oi_lo))
+            * (width - 1)
+        )
+
+    def row(perf: float) -> int:
+        frac = (math.log2(perf) - math.log2(p_lo)) / (
+            math.log2(p_hi) - math.log2(p_lo)
+        )
+        return height - 1 - int(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for oi, perf in series:
+        r, c = row(max(perf, p_lo)), col(oi)
+        if 0 <= r < height:
+            grid[r][c] = "/" if perf < model.peak_gflops else "-"
+    for kernel, (oi, perf) in model.kernel_markers().items():
+        r, c = row(max(perf, p_lo)), col(oi)
+        if 0 <= r < height and 0 <= c < width:
+            grid[r][c] = kernel[0]
+    header = (
+        f"{model.platform}: GFLOPS (log) vs OI (log), "
+        f"markers: T=TEW/TS/TTV/TTM, M=MTTKRP"
+    )
+    return "\n".join([header] + ["|" + "".join(r) for r in grid] + ["+" + "-" * width])

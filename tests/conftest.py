@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CooTensor, HicooTensor
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tensor3(rng):
+    """A third-order sparse tensor with mixed-size modes."""
+    return CooTensor.random((40, 25, 18), 600, rng=rng)
+
+
+@pytest.fixture
+def tensor4(rng):
+    """A fourth-order sparse tensor."""
+    return CooTensor.random((20, 15, 12, 9), 500, rng=rng)
+
+
+@pytest.fixture
+def hicoo3(tensor3):
+    """HiCOO conversion of ``tensor3`` with a small block size."""
+    return HicooTensor.from_coo(tensor3, 8)
+
+
+@pytest.fixture
+def dense3(tensor3):
+    """Dense materialization of ``tensor3``."""
+    return tensor3.to_dense()
+
+
+@pytest.fixture
+def factors3(rng, tensor3):
+    """Rank-8 factor matrices for ``tensor3``."""
+    return [
+        rng.uniform(0.5, 1.5, size=(size, 8)).astype(np.float32)
+        for size in tensor3.shape
+    ]
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Modeled results for all four platforms on a reduced dataset set.
+
+    Session-scoped because realizing datasets and lowering schedules for
+    every platform takes tens of seconds; several observation and
+    experiment tests share this.
+    """
+    from repro.bench.observations import collect_results
+
+    return collect_results(scale_divisor=2048)

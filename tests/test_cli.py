@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTablesAndList:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTKRP" in out
+        assert "OI" in out
+
+    def test_table2_scaled(self, capsys):
+        assert main(["table2", "--scale-divisor", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "vast" in out
+        assert "irr2L4d" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Wingtip" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "ERT-DRAM" in out
+        assert "DGX-1V" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "HiCOO-MTTKRP-GPU" in out
+        assert "darpa" in out
+        assert "bluesky" in out
+
+
+class TestRun:
+    def test_run_cpu_algorithm(self, capsys):
+        code = main(
+            ["run", "COO-TS-OMP", "r11", "--scale-divisor", "8192"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "Bluesky" in out
+
+    def test_run_gpu_defaults_to_dgx1v(self, capsys):
+        code = main(
+            ["run", "HiCOO-MTTKRP-GPU", "s1", "--scale-divisor", "8192"]
+        )
+        assert code == 0
+        assert "DGX-1V" in capsys.readouterr().out
+
+    def test_run_wallclock(self, capsys):
+        code = main(
+            ["run", "COO-TEW-OMP", "r11", "--scale-divisor", "8192", "--wallclock"]
+        )
+        assert code == 0
+        assert "wallclock" in capsys.readouterr().out
+
+    def test_target_platform_mismatch(self, capsys):
+        code = main(
+            [
+                "run", "COO-TS-GPU", "r11",
+                "--platform", "bluesky", "--scale-divisor", "8192",
+            ]
+        )
+        assert code == 2
+
+    def test_bad_algorithm_name(self):
+        with pytest.raises(SystemExit):
+            main(["run"])  # missing args
+
+
+class TestFeatures:
+    def test_features_of_dataset(self, capsys):
+        code = main(["features", "s4", "--scale-divisor", "8192"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "order 3" in out
+        assert "dense modes" in out
+
+    def test_features_with_stand_in(self, tmp_path, capsys):
+        target = tmp_path / "standin.tns"
+        code = main(
+            [
+                "features", "s4", "--scale-divisor", "8192",
+                "--stand-in", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+
+    def test_features_of_tns_file(self, tmp_path, capsys):
+        from repro.formats import CooTensor
+        from repro.io import write_tns
+
+        path = tmp_path / "t.tns"
+        write_tns(CooTensor.random((100, 100, 100), 500, seed=0), path)
+        assert main(["features", str(path)]) == 0
+        assert "nnz 500" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_block_size_sweep(self, capsys):
+        code = main(["sweep", "block-size", "s1", "--scale-divisor", "8192"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "block_size" in out
+        assert "occupancy" in out
+
+    def test_gpu_sweep_with_platform(self, capsys):
+        code = main(
+            [
+                "sweep", "gpus", "r11", "--platform", "dgx1p",
+                "--scale-divisor", "8192",
+            ]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_kronecker_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "k.tns"
+        code = main(
+            [
+                "generate", "kronecker",
+                "--dims", "64,64,64", "--nnz", "500",
+                "--seed", "3", "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        from repro.io import read_tns
+
+        t = read_tns(out_path)
+        assert t.nnz == 500
+
+    def test_powerlaw_to_stdout(self, capsys):
+        code = main(
+            [
+                "generate", "powerlaw",
+                "--dims", "100,100,8", "--nnz", "200",
+                "--dense-modes", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        data_lines = [
+            l for l in out.splitlines() if l and not l.startswith("#")
+        ]
+        assert len(data_lines) == 200

@@ -1,0 +1,143 @@
+"""Tests for general sparse x sparse tensor contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contraction import contract, inner_product, sparse_ttm, sparse_ttv
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor
+
+
+class TestContract:
+    def test_single_mode_matches_tensordot(self):
+        x = CooTensor.random((10, 12, 8), 150, seed=1)
+        y = CooTensor.random((8, 9), 40, seed=2)
+        out = contract(x, y, [2], [0])
+        ref = np.tensordot(x.to_dense(), y.to_dense(), axes=([2], [0]))
+        assert out.shape == (10, 12, 9)
+        assert np.allclose(out.to_dense(), ref, rtol=1e-4, atol=1e-5)
+
+    def test_two_modes(self):
+        x = CooTensor.random((10, 12, 8), 150, seed=3)
+        z = CooTensor.random((12, 8, 7), 100, seed=4)
+        out = contract(x, z, [1, 2], [0, 1])
+        ref = np.tensordot(x.to_dense(), z.to_dense(), axes=([1, 2], [0, 1]))
+        assert np.allclose(out.to_dense(), ref, rtol=1e-4, atol=1e-5)
+
+    def test_mode_pairing_order_matters(self):
+        x = CooTensor.random((6, 6, 5), 40, seed=5)
+        y = CooTensor.random((6, 6), 20, seed=6)
+        a = contract(x, y, [0, 1], [0, 1])
+        b = contract(x, y, [1, 0], [0, 1])
+        ref_a = np.tensordot(x.to_dense(), y.to_dense(), axes=([0, 1], [0, 1]))
+        ref_b = np.tensordot(x.to_dense(), y.to_dense(), axes=([1, 0], [0, 1]))
+        assert np.allclose(a.to_dense(), ref_a, rtol=1e-4, atol=1e-5)
+        assert np.allclose(b.to_dense(), ref_b, rtol=1e-4, atol=1e-5)
+
+    def test_disjoint_keys_give_empty(self):
+        x = CooTensor((4, 3), np.array([[0], [0]]), np.ones(1, dtype=np.float32))
+        y = CooTensor((3, 4), np.array([[2], [0]]), np.ones(1, dtype=np.float32))
+        out = contract(x, y, [1], [0])
+        assert out.nnz == 0
+        assert out.shape == (4, 4)
+
+    def test_full_contraction_returns_scalar(self):
+        a = CooTensor.random((5, 5), 10, seed=7)
+        b = CooTensor.random((5, 5), 10, seed=8)
+        result = contract(a, b, [0, 1], [0, 1])
+        assert isinstance(result, float)
+        assert result == pytest.approx(
+            float((a.to_dense() * b.to_dense()).sum()), rel=1e-4
+        )
+
+    def test_duplicate_output_coordinates_summed(self):
+        # Contract a matrix with itself: classic A @ B accumulation.
+        a = CooTensor.random((6, 20), 60, seed=9)
+        b = CooTensor.random((20, 6), 60, seed=10)
+        out = contract(a, b, [1], [0])
+        assert np.allclose(
+            out.to_dense(), a.to_dense() @ b.to_dense(), rtol=1e-4, atol=1e-5
+        )
+
+    def test_rejects_mode_count_mismatch(self):
+        x = CooTensor.random((4, 4), 5, seed=0)
+        with pytest.raises(IncompatibleOperandsError):
+            contract(x, x, [0, 1], [0])
+
+    def test_rejects_size_mismatch(self):
+        x = CooTensor.random((4, 5), 5, seed=0)
+        y = CooTensor.random((6, 4), 5, seed=1)
+        with pytest.raises(IncompatibleOperandsError):
+            contract(x, y, [1], [0])
+
+    def test_rejects_repeated_modes(self):
+        x = CooTensor.random((4, 4), 5, seed=0)
+        with pytest.raises(IncompatibleOperandsError):
+            contract(x, x, [0, 0], [0, 1])
+
+
+class TestConveniences:
+    def test_inner_product(self):
+        a = CooTensor.random((6, 6, 6), 50, seed=4)
+        b = CooTensor.random((6, 6, 6), 50, seed=5)
+        assert inner_product(a, b) == pytest.approx(
+            float((a.to_dense() * b.to_dense()).sum()), rel=1e-4
+        )
+
+    def test_inner_product_shape_mismatch(self):
+        a = CooTensor.random((3, 3), 4, seed=0)
+        b = CooTensor.random((4, 4), 4, seed=1)
+        with pytest.raises(IncompatibleOperandsError):
+            inner_product(a, b)
+
+    def test_sparse_ttv_matches_dense_ttv_on_dense_vector(self):
+        from repro.core import ttv_coo
+
+        x = CooTensor.random((8, 9, 10), 100, seed=2)
+        dense_v = np.random.default_rng(3).uniform(size=10).astype(np.float32)
+        sparse_v = CooTensor.from_dense(dense_v)
+        a = sparse_ttv(x, sparse_v, 2)
+        b = ttv_coo(x, dense_v, 2)
+        assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-4, atol=1e-5)
+
+    def test_sparse_ttv_rejects_matrix(self):
+        x = CooTensor.random((4, 4), 5, seed=0)
+        with pytest.raises(IncompatibleOperandsError):
+            sparse_ttv(x, x, 0)
+
+    def test_sparse_ttm_matches_dense_ttm(self):
+        from repro.core import ttm_coo
+
+        x = CooTensor.random((8, 9, 10), 100, seed=4)
+        dense_u = np.random.default_rng(5).uniform(size=(9, 4)).astype(np.float32)
+        # Zero some entries so the sparse matrix is genuinely sparse.
+        dense_u[dense_u < 0.5] = 0.0
+        sparse_u = CooTensor.from_dense(dense_u)
+        a = sparse_ttm(x, sparse_u, 1)
+        b = ttm_coo(x, dense_u, 1)
+        assert a.shape == (8, 4, 10)
+        assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-4, atol=1e-5)
+
+    def test_sparse_ttm_rejects_vector(self):
+        x = CooTensor.random((4, 4), 5, seed=0)
+        v = CooTensor.random((4,), 2, seed=1)
+        with pytest.raises(IncompatibleOperandsError):
+            sparse_ttm(x, v, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(2, 8),
+    st.integers(2, 8),
+    st.integers(2, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_contract_property_matches_tensordot(i, j, k, seed):
+    rng = np.random.default_rng(seed)
+    x = CooTensor.random((i, j), min(10, i * j), seed=seed)
+    y = CooTensor.random((j, k), min(10, j * k), seed=seed + 1)
+    out = contract(x, y, [1], [0])
+    ref = x.to_dense() @ y.to_dense()
+    assert np.allclose(out.to_dense(), ref, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,109 @@
+"""Unit tests for format conversion dispatch and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatParameterError
+from repro.formats import (
+    CooTensor,
+    GHicooTensor,
+    HicooTensor,
+    SemiSparseCooTensor,
+    SHicooTensor,
+    breakdown,
+    choose_format,
+    convert,
+    coo_storage_bytes,
+    storage_bytes,
+    to_coo,
+    to_ghicoo,
+    to_hicoo,
+)
+
+
+class TestConvertDispatch:
+    def test_to_coo_identity(self, tensor3):
+        assert to_coo(tensor3) is tensor3
+
+    def test_convert_names(self, tensor3):
+        assert isinstance(convert(tensor3, "coo"), CooTensor)
+        assert isinstance(convert(tensor3, "hicoo", block_size=8), HicooTensor)
+        assert isinstance(
+            convert(tensor3, "ghicoo", compressed_modes=[0, 1], block_size=8),
+            GHicooTensor,
+        )
+        assert isinstance(
+            convert(tensor3, "scoo", dense_modes=[2]), SemiSparseCooTensor
+        )
+        assert isinstance(
+            convert(tensor3, "shicoo", dense_modes=[2], block_size=8),
+            SHicooTensor,
+        )
+
+    def test_convert_roundtrips_values(self, tensor3):
+        for name, kwargs in [
+            ("hicoo", {"block_size": 8}),
+            ("ghicoo", {"compressed_modes": [0], "block_size": 8}),
+        ]:
+            t = convert(tensor3, name, **kwargs)
+            assert to_coo(t).allclose(tensor3)
+
+    def test_unknown_format_rejected(self, tensor3):
+        with pytest.raises(FormatParameterError):
+            convert(tensor3, "csf")
+
+    def test_missing_kwargs_rejected(self, tensor3):
+        with pytest.raises(FormatParameterError):
+            convert(tensor3, "ghicoo")
+        with pytest.raises(FormatParameterError):
+            convert(tensor3, "scoo")
+        with pytest.raises(FormatParameterError):
+            convert(tensor3, "shicoo")
+
+    def test_to_hicoo_reuses_matching_block_size(self, hicoo3):
+        assert to_hicoo(hicoo3, hicoo3.block_size) is hicoo3
+
+    def test_to_hicoo_reconverts_other_block_size(self, hicoo3):
+        other = to_hicoo(hicoo3, 4)
+        assert other.block_size == 4
+
+    def test_to_ghicoo_from_hicoo(self, hicoo3, tensor3):
+        g = to_ghicoo(hicoo3, [0, 1], 8)
+        assert g.to_coo().allclose(tensor3)
+
+
+class TestChooseFormat:
+    def test_dense_blocks_choose_hicoo(self):
+        rng = np.random.default_rng(0)
+        idx = np.unique(rng.integers(0, 16, size=(3, 3000)), axis=1)
+        t = CooTensor((256, 256, 256), idx, np.ones(idx.shape[1], dtype=np.float32))
+        assert choose_format(t, 16) == "hicoo"
+
+    def test_hypersparse_chooses_coo(self):
+        t = CooTensor.random((100_000, 100_000, 100_000), 300, seed=1)
+        assert choose_format(t, 8) == "coo"
+
+
+class TestStorageAccounting:
+    def test_coo_closed_form(self, tensor3):
+        assert storage_bytes(tensor3) == coo_storage_bytes(3, tensor3.nnz)
+
+    def test_breakdown_total_matches_storage(self, tensor3, hicoo3):
+        for t in (
+            tensor3,
+            hicoo3,
+            GHicooTensor.from_coo(tensor3, [0], 8),
+            SemiSparseCooTensor.from_coo(tensor3, [2]),
+            SHicooTensor.from_coo(tensor3, [2], 8),
+        ):
+            b = breakdown(t)
+            assert b.total == t.storage_bytes()
+            assert b.total == storage_bytes(t)
+
+    def test_breakdown_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            breakdown(object())
+
+    def test_hicoo_smaller_index_bytes_than_coo(self, tensor3, hicoo3):
+        # 1-byte element indices beat 4-byte COO indices per nonzero.
+        assert breakdown(hicoo3).index_bytes < breakdown(tensor3).index_bytes

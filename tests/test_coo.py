@@ -1,0 +1,228 @@
+"""Unit tests for the COO tensor format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError, TensorShapeError
+from repro.formats import CooTensor, concatenate_tensors
+
+
+def small_tensor():
+    indices = np.array([[0, 1, 2, 2], [0, 1, 0, 2], [1, 0, 2, 2]])
+    values = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+    return CooTensor((3, 3, 3), indices, values)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = small_tensor()
+        assert t.order == 3
+        assert t.nnz == 4
+        assert t.shape == (3, 3, 3)
+        assert t.density == pytest.approx(4 / 27)
+
+    def test_storage_bytes_formula(self):
+        t = small_tensor()
+        # 4 * (order + 1) * nnz for 32-bit indices and values.
+        assert t.storage_bytes() == 4 * (3 + 1) * 4
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((), np.empty((0, 0)), np.empty(0))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((3, 0), np.empty((2, 0)), np.empty(0))
+
+    def test_rejects_order_mismatch(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((3, 3), np.zeros((3, 2)), np.ones(2))
+
+    def test_rejects_value_length_mismatch(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((3, 3), np.zeros((2, 2)), np.ones(3))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((2, 2), np.array([[0, 2], [0, 0]]), np.ones(2))
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor((2, 2), np.array([[0, -1], [0, 0]]), np.ones(2))
+
+    def test_check_mode_negative_alias(self):
+        t = small_tensor()
+        assert t.check_mode(-1) == 2
+        with pytest.raises(ModeError):
+            t.check_mode(3)
+
+
+class TestDenseRoundtrip:
+    def test_from_dense_drops_zeros(self):
+        dense = np.zeros((4, 5), dtype=np.float32)
+        dense[1, 2] = 3.0
+        dense[3, 0] = -1.0
+        t = CooTensor.from_dense(dense)
+        assert t.nnz == 2
+        assert np.allclose(t.to_dense(), dense)
+
+    def test_roundtrip_random(self, tensor3, dense3):
+        assert np.allclose(CooTensor.from_dense(dense3).to_dense(), dense3)
+
+    def test_to_dense_sums_duplicates(self):
+        indices = np.array([[1, 1], [2, 2]])
+        t = CooTensor((3, 3), indices, np.array([2.0, 5.0], dtype=np.float32))
+        assert t.to_dense()[1, 2] == pytest.approx(7.0)
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((3, 4))
+        assert t.nnz == 0
+        assert np.all(t.to_dense() == 0)
+
+
+class TestRandom:
+    def test_requested_nnz_distinct(self):
+        t = CooTensor.random((10, 10, 10), 400, seed=0)
+        assert t.nnz == 400
+        assert np.unique(t.indices, axis=1).shape[1] == 400
+
+    def test_deterministic_by_seed(self):
+        a = CooTensor.random((9, 9), 30, seed=5)
+        b = CooTensor.random((9, 9), 30, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_dense_case_full_capacity(self):
+        t = CooTensor.random((4, 4), 16, seed=1)
+        assert t.nnz == 16
+
+    def test_rejects_overfull(self):
+        with pytest.raises(TensorShapeError):
+            CooTensor.random((2, 2), 5, seed=0)
+
+    def test_values_avoid_zero(self):
+        t = CooTensor.random((50, 50), 500, seed=2)
+        assert np.all(t.values >= 0.5)
+        assert np.all(t.values < 1.5)
+
+
+class TestSortingAndRearrangement:
+    def test_sorted_lexicographic_order(self, tensor3):
+        s = tensor3.sorted_lexicographic()
+        keys = [tuple(s.indices[:, i]) for i in range(s.nnz)]
+        assert keys == sorted(keys)
+
+    def test_sorted_custom_mode_order(self, tensor3):
+        s = tensor3.sorted_lexicographic([2, 0, 1])
+        keys = [
+            (s.indices[2, i], s.indices[0, i], s.indices[1, i])
+            for i in range(s.nnz)
+        ]
+        assert keys == sorted(keys)
+
+    def test_sort_preserves_values(self, tensor3):
+        assert tensor3.sorted_lexicographic().allclose(tensor3)
+
+    def test_sorted_morton_preserves_values(self, tensor3):
+        assert tensor3.sorted_morton(8).allclose(tensor3)
+
+    def test_sorted_morton_rejects_bad_block(self, tensor3):
+        with pytest.raises(TensorShapeError):
+            tensor3.sorted_morton(0)
+
+    def test_permute_modes(self, tensor3, dense3):
+        p = tensor3.permute_modes([2, 0, 1])
+        assert p.shape == (18, 40, 25)
+        assert np.allclose(p.to_dense(), np.transpose(dense3, (2, 0, 1)))
+
+    def test_permute_rejects_non_permutation(self, tensor3):
+        with pytest.raises(ModeError):
+            tensor3.permute_modes([0, 0, 1])
+
+    def test_copy_is_deep(self, tensor3):
+        c = tensor3.copy()
+        c.values[0] += 100
+        assert tensor3.values[0] != c.values[0]
+
+
+class TestSumDuplicates:
+    def test_combines_duplicates(self):
+        indices = np.array([[0, 0, 1], [1, 1, 0]])
+        t = CooTensor((2, 2), indices, np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        s = t.sum_duplicates()
+        assert s.nnz == 2
+        assert s.to_dense()[0, 1] == pytest.approx(3.0)
+
+    def test_noop_when_unique(self, tensor3):
+        assert tensor3.sum_duplicates().nnz == tensor3.nnz
+
+    def test_empty(self):
+        t = CooTensor.empty((2, 2))
+        assert t.sum_duplicates().nnz == 0
+
+
+class TestFiberPartition:
+    def test_fiber_counts_match_distinct_keys(self, tensor3):
+        for mode in range(3):
+            other = [m for m in range(3) if m != mode]
+            distinct = np.unique(tensor3.indices[other], axis=1).shape[1]
+            assert tensor3.num_fibers(mode) == distinct
+
+    def test_fibers_contiguous_and_complete(self, tensor3):
+        ordered, fptr = tensor3.fiber_partition(1)
+        assert fptr[0] == 0
+        assert fptr[-1] == tensor3.nnz
+        assert np.all(np.diff(fptr) >= 1)
+        other = [0, 2]
+        for f in range(len(fptr) - 1):
+            seg = ordered.indices[other][:, fptr[f] : fptr[f + 1]]
+            assert np.all(seg == seg[:, :1])
+
+    def test_empty_tensor_fibers(self):
+        t = CooTensor.empty((3, 3))
+        ordered, fptr = t.fiber_partition(0)
+        assert len(fptr) == 1
+        assert t.num_fibers(0) == 0
+
+
+class TestComparison:
+    def test_pattern_equals_ignores_order(self, tensor3):
+        shuffled = tensor3.sorted_morton(4)
+        assert tensor3.pattern_equals(shuffled)
+
+    def test_pattern_differs(self, tensor3):
+        other = CooTensor.random(tensor3.shape, tensor3.nnz, seed=99)
+        assert not tensor3.pattern_equals(other)
+
+    def test_allclose_with_explicit_zero(self):
+        a = CooTensor((2, 2), np.array([[0], [0]]), np.array([0.0], dtype=np.float32))
+        b = CooTensor.empty((2, 2))
+        assert a.allclose(b)
+
+    def test_allclose_shape_mismatch(self, tensor3):
+        other = CooTensor.empty((1, 1))
+        assert not tensor3.allclose(other)
+
+    def test_repr_mentions_shape_and_nnz(self, tensor3):
+        text = repr(tensor3)
+        assert "40" in text and "600" in text
+
+
+class TestConcatenate:
+    def test_concatenates_nonzeros(self):
+        a = CooTensor((3, 3), np.array([[0], [0]]), np.array([1.0], dtype=np.float32))
+        b = CooTensor((3, 3), np.array([[1], [1]]), np.array([2.0], dtype=np.float32))
+        c = concatenate_tensors([a, b])
+        assert c.nnz == 2
+        assert c.to_dense()[0, 0] == 1.0
+        assert c.to_dense()[1, 1] == 2.0
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(TensorShapeError):
+            concatenate_tensors([])
+
+    def test_rejects_shape_mismatch(self):
+        a = CooTensor.empty((2, 2))
+        b = CooTensor.empty((3, 3))
+        with pytest.raises(TensorShapeError):
+            concatenate_tensors([a, b])

@@ -1,0 +1,141 @@
+"""Unit tests for the Table II dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_DATASETS,
+    REAL_DATASETS,
+    SYNTHETIC_DATASETS,
+    datasets,
+    get_dataset,
+    realize,
+    table2,
+)
+from repro.datasets.registry import MAX_SCALED_DIM, SHORT_MODE_THRESHOLD
+from repro.errors import DatasetError
+
+
+class TestRegistryContents:
+    def test_thirty_datasets(self):
+        assert len(ALL_DATASETS) == 30
+        assert len(REAL_DATASETS) == 15
+        assert len(SYNTHETIC_DATASETS) == 15
+
+    def test_keys_follow_paper_numbering(self):
+        assert [d.key for d in REAL_DATASETS] == [f"r{i}" for i in range(1, 16)]
+        assert [d.key for d in SYNTHETIC_DATASETS] == [
+            f"s{i}" for i in range(1, 16)
+        ]
+
+    def test_orders_match_table2(self):
+        assert all(d.order == 3 for d in ALL_DATASETS if d.key in
+                   {"r1","r2","r3","r4","r5","r6","r7","r8","r9","s1","s2","s3","s4","s5","s6"})
+        assert all(d.order == 4 for d in ALL_DATASETS if d.key in
+                   {"r10","r11","r12","r13","r14","r15","s7","s8","s9","s10",
+                    "s11","s12","s13","s14","s15"})
+
+    def test_real_densities_decreasing_within_order(self):
+        # Table II(a) sorts by order then decreasing density.
+        third = [d.paper_density for d in REAL_DATASETS if d.order == 3]
+        fourth = [d.paper_density for d in REAL_DATASETS if d.order == 4]
+        assert third == sorted(third, reverse=True)
+        assert fourth == sorted(fourth, reverse=True)
+
+    def test_generators_assigned_as_in_paper(self):
+        assert get_dataset("s1").generator == "kron"
+        assert get_dataset("s9").generator == "kron"
+        assert get_dataset("s4").generator == "pl"
+        assert get_dataset("s15").generator == "pl"
+        assert all(d.generator == "standin" for d in REAL_DATASETS)
+
+    def test_lookup_by_key_and_name(self):
+        assert get_dataset("r4").name == "darpa"
+        assert get_dataset("nell2").key == "r2"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            get_dataset("r99")
+
+    def test_collection_filter(self):
+        assert len(datasets("real")) == 15
+        assert len(datasets("synthetic")) == 15
+        with pytest.raises(DatasetError):
+            datasets("imaginary")
+
+
+class TestScaling:
+    def test_short_modes_preserved(self):
+        spec = get_dataset("r1")  # vast: 165K x 11K x 2
+        dims = spec.scaled_dims(512)
+        assert dims[2] == 2  # semantic short mode unchanged
+        assert dims[0] < 165_000
+
+    def test_scale_one_is_paper_scale(self):
+        spec = get_dataset("r5")
+        assert spec.scaled_dims(1) == spec.paper_dims
+        assert spec.scaled_nnz(1) == spec.paper_nnz
+
+    def test_dims_capped_for_morton_codes(self):
+        for spec in ALL_DATASETS:
+            for d in spec.scaled_dims(512):
+                assert d <= MAX_SCALED_DIM
+
+    def test_nnz_floor(self):
+        spec = get_dataset("r11")  # 3M nnz
+        assert spec.scaled_nnz(10**9) == 1000
+
+    def test_density_ordering_roughly_preserved(self):
+        # The density ranking of scaled third-order real tensors keeps
+        # the densest (vast) densest and the sparsest (nell1) sparsest.
+        def scaled_density(spec):
+            dims = spec.scaled_dims(512)
+            cells = 1.0
+            for d in dims:
+                cells *= d
+            return spec.scaled_nnz(512) / cells
+
+        third = [d for d in REAL_DATASETS if d.order == 3]
+        densities = [scaled_density(d) for d in third]
+        assert densities[0] == max(densities)
+        assert densities[-1] == min(densities)
+
+
+class TestRealization:
+    @pytest.mark.parametrize("key", ["r1", "r4", "r12", "s1", "s4", "s13"])
+    def test_realize_matches_spec(self, key):
+        spec = get_dataset(key)
+        t = realize(key, scale_divisor=8192)
+        assert t.order == spec.order
+        assert t.shape == spec.scaled_dims(8192)
+        assert t.nnz >= 500
+
+    def test_deterministic(self):
+        a = realize("s4", scale_divisor=8192)
+        b = realize("s4", scale_divisor=8192)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_distinct_seeds_across_datasets(self):
+        assert get_dataset("r1").seed() != get_dataset("r2").seed()
+
+    def test_standin_marks_short_modes_dense(self):
+        t = realize("r5", scale_divisor=8192)  # fb-m: third mode is 166
+        covered = len(np.unique(t.indices[2]))
+        assert covered > 100  # short mode nearly fully covered
+
+
+class TestTable2:
+    def test_rows_cover_all_datasets(self):
+        rows = table2()
+        assert len(rows) == 30
+        assert rows[0]["Tensor"] == "vast"
+        assert rows[-1]["Tensor"] == "irr2L4d"
+
+    def test_row_fields(self):
+        row = dict(table2()[0])
+        assert set(row) == {
+            "No.", "Tensor", "Gen.", "Order", "Dimensions", "#Nnzs", "Density"
+        }
+
+    def test_collection_subset(self):
+        assert len(table2("synthetic")) == 15

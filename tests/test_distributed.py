@@ -1,0 +1,123 @@
+"""Tests for the distributed (multi-node) execution model."""
+
+import pytest
+
+from repro.core import make_schedule
+from repro.errors import PlatformError
+from repro.formats import CooTensor
+from repro.machine import (
+    CpuExecutionModel,
+    DistributedExecutionModel,
+)
+from repro.platforms import BLUESKY
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return CooTensor.random((200_000,) * 3, 2_000_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tew_schedule(tensor):
+    return make_schedule("COO-TEW-OMP", tensor)
+
+
+@pytest.fixture(scope="module")
+def mttkrp_schedule(tensor):
+    return make_schedule("COO-MTTKRP-OMP", tensor, mode=0, rank=16)
+
+
+class TestConstruction:
+    def test_accepts_cpu_and_gpu_platforms(self):
+        assert DistributedExecutionModel("bluesky", 4).num_nodes == 4
+        assert DistributedExecutionModel("dgx1v", 4).spec.is_gpu
+
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(PlatformError):
+            DistributedExecutionModel(BLUESKY, 0)
+        with pytest.raises(PlatformError):
+            DistributedExecutionModel(BLUESKY, 10_000)
+
+    def test_rejects_bad_network(self):
+        with pytest.raises(PlatformError):
+            DistributedExecutionModel(BLUESKY, 2, network_gbs=0.0)
+
+
+class TestScaling:
+    def test_single_node_matches_local_model(self, tew_schedule):
+        dist = DistributedExecutionModel(BLUESKY, 1).predict(tew_schedule)
+        local = CpuExecutionModel(BLUESKY).predict(tew_schedule)
+        assert dist.seconds == pytest.approx(local.seconds, rel=1e-6)
+        assert dist.communication_seconds == 0.0
+        assert dist.parallel_efficiency == pytest.approx(1.0)
+
+    def test_streaming_kernel_scales_at_distributed_scale(self, tew_schedule):
+        # Distributing a 24 MB kernel is latency-bound nonsense (the
+        # model says so too); at a cluster-worthy volume TEW scales.
+        big = tew_schedule.scaled(512)
+        curve = DistributedExecutionModel(BLUESKY, 16).scaling_curve(
+            big, [1, 2, 4, 8, 16]
+        )
+        speedup = curve[0].seconds / curve[-1].seconds
+        assert speedup > 8.0
+        seconds = [e.seconds for e in curve]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_mttkrp_pays_the_network_where_tew_does_not(
+        self, tew_schedule, mttkrp_schedule
+    ):
+        # TEW broadcasts nothing (its communication is pure ring
+        # latency) while MTTKRP broadcasts its factors and all-reduces
+        # its output — volume-driven communication.
+        model = DistributedExecutionModel(BLUESKY, 16)
+        tew = model.predict(tew_schedule.scaled(512))
+        mttkrp = model.predict(mttkrp_schedule.scaled(512))
+        assert mttkrp.communication_seconds > tew.communication_seconds
+        # And MTTKRP's communication tracks the operand volume: a kernel
+        # with 10x the factor bytes moves ~10x the data.
+        import dataclasses
+
+        inflated = dataclasses.replace(
+            mttkrp_schedule,
+            random_operand_bytes=mttkrp_schedule.random_operand_bytes * 10,
+        )
+        base = model.predict(mttkrp_schedule)
+        assert (
+            model.predict(inflated).communication_seconds
+            > base.communication_seconds * 5
+        )
+
+    def test_cluster_network_hurts_more_than_nvlink(self, mttkrp_schedule):
+        from repro.machine import MultiGpuExecutionModel
+        from repro.platforms import DGX_1V
+
+        nvlink = MultiGpuExecutionModel(DGX_1V, 8).predict(mttkrp_schedule)
+        cluster = DistributedExecutionModel(
+            DGX_1V, 8
+        ).predict(mttkrp_schedule)
+        assert (
+            cluster.communication_seconds > nvlink.communication_seconds
+        )
+
+    def test_faster_network_helps(self, mttkrp_schedule):
+        slow = DistributedExecutionModel(
+            BLUESKY, 8, network_gbs=5.0
+        ).predict(mttkrp_schedule)
+        fast = DistributedExecutionModel(
+            BLUESKY, 8, network_gbs=50.0
+        ).predict(mttkrp_schedule)
+        assert fast.seconds < slow.seconds
+
+    def test_latency_counts_for_tiny_kernels(self):
+        tiny = make_schedule(
+            "COO-TS-OMP", CooTensor.random((50, 50, 50), 200, seed=1)
+        )
+        est = DistributedExecutionModel(BLUESKY, 32).predict(tiny)
+        # Communication (pure latency here) dominates a microscopic kernel.
+        assert est.communication_seconds > est.compute_seconds
+
+    def test_estimate_metadata(self, tew_schedule):
+        est = DistributedExecutionModel(BLUESKY, 4).predict(tew_schedule)
+        assert "x4 nodes" in est.platform
+        assert est.gflops > 0
+        assert 0.0 < est.parallel_efficiency <= 1.0

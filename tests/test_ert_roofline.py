@@ -1,0 +1,125 @@
+"""Unit tests for the ERT sweep and Roofline model."""
+
+import pytest
+
+from repro.core.analysis import mttkrp_cost, tew_cost
+from repro.platforms import all_platforms, get_platform, run_ert, table3
+from repro.errors import PlatformError
+from repro.roofline import (
+    TABLE1_KERNEL_OI,
+    RooflineModel,
+    roofline_ascii,
+    roofline_text,
+)
+
+
+class TestPlatformLookup:
+    def test_by_name_and_alias(self):
+        assert get_platform("Bluesky").name == "Bluesky"
+        assert get_platform("DGX-1P").name == "DGX-1P"
+        assert get_platform("v100").name == "DGX-1V"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PlatformError):
+            get_platform("epyc")
+
+    def test_table3_rows(self):
+        rows = table3()
+        assert len(rows) == 4
+        assert rows[0]["Platform"] == "Bluesky"
+        assert rows[3]["Mem. BW"] == "900 GB/s"
+
+    def test_gpu_advantage_ranges(self):
+        # Paper: GPUs lead CPUs by ~4-12x peak and ~3-7x bandwidth.
+        cpus = [p for p in all_platforms() if not p.is_gpu]
+        gpus = [p for p in all_platforms() if p.is_gpu]
+        for gpu in gpus:
+            for cpu in cpus:
+                assert 4 <= gpu.peak_sp_tflops / cpu.peak_sp_tflops <= 15
+                assert 2.5 <= gpu.mem_bw_gbs / cpu.mem_bw_gbs <= 7
+
+
+class TestErt:
+    @pytest.mark.parametrize("platform", ["bluesky", "wingtip", "dgx1p", "dgx1v"])
+    def test_bandwidths_ordered_and_bounded(self, platform):
+        spec = get_platform(platform)
+        result = run_ert(spec)
+        assert result.llc_bandwidth_gbs > result.dram_bandwidth_gbs
+        assert result.dram_bandwidth_gbs < spec.mem_bw_gbs
+        assert result.dram_bandwidth_gbs > 0.5 * spec.mem_bw_gbs
+
+    def test_sweep_shape(self):
+        result = run_ert("bluesky", points=10)
+        assert len(result.sweep) >= 8
+        sizes = [s for s, _ in result.sweep]
+        assert sizes == sorted(sizes)
+
+    def test_small_sets_run_at_llc_speed(self):
+        result = run_ert("bluesky")
+        first_bw = result.sweep[0][1]
+        assert first_bw == pytest.approx(result.llc_bandwidth_gbs, rel=0.05)
+
+
+class TestRooflineModel:
+    def test_attainable_min_law(self):
+        model = RooflineModel.for_platform("bluesky")
+        low = model.attainable_gflops(0.01)
+        assert low == pytest.approx(
+            0.01 * model.bandwidth_ceilings_gbs["ERT-DRAM"]
+        )
+        high = model.attainable_gflops(1e6)
+        assert high == model.peak_gflops
+
+    def test_ridge_point(self):
+        model = RooflineModel.for_platform("dgx1v")
+        ridge = model.ridge_point("ERT-DRAM")
+        assert model.attainable_gflops(ridge) == pytest.approx(
+            model.peak_gflops, rel=0.01
+        )
+
+    def test_all_kernels_memory_bound(self):
+        # Paper Figure 3: every kernel OI is left of every ridge point.
+        for spec in all_platforms():
+            model = RooflineModel.for_platform(spec)
+            ridge = model.ridge_point("ERT-DRAM")
+            for oi in TABLE1_KERNEL_OI.values():
+                assert oi < ridge
+
+    def test_markers_on_the_dram_line(self):
+        model = RooflineModel.for_platform("wingtip")
+        for kernel, (oi, gflops) in model.kernel_markers().items():
+            assert gflops == pytest.approx(model.attainable_gflops(oi))
+
+    def test_series_monotone(self):
+        model = RooflineModel.for_platform("dgx1p")
+        series = model.series("ERT-DRAM")
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+    def test_roofline_performance_uses_exact_oi(self):
+        model = RooflineModel.for_platform("bluesky")
+        cost = tew_cost(10**6)
+        expected = (1 / 12) * model.bandwidth_ceilings_gbs["ERT-DRAM"]
+        assert model.roofline_performance(cost) == pytest.approx(expected)
+
+    def test_roofline_performance_format_aware(self):
+        model = RooflineModel.for_platform("bluesky")
+        cost = mttkrp_cost(10**6, 16, num_blocks=10**4, block_size=128)
+        # HiCOO moves fewer bytes -> higher OI -> higher roofline.
+        assert model.roofline_performance(cost, "HiCOO") > (
+            model.roofline_performance(cost, "COO")
+        )
+
+
+class TestReports:
+    def test_text_mentions_ceilings(self):
+        model = RooflineModel.for_platform("bluesky")
+        text = roofline_text(model)
+        assert "ERT-DRAM" in text
+        assert "MTTKRP" in text
+
+    def test_ascii_renders(self):
+        model = RooflineModel.for_platform("dgx1v")
+        art = roofline_ascii(model)
+        assert "DGX-1V" in art
+        assert art.count("\n") > 10

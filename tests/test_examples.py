@@ -1,0 +1,69 @@
+"""Smoke tests for the example scripts.
+
+Each example is executed in-process with its ``main()`` (so the editable
+install's import path applies) and its stdout spot-checked.  The heavier
+examples are exercised through their module functions on reduced sizes
+where needed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 4  # quickstart + >= 3 scenario examples
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Modeled GFLOPS" in out
+        assert "MTTKRP on DGX-1V" in out
+
+    def test_format_comparison_runs(self, capsys):
+        module = load_example("format_comparison")
+        module.main()
+        out = capsys.readouterr().out
+        assert "recommended general format" in out
+        assert "reordering (block occupancy)" in out
+
+    def test_tensor_decomposition_components(self, capsys):
+        module = load_example("tensor_decomposition")
+        module.run_power_method()
+        out = capsys.readouterr().out
+        assert "eigenvalue" in out
+
+    def test_roofline_analysis_pieces(self, capsys):
+        module = load_example("roofline_analysis")
+        # The full main() sweeps all platforms; the harness section alone
+        # exercises the example's distinctive path.
+        from repro.roofline import RooflineModel, roofline_text
+
+        print(roofline_text(RooflineModel.for_platform("bluesky")))
+        out = capsys.readouterr().out
+        assert "Roofline — Bluesky" in out
+
+    def test_synthetic_dataset_study_describe(self, capsys):
+        module = load_example("synthetic_dataset_study")
+        from repro.generators import kronecker_tensor
+
+        module.describe("probe", kronecker_tensor((512,) * 3, 2000, seed=0))
+        out = capsys.readouterr().out
+        assert "TTV[cpu/gpu]" in out

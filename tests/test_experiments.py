@@ -1,0 +1,89 @@
+"""Tests for the per-artifact experiment entry points."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig3,
+    run_kernel_figure,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.bench.formatting import format_gflops, format_table, results_table
+
+
+class TestTables:
+    def test_table1_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 5
+        assert result.rows[0]["Kernel"] == "TEW"
+        assert "1/12" not in result.report  # numeric OIs, not fractions
+        assert "0.0833" in result.report
+
+    def test_table2_rows(self):
+        result = run_table2(scale_divisor=512)
+        assert len(result.rows) == 30
+        assert result.rows[0]["Tensor"] == "vast"
+
+    def test_table3_rows(self):
+        result = run_table3()
+        assert len(result.rows) == 4
+        assert "Bluesky" in result.report
+        assert "V100" in result.report
+
+
+class TestFig3:
+    def test_four_platform_sections(self):
+        result = run_fig3()
+        for name in ("Bluesky", "Wingtip", "DGX-1P", "DGX-1V"):
+            assert name in result.report
+        # 3 ceilings + 5 markers per platform.
+        assert len(result.rows) == 4 * 8
+
+
+class TestKernelFigures:
+    def test_subset_figure(self):
+        result = run_kernel_figure(
+            "bluesky", scale_divisor=8192, dataset_keys=["r11", "s1"]
+        )
+        assert len(result.results) == 20
+        assert "Bluesky" in result.report
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_registry_contains_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig3", "fig4", "fig5", "fig6", "fig7",
+            "observations", "storage",
+        }
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([], title="nothing") == "nothing"
+
+    def test_format_gflops_ranges(self):
+        assert format_gflops(123.4) == "123"
+        assert format_gflops(12.34) == "12.3"
+        assert format_gflops(1.234) == "1.23"
+
+    def test_results_table(self):
+        result = run_kernel_figure(
+            "dgx1p", scale_divisor=8192, dataset_keys=["r11"]
+        )
+        text = results_table(result.results)
+        assert "MTTKRP" in text
+        assert "Eff." in text

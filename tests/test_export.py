@@ -1,0 +1,81 @@
+"""Tests for benchmark result export (CSV/JSON)."""
+
+import json
+
+import pytest
+
+from repro.bench.export import (
+    dumps_csv,
+    figure_series,
+    read_json,
+    record_to_result,
+    result_to_record,
+    write_csv,
+    write_json,
+)
+from repro.bench.harness import BenchmarkHarness
+
+
+@pytest.fixture(scope="module")
+def results():
+    harness = BenchmarkHarness("dgx1p", scale_divisor=8192)
+    return harness.run_suite(dataset_keys=["r11", "s1"])
+
+
+class TestCsv:
+    def test_header_and_rows(self, results):
+        text = dumps_csv(results)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("dataset,tensor_name,platform")
+        assert len(lines) == len(results) + 1
+
+    def test_write_to_path(self, results, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(results, path)
+        content = path.read_text()
+        assert "MTTKRP" in content
+        assert "r11" in content
+
+
+class TestJson:
+    def test_roundtrip(self, results, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(results, path, metadata={"scale_divisor": 8192})
+        loaded = read_json(path)
+        assert len(loaded) == len(results)
+        for original, restored in zip(results, loaded):
+            assert restored.dataset == original.dataset
+            assert restored.kernel == original.kernel
+            assert restored.gflops == pytest.approx(original.gflops, rel=1e-9)
+            assert restored.efficiency == pytest.approx(
+                original.efficiency, rel=1e-9
+            )
+
+    def test_metadata_preserved(self, results, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(results, path, metadata={"note": "test-run"})
+        document = json.loads(path.read_text())
+        assert document["metadata"]["note"] == "test-run"
+
+    def test_record_roundtrip_handles_missing_wallclock(self, results):
+        record = result_to_record(results[0])
+        assert record["measured_seconds"] is None
+        restored = record_to_result(record)
+        assert restored.measured_seconds is None
+        assert restored.measured_gflops is None
+
+
+class TestFigureSeries:
+    def test_series_structure(self, results):
+        series = figure_series(results)
+        assert "MTTKRP/HiCOO" in series
+        assert "TEW/COO" in series
+        bucket = series["TEW/COO"]
+        assert bucket["labels"] == ["r11", "s1"]
+        assert len(bucket["gflops"]) == 2
+        assert len(bucket["roofline"]) == 2
+
+    def test_all_cells_covered(self, results):
+        series = figure_series(results)
+        total = sum(len(b["labels"]) for b in series.values())
+        assert total == len(results)

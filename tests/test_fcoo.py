@@ -1,0 +1,131 @@
+"""Unit tests for the F-COO (flagged COO) format and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import ttm_coo, ttv_coo
+from repro.errors import ModeError, TensorShapeError
+from repro.formats import CooTensor, FcooTensor, segmented_sum, ttm_fcoo, ttv_fcoo
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_roundtrip_every_product_mode(self, tensor3, mode):
+        f = FcooTensor.from_coo(tensor3, mode)
+        assert f.to_coo().allclose(tensor3)
+        assert f.product_mode == mode
+
+    def test_fourth_order_roundtrip(self, tensor4):
+        f = FcooTensor.from_coo(tensor4, 2)
+        assert f.to_coo().allclose(tensor4)
+
+    def test_flag_count_equals_fiber_count(self, tensor3):
+        for mode in range(3):
+            f = FcooTensor.from_coo(tensor3, mode)
+            assert f.num_fibers == tensor3.num_fibers(mode)
+
+    def test_fiber_pointer_spans_nnz(self, tensor3):
+        f = FcooTensor.from_coo(tensor3, 1)
+        fptr = f.fiber_pointer()
+        assert fptr[0] == 0
+        assert fptr[-1] == tensor3.nnz
+        assert np.all(np.diff(fptr) >= 1)
+
+    def test_first_flag_always_set(self, tensor3):
+        f = FcooTensor.from_coo(tensor3, 0)
+        assert bool(f.bit_flags[0])
+
+    def test_storage_smaller_than_coo_with_long_fibers(self):
+        t = CooTensor.from_dense(np.ones((8, 8, 64), dtype=np.float32))
+        f = FcooTensor.from_coo(t, 2)
+        assert f.storage_bytes() < t.storage_bytes()
+
+    def test_storage_larger_when_fibers_singleton(self):
+        # One nonzero per fiber: flags plus full start indices lose.
+        t = CooTensor.random((100_000, 100_000, 100_000), 500, seed=1)
+        f = FcooTensor.from_coo(t, 2)
+        assert f.num_fibers == t.nnz
+
+    def test_empty(self):
+        f = FcooTensor.from_coo(CooTensor.empty((4, 4, 4)), 0)
+        assert f.nnz == 0
+        assert f.to_coo().nnz == 0
+
+    def test_validation_rejects_unflagged_first(self, tensor3):
+        f = FcooTensor.from_coo(tensor3, 0)
+        bad_flags = f.bit_flags.copy()
+        bad_flags[0] = False
+        with pytest.raises(TensorShapeError):
+            FcooTensor(
+                f.shape, f.product_mode, f.product_indices, bad_flags,
+                f.start_indices, f.values,
+            )
+
+    def test_validation_rejects_bad_mode(self, tensor3):
+        f = FcooTensor.from_coo(tensor3, 0)
+        with pytest.raises(ModeError):
+            FcooTensor(
+                f.shape, 9, f.product_indices, f.bit_flags,
+                f.start_indices, f.values,
+            )
+
+
+class TestSegmentedSum:
+    def test_basic(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        flags = np.array([True, False, True, False])
+        assert segmented_sum(values, flags).tolist() == [3.0, 7.0]
+
+    def test_2d_rows(self):
+        values = np.ones((4, 3))
+        flags = np.array([True, True, False, False])
+        out = segmented_sum(values, flags)
+        assert out.shape == (2, 3)
+        assert np.allclose(out[1], 3.0)
+
+    def test_empty(self):
+        out = segmented_sum(np.empty(0), np.empty(0, dtype=bool))
+        assert out.shape == (0,)
+
+    def test_rejects_unflagged_start(self):
+        with pytest.raises(TensorShapeError):
+            segmented_sum(np.ones(2), np.array([False, True]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(TensorShapeError):
+            segmented_sum(np.ones(3), np.array([True, False]))
+
+
+class TestFcooKernels:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_ttv_matches_coo(self, tensor3, rng, mode):
+        f = FcooTensor.from_coo(tensor3, mode)
+        v = rng.uniform(0.5, 1.5, size=tensor3.shape[mode]).astype(np.float32)
+        assert ttv_fcoo(f, v).allclose(ttv_coo(tensor3, v, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_ttm_matches_coo(self, tensor3, rng, mode):
+        f = FcooTensor.from_coo(tensor3, mode)
+        u = rng.uniform(0.5, 1.5, size=(tensor3.shape[mode], 6)).astype(np.float32)
+        assert np.allclose(
+            ttm_fcoo(f, u).to_dense(),
+            ttm_coo(tensor3, u, mode).to_dense(),
+            rtol=1e-3,
+            atol=1e-4,
+        )
+
+    def test_ttv_rejects_wrong_vector(self, tensor3, rng):
+        f = FcooTensor.from_coo(tensor3, 0)
+        with pytest.raises(TensorShapeError):
+            ttv_fcoo(f, np.ones(3, dtype=np.float32))
+
+    def test_ttm_rejects_wrong_matrix(self, tensor3):
+        f = FcooTensor.from_coo(tensor3, 0)
+        with pytest.raises(TensorShapeError):
+            ttm_fcoo(f, np.ones((3, 2), dtype=np.float32))
+
+    def test_ttv_empty(self):
+        f = FcooTensor.from_coo(CooTensor.empty((4, 5, 6)), 2)
+        out = ttv_fcoo(f, np.ones(6, dtype=np.float32))
+        assert out.nnz == 0
+        assert out.shape == (4, 5)

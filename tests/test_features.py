@@ -1,0 +1,136 @@
+"""Tests for tensor feature extraction and synthetic matching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.features import (
+    TensorFeatures,
+    extract_features,
+    feature_distance,
+    fit_powerlaw_alpha,
+    synthesize_like,
+)
+from repro.errors import TensorShapeError
+from repro.formats import CooTensor
+from repro.generators import powerlaw_tensor
+
+
+@pytest.fixture(scope="module")
+def irregular():
+    """A power-law tensor with a short dense mode (irr*-style)."""
+    return powerlaw_tensor(
+        (30_000, 30_000, 64), 40_000, alpha=2.0, dense_modes=(2,), seed=0
+    )
+
+
+class TestFitAlpha:
+    def test_recovers_known_exponent(self):
+        # Degrees drawn from a pure power law with alpha = 2.5.  The
+        # continuous MLE on floor()-discretized data carries a known
+        # downward bias of ~10% at d_min = 2, hence the tolerance.
+        rng = np.random.default_rng(0)
+        u = rng.random(20_000)
+        degrees = np.floor((1 - u) ** (-1.0 / 1.5)).astype(int)
+        fitted = fit_powerlaw_alpha(degrees)
+        assert fitted == pytest.approx(2.5, abs=0.4)
+        # Raising d_min shrinks the discretization bias.
+        closer = fit_powerlaw_alpha(degrees, minimum_degree=5)
+        assert abs(closer - 2.5) <= abs(fitted - 2.5) + 0.05
+
+    def test_too_few_samples_nan(self):
+        assert np.isnan(fit_powerlaw_alpha(np.array([3, 4, 5])))
+
+    def test_all_degree_one_gives_nan(self):
+        # No degrees reach the fit's minimum of 2: nothing to fit.
+        assert np.isnan(fit_powerlaw_alpha(np.ones(1000, dtype=int)))
+
+
+class TestExtractFeatures:
+    def test_basic_fields(self, irregular):
+        f = extract_features(irregular)
+        assert f.shape == irregular.shape
+        assert f.nnz == irregular.nnz
+        assert f.order == 3
+        assert len(f.degree_skew) == 3
+        assert len(f.fiber_counts) == 3
+
+    def test_detects_dense_mode(self, irregular):
+        f = extract_features(irregular)
+        assert 2 in f.dense_modes
+        assert 0 not in f.dense_modes
+
+    def test_sparse_modes_show_skew(self, irregular):
+        f = extract_features(irregular)
+        assert f.degree_skew[0] > 5.0
+        assert f.degree_skew[2] < f.degree_skew[0]
+
+    def test_alpha_fitted_for_sparse_modes(self, irregular):
+        f = extract_features(irregular)
+        assert not np.isnan(f.alpha[0])
+        assert 1.0 < f.alpha[0] < 4.0
+        assert np.isnan(f.alpha[2])  # dense mode: no power law fit
+
+    def test_summary_text(self, irregular):
+        text = extract_features(irregular).summary()
+        assert "order 3" in text
+        assert "dense modes" in text
+
+    def test_uniform_tensor_low_skew(self):
+        # Dims much larger than nnz: coverage is low (modes stay sparse)
+        # and degrees are near-uniform (low skew).
+        t = CooTensor.random((50_000, 50_000, 50_000), 10_000, seed=1)
+        f = extract_features(t)
+        assert all(s < 5.0 for s in f.degree_skew)
+        assert f.dense_modes == ()
+
+
+class TestSynthesizeLike:
+    def test_stand_in_matches_profile(self, irregular):
+        target = extract_features(irregular)
+        stand_in = synthesize_like(target, seed=1)
+        candidate = extract_features(stand_in)
+        assert candidate.dense_modes == target.dense_modes
+        assert feature_distance(target, candidate) < 0.5
+
+    def test_scaled_stand_in(self, irregular):
+        target = extract_features(irregular)
+        small = synthesize_like(target, seed=2, scale=0.1)
+        assert small.nnz == pytest.approx(target.nnz * 0.1, rel=0.05)
+        assert small.shape[2] == 64  # dense mode size preserved
+
+    def test_rejects_bad_scale(self, irregular):
+        target = extract_features(irregular)
+        with pytest.raises(TensorShapeError):
+            synthesize_like(target, scale=0.0)
+
+    def test_rejects_all_dense_profile(self):
+        profile = TensorFeatures(
+            shape=(4, 4),
+            nnz=16,
+            density=1.0,
+            dense_modes=(0, 1),
+            degree_skew=(1.0, 1.0),
+            alpha=(float("nan"), float("nan")),
+            fiber_counts=(4, 4),
+            block_occupancy=16.0,
+        )
+        with pytest.raises(TensorShapeError):
+            synthesize_like(profile)
+
+
+class TestFeatureDistance:
+    def test_identity(self, irregular):
+        f = extract_features(irregular)
+        assert feature_distance(f, f) == 0.0
+
+    def test_order_mismatch_infinite(self, irregular):
+        f = extract_features(irregular)
+        other = extract_features(CooTensor.random((50, 50), 100, seed=3))
+        assert feature_distance(f, other) == float("inf")
+
+    def test_different_structures_far_apart(self, irregular):
+        f = extract_features(irregular)
+        uniform = extract_features(
+            CooTensor.random((30_000, 30_000, 30_000), 40_000, seed=4)
+        )
+        assert feature_distance(f, uniform) > feature_distance(f, f)

@@ -1,0 +1,206 @@
+"""Unit tests for the synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.generators import (
+    default_initiator,
+    degree_tail_ratio,
+    expected_cell_probabilities,
+    kronecker_levels_for_shape,
+    kronecker_tensor,
+    lift_tensor,
+    mode_degree_distribution,
+    powerlaw_edge_stream,
+    powerlaw_indices,
+    powerlaw_tensor,
+    sample_kronecker_coordinates,
+)
+from repro.formats import CooTensor
+
+
+class TestDefaultInitiator:
+    def test_normalized(self):
+        for order in (2, 3, 4):
+            init = default_initiator(order)
+            assert init.shape == (2,) * order
+            assert init.sum() == pytest.approx(1.0)
+
+    def test_skewed_toward_origin(self):
+        init = default_initiator(3)
+        assert init[0, 0, 0] == init.max()
+        assert init[1, 1, 1] == init.min()
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(TensorShapeError):
+            default_initiator(0)
+
+
+class TestKroneckerSampler:
+    def test_sampler_matches_exact_distribution(self):
+        # Chi-square style check: empirical cell frequencies of the
+        # sampler track the exact Kronecker power probabilities.
+        rng = np.random.default_rng(0)
+        init = default_initiator(2)
+        levels = 3
+        exact = expected_cell_probabilities(init, levels)
+        n = 200_000
+        coords = sample_kronecker_coordinates(init, levels, n, rng)
+        counts = np.zeros(exact.shape)
+        np.add.at(counts, tuple(coords), 1.0)
+        empirical = counts / n
+        # Compare the most likely cells (rare cells are noisy).
+        top = exact > exact.max() / 50
+        assert np.allclose(empirical[top], exact[top], rtol=0.15)
+
+    def test_coordinates_within_power_range(self):
+        rng = np.random.default_rng(1)
+        coords = sample_kronecker_coordinates(default_initiator(3), 5, 1000, rng)
+        assert coords.max() < 2**5
+        assert coords.min() >= 0
+
+
+class TestKroneckerTensor:
+    def test_requested_nnz_and_shape(self):
+        t = kronecker_tensor((256, 256, 256), 2000, seed=0)
+        assert t.shape == (256, 256, 256)
+        assert t.nnz == 2000
+        assert np.unique(t.indices, axis=1).shape[1] == 2000
+
+    def test_non_power_of_two_shape_stripped(self):
+        t = kronecker_tensor((100, 300, 50), 1500, seed=1)
+        assert t.shape == (100, 300, 50)
+        for mode, size in enumerate(t.shape):
+            assert t.indices[mode].max() < size
+
+    def test_fourth_order(self):
+        t = kronecker_tensor((64, 64, 64, 64), 1000, seed=2)
+        assert t.order == 4
+        assert t.nnz == 1000
+
+    def test_deterministic(self):
+        a = kronecker_tensor((128, 128, 128), 500, seed=3)
+        b = kronecker_tensor((128, 128, 128), 500, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_power_law_degree_tail(self):
+        # Kronecker graphs are heavy-tailed: hubs dominate the mean.
+        t = kronecker_tensor((1024, 1024, 1024), 20_000, seed=4)
+        assert degree_tail_ratio(t, 0) > 5.0
+
+    def test_rejects_overfull(self):
+        with pytest.raises(TensorShapeError):
+            kronecker_tensor((2, 2, 2), 100, seed=0)
+
+    def test_rejects_wrong_initiator_order(self):
+        with pytest.raises(TensorShapeError):
+            kronecker_tensor((8, 8, 8), 10, initiator=default_initiator(2))
+
+    def test_levels_helper(self):
+        assert kronecker_levels_for_shape((8, 8, 8), (2, 2, 2)) == 3
+        assert kronecker_levels_for_shape((9, 8, 8), (2, 2, 2)) == 4
+
+
+class TestPowerlawIndices:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        idx = powerlaw_indices(1000, 50_000, 2.0, rng)
+        assert idx.min() >= 0
+        assert idx.max() < 1000
+
+    def test_heavy_head(self):
+        rng = np.random.default_rng(1)
+        idx = powerlaw_indices(10_000, 100_000, 2.0, rng)
+        counts = np.bincount(idx, minlength=10_000)
+        # Index 0 is the hottest hub by construction.
+        assert counts[0] == counts.max()
+        assert counts[0] > 20 * counts[counts > 0].mean()
+
+    def test_alpha_one_special_case(self):
+        rng = np.random.default_rng(2)
+        idx = powerlaw_indices(1000, 10_000, 1.0, rng)
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_flatter_alpha_spreads_more(self):
+        rng = np.random.default_rng(3)
+        steep = powerlaw_indices(10_000, 50_000, 2.5, rng)
+        flat = powerlaw_indices(10_000, 50_000, 0.5, rng)
+        assert len(np.unique(flat)) > len(np.unique(steep))
+
+    def test_size_one(self):
+        rng = np.random.default_rng(4)
+        assert np.all(powerlaw_indices(1, 100, 2.0, rng) == 0)
+
+    def test_rejects_bad_params(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(TensorShapeError):
+            powerlaw_indices(0, 10, 2.0, rng)
+        with pytest.raises(TensorShapeError):
+            powerlaw_indices(10, 10, -1.0, rng)
+
+
+class TestPowerlawTensor:
+    def test_requested_nnz_distinct(self):
+        t = powerlaw_tensor((5000, 5000, 64), 10_000, dense_modes=(2,), seed=0)
+        assert t.nnz == 10_000
+        assert np.unique(t.indices, axis=1).shape[1] == 10_000
+
+    def test_dense_mode_fully_covered(self):
+        t = powerlaw_tensor((5000, 5000, 16), 5_000, dense_modes=(2,), seed=1)
+        assert len(np.unique(t.indices[2])) == 16
+
+    def test_sparse_modes_heavy_tailed(self):
+        t = powerlaw_tensor((50_000, 50_000, 64), 20_000, dense_modes=(2,), seed=2)
+        assert degree_tail_ratio(t, 0) > 5.0
+
+    def test_deterministic(self):
+        a = powerlaw_tensor((1000, 1000), 500, seed=3)
+        b = powerlaw_tensor((1000, 1000), 500, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_adaptive_flattening_for_dense_targets(self):
+        # Nearly half the cells requested: only possible because the
+        # generator flattens its bias when the hubs saturate.
+        t = powerlaw_tensor((64, 64), 1800, seed=4)
+        assert t.nnz == 1800
+
+    def test_rejects_overfull(self):
+        with pytest.raises(TensorShapeError):
+            powerlaw_tensor((4, 4), 17, seed=0)
+
+    def test_edge_stream_keeps_duplicates(self):
+        stream = powerlaw_edge_stream((100, 100), 5000, seed=5)
+        assert stream.shape == (2, 5000)
+        assert np.unique(stream, axis=1).shape[1] < 5000
+
+
+class TestLiftTensor:
+    def test_adds_a_mode(self):
+        base = powerlaw_tensor((500, 500), 2000, seed=0)
+        lifted = lift_tensor(base, 32, 8, seed=1)
+        assert lifted.order == 3
+        assert lifted.shape == (500, 500, 32)
+        assert len(np.unique(lifted.indices[2])) == 8
+
+    def test_slices_derive_from_base_pattern(self):
+        base = powerlaw_tensor((200, 200), 500, seed=2)
+        lifted = lift_tensor(base, 10, 3, seed=3)
+        base_keys = {tuple(base.indices[:, i]) for i in range(base.nnz)}
+        for i in range(lifted.nnz):
+            assert tuple(lifted.indices[:2, i]) in base_keys
+
+    def test_rejects_bad_slice_count(self):
+        base = powerlaw_tensor((100, 100), 100, seed=4)
+        with pytest.raises(TensorShapeError):
+            lift_tensor(base, 4, 5)
+
+
+class TestDegreeStats:
+    def test_distribution_sums_to_nnz(self, tensor3):
+        for mode in range(3):
+            assert mode_degree_distribution(tensor3, mode).sum() == tensor3.nnz
+
+    def test_tail_ratio_of_empty(self):
+        t = CooTensor.empty((5, 5))
+        assert degree_tail_ratio(t, 0) == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the generalized HiCOO (gHiCOO) format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError, TensorShapeError
+from repro.formats import CooTensor, GHicooTensor
+from repro.formats.storage import ghicoo_storage_bytes
+
+
+class TestConversion:
+    @pytest.mark.parametrize("compressed", [[0], [1], [2], [0, 1], [0, 2], [1, 2], [0, 1, 2]])
+    def test_roundtrip_any_mode_subset(self, tensor3, compressed):
+        g = GHicooTensor.from_coo(tensor3, compressed, 8)
+        assert g.to_coo().allclose(tensor3)
+
+    def test_roundtrip_fourth_order(self, tensor4):
+        g = GHicooTensor.from_coo(tensor4, [0, 2], 4)
+        assert g.to_coo().allclose(tensor4)
+
+    def test_negative_mode_alias(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [-1], 8)
+        assert g.compressed_modes == (2,)
+        assert g.uncompressed_modes == (0, 1)
+
+    def test_rejects_empty_mode_set(self, tensor3):
+        with pytest.raises(ModeError):
+            GHicooTensor.from_coo(tensor3, [], 8)
+
+    def test_empty_tensor(self):
+        g = GHicooTensor.from_coo(CooTensor.empty((4, 4, 4)), [0, 1], 2)
+        assert g.nnz == 0
+        assert g.to_coo().nnz == 0
+
+
+class TestBlockStructure:
+    def test_blocks_defined_by_compressed_modes_only(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        # Distinct (i//8, j//8) pairs across nonzeros = block count.
+        blocks = np.unique(tensor3.indices[[0, 1]] // 8, axis=1)
+        assert g.num_blocks == blocks.shape[1]
+
+    def test_fewer_blocks_than_full_hicoo_possible(self, tensor3):
+        from repro.formats import HicooTensor
+
+        full = HicooTensor.from_coo(tensor3, 8)
+        partial = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        assert partial.num_blocks <= full.num_blocks
+
+    def test_nnz_per_block_sums(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 2], 8)
+        assert g.nnz_per_block().sum() == tensor3.nnz
+
+
+class TestUncompressedAccess:
+    def test_uncompressed_index_matches_coo(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        expanded = g.to_coo()
+        assert np.array_equal(g.uncompressed_index(2), expanded.indices[2])
+
+    def test_uncompressed_index_rejects_compressed_mode(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        with pytest.raises(ModeError):
+            g.uncompressed_index(0)
+
+
+class TestStorage:
+    def test_matches_closed_form(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        assert g.storage_bytes() == ghicoo_storage_bytes(
+            2, 1, g.nnz, g.num_blocks
+        )
+
+    def test_repr(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        assert "compressed=(0, 1)" in repr(g)
+
+
+class TestValidation:
+    def test_rejects_cinds_shape_mismatch(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        with pytest.raises(TensorShapeError):
+            GHicooTensor(
+                g.shape, g.block_size, g.compressed_modes, g.bptr,
+                g.binds, g.einds, g.cinds[:, :-1], g.values,
+            )
+
+    def test_rejects_out_of_range_compressed_mode(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [0], 8)
+        with pytest.raises(ModeError):
+            GHicooTensor(
+                g.shape, g.block_size, (7,), g.bptr, g.binds, g.einds,
+                g.cinds, g.values,
+            )

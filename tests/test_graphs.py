@@ -1,0 +1,113 @@
+"""Tests for the generator graph-property validators (paper Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.formats import CooTensor
+from repro.generators import kronecker_tensor, powerlaw_tensor
+from repro.generators.graphs import (
+    degree_powerlaw_pvalue_proxy,
+    generator_profile,
+    mode_pair_edges,
+    sampled_clustering_coefficient,
+    sampled_effective_diameter,
+)
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker_tensor((65536,) * 3, 30_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def powerlaw():
+    return powerlaw_tensor((65536, 65536, 64), 30_000, dense_modes=(2,), seed=1)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return CooTensor.random((65536, 65536, 64), 30_000, seed=2)
+
+
+class TestModePairEdges:
+    def test_distinct_edges(self, kron):
+        edges = mode_pair_edges(kron, 0, 1)
+        assert np.unique(edges, axis=1).shape[1] == edges.shape[1]
+
+    def test_rejects_same_mode(self, kron):
+        with pytest.raises(TensorShapeError):
+            mode_pair_edges(kron, 1, 1)
+
+
+class TestTailConcentration:
+    def test_uniform_baseline_is_low(self, uniform):
+        # Uniform degrees: the top 1% own roughly 1-3% of incidence.
+        proxy = degree_powerlaw_pvalue_proxy(
+            np.bincount(uniform.indices[0])
+        )
+        assert proxy < 0.1
+
+    def test_generators_are_heavy_tailed(self, kron, powerlaw):
+        for tensor in (kron, powerlaw):
+            proxy = degree_powerlaw_pvalue_proxy(
+                np.bincount(tensor.indices[0])
+            )
+            assert proxy > 0.08
+
+    def test_powerlaw_heavier_than_kronecker(self, kron, powerlaw):
+        pk = degree_powerlaw_pvalue_proxy(np.bincount(kron.indices[0]))
+        pp = degree_powerlaw_pvalue_proxy(np.bincount(powerlaw.indices[0]))
+        assert pp > pk
+
+    def test_empty_degrees(self):
+        assert degree_powerlaw_pvalue_proxy(np.zeros(10, dtype=int)) == 0.0
+
+
+class TestClustering:
+    def test_kronecker_clusters_far_above_random(self, kron):
+        # Paper: Kronecker graphs "have a high average clustering
+        # coefficient" — versus an Erdos-Renyi graph of the same density,
+        # whose expected clustering equals the edge density (~7e-6 here).
+        clustering = sampled_clustering_coefficient(kron, seed=3)
+        er_baseline = 30_000 / (65536.0 * 65536.0)
+        assert clustering > er_baseline * 10
+
+    def test_uniform_graph_clusters_near_zero(self, uniform):
+        clustering = sampled_clustering_coefficient(uniform, seed=4)
+        assert clustering < 0.01
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((10, 10))
+        assert sampled_clustering_coefficient(t) == 0.0
+
+    def test_triangle_clusters_fully(self):
+        indices = np.array([[0, 1, 2], [1, 2, 0]])
+        t = CooTensor((3, 3), indices, np.ones(3, dtype=np.float32))
+        assert sampled_clustering_coefficient(t, samples=3, seed=0) == 1.0
+
+
+class TestEffectiveDiameter:
+    def test_generators_have_small_diameter(self, kron, powerlaw):
+        # Paper: the generated graphs "exhibit a small diameter".
+        assert sampled_effective_diameter(kron, seed=5) <= 10
+        assert sampled_effective_diameter(powerlaw, seed=5) <= 6
+
+    def test_path_graph_has_large_diameter(self):
+        n = 64
+        indices = np.vstack([np.arange(n - 1), np.arange(1, n)])
+        t = CooTensor((n, n), indices, np.ones(n - 1, dtype=np.float32))
+        assert sampled_effective_diameter(t, sources=8, seed=6) > 10
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((10, 10))
+        assert sampled_effective_diameter(t) == float("inf")
+
+
+class TestGeneratorProfile:
+    def test_profile_fields(self, kron):
+        profile = generator_profile(kron, seed=7)
+        assert set(profile) == {
+            "tail_concentration", "clustering", "effective_diameter"
+        }
+        assert all(v >= 0 for v in profile.values())

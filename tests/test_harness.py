@@ -1,0 +1,104 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkHarness,
+    average_efficiency,
+    average_gflops,
+)
+
+SCALE = 8192  # tiny datasets: harness mechanics only
+
+
+@pytest.fixture(scope="module")
+def cpu_harness():
+    return BenchmarkHarness("bluesky", scale_divisor=SCALE)
+
+
+@pytest.fixture(scope="module")
+def gpu_harness():
+    return BenchmarkHarness("dgx1v", scale_divisor=SCALE)
+
+
+class TestHarnessBasics:
+    def test_target_suffix(self, cpu_harness, gpu_harness):
+        assert cpu_harness.target == "OMP"
+        assert gpu_harness.target == "GPU"
+
+    def test_scaled_llc(self, cpu_harness):
+        assert cpu_harness.model.spec.llc_bytes < cpu_harness.spec.llc_bytes
+        assert cpu_harness.model.spec.llc_bytes >= 4096
+
+    def test_tensor_cache_returns_same_object(self, cpu_harness):
+        from repro.datasets import get_dataset
+
+        spec = get_dataset("r11")
+        assert cpu_harness.tensor(spec) is cpu_harness.tensor(spec)
+        assert cpu_harness.hicoo_tensor(spec) is cpu_harness.hicoo_tensor(spec)
+
+
+class TestRunCell:
+    @pytest.mark.parametrize("kernel", ["TEW", "TS", "TTV", "TTM", "MTTKRP"])
+    @pytest.mark.parametrize("fmt", ["COO", "HiCOO"])
+    def test_every_kernel_format_cell(self, cpu_harness, kernel, fmt):
+        r = cpu_harness.run_cell("r11", kernel, fmt)
+        assert r.gflops > 0
+        assert r.roofline_gflops > 0
+        assert r.efficiency > 0
+        assert r.kernel == kernel
+        assert r.tensor_format == fmt
+        assert r.platform == "Bluesky"
+
+    def test_gpu_cell(self, gpu_harness):
+        r = gpu_harness.run_cell("r11", "MTTKRP", "COO")
+        assert r.modeled.algorithm == "COO-MTTKRP-GPU"
+
+    def test_mode_averaging_flops(self, cpu_harness):
+        # TTV flops are 2M regardless of mode, so the average equals 2M.
+        r = cpu_harness.run_cell("r11", "TTV", "COO")
+        x = cpu_harness.tensor(
+            __import__("repro.datasets", fromlist=["get_dataset"]).get_dataset("r11")
+        )
+        assert r.modeled.flops == 2 * x.nnz
+
+    def test_wallclock_measurement(self):
+        h = BenchmarkHarness(
+            "bluesky",
+            scale_divisor=SCALE,
+            measure_wallclock=True,
+            wallclock_repeats=1,
+        )
+        r = h.run_cell("r11", "TS", "COO")
+        assert r.measured_seconds is not None
+        assert r.measured_seconds > 0
+        assert r.measured_gflops is not None
+
+    def test_no_wallclock_by_default(self, cpu_harness):
+        r = cpu_harness.run_cell("r11", "TS", "COO")
+        assert r.measured_seconds is None
+        assert r.measured_gflops is None
+
+
+class TestRunSuite:
+    def test_run_dataset_produces_all_cells(self, cpu_harness):
+        results = cpu_harness.run_dataset("r12")
+        assert len(results) == 10  # 5 kernels x 2 formats
+
+    def test_run_suite_subset(self, cpu_harness):
+        results = cpu_harness.run_suite(dataset_keys=["r11", "s1"])
+        assert len(results) == 20
+        assert {r.dataset for r in results} == {"r11", "s1"}
+
+    def test_kernel_and_format_filters(self, cpu_harness):
+        results = cpu_harness.run_suite(
+            dataset_keys=["r11"], kernels=["TS"], formats=["COO"]
+        )
+        assert len(results) == 1
+
+    def test_averages(self, cpu_harness):
+        results = cpu_harness.run_suite(dataset_keys=["r11", "r12"])
+        avg = average_gflops(results)
+        eff = average_efficiency(results)
+        assert set(avg) == set(eff)
+        assert all(v > 0 for v in avg.values())

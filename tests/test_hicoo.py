@@ -1,0 +1,155 @@
+"""Unit tests for the HiCOO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatParameterError, TensorShapeError
+from repro.formats import CooTensor, HicooTensor, blocks_histogram
+from repro.formats.hicoo import check_block_size
+from repro.formats.morton import morton_encode
+from repro.formats.storage import hicoo_storage_bytes
+
+
+class TestBlockSizeValidation:
+    @pytest.mark.parametrize("block", [1, 2, 4, 8, 64, 128, 256])
+    def test_accepts_powers_of_two(self, block):
+        assert check_block_size(block) == block
+
+    @pytest.mark.parametrize("block", [0, -4, 3, 5, 100, 257, 512])
+    def test_rejects_invalid(self, block):
+        with pytest.raises(FormatParameterError):
+            check_block_size(block)
+
+
+class TestConversion:
+    def test_roundtrip(self, tensor3, hicoo3):
+        assert hicoo3.to_coo().allclose(tensor3)
+
+    def test_roundtrip_various_block_sizes(self, tensor3):
+        for block in (1, 2, 16, 128):
+            h = HicooTensor.from_coo(tensor3, block)
+            assert h.to_coo().allclose(tensor3)
+
+    def test_roundtrip_fourth_order(self, tensor4):
+        h = HicooTensor.from_coo(tensor4, 4)
+        assert h.to_coo().allclose(tensor4)
+
+    def test_nnz_preserved(self, tensor3, hicoo3):
+        assert hicoo3.nnz == tensor3.nnz
+
+    def test_element_indices_bounded(self, hicoo3):
+        assert hicoo3.einds.max() < hicoo3.block_size
+        assert hicoo3.einds.dtype == np.uint8
+
+    def test_blocks_in_morton_order(self, hicoo3):
+        codes = morton_encode(hicoo3.binds.astype(np.int64))
+        assert np.all(np.diff(codes) > 0)  # strictly increasing: unique blocks
+
+    def test_full_indices_match(self, tensor3, hicoo3):
+        reconstructed = CooTensor(
+            tensor3.shape, hicoo3.full_indices(), hicoo3.values
+        )
+        assert reconstructed.allclose(tensor3)
+
+    def test_block_of_nonzero(self, hicoo3):
+        owners = hicoo3.block_of_nonzero()
+        assert owners.shape == (hicoo3.nnz,)
+        counts = np.bincount(owners, minlength=hicoo3.num_blocks)
+        assert np.array_equal(counts, hicoo3.nnz_per_block())
+
+    def test_empty_tensor(self):
+        h = HicooTensor.from_coo(CooTensor.empty((5, 5)), 2)
+        assert h.num_blocks == 0
+        assert h.to_coo().nnz == 0
+
+
+class TestBlockStatistics:
+    def test_bptr_covers_all_nonzeros(self, hicoo3):
+        assert hicoo3.bptr[0] == 0
+        assert hicoo3.bptr[-1] == hicoo3.nnz
+        assert np.all(hicoo3.nnz_per_block() >= 1)
+
+    def test_occupancy(self, hicoo3):
+        expected = hicoo3.nnz / hicoo3.num_blocks
+        assert hicoo3.average_block_occupancy() == pytest.approx(expected)
+
+    def test_occupancy_empty(self):
+        h = HicooTensor.from_coo(CooTensor.empty((5, 5)), 2)
+        assert h.average_block_occupancy() == 0.0
+
+    def test_block_count_monotone_in_block_size(self, tensor3):
+        # Bigger blocks can only merge, never split.
+        blocks = [
+            HicooTensor.from_coo(tensor3, b).num_blocks for b in (1, 4, 16, 64)
+        ]
+        assert blocks == sorted(blocks, reverse=True)
+
+    def test_histogram_covers_all_blocks(self, hicoo3):
+        counts, _edges = blocks_histogram(hicoo3)
+        assert counts.sum() == hicoo3.num_blocks
+
+
+class TestStorage:
+    def test_storage_matches_closed_form(self, tensor3, hicoo3):
+        assert hicoo3.storage_bytes() == hicoo_storage_bytes(
+            hicoo3.order, hicoo3.nnz, hicoo3.num_blocks
+        )
+
+    def test_compression_on_clustered_tensor(self):
+        # A tensor whose nonzeros pack densely into blocks compresses well.
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 8, size=(3, 2000))
+        dense_block = CooTensor(
+            (64, 64, 64),
+            np.unique(base, axis=1),
+            np.ones(np.unique(base, axis=1).shape[1], dtype=np.float32),
+        )
+        h = HicooTensor.from_coo(dense_block, 8)
+        assert h.compression_ratio() > 1.5
+
+    def test_hypersparse_tensor_compresses_poorly(self):
+        # One nonzero per block: metadata dominates (the gHiCOO motivation).
+        t = CooTensor.random((10_000, 10_000, 10_000), 500, seed=1)
+        h = HicooTensor.from_coo(t, 8)
+        assert h.average_block_occupancy() < 1.5
+        assert h.compression_ratio() < 1.2
+
+
+class TestValidation:
+    def test_rejects_bad_bptr_bounds(self, hicoo3):
+        bad = hicoo3.bptr.copy()
+        bad[-1] += 1
+        with pytest.raises(TensorShapeError):
+            HicooTensor(
+                hicoo3.shape, hicoo3.block_size, bad, hicoo3.binds,
+                hicoo3.einds, hicoo3.values,
+            )
+
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(TensorShapeError):
+            HicooTensor(
+                (8, 8),
+                4,
+                np.array([0, 1, 1]),
+                np.zeros((2, 2), dtype=np.int32),
+                np.zeros((2, 1), dtype=np.uint8),
+                np.ones(1, dtype=np.float32),
+            )
+
+    def test_rejects_element_index_overflow(self):
+        with pytest.raises(TensorShapeError):
+            HicooTensor(
+                (8, 8),
+                4,
+                np.array([0, 1]),
+                np.zeros((2, 1), dtype=np.int32),
+                np.full((2, 1), 7, dtype=np.uint8),
+                np.ones(1, dtype=np.float32),
+            )
+
+    def test_rejects_wrong_binds_shape(self, hicoo3):
+        with pytest.raises(TensorShapeError):
+            HicooTensor(
+                hicoo3.shape, hicoo3.block_size, hicoo3.bptr,
+                hicoo3.binds[:2], hicoo3.einds, hicoo3.values,
+            )

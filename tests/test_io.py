@@ -1,0 +1,106 @@
+"""Unit tests for FROSTT .tns I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.formats import CooTensor
+from repro.io import dumps_tns, loads_tns, read_tns, roundtrip_equal, write_tns
+
+
+class TestWrite:
+    def test_one_based_indices(self, tensor3):
+        text = dumps_tns(tensor3, header=False)
+        first = text.splitlines()[0].split()
+        x = 0
+        assert int(first[0]) == tensor3.indices[0, x] + 1
+        assert int(first[1]) == tensor3.indices[1, x] + 1
+
+    def test_header_contents(self, tensor3):
+        text = dumps_tns(tensor3)
+        header = text.splitlines()[0]
+        assert header.startswith("#")
+        assert "order=3" in header
+        assert f"nnz={tensor3.nnz}" in header
+
+    def test_write_to_path(self, tensor3, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(tensor3, path)
+        assert read_tns(path, tensor3.shape).allclose(tensor3)
+
+    def test_gzip_roundtrip(self, tensor3, tmp_path):
+        path = tmp_path / "t.tns.gz"
+        write_tns(tensor3, path)
+        # The file really is gzipped...
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        # ...and reads back transparently.
+        assert read_tns(path, tensor3.shape).allclose(tensor3)
+
+    def test_gzip_smaller_than_plain(self, tensor3, tmp_path):
+        plain = tmp_path / "t.tns"
+        packed = tmp_path / "t.tns.gz"
+        write_tns(tensor3, plain)
+        write_tns(tensor3, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+
+class TestRead:
+    def test_roundtrip(self, tensor3):
+        ok, parsed = roundtrip_equal(tensor3)
+        assert ok
+        assert parsed.nnz == tensor3.nnz
+
+    def test_roundtrip_fourth_order(self, tensor4):
+        ok, _ = roundtrip_equal(tensor4)
+        assert ok
+
+    def test_shape_inferred_from_max_indices(self):
+        text = "2 3 1.5\n4 1 2.5\n"
+        t = loads_tns(text)
+        assert t.shape == (4, 3)
+        assert t.nnz == 2
+
+    def test_explicit_shape(self):
+        t = loads_tns("1 1 9.0\n", shape=(10, 10))
+        assert t.shape == (10, 10)
+        assert t.to_dense()[0, 0] == pytest.approx(9.0)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n% other comment\n1 1 1.0\n"
+        assert loads_tns(text).nnz == 1
+
+    def test_reads_file_object(self):
+        t = loads_tns("1 2 3.0\n2 1 4.0\n")
+        buf = io.StringIO(dumps_tns(t))
+        assert read_tns(buf, t.shape).allclose(t)
+
+    def test_empty_with_shape(self):
+        t = loads_tns("# nothing\n", shape=(3, 3))
+        assert t.nnz == 0
+
+    def test_empty_without_shape_rejected(self):
+        with pytest.raises(TensorShapeError):
+            loads_tns("")
+
+    def test_inconsistent_columns_rejected(self):
+        with pytest.raises(TensorShapeError):
+            loads_tns("1 1 1.0\n1 2 3 4.0\n")
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TensorShapeError):
+            loads_tns("5\n")
+
+    def test_zero_based_index_rejected(self):
+        with pytest.raises(TensorShapeError):
+            loads_tns("0 1 1.0\n")
+
+    def test_values_precision(self):
+        t = CooTensor(
+            (2, 2),
+            np.array([[0], [1]]),
+            np.array([0.123456], dtype=np.float32),
+        )
+        parsed = loads_tns(dumps_tns(t), (2, 2))
+        assert parsed.values[0] == pytest.approx(0.123456, rel=1e-5)

@@ -1,0 +1,194 @@
+"""Unit tests for the CPU/GPU execution models."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_schedule
+from repro.core.schedule import GRAIN_BLOCK, GRAIN_NONZERO, KernelSchedule
+from repro.errors import PlatformError
+from repro.formats import CooTensor, HicooTensor
+from repro.machine import (
+    CpuExecutionModel,
+    GpuExecutionModel,
+    execution_model,
+    predict,
+)
+from repro.platforms import BLUESKY, DGX_1P, DGX_1V, WINGTIP
+
+
+def streaming_schedule(nnz, fmt="COO"):
+    from repro.core.schedule import uniform_work_units
+
+    return KernelSchedule(
+        kernel="TS",
+        tensor_format=fmt,
+        flops=nnz,
+        streamed_bytes=8 * nnz,
+        irregular_bytes=0,
+        work_units=uniform_work_units(nnz),
+        parallel_grain=GRAIN_NONZERO,
+        working_set_bytes=8 * nnz,
+    )
+
+
+class TestModelSelection:
+    def test_cpu_platforms_get_cpu_model(self):
+        assert isinstance(execution_model("bluesky"), CpuExecutionModel)
+        assert isinstance(execution_model(WINGTIP), CpuExecutionModel)
+
+    def test_gpu_platforms_get_gpu_model(self):
+        assert isinstance(execution_model("dgx1p"), GpuExecutionModel)
+        assert isinstance(execution_model(DGX_1V), GpuExecutionModel)
+
+    def test_wrong_model_rejected(self):
+        with pytest.raises(PlatformError):
+            CpuExecutionModel(DGX_1P)
+        with pytest.raises(PlatformError):
+            GpuExecutionModel(BLUESKY)
+
+
+class TestCpuModel:
+    def test_time_positive_and_scales_with_bytes(self):
+        model = CpuExecutionModel(BLUESKY)
+        small = model.predict(streaming_schedule(10**5))
+        large = model.predict(streaming_schedule(10**8))
+        assert 0 < small.seconds < large.seconds
+
+    def test_large_stream_hits_dram_bandwidth(self):
+        model = CpuExecutionModel(BLUESKY)
+        schedule = streaming_schedule(10**9)
+        est = model.predict(schedule)
+        bandwidth = schedule.total_bytes / est.seconds / 1e9
+        # Within the obtainable DRAM bandwidth (80% of 256 GB/s).
+        assert bandwidth == pytest.approx(0.8 * 256, rel=0.05)
+
+    def test_small_stream_exceeds_dram_bandwidth(self):
+        model = CpuExecutionModel(BLUESKY)
+        schedule = streaming_schedule(10**4)  # 80 KB << 19 MB LLC
+        est = model.predict(schedule)
+        bandwidth = schedule.total_bytes / est.seconds / 1e9
+        assert bandwidth > 256
+
+    def test_hicoo_streams_faster(self):
+        model = CpuExecutionModel(BLUESKY)
+        coo = model.predict(streaming_schedule(10**8, "COO"))
+        hicoo = model.predict(streaming_schedule(10**8, "HiCOO"))
+        assert hicoo.seconds < coo.seconds
+
+    def test_numa_penalty_on_gathers(self, tensor3):
+        schedule = make_schedule("COO-MTTKRP-OMP", tensor3, mode=0)
+        two_socket = CpuExecutionModel(BLUESKY).predict(schedule)
+        four_socket = CpuExecutionModel(WINGTIP).predict(schedule)
+        assert four_socket.breakdown["numa"] > two_socket.breakdown["numa"]
+
+    def test_atomics_add_time(self, tensor3):
+        schedule = make_schedule("COO-MTTKRP-OMP", tensor3, mode=0)
+        est = CpuExecutionModel(BLUESKY).predict(schedule)
+        assert est.breakdown["atomic"] > 0
+
+    def test_estimate_metadata(self, tensor3):
+        schedule = make_schedule("COO-TTV-OMP", tensor3, mode=0)
+        est = CpuExecutionModel(BLUESKY).predict(schedule)
+        assert est.platform == "Bluesky"
+        assert est.algorithm == "COO-TTV-OMP"
+        assert est.gflops > 0
+
+
+class TestGpuModel:
+    def test_gpu_faster_than_cpu_on_large_stream(self):
+        schedule = streaming_schedule(10**8)
+        cpu = CpuExecutionModel(BLUESKY).predict(schedule)
+        gpu = GpuExecutionModel(DGX_1V).predict(schedule)
+        assert gpu.seconds < cpu.seconds
+
+    def test_v100_faster_than_p100(self):
+        schedule = streaming_schedule(10**8)
+        p100 = GpuExecutionModel(DGX_1P).predict(schedule)
+        v100 = GpuExecutionModel(DGX_1V).predict(schedule)
+        assert v100.seconds < p100.seconds
+
+    def test_improved_atomics_on_volta(self, tensor3):
+        schedule = make_schedule("COO-MTTKRP-GPU", tensor3, mode=0)
+        p100 = GpuExecutionModel(DGX_1P).predict(schedule)
+        v100 = GpuExecutionModel(DGX_1V).predict(schedule)
+        assert v100.breakdown["atomic"] < p100.breakdown["atomic"]
+
+    def test_block_grain_utilization_penalty(self):
+        # Sparse blocks with ~2 nonzeros leave 254 of 256 threads idle.
+        from repro.core.schedule import uniform_work_units
+
+        full = KernelSchedule(
+            kernel="MTTKRP",
+            tensor_format="HiCOO",
+            flops=10**7,
+            streamed_bytes=10**8,
+            irregular_bytes=0,
+            work_units=uniform_work_units(10**6),
+            parallel_grain=GRAIN_NONZERO,
+        )
+        sparse_blocks = KernelSchedule(
+            kernel="MTTKRP",
+            tensor_format="HiCOO",
+            flops=10**7,
+            streamed_bytes=10**8,
+            irregular_bytes=0,
+            work_units=np.full(500_000, 2, dtype=np.int64),
+            parallel_grain=GRAIN_BLOCK,
+        )
+        model = GpuExecutionModel(DGX_1P)
+        assert (
+            model.predict(sparse_blocks).seconds
+            > model.predict(full).seconds
+        )
+
+    def test_divergence_penalty_for_skewed_fibers(self, tensor3):
+        from repro.core.schedule import GRAIN_FIBER
+
+        uniform = KernelSchedule(
+            kernel="TTV",
+            tensor_format="COO",
+            flops=10**6,
+            streamed_bytes=10**7,
+            irregular_bytes=0,
+            work_units=np.full(10_000, 100, dtype=np.int64),
+            parallel_grain=GRAIN_FIBER,
+        )
+        skewed = KernelSchedule(
+            kernel="TTV",
+            tensor_format="COO",
+            flops=10**6,
+            streamed_bytes=10**7,
+            irregular_bytes=0,
+            work_units=np.concatenate(
+                [np.full(100, 9_901), np.ones(9_900)]
+            ).astype(np.int64),
+            parallel_grain=GRAIN_FIBER,
+        )
+        model = GpuExecutionModel(DGX_1V)
+        assert model.predict(skewed).seconds > model.predict(uniform).seconds
+
+    def test_hicoo_mttkrp_slower_than_coo_on_gpu(self):
+        t = CooTensor.random((50_000, 50_000, 50_000), 30_000, seed=6)
+        hicoo = HicooTensor.from_coo(t, 128)
+        coo_schedule = make_schedule("COO-MTTKRP-GPU", t, mode=0)
+        hicoo_schedule = make_schedule(
+            "HiCOO-MTTKRP-GPU", t, mode=0, hicoo=hicoo
+        )
+        model = GpuExecutionModel(DGX_1P)
+        assert (
+            model.predict(hicoo_schedule).seconds
+            > model.predict(coo_schedule).seconds
+        )
+
+
+class TestPredictHelper:
+    def test_predict_by_name(self, tensor3):
+        schedule = make_schedule("COO-TS-OMP", tensor3)
+        est = predict("wingtip", schedule)
+        assert est.platform == "Wingtip"
+
+    def test_efficiency_helper(self, tensor3):
+        schedule = make_schedule("COO-TS-OMP", tensor3)
+        est = predict("bluesky", schedule)
+        assert est.efficiency(est.gflops) == pytest.approx(1.0)
+        assert est.efficiency(0.0) == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for the memory hierarchy model."""
+
+import pytest
+
+from repro.machine.memory import MemoryModel
+from repro.platforms import BLUESKY, DGX_1V
+
+
+@pytest.fixture
+def cpu_memory():
+    return MemoryModel.for_platform(BLUESKY)
+
+
+@pytest.fixture
+def gpu_memory():
+    return MemoryModel.for_platform(DGX_1V)
+
+
+class TestConstruction:
+    def test_bandwidth_ordering(self, cpu_memory, gpu_memory):
+        for m in (cpu_memory, gpu_memory):
+            assert m.llc_bandwidth_gbs > m.dram_bandwidth_gbs > 0
+
+    def test_dram_derated_from_peak(self, cpu_memory):
+        assert cpu_memory.dram_bandwidth_gbs < BLUESKY.mem_bw_gbs
+
+    def test_llc_capacity_from_spec(self, cpu_memory, gpu_memory):
+        assert cpu_memory.llc_bytes == BLUESKY.llc_bytes
+        assert gpu_memory.llc_bytes == DGX_1V.llc_bytes
+
+
+class TestResidency:
+    def test_fits_entirely(self, cpu_memory):
+        assert cpu_memory.residency_fraction(cpu_memory.llc_bytes // 2) == 1.0
+
+    def test_zero_working_set(self, cpu_memory):
+        assert cpu_memory.residency_fraction(0) == 1.0
+
+    def test_partial(self, cpu_memory):
+        frac = cpu_memory.residency_fraction(cpu_memory.llc_bytes * 4)
+        assert frac == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self, cpu_memory):
+        sizes = [2**k for k in range(10, 34, 2)]
+        fracs = [cpu_memory.residency_fraction(s) for s in sizes]
+        assert fracs == sorted(fracs, reverse=True)
+
+
+class TestStreamedTime:
+    def test_zero_bytes(self, cpu_memory):
+        assert cpu_memory.streamed_seconds(0, 10**9) == 0.0
+
+    def test_cached_faster_than_dram(self, cpu_memory):
+        cached = cpu_memory.streamed_seconds(10**6, 10**6)
+        uncached = cpu_memory.streamed_seconds(10**6, 10**10)
+        assert cached < uncached
+
+    def test_dram_asymptote(self, cpu_memory):
+        seconds = cpu_memory.streamed_seconds(10**9, 10**12)
+        bandwidth = 10**9 / seconds / 1e9
+        assert bandwidth == pytest.approx(cpu_memory.dram_bandwidth_gbs, rel=0.01)
+
+
+class TestGatherTime:
+    def test_zero_bytes(self, cpu_memory):
+        assert cpu_memory.gather_seconds(0, 10**9, 4) == 0.0
+
+    def test_gather_slower_than_stream_when_uncached(self, cpu_memory):
+        stream = cpu_memory.streamed_seconds(10**8, 10**12)
+        gather = cpu_memory.gather_seconds(10**8, 10**12, 4)
+        assert gather > stream
+
+    def test_wide_chunks_faster_than_scalar(self, cpu_memory):
+        narrow = cpu_memory.gather_seconds(10**8, 10**12, 4)
+        wide = cpu_memory.gather_seconds(10**8, 10**12, 64)
+        assert wide < narrow
+
+    def test_cached_operand_faster(self, cpu_memory):
+        hot = cpu_memory.gather_seconds(10**8, 10**5, 4)
+        cold = cpu_memory.gather_seconds(10**8, 10**12, 4)
+        assert hot < cold
+
+    def test_chunk_wider_than_line_caps(self, cpu_memory):
+        at_line = cpu_memory.gather_seconds(10**8, 10**12, 64)
+        beyond = cpu_memory.gather_seconds(10**8, 10**12, 256)
+        assert beyond == pytest.approx(at_line)

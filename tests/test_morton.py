@@ -1,0 +1,129 @@
+"""Unit tests for Morton (Z-order) encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.formats.morton import (
+    bits_needed,
+    morton_decode,
+    morton_encode,
+    morton_sort_order,
+)
+
+
+class TestBitsNeeded:
+    def test_zero_needs_one_bit(self):
+        assert bits_needed(0) == 1
+
+    def test_powers_of_two(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(3) == 2
+        assert bits_needed(4) == 3
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(TensorShapeError):
+            bits_needed(-1)
+
+
+class TestMortonEncode:
+    def test_known_2d_values(self):
+        # Interleaving (x, y) bits LSB-first: (1,0)->1, (0,1)->2, (1,1)->3.
+        coords = np.array([[0, 1, 0, 1], [0, 0, 1, 1]])
+        codes = morton_encode(coords)
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_known_3d_values(self):
+        coords = np.array([[1], [1], [1]])
+        assert morton_encode(coords).tolist() == [7]
+        coords = np.array([[2], [0], [0]])
+        # bit 1 of mode 0 lands at position 1*3+0 = 3 -> code 8.
+        assert morton_encode(coords).tolist() == [8]
+
+    def test_empty_input(self):
+        codes = morton_encode(np.empty((3, 0), dtype=np.int64))
+        assert codes.shape == (0,)
+
+    def test_codes_unique_for_distinct_coords(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1000, size=(3, 500))
+        coords = np.unique(coords, axis=1)
+        codes = morton_encode(coords)
+        assert len(np.unique(codes)) == coords.shape[1]
+
+    def test_rejects_negative(self):
+        with pytest.raises(TensorShapeError):
+            morton_encode(np.array([[-1], [0]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(TensorShapeError):
+            morton_encode(np.arange(5))
+
+    def test_rejects_zero_modes(self):
+        with pytest.raises(TensorShapeError):
+            morton_encode(np.empty((0, 5), dtype=np.int64))
+
+    def test_overflow_detected(self):
+        # 8 modes x 8 bits = 64 > 62 available bits.
+        coords = np.full((8, 1), 255, dtype=np.int64)
+        with pytest.raises(TensorShapeError):
+            morton_encode(coords)
+
+
+class TestMortonDecode:
+    def test_roundtrip_3d(self):
+        rng = np.random.default_rng(1)
+        coords = rng.integers(0, 2**10, size=(3, 200))
+        codes = morton_encode(coords)
+        decoded = morton_decode(codes, order=3, per_mode_bits=10)
+        assert np.array_equal(decoded, coords)
+
+    def test_roundtrip_4d(self):
+        rng = np.random.default_rng(2)
+        coords = rng.integers(0, 2**8, size=(4, 100))
+        decoded = morton_decode(morton_encode(coords), order=4, per_mode_bits=8)
+        assert np.array_equal(decoded, coords)
+
+    def test_extra_bits_harmless(self):
+        coords = np.array([[3, 1], [2, 0]])
+        decoded = morton_decode(morton_encode(coords), order=2, per_mode_bits=12)
+        assert np.array_equal(decoded, coords)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.array([0]), order=0, per_mode_bits=4)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.array([0]), order=2, per_mode_bits=0)
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.array([0]), order=8, per_mode_bits=8)
+
+
+class TestMortonSortOrder:
+    def test_sorts_along_z_curve(self):
+        coords = np.array([[1, 0, 1, 0], [1, 1, 0, 0]])
+        perm = morton_sort_order(coords)
+        sorted_codes = morton_encode(coords[:, perm])
+        assert np.all(np.diff(sorted_codes) >= 0)
+
+    def test_stable_for_duplicates(self):
+        coords = np.array([[5, 5, 2], [7, 7, 1]])
+        perm = morton_sort_order(coords)
+        # The duplicate columns (0 and 1) keep their original order.
+        assert list(perm).index(0) < list(perm).index(1)
+
+    def test_locality_property(self):
+        # Consecutive Morton codes differ in few coordinates on average:
+        # total pairwise L1 distance along the curve is far below random.
+        rng = np.random.default_rng(3)
+        coords = rng.integers(0, 64, size=(3, 512))
+        perm = morton_sort_order(coords)
+        ordered = coords[:, perm]
+        curve_dist = np.abs(np.diff(ordered, axis=1)).sum()
+        shuffled = coords[:, rng.permutation(512)]
+        random_dist = np.abs(np.diff(shuffled, axis=1)).sum()
+        assert curve_dist < random_dist

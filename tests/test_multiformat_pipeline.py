@@ -1,0 +1,90 @@
+"""End-to-end pipelines mixing formats, kernels, and apps.
+
+These integration tests chain the suite's pieces the way a tensor-method
+implementation would, asserting the numerics survive every format hop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import cp_als, random_low_rank_tensor, ttm_chain
+from repro.core import (
+    inner_product,
+    mttkrp_csf,
+    tew_general_coo,
+    ts,
+    ttm_hicoo,
+    ttv_coo,
+)
+from repro.formats import (
+    CooTensor,
+    FcooTensor,
+    HicooTensor,
+    csf_for_mode,
+    ttv_fcoo,
+)
+from repro.io import dumps_tns, loads_tns
+
+
+class TestFormatHopPipelines:
+    def test_hicoo_ttm_then_ts_then_back(self, tensor3, rng):
+        u = rng.uniform(0.5, 1.5, size=(tensor3.shape[1], 4)).astype(np.float32)
+        semi = ttm_hicoo(tensor3, u, 1, 8)
+        scaled = ts(semi, 2.0, "mul")
+        expected = 2.0 * semi.to_dense()
+        assert np.allclose(scaled.to_dense(), expected, rtol=1e-4)
+
+    def test_ttv_chain_matches_across_formats(self, tensor3, rng):
+        v2 = rng.uniform(0.5, 1.5, size=tensor3.shape[2]).astype(np.float32)
+        v1 = rng.uniform(0.5, 1.5, size=tensor3.shape[1]).astype(np.float32)
+        # COO path.
+        coo_out = ttv_coo(ttv_coo(tensor3, v2, 2), v1, 1)
+        # F-COO path (rebuild flags between contractions).
+        step = ttv_fcoo(FcooTensor.from_coo(tensor3, 2), v2)
+        fcoo_out = ttv_fcoo(FcooTensor.from_coo(step, 1), v1)
+        assert fcoo_out.allclose(coo_out)
+
+    def test_serialized_tensor_yields_identical_cpd(self):
+        x = random_low_rank_tensor((20, 18, 16), 2, seed=0)
+        reloaded = loads_tns(dumps_tns(x), x.shape)
+        a = cp_als(x, 2, max_sweeps=25, seed=1)
+        b = cp_als(reloaded, 2, max_sweeps=25, seed=1)
+        assert a.final_fit == pytest.approx(b.final_fit, abs=1e-6)
+
+    def test_residual_norm_via_general_tew_and_inner_product(self):
+        x = random_low_rank_tensor((15, 14, 13), 2, seed=2)
+        model = cp_als(x, 2, max_sweeps=100, tolerance=1e-9, seed=3)
+        approx = CooTensor.from_dense(
+            model.reconstruct_dense().astype(np.float32)
+        )
+        residual = tew_general_coo(x, approx, "sub")
+        norm_sq = inner_product(residual, residual)
+        assert norm_sq < 1e-4 * inner_product(x, x)
+
+    def test_csf_mttkrp_inside_als_sweep(self, rng):
+        # One manual ALS half-sweep using the CSF kernel, cross-checked
+        # against the COO kernel.
+        from repro.core import mttkrp_coo
+
+        x = random_low_rank_tensor((18, 16, 14), 2, seed=4)
+        factors = [
+            rng.uniform(0.1, 1.0, size=(s, 2)).astype(np.float32)
+            for s in x.shape
+        ]
+        tree = csf_for_mode(x, 0)
+        a = mttkrp_csf(tree, factors, 0)
+        b = mttkrp_coo(x, factors, 0)
+        assert np.allclose(a, b, rtol=1e-3, atol=1e-3)
+
+    def test_tucker_projection_respects_hicoo_input(self, rng):
+        x = random_low_rank_tensor((20, 18, 16), 2, seed=5)
+        hicoo = HicooTensor.from_coo(x, 8)
+        mats = {
+            0: rng.uniform(0.1, 1.0, size=(20, 3)).astype(np.float32),
+            2: rng.uniform(0.1, 1.0, size=(16, 3)).astype(np.float32),
+        }
+        from_coo = ttm_chain(x, mats)
+        from_hicoo = ttm_chain(hicoo.to_coo(), mats)
+        assert np.allclose(
+            from_coo.to_dense(), from_hicoo.to_dense(), rtol=1e-3, atol=1e-4
+        )

@@ -1,0 +1,114 @@
+"""Tests for the multi-GPU execution model extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_schedule
+from repro.errors import PlatformError
+from repro.formats import CooTensor
+from repro.machine import (
+    DGX_GPU_COUNT,
+    GpuExecutionModel,
+    MultiGpuExecutionModel,
+    shard_schedule,
+)
+from repro.platforms import BLUESKY, DGX_1P, DGX_1V
+
+
+@pytest.fixture(scope="module")
+def big_tensor():
+    # Large enough that eight V100s stay saturated per shard; smaller
+    # tensors legitimately stop scaling once shards underfill the device.
+    return CooTensor.random((500_000, 500_000, 500_000), 4_000_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tew_schedule(big_tensor):
+    return make_schedule("COO-TEW-GPU", big_tensor)
+
+
+@pytest.fixture(scope="module")
+def mttkrp_schedule(big_tensor):
+    return make_schedule("COO-MTTKRP-GPU", big_tensor, mode=0, rank=16)
+
+
+class TestConstruction:
+    def test_rejects_cpu_platform(self):
+        with pytest.raises(PlatformError):
+            MultiGpuExecutionModel(BLUESKY, 2)
+
+    def test_rejects_bad_gpu_count(self):
+        with pytest.raises(PlatformError):
+            MultiGpuExecutionModel(DGX_1P, 0)
+        with pytest.raises(PlatformError):
+            MultiGpuExecutionModel(DGX_1P, DGX_GPU_COUNT + 1)
+
+    def test_nvlink_generation(self):
+        assert MultiGpuExecutionModel(DGX_1V, 2).nvlink_gbs > (
+            MultiGpuExecutionModel(DGX_1P, 2).nvlink_gbs
+        )
+
+
+class TestSharding:
+    def test_shards_partition_work(self, tew_schedule):
+        shards = [shard_schedule(tew_schedule, 4, s) for s in range(4)]
+        total_units = sum(s.work_units.sum() for s in shards)
+        assert total_units == tew_schedule.work_units.sum()
+        total_flops = sum(s.flops for s in shards)
+        assert total_flops == pytest.approx(tew_schedule.flops, rel=0.01)
+
+    def test_round_robin_balances_skew(self):
+        skewed = make_schedule(
+            "COO-TTV-GPU",
+            CooTensor.random((2000, 2000, 50), 30_000, seed=1),
+            mode=0,
+        )
+        shards = [shard_schedule(skewed, 4, s) for s in range(4)]
+        sums = [float(s.work_units.sum()) for s in shards]
+        assert max(sums) / max(min(sums), 1.0) < 2.0
+
+    def test_rejects_bad_shard_index(self, tew_schedule):
+        with pytest.raises(PlatformError):
+            shard_schedule(tew_schedule, 4, 4)
+
+
+class TestScaling:
+    def test_one_gpu_matches_single_model(self, tew_schedule):
+        multi = MultiGpuExecutionModel(DGX_1P, 1).predict(tew_schedule)
+        single = GpuExecutionModel(DGX_1P).predict(tew_schedule)
+        assert multi.seconds == pytest.approx(single.seconds, rel=1e-6)
+        assert multi.communication_seconds == 0.0
+
+    def test_streaming_kernel_scales(self, tew_schedule):
+        curve = MultiGpuExecutionModel(DGX_1V, 8).scaling_curve(tew_schedule)
+        assert len(curve) == 8
+        speedup8 = curve[0].seconds / curve[-1].seconds
+        assert speedup8 > 3.0  # strong scaling, if sublinear
+
+    def test_mttkrp_scales_worse_than_tew(self, tew_schedule, mttkrp_schedule):
+        model = MultiGpuExecutionModel(DGX_1V, 8)
+        tew_curve = model.scaling_curve(tew_schedule)
+        mttkrp_curve = model.scaling_curve(mttkrp_schedule)
+        tew_speedup = tew_curve[0].seconds / tew_curve[-1].seconds
+        mttkrp_speedup = mttkrp_curve[0].seconds / mttkrp_curve[-1].seconds
+        assert mttkrp_speedup < tew_speedup
+
+    def test_communication_grows_with_devices(self, mttkrp_schedule):
+        comm = [
+            MultiGpuExecutionModel(DGX_1P, g)
+            .predict(mttkrp_schedule)
+            .communication_seconds
+            for g in (2, 4, 8)
+        ]
+        assert comm[0] < comm[1] < comm[2]
+
+    def test_speedup_helper(self, tew_schedule):
+        single = GpuExecutionModel(DGX_1P).predict(tew_schedule)
+        multi = MultiGpuExecutionModel(DGX_1P, 4).predict(tew_schedule)
+        assert multi.speedup_over(single) > 1.0
+
+    def test_gflops_aggregate(self, tew_schedule):
+        est = MultiGpuExecutionModel(DGX_1V, 8).predict(tew_schedule)
+        assert est.gflops > 0
+        assert est.num_gpus == 8
+        assert "x8" in est.platform

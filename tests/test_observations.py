@@ -1,0 +1,87 @@
+"""Tests that the paper's five observations hold in the reproduction.
+
+These use the session-scoped ``suite_results`` fixture (full 30-dataset
+sweep on all four modeled platforms at scale 2048) so the expensive data
+collection happens once.
+"""
+
+import pytest
+
+from repro.bench.harness import average_efficiency, average_gflops
+from repro.bench.observations import (
+    check_observation1,
+    check_observation2,
+    check_observation3,
+    check_observation4,
+    check_observation5,
+    evaluate_all_observations,
+)
+
+
+class TestObservationChecks:
+    def test_observation1_diversity(self, suite_results):
+        report = check_observation1(suite_results)
+        assert report.holds, report.detail
+
+    def test_observation2_roofline(self, suite_results):
+        report = check_observation2(suite_results, scale_divisor=2048)
+        assert report.holds, report.detail
+
+    def test_observation3_numa(self, suite_results):
+        report = check_observation3(suite_results)
+        assert report.holds, report.detail
+
+    def test_observation4_hicoo(self, suite_results):
+        report = check_observation4(suite_results)
+        assert report.holds, report.detail
+
+    def test_observation5_synthetic(self, suite_results):
+        report = check_observation5(suite_results)
+        assert report.holds, report.detail
+
+    def test_evaluate_all_with_precomputed(self, suite_results):
+        reports = evaluate_all_observations(suite_results, scale_divisor=2048)
+        assert len(reports) == 5
+        assert all(r.holds for r in reports), "\n".join(
+            r.detail for r in reports if not r.holds
+        )
+
+
+class TestPaperShapeTargets:
+    """Direct assertions of the headline paper comparisons."""
+
+    def test_mttkrp_is_the_slowest_cpu_kernel(self, suite_results):
+        for platform in ("bluesky", "wingtip"):
+            avg = average_gflops(suite_results[platform])
+            mttkrp = avg[("MTTKRP", "COO")]
+            for kernel in ("TEW", "TS", "TTV", "TTM"):
+                assert mttkrp < avg[(kernel, "COO")]
+
+    def test_gpu_mttkrp_beats_cpu_mttkrp(self, suite_results):
+        cpu = average_gflops(suite_results["bluesky"])[("MTTKRP", "COO")]
+        gpu = average_gflops(suite_results["dgx1v"])[("MTTKRP", "COO")]
+        assert gpu > cpu
+
+    def test_v100_mttkrp_beats_p100(self, suite_results):
+        p100 = average_gflops(suite_results["dgx1p"])[("MTTKRP", "COO")]
+        v100 = average_gflops(suite_results["dgx1v"])[("MTTKRP", "COO")]
+        assert v100 > p100
+
+    def test_streaming_kernels_fastest_efficiency_on_cpus(self, suite_results):
+        eff = average_efficiency(suite_results["bluesky"])
+        for streaming in ("TEW", "TS"):
+            for non_streaming in ("TTV", "MTTKRP"):
+                assert eff[(streaming, "COO")] > eff[(non_streaming, "COO")]
+
+    def test_hicoo_gpu_streaming_matches_coo(self, suite_results):
+        # Paper: "HiCOO obtains very similar performance on TEW, TS, TTV,
+        # and TTM" on GPUs.
+        for platform in ("dgx1p", "dgx1v"):
+            avg = average_gflops(suite_results[platform])
+            for kernel in ("TEW", "TS", "TTV"):
+                ratio = avg[(kernel, "HiCOO")] / avg[(kernel, "COO")]
+                assert ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_every_platform_has_full_grid(self, suite_results):
+        for platform, results in suite_results.items():
+            assert len(results) == 30 * 10  # tensors x kernels x formats

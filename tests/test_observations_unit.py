@@ -1,0 +1,144 @@
+"""Unit tests of the observation checks on fabricated results.
+
+The integration tests (`test_observations.py`) prove the checks pass on
+the real modeled sweep; these prove the checks are *discriminative* —
+they fail when fed counterfactual data that violates the paper's claims.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.harness import BenchResult
+from repro.bench.observations import (
+    check_observation1,
+    check_observation3,
+    check_observation4,
+)
+from repro.machine.result import ExecutionEstimate
+
+
+def make_result(
+    platform: str,
+    kernel: str,
+    fmt: str,
+    gflops: float,
+    dataset: str = "s1",
+    roofline: float = 100.0,
+) -> BenchResult:
+    flops = 10**9
+    seconds = flops / (gflops * 1e9)
+    return BenchResult(
+        dataset=dataset,
+        tensor_name=dataset,
+        platform=platform,
+        kernel=kernel,
+        tensor_format=fmt,
+        modeled=ExecutionEstimate(platform, f"{fmt}-{kernel}", seconds, flops),
+        roofline_gflops=roofline,
+    )
+
+
+def grid(platform: str, gflops_map: Dict[str, float]) -> List[BenchResult]:
+    """A full kernel x format grid with per-kernel GFLOPS (both formats)."""
+    results = []
+    for kernel, gflops in gflops_map.items():
+        for fmt in ("COO", "HiCOO"):
+            results.append(make_result(platform, kernel, fmt, gflops))
+    return results
+
+
+UNIFORM = {"TEW": 10.0, "TS": 10.0, "TTV": 10.0, "TTM": 10.0, "MTTKRP": 10.0}
+DIVERSE = {"TEW": 30.0, "TS": 50.0, "TTV": 8.0, "TTM": 40.0, "MTTKRP": 1.0}
+
+
+class TestObservation1Discriminates:
+    def test_fails_on_uniform_performance(self):
+        results = {p: grid(p, UNIFORM) for p in ("bluesky", "wingtip", "dgx1p", "dgx1v")}
+        assert not check_observation1(results).holds
+
+    def test_passes_on_diverse_performance(self):
+        results = {}
+        for p in ("bluesky", "wingtip", "dgx1p", "dgx1v"):
+            cells = grid(p, DIVERSE)
+            # Add per-dataset spread.
+            cells += [
+                make_result(p, "TEW", "COO", 0.5, dataset="s2"),
+                make_result(p, "TS", "COO", 90.0, dataset="s3"),
+            ]
+            results[p] = cells
+        assert check_observation1(results).holds
+
+
+class TestObservation3Discriminates:
+    def _results(self, wingtip_eff, others_eff):
+        results = {}
+        for platform in ("bluesky", "wingtip", "dgx1p", "dgx1v"):
+            eff = wingtip_eff if platform == "wingtip" else others_eff
+            cells = []
+            for kernel in ("TEW", "TS", "TTV", "TTM", "MTTKRP"):
+                for fmt in ("COO", "HiCOO"):
+                    cells.append(
+                        make_result(
+                            platform, kernel, fmt, eff * 100.0, roofline=100.0
+                        )
+                    )
+            results[platform] = cells
+        return results
+
+    def test_fails_when_wingtip_is_best(self):
+        results = self._results(wingtip_eff=0.9, others_eff=0.3)
+        assert not check_observation3(results).holds
+
+    def test_passes_when_wingtip_is_worst(self):
+        results = self._results(wingtip_eff=0.1, others_eff=0.6)
+        assert check_observation3(results).holds
+
+
+class TestObservation4Discriminates:
+    def _results(self, cpu_hicoo_factor, gpu_mttkrp_hicoo_factor):
+        results = {}
+        base = {"TEW": 20.0, "TS": 30.0, "TTV": 10.0, "TTM": 40.0, "MTTKRP": 2.0}
+        for platform in ("bluesky", "wingtip"):
+            cells = []
+            for kernel, gflops in base.items():
+                cells.append(make_result(platform, kernel, "COO", gflops))
+                cells.append(
+                    make_result(platform, kernel, "HiCOO", gflops * cpu_hicoo_factor)
+                )
+            results[platform] = cells
+        for platform in ("dgx1p", "dgx1v"):
+            cells = []
+            for kernel, gflops in base.items():
+                cells.append(make_result(platform, kernel, "COO", gflops))
+                factor = (
+                    gpu_mttkrp_hicoo_factor if kernel == "MTTKRP" else 1.0
+                )
+                cells.append(
+                    make_result(platform, kernel, "HiCOO", gflops * factor)
+                )
+            results[platform] = cells
+        return results
+
+    def test_passes_on_paper_shape(self):
+        results = self._results(cpu_hicoo_factor=1.2, gpu_mttkrp_hicoo_factor=0.5)
+        assert check_observation4(results).holds
+
+    def test_fails_when_hicoo_slower_on_cpu(self):
+        results = self._results(cpu_hicoo_factor=0.5, gpu_mttkrp_hicoo_factor=0.5)
+        assert not check_observation4(results).holds
+
+    def test_fails_when_gpu_mttkrp_prefers_hicoo(self):
+        results = self._results(cpu_hicoo_factor=1.2, gpu_mttkrp_hicoo_factor=1.5)
+        assert not check_observation4(results).holds
+
+
+class TestBenchResultProperties:
+    def test_efficiency_and_gflops(self):
+        r = make_result("bluesky", "TS", "COO", 50.0, roofline=100.0)
+        assert r.gflops == pytest.approx(50.0)
+        assert r.efficiency == pytest.approx(0.5)
+
+    def test_measured_gflops_none_without_wallclock(self):
+        r = make_result("bluesky", "TS", "COO", 50.0)
+        assert r.measured_gflops is None

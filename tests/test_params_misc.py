@@ -1,0 +1,86 @@
+"""Tests for model calibration constants and miscellaneous reporting."""
+
+import pytest
+
+from repro.machine.params import (
+    DEFAULT_CPU_PARAMS,
+    DEFAULT_GPU_PARAMS,
+    obtainable_dram_bandwidth_gbs,
+    obtainable_llc_bandwidth_gbs,
+)
+from repro.platforms import BLUESKY, DGX_1P, DGX_1V, WINGTIP, all_platforms
+
+
+class TestCalibrationConstants:
+    """The constants describe mechanisms; sanity-bound them."""
+
+    def test_efficiencies_are_fractions(self):
+        for params in (DEFAULT_CPU_PARAMS, DEFAULT_GPU_PARAMS):
+            assert 0.5 <= params.dram_efficiency <= 1.0
+            assert 0.0 < params.dram_gather_floor <= 1.0
+            assert 0.0 < params.llc_gather_efficiency <= 1.0
+            assert 0.0 < params.compute_efficiency <= 1.0
+
+    def test_llc_faster_than_dram(self):
+        for params in (DEFAULT_CPU_PARAMS, DEFAULT_GPU_PARAMS):
+            assert params.llc_bandwidth_ratio > 1.0
+
+    def test_atomics_cheaper_on_gpu(self):
+        # Hardware atomicAdd at L2 vs an omp atomic's locked RMW.
+        assert DEFAULT_GPU_PARAMS.atomic_seconds < DEFAULT_CPU_PARAMS.atomic_seconds
+
+    def test_hicoo_bonus_is_modest(self):
+        assert 1.0 < DEFAULT_CPU_PARAMS.hicoo_stream_bonus < 1.6
+
+    def test_volta_speedup_positive(self):
+        assert DEFAULT_GPU_PARAMS.improved_atomic_speedup > 1.0
+
+
+class TestObtainableBandwidths:
+    @pytest.mark.parametrize("spec", list(all_platforms()))
+    def test_derated_but_substantial(self, spec):
+        dram = obtainable_dram_bandwidth_gbs(spec)
+        assert 0.5 * spec.mem_bw_gbs < dram < spec.mem_bw_gbs
+
+    @pytest.mark.parametrize("spec", list(all_platforms()))
+    def test_llc_exceeds_dram(self, spec):
+        assert obtainable_llc_bandwidth_gbs(spec) > (
+            obtainable_dram_bandwidth_gbs(spec)
+        )
+
+    def test_ordering_matches_table3(self):
+        values = [
+            obtainable_dram_bandwidth_gbs(s)
+            for s in (BLUESKY, WINGTIP, DGX_1P, DGX_1V)
+        ]
+        assert values == sorted(values)
+
+
+class TestRooflineReportEdges:
+    def test_ascii_handles_every_platform(self):
+        from repro.roofline import RooflineModel, roofline_ascii
+
+        for spec in all_platforms():
+            art = roofline_ascii(RooflineModel.for_platform(spec))
+            assert spec.name in art
+
+    def test_text_lists_three_ceilings(self):
+        from repro.roofline import RooflineModel, roofline_text
+
+        text = roofline_text(RooflineModel.for_platform("wingtip"))
+        for name in ("ERT-LLC", "ERT-DRAM", "Theoretical-DRAM"):
+            assert name in text
+
+
+class TestPlatformSummaryRows:
+    @pytest.mark.parametrize("spec", list(all_platforms()))
+    def test_summary_row_fields(self, spec):
+        row = spec.summary_row()
+        assert row["Platform"] == spec.name
+        assert "GHz" in row["Frequency"]
+        assert "GB/s" in row["Mem. BW"]
+
+    def test_is_gpu_flags(self):
+        assert not BLUESKY.is_gpu
+        assert DGX_1P.is_gpu
+        assert BLUESKY.peak_sp_gflops == pytest.approx(1000.0)

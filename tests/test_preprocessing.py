@@ -1,0 +1,86 @@
+"""Tests for the pre-processing stages and their cost model."""
+
+import pytest
+
+from repro.core.preprocessing import (
+    analyze,
+    csf_tree_costs,
+    modeled_stage_seconds,
+    run_stage,
+)
+from repro.errors import PastaError
+from repro.formats import CooTensor
+from repro.platforms import BLUESKY, DGX_1V
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return CooTensor.random((5000, 4000, 3000), 20_000, seed=0)
+
+
+class TestRunStage:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["COO-TEW-OMP", "COO-TTV-OMP", "HiCOO-MTTKRP-OMP", "COO-MTTKRP-GPU"],
+    )
+    def test_stages_execute(self, tensor, algorithm):
+        seconds = run_stage(algorithm, tensor)
+        assert seconds >= 0.0
+
+
+class TestModeledCost:
+    def test_sorting_stages_cost_more_than_allocation(self, tensor):
+        alloc = modeled_stage_seconds("COO-TS-OMP", tensor, BLUESKY)
+        sort = modeled_stage_seconds("COO-TTV-OMP", tensor, BLUESKY)
+        conversion = modeled_stage_seconds("HiCOO-MTTKRP-OMP", tensor, BLUESKY)
+        assert alloc < sort < conversion
+
+    def test_cost_scales_with_nnz(self):
+        small = CooTensor.random((1000, 1000, 1000), 1_000, seed=1)
+        large = CooTensor.random((1000, 1000, 1000), 100_000, seed=2)
+        assert modeled_stage_seconds("COO-TTV-OMP", small, BLUESKY) < (
+            modeled_stage_seconds("COO-TTV-OMP", large, BLUESKY)
+        )
+
+    def test_faster_on_higher_bandwidth_platform(self, tensor):
+        cpu = modeled_stage_seconds("COO-TTV-OMP", tensor, BLUESKY)
+        gpu = modeled_stage_seconds("COO-TTV-GPU", tensor, DGX_1V)
+        assert gpu < cpu
+
+
+class TestAnalyze:
+    def test_report_fields(self, tensor):
+        report = analyze("COO-TTV-OMP", tensor, "bluesky", mode=1)
+        assert report.stage == "fiber-partition"
+        assert report.modeled_seconds > 0
+        assert report.measured_seconds > 0
+        assert report.kernel_seconds > 0
+        assert report.amortization_runs > 0
+
+    def test_preprocessing_exceeds_one_kernel_run(self, tensor):
+        # The whole design point: pre-processing costs more than one
+        # kernel execution and amortizes over repeated runs (tensor
+        # methods call the same kernel per iteration).
+        report = analyze("HiCOO-TS-OMP", tensor, "bluesky")
+        assert report.amortization_runs > 1.0
+
+    def test_platform_target_mismatch_rejected(self, tensor):
+        with pytest.raises(PastaError):
+            analyze("COO-TTV-GPU", tensor, "bluesky")
+
+    def test_gpu_platform(self, tensor):
+        report = analyze("COO-MTTKRP-GPU", tensor, "dgx1v")
+        assert report.modeled_seconds > 0
+
+
+class TestCsfTreeCosts:
+    def test_one_cost_per_mode(self, tensor):
+        costs = csf_tree_costs(tensor)
+        assert set(costs) == {0, 1, 2}
+        assert all(v > 0 for v in costs.values())
+
+    def test_mode_generic_advantage_quantified(self, tensor):
+        # All-modes CSF costs order x one HiCOO-style conversion.
+        csf_total = sum(csf_tree_costs(tensor).values())
+        hicoo_once = modeled_stage_seconds("HiCOO-TS-OMP", tensor, BLUESKY)
+        assert csf_total > hicoo_once

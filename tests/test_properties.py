@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    dense_mttkrp,
+    dense_ttm,
+    dense_ttv,
+    mttkrp_coo,
+    tew_coo,
+    tew_general_coo,
+    ts_add,
+    ts_mul,
+    ttm_coo,
+    ttv_coo,
+)
+from repro.formats import CooTensor, GHicooTensor, HicooTensor, SemiSparseCooTensor
+from repro.formats.morton import morton_decode, morton_encode
+from repro.io import dumps_tns, loads_tns
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+shapes = st.lists(st.integers(2, 12), min_size=2, max_size=4).map(tuple)
+
+
+@st.composite
+def sparse_tensors(draw, max_nnz=60):
+    shape = draw(shapes)
+    capacity = int(np.prod(shape))
+    nnz = draw(st.integers(1, min(max_nnz, capacity)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return CooTensor.random(shape, nnz, seed=seed)
+
+
+block_sizes = st.sampled_from([1, 2, 4, 8])
+
+
+# ----------------------------------------------------------------------
+# Format round-trips
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(), block_sizes)
+def test_hicoo_roundtrip(tensor, block):
+    assert HicooTensor.from_coo(tensor, block).to_coo().allclose(tensor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(), block_sizes, st.data())
+def test_ghicoo_roundtrip(tensor, block, data):
+    modes = data.draw(
+        st.lists(
+            st.integers(0, tensor.order - 1),
+            min_size=1,
+            max_size=tensor.order,
+            unique=True,
+        )
+    )
+    g = GHicooTensor.from_coo(tensor, modes, block)
+    assert g.to_coo().allclose(tensor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.data())
+def test_scoo_roundtrip(tensor, data):
+    dense_mode = data.draw(st.integers(0, tensor.order - 1))
+    if tensor.order < 2:
+        return
+    s = SemiSparseCooTensor.from_coo(tensor, [dense_mode])
+    assert np.allclose(s.to_dense(), tensor.to_dense(), rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors())
+def test_tns_roundtrip(tensor):
+    parsed = loads_tns(dumps_tns(tensor), tensor.shape)
+    assert tensor.allclose(parsed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors())
+def test_dense_roundtrip(tensor):
+    assert CooTensor.from_dense(tensor.to_dense()).allclose(tensor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(), block_sizes)
+def test_hicoo_storage_never_loses_nonzeros(tensor, block):
+    h = HicooTensor.from_coo(tensor, block)
+    assert h.nnz == tensor.nnz
+    assert h.nnz_per_block().sum() == tensor.nnz
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(), st.data())
+def test_csf_roundtrip(tensor, data):
+    from repro.formats import CsfTensor
+
+    mode_order = data.draw(st.permutations(range(tensor.order)))
+    tree = CsfTensor.from_coo(tensor, mode_order)
+    assert tree.to_coo().allclose(tensor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(), st.data())
+def test_fcoo_roundtrip(tensor, data):
+    from repro.formats import FcooTensor
+
+    mode = data.draw(st.integers(0, tensor.order - 1))
+    f = FcooTensor.from_coo(tensor, mode)
+    assert f.to_coo().allclose(tensor)
+    assert f.num_fibers == tensor.num_fibers(mode)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_tensors(max_nnz=40), st.data())
+def test_relabel_roundtrip(tensor, data):
+    from repro.formats import apply_relabeling
+
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    perms = [rng.permutation(s) for s in tensor.shape]
+    relabeled = apply_relabeling(tensor, perms)
+    inverses = [np.argsort(p) for p in perms]
+    assert apply_relabeling(relabeled, inverses).allclose(tensor)
+
+
+# ----------------------------------------------------------------------
+# Morton codes
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(1, 5),
+    st.integers(1, 40),
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 10),
+)
+def test_morton_roundtrip(order, count, seed, bits):
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(0, 2**bits, size=(order, count))
+    if order * bits > 62:
+        return
+    decoded = morton_decode(morton_encode(coords), order, bits)
+    assert np.array_equal(decoded, coords)
+
+
+# ----------------------------------------------------------------------
+# Kernel correctness against dense references
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.data())
+def test_ttv_matches_dense(tensor, data):
+    mode = data.draw(st.integers(0, tensor.order - 1))
+    rng = np.random.default_rng(0)
+    v = rng.uniform(0.5, 1.5, size=tensor.shape[mode]).astype(np.float32)
+    out = ttv_coo(tensor, v, mode)
+    assert np.allclose(
+        out.to_dense(), dense_ttv(tensor.to_dense(), v, mode), rtol=1e-3, atol=1e-4
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.data(), st.integers(1, 6))
+def test_ttm_matches_dense(tensor, data, rank):
+    mode = data.draw(st.integers(0, tensor.order - 1))
+    rng = np.random.default_rng(1)
+    u = rng.uniform(0.5, 1.5, size=(tensor.shape[mode], rank)).astype(np.float32)
+    out = ttm_coo(tensor, u, mode)
+    assert np.allclose(
+        out.to_dense(), dense_ttm(tensor.to_dense(), u, mode), rtol=1e-3, atol=1e-4
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_tensors(max_nnz=40), st.data(), st.integers(1, 4))
+def test_mttkrp_matches_dense(tensor, data, rank):
+    mode = data.draw(st.integers(0, tensor.order - 1))
+    rng = np.random.default_rng(2)
+    factors = [
+        rng.uniform(0.5, 1.5, size=(s, rank)).astype(np.float32)
+        for s in tensor.shape
+    ]
+    out = mttkrp_coo(tensor, factors, mode)
+    expected = dense_mttkrp(tensor.to_dense(), factors, mode)
+    assert np.allclose(out, expected, rtol=1e-3, atol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Algebraic identities
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.integers(0, 2**31 - 1))
+def test_tew_add_commutes(tensor, seed):
+    rng = np.random.default_rng(seed)
+    other = CooTensor(
+        tensor.shape,
+        tensor.indices,
+        rng.uniform(0.5, 1.5, size=tensor.nnz).astype(np.float32),
+    )
+    ab = tew_coo(tensor, other, "add")
+    ba = tew_coo(other, tensor, "add")
+    assert ab.allclose(ba)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.integers(0, 2**31 - 1))
+def test_general_tew_union_size_bounds(tensor, seed):
+    other = CooTensor.random(tensor.shape, min(tensor.nnz, 20), seed=seed)
+    union = tew_general_coo(tensor, other, "add")
+    inter = tew_general_coo(tensor, other, "mul")
+    assert inter.nnz <= min(tensor.nnz, other.nnz)
+    assert max(tensor.nnz, other.nnz) <= union.nnz <= tensor.nnz + other.nnz
+    assert inter.nnz + union.nnz == tensor.nnz + other.nnz
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.floats(0.1, 10.0))
+def test_ts_add_inverse(tensor, scalar):
+    back = ts_add(ts_add(tensor, scalar), -scalar)
+    assert np.allclose(back.values, tensor.values, rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(), st.floats(0.25, 4.0))
+def test_ts_mul_scales_linearly(tensor, scalar):
+    out = ts_mul(tensor, scalar)
+    assert np.allclose(out.values, tensor.values * scalar, rtol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sparse_tensors(), st.data())
+def test_ttv_linearity(tensor, data):
+    """TTV is linear in the vector: X x (a+b) == X x a + X x b."""
+    mode = data.draw(st.integers(0, tensor.order - 1))
+    rng = np.random.default_rng(3)
+    a = rng.uniform(0.5, 1.5, size=tensor.shape[mode]).astype(np.float32)
+    b = rng.uniform(0.5, 1.5, size=tensor.shape[mode]).astype(np.float32)
+    combined = ttv_coo(tensor, a + b, mode)
+    separate = ttv_coo(tensor, a, mode).to_dense() + ttv_coo(
+        tensor, b, mode
+    ).to_dense()
+    assert np.allclose(combined.to_dense(), separate, rtol=1e-3, atol=1e-4)

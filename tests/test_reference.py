@@ -1,0 +1,111 @@
+"""Unit tests for the dense reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    dense_kronecker,
+    dense_mttkrp,
+    dense_ttm,
+    dense_ttv,
+    khatri_rao,
+    unfold,
+)
+
+
+class TestKhatriRao:
+    def test_matches_definition_two_matrices(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(5, 4))
+        c = khatri_rao([a, b])
+        assert c.shape == (15, 4)
+        for r in range(4):
+            assert np.allclose(c[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_three_matrices_associative(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.normal(size=(n, 3)) for n in (2, 3, 4)]
+        direct = khatri_rao(mats)
+        nested = khatri_rao([khatri_rao(mats[:2]), mats[2]])
+        assert np.allclose(direct, nested)
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            khatri_rao([np.ones((2, 3)), np.ones((2, 4))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            khatri_rao([])
+
+
+class TestUnfold:
+    def test_shape(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert unfold(x, 0).shape == (2, 12)
+        assert unfold(x, 1).shape == (3, 8)
+        assert unfold(x, 2).shape == (4, 6)
+
+    def test_elements_preserved(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        for mode in range(3):
+            assert sorted(unfold(x, mode).ravel()) == sorted(x.ravel())
+
+
+class TestDenseKernels:
+    def test_ttv_equals_einsum(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 4, 5))
+        v = rng.normal(size=4)
+        assert np.allclose(dense_ttv(x, v, 1), np.einsum("ijk,j->ik", x, v))
+
+    def test_ttm_equals_einsum(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3, 4, 5))
+        u = rng.normal(size=(4, 6))
+        assert np.allclose(
+            dense_ttm(x, u, 1), np.einsum("ijk,jr->irk", x, u)
+        )
+
+    def test_mttkrp_equals_elementwise_definition(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 4, 5))
+        factors = [rng.normal(size=(n, 2)) for n in (3, 4, 5)]
+        out = dense_mttkrp(x, factors, 0)
+        expected = np.einsum(
+            "ijk,jr,kr->ir", x, factors[1], factors[2]
+        )
+        assert np.allclose(out, expected)
+
+    def test_mttkrp_all_modes(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 4, 5))
+        factors = [rng.normal(size=(n, 2)) for n in (3, 4, 5)]
+        specs = ["ijk,jr,kr->ir", "ijk,ir,kr->jr", "ijk,ir,jr->kr"]
+        for mode, spec in enumerate(specs):
+            others = [f for m, f in enumerate(factors) if m != mode]
+            assert np.allclose(
+                dense_mttkrp(x, factors, mode), np.einsum(spec, x, *others)
+            )
+
+
+class TestDenseKronecker:
+    def test_matrix_case_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(4, 5))
+        assert np.allclose(dense_kronecker(a, b), np.kron(a, b))
+
+    def test_third_order_shape_and_structure(self):
+        a = np.zeros((2, 2, 2))
+        a[1, 0, 1] = 2.0
+        b = np.ones((3, 3, 3))
+        k = dense_kronecker(a, b)
+        assert k.shape == (6, 6, 6)
+        # Block (1, 0, 1) equals 2 * b; all other blocks are zero.
+        assert np.allclose(k[3:6, 0:3, 3:6], 2.0)
+        assert k.sum() == pytest.approx(2.0 * 27)
+
+    def test_rejects_order_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_kronecker(np.ones((2, 2)), np.ones((2, 2, 2)))

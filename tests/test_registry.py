@@ -1,0 +1,129 @@
+"""Unit tests for the named algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    all_algorithm_names,
+    algorithm_descriptions,
+    make_operands,
+    make_schedule,
+    parse_algorithm_name,
+    run_algorithm,
+)
+from repro.errors import PastaError
+from repro.formats import CooTensor, HicooTensor, SemiSparseCooTensor, SHicooTensor
+
+
+class TestNameParsing:
+    def test_parse_valid(self):
+        parsed = parse_algorithm_name("HiCOO-MTTKRP-GPU")
+        assert parsed.tensor_format == "HiCOO"
+        assert parsed.kernel == "MTTKRP"
+        assert parsed.target == "GPU"
+        assert str(parsed) == "HiCOO-MTTKRP-GPU"
+
+    def test_parse_case_insensitive_components(self):
+        parsed = parse_algorithm_name("coo-ttv-omp")
+        assert parsed.tensor_format == "COO"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["COO-TTV", "CSF-TTV-OMP", "COO-SPMV-OMP", "COO-TTV-FPGA", "x-y-z-w"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(PastaError):
+            parse_algorithm_name(bad)
+
+    def test_all_names_count(self):
+        names = all_algorithm_names()
+        assert len(names) == 20  # 2 formats x 5 kernels x 2 targets
+        assert len(set(names)) == 20
+
+    def test_descriptions_cover_all(self):
+        descriptions = algorithm_descriptions()
+        assert set(descriptions) == set(all_algorithm_names())
+
+
+class TestOperandFactory:
+    def test_tew_partner_same_pattern(self, tensor3):
+        ops = make_operands(tensor3, "TEW", seed=1)
+        assert ops.second_tensor.pattern_equals(tensor3)
+        assert not np.array_equal(ops.second_tensor.values, tensor3.values)
+
+    def test_ttv_vector_length(self, tensor3):
+        ops = make_operands(tensor3, "TTV", mode=1)
+        assert ops.vector.shape == (25,)
+
+    def test_ttm_matrix_shape(self, tensor3):
+        ops = make_operands(tensor3, "TTM", mode=2, rank=9)
+        assert ops.matrix.shape == (18, 9)
+
+    def test_mttkrp_factor_shapes(self, tensor3):
+        ops = make_operands(tensor3, "MTTKRP", rank=4)
+        assert [f.shape for f in ops.factors] == [(40, 4), (25, 4), (18, 4)]
+
+    def test_deterministic(self, tensor3):
+        a = make_operands(tensor3, "TTV", mode=0, seed=3)
+        b = make_operands(tensor3, "TTV", mode=0, seed=3)
+        assert np.array_equal(a.vector, b.vector)
+
+    def test_unknown_kernel(self, tensor3):
+        with pytest.raises(PastaError):
+            make_operands(tensor3, "SPMM")
+
+
+class TestRunAlgorithm:
+    def test_all_twenty_run(self, tensor3):
+        for name in all_algorithm_names():
+            result = run_algorithm(name, tensor3, mode=1, seed=2)
+            assert result is not None
+
+    def test_omp_and_gpu_identical_values(self, tensor3):
+        # The targets differ only in schedule, not arithmetic.
+        for fmt in ("COO", "HiCOO"):
+            omp = run_algorithm(f"{fmt}-MTTKRP-OMP", tensor3, mode=0, seed=4)
+            gpu = run_algorithm(f"{fmt}-MTTKRP-GPU", tensor3, mode=0, seed=4)
+            assert np.allclose(omp, gpu)
+
+    def test_formats_agree_numerically(self, tensor3):
+        ops = make_operands(tensor3, "TTV", mode=2, seed=5)
+        coo_out = run_algorithm("COO-TTV-OMP", tensor3, ops, mode=2)
+        hicoo_out = run_algorithm("HiCOO-TTV-OMP", tensor3, ops, mode=2)
+        assert hicoo_out.to_coo().allclose(coo_out)
+
+    def test_output_types(self, tensor3):
+        assert isinstance(
+            run_algorithm("COO-TTM-OMP", tensor3, mode=0), SemiSparseCooTensor
+        )
+        assert isinstance(
+            run_algorithm("HiCOO-TTM-OMP", tensor3, mode=0), SHicooTensor
+        )
+        assert isinstance(
+            run_algorithm("HiCOO-TS-OMP", tensor3), HicooTensor
+        )
+        assert isinstance(
+            run_algorithm("COO-MTTKRP-GPU", tensor3), np.ndarray
+        )
+
+    def test_reuses_preconverted_hicoo(self, tensor3, hicoo3):
+        out = run_algorithm("HiCOO-TS-OMP", tensor3, hicoo=hicoo3)
+        assert out.block_size == hicoo3.block_size
+
+
+class TestMakeSchedule:
+    def test_all_twenty_schedules(self, tensor3):
+        for name in all_algorithm_names():
+            s = make_schedule(name, tensor3, mode=1)
+            assert s.flops > 0
+            assert s.total_bytes > 0
+
+    def test_format_recorded(self, tensor3):
+        assert make_schedule("HiCOO-TEW-OMP", tensor3).tensor_format == "HiCOO"
+        assert make_schedule("COO-TEW-GPU", tensor3).tensor_format == "COO"
+
+    def test_mttkrp_grain_differs_by_format(self, tensor3):
+        coo = make_schedule("COO-MTTKRP-GPU", tensor3)
+        hicoo = make_schedule("HiCOO-MTTKRP-GPU", tensor3)
+        assert coo.parallel_grain == "nonzero"
+        assert hicoo.parallel_grain == "block"

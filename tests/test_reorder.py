@@ -1,0 +1,116 @@
+"""Unit tests for tensor reordering (index relabeling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError
+from repro.formats import (
+    CooTensor,
+    apply_relabeling,
+    block_density_relabel,
+    degree_relabel,
+    locality_metrics,
+    random_relabel,
+)
+from repro.generators import powerlaw_tensor
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """A power-law tensor with strong hubs (locality headroom)."""
+    return powerlaw_tensor((5000, 5000, 32), 8000, dense_modes=(2,), seed=0)
+
+
+class TestApplyRelabeling:
+    def test_identity_permutations(self, tensor3):
+        perms = [np.arange(s) for s in tensor3.shape]
+        assert apply_relabeling(tensor3, perms).allclose(tensor3)
+
+    def test_none_skips_mode(self, tensor3):
+        perms = [None, np.arange(tensor3.shape[1]), None]
+        assert apply_relabeling(tensor3, perms).allclose(tensor3)
+
+    def test_values_preserved_in_multiset(self, tensor3):
+        rng = np.random.default_rng(0)
+        perms = [rng.permutation(s) for s in tensor3.shape]
+        out = apply_relabeling(tensor3, perms)
+        assert np.allclose(np.sort(out.values), np.sort(tensor3.values))
+        assert out.nnz == tensor3.nnz
+
+    def test_relabeling_is_dense_permutation(self, tensor3):
+        rng = np.random.default_rng(1)
+        perms = [rng.permutation(s) for s in tensor3.shape]
+        out = apply_relabeling(tensor3, perms)
+        dense_in = tensor3.to_dense()
+        dense_out = out.to_dense()
+        # dense_out[perm0[i], perm1[j], perm2[k]] == dense_in[i, j, k]
+        remapped = dense_in[np.ix_(*(np.argsort(p) for p in perms))]
+        assert np.allclose(dense_out, remapped)
+
+    def test_rejects_wrong_count(self, tensor3):
+        with pytest.raises(ModeError):
+            apply_relabeling(tensor3, [None])
+
+    def test_rejects_non_bijection(self, tensor3):
+        bad = [np.zeros(tensor3.shape[0], dtype=np.int64), None, None]
+        with pytest.raises(ModeError):
+            apply_relabeling(tensor3, bad)
+
+
+class TestSchemes:
+    def test_random_destroys_locality(self, skewed):
+        base = locality_metrics(skewed, 64)
+        shuffled, _ = random_relabel(skewed, seed=1)
+        after = locality_metrics(shuffled, 64)
+        assert after["block_occupancy"] < base["block_occupancy"]
+
+    def test_degree_improves_locality_of_shuffled(self, skewed):
+        shuffled, _ = random_relabel(skewed, seed=2)
+        relabeled, _ = degree_relabel(shuffled)
+        before = locality_metrics(shuffled, 64)
+        after = locality_metrics(relabeled, 64)
+        assert after["block_occupancy"] > before["block_occupancy"]
+        assert after["storage_ratio"] > before["storage_ratio"]
+
+    def test_block_density_improves_locality_of_shuffled(self, skewed):
+        shuffled, _ = random_relabel(skewed, seed=3)
+        relabeled, _ = block_density_relabel(shuffled, 64)
+        before = locality_metrics(shuffled, 64)
+        after = locality_metrics(relabeled, 64)
+        assert after["block_occupancy"] > before["block_occupancy"]
+
+    def test_relabel_roundtrip_through_inverse(self, skewed):
+        relabeled, perms = degree_relabel(skewed)
+        inverses = [np.argsort(p) for p in perms]
+        back = apply_relabeling(relabeled, inverses)
+        assert back.allclose(skewed)
+
+    def test_mttkrp_equivariant_under_relabeling(self, tensor3):
+        # MTTKRP(relabel(X), relabel(U)) == relabel(MTTKRP(X, U)).
+        from repro.core import mttkrp_coo
+
+        rng = np.random.default_rng(4)
+        factors = [
+            rng.uniform(0.5, 1.5, size=(s, 4)).astype(np.float32)
+            for s in tensor3.shape
+        ]
+        relabeled, perms = degree_relabel(tensor3)
+        permuted_factors = [
+            f[np.argsort(p)] for f, p in zip(factors, perms)
+        ]
+        out_base = mttkrp_coo(tensor3, factors, 0)
+        out_relabeled = mttkrp_coo(relabeled, permuted_factors, 0)
+        # Row for new label n is the row for old label argsort(perm)[n].
+        assert np.allclose(
+            out_relabeled,
+            out_base[np.argsort(perms[0])],
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+
+class TestMetrics:
+    def test_metrics_fields(self, skewed):
+        m = locality_metrics(skewed, 64)
+        assert set(m) == {"num_blocks", "block_occupancy", "storage_ratio"}
+        assert m["num_blocks"] >= 1

@@ -1,0 +1,149 @@
+"""Unit tests for the kernel schedule abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    GRAIN_FIBER,
+    GRAIN_NONZERO,
+    KernelSchedule,
+    estimate_conflict_fraction,
+    uniform_work_units,
+    warp_divergence_factor,
+)
+
+
+def make_schedule(**overrides):
+    base = dict(
+        kernel="TTV",
+        tensor_format="COO",
+        flops=1000,
+        streamed_bytes=4000,
+        irregular_bytes=2000,
+        work_units=np.array([10, 20, 30]),
+        parallel_grain=GRAIN_FIBER,
+    )
+    base.update(overrides)
+    return KernelSchedule(**base)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        s = make_schedule()
+        assert s.total_bytes == 6000
+        assert s.operational_intensity == pytest.approx(1000 / 6000)
+        assert s.num_work_units == 3
+
+    def test_zero_bytes_oi(self):
+        s = make_schedule(streamed_bytes=0, irregular_bytes=0)
+        assert s.operational_intensity == float("inf")
+        s = make_schedule(flops=0, streamed_bytes=0, irregular_bytes=0)
+        assert s.operational_intensity == 0.0
+
+    def test_rejects_bad_grain(self):
+        with pytest.raises(ValueError):
+            make_schedule(parallel_grain="warp")
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(ValueError):
+            make_schedule(flops=-1)
+
+    def test_rejects_bad_conflict_fraction(self):
+        with pytest.raises(ValueError):
+            make_schedule(atomic_conflict_fraction=1.5)
+
+
+class TestLoadImbalance:
+    def test_uniform_units_balanced(self):
+        s = make_schedule(work_units=np.full(100, 7))
+        assert s.load_imbalance(10) == pytest.approx(1.0)
+
+    def test_single_giant_unit_dominates(self):
+        # LPT bound: makespan >= largest unit.
+        s = make_schedule(work_units=np.array([1000] + [1] * 99))
+        total = 1000 + 99
+        mean_bin = total / 10
+        assert s.load_imbalance(10) == pytest.approx(1000 / mean_bin)
+
+    def test_more_workers_never_reduce_below_one(self):
+        s = make_schedule(work_units=np.array([5, 5, 5]))
+        assert s.load_imbalance(1000) >= 1.0
+
+    def test_empty_units(self):
+        s = make_schedule(work_units=np.array([], dtype=np.int64))
+        assert s.load_imbalance(8) == 1.0
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            make_schedule().load_imbalance(0)
+
+    def test_imbalance_monotone_in_workers(self):
+        rng = np.random.default_rng(0)
+        units = rng.integers(1, 100, size=200)
+        s = make_schedule(work_units=units)
+        values = [s.load_imbalance(w) for w in (2, 8, 32, 128)]
+        assert values == sorted(values)
+
+
+class TestWarpDivergence:
+    def test_uniform_is_one(self):
+        assert warp_divergence_factor(np.full(64, 5)) == pytest.approx(1.0)
+
+    def test_skew_increases_factor(self):
+        uniform = warp_divergence_factor(np.full(64, 10))
+        skewed = warp_divergence_factor(
+            np.array([100] + [1] * 63, dtype=np.int64)
+        )
+        assert skewed > uniform
+
+    def test_empty(self):
+        assert warp_divergence_factor(np.array([])) == 1.0
+
+    def test_single_warp_max_rules(self):
+        units = np.array([8, 1, 1, 1], dtype=np.int64)
+        # One warp of 32 lanes (padded): time = 8 * 32, work = 11.
+        assert warp_divergence_factor(units) == pytest.approx(8 * 32 / 11)
+
+
+class TestUniformWorkUnits:
+    def test_chunks_of_256(self):
+        units = uniform_work_units(1000)
+        assert units.tolist() == [256, 256, 256, 232]
+
+    def test_exact_multiple(self):
+        assert uniform_work_units(512).tolist() == [256, 256]
+
+    def test_zero_work(self):
+        assert uniform_work_units(0).size == 0
+
+    def test_custom_grain(self):
+        assert uniform_work_units(10, 4).tolist() == [4, 4, 2]
+
+
+class TestConflictFraction:
+    def test_all_distinct(self):
+        assert estimate_conflict_fraction(np.arange(100)) == 0.0
+
+    def test_all_same(self):
+        frac = estimate_conflict_fraction(np.zeros(50, dtype=np.int64))
+        assert frac == pytest.approx(49 / 50)
+
+    def test_empty(self):
+        assert estimate_conflict_fraction(np.array([], dtype=np.int64)) == 0.0
+
+    def test_half_duplicated(self):
+        targets = np.array([0, 0, 1, 2, 3, 4])
+        assert estimate_conflict_fraction(targets) == pytest.approx(1 / 6)
+
+
+class TestScaled:
+    def test_scaling_volume_counters(self):
+        s = make_schedule(atomic_updates=10, writeallocate_bytes=100)
+        d = s.scaled(3.0)
+        assert d.flops == 3000
+        assert d.streamed_bytes == 12000
+        assert d.atomic_updates == 30
+        assert d.writeallocate_bytes == 300
+        # Structure is preserved.
+        assert np.array_equal(d.work_units, s.work_units)
+        assert d.parallel_grain == s.parallel_grain

@@ -1,0 +1,104 @@
+"""Unit tests for the semi-sparse COO (sCOO) format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError, TensorShapeError
+from repro.formats import CooTensor, SemiSparseCooTensor
+
+
+class TestFromCoo:
+    def test_roundtrip_dense_last_mode(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        assert np.allclose(s.to_dense(), tensor3.to_dense())
+
+    def test_roundtrip_dense_middle_mode(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [1])
+        assert np.allclose(s.to_dense(), tensor3.to_dense())
+
+    def test_roundtrip_two_dense_modes(self, tensor4):
+        s = SemiSparseCooTensor.from_coo(tensor4, [1, 3])
+        assert np.allclose(s.to_dense(), tensor4.to_dense())
+
+    def test_negative_mode_alias(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [-1])
+        assert s.dense_modes == (2,)
+
+    def test_fiber_count_matches_coo(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        assert s.nnz_fibers == tensor3.num_fibers(2)
+
+    def test_rejects_all_modes_dense(self, tensor3):
+        with pytest.raises(ModeError):
+            SemiSparseCooTensor.from_coo(tensor3, [0, 1, 2])
+
+    def test_empty_input(self):
+        s = SemiSparseCooTensor.from_coo(CooTensor.empty((3, 4, 5)), [2])
+        assert s.nnz_fibers == 0
+        assert s.to_coo().nnz == 0
+
+
+class TestProperties:
+    def test_dense_block_size(self, tensor4):
+        s = SemiSparseCooTensor.from_coo(tensor4, [1, 3])
+        assert s.dense_block_size() == 15 * 9
+
+    def test_nnz_counts(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        assert s.nnz == s.nnz_fibers * 18
+        assert s.order == 3
+
+    def test_storage_bytes_accounts_arrays(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        assert s.storage_bytes() == s.indices.nbytes + s.values.nbytes
+
+    def test_repr(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        assert "dense_modes=(2,)" in repr(s)
+
+
+class TestToCoo:
+    def test_drop_zeros_default(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        coo = s.to_coo()
+        assert coo.nnz == tensor3.nnz  # only the original nonzeros survive
+        assert coo.allclose(tensor3)
+
+    def test_keep_zeros(self, tensor3):
+        s = SemiSparseCooTensor.from_coo(tensor3, [2])
+        coo = s.to_coo(drop_zeros=False)
+        assert coo.nnz == s.nnz_fibers * 18
+
+    def test_allclose(self, tensor3):
+        a = SemiSparseCooTensor.from_coo(tensor3, [2])
+        b = SemiSparseCooTensor.from_coo(tensor3.sorted_morton(4), [2])
+        assert a.allclose(b)
+
+
+class TestValidation:
+    def test_rejects_no_dense_modes(self):
+        with pytest.raises(ModeError):
+            SemiSparseCooTensor(
+                (3, 3), [], np.zeros((2, 0)), np.zeros((0,))
+            )
+
+    def test_rejects_out_of_range_dense_mode(self):
+        with pytest.raises(ModeError):
+            SemiSparseCooTensor(
+                (3, 3), [5], np.zeros((1, 0)), np.zeros((0, 3))
+            )
+
+    def test_rejects_wrong_value_shape(self):
+        with pytest.raises(TensorShapeError):
+            SemiSparseCooTensor(
+                (3, 4), [1], np.zeros((1, 2)), np.zeros((2, 3))
+            )
+
+    def test_rejects_index_out_of_range(self):
+        with pytest.raises(TensorShapeError):
+            SemiSparseCooTensor(
+                (3, 4),
+                [1],
+                np.array([[0, 3]]),
+                np.zeros((2, 4), dtype=np.float32),
+            )

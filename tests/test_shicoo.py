@@ -1,0 +1,70 @@
+"""Unit tests for the semi-sparse HiCOO (sHiCOO) format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError
+from repro.formats import CooTensor, SemiSparseCooTensor, SHicooTensor
+
+
+class TestConversion:
+    def test_from_coo_roundtrip(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        assert np.allclose(s.to_dense(), tensor3.to_dense())
+
+    def test_from_scoo_roundtrip(self, tensor3):
+        scoo = SemiSparseCooTensor.from_coo(tensor3, [1])
+        s = SHicooTensor.from_scoo(scoo, 8)
+        assert s.to_scoo().allclose(scoo)
+
+    def test_two_dense_modes(self, tensor4):
+        s = SHicooTensor.from_coo(tensor4, [1, 3], 4)
+        assert np.allclose(s.to_dense(), tensor4.to_dense())
+
+    def test_to_coo_drops_zeros(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        assert s.to_coo().allclose(tensor3)
+
+    def test_empty(self):
+        s = SHicooTensor.from_coo(CooTensor.empty((4, 4, 4)), [2], 2)
+        assert s.nnz_fibers == 0
+        assert s.num_blocks == 0
+        assert s.to_scoo().nnz_fibers == 0
+
+
+class TestStructure:
+    def test_blocks_over_sparse_modes(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        assert s.sparse_modes == (0, 1)
+        assert s.binds.shape[0] == 2
+        assert s.nnz_per_block().sum() == s.nnz_fibers
+
+    def test_value_block_width(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        assert s.values.shape == (s.nnz_fibers, 18)
+        assert s.nnz == s.nnz_fibers * 18
+
+    def test_storage_counts_all_arrays(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        total = (
+            s.bptr.nbytes + s.binds.nbytes + s.einds.nbytes + s.values.nbytes
+        )
+        assert s.storage_bytes() == total
+
+    def test_repr(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        assert "dense_modes=(2,)" in repr(s)
+
+
+class TestValidation:
+    def test_rejects_no_dense_modes(self, tensor3):
+        s = SHicooTensor.from_coo(tensor3, [2], 8)
+        with pytest.raises(ModeError):
+            SHicooTensor(
+                s.shape, s.block_size, [], s.bptr, s.binds, s.einds,
+                np.zeros((s.nnz_fibers,) + (18,), dtype=np.float32),
+            )
+
+    def test_rejects_all_dense(self, tensor3):
+        with pytest.raises(ModeError):
+            SHicooTensor.from_coo(tensor3, [0, 1, 2], 8)

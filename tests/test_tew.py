@@ -1,0 +1,144 @@
+"""Unit tests for tensor element-wise (TEW) operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.tew import OPERATIONS, schedule_tew, tew_coo, tew_general_coo, tew_hicoo
+from repro.errors import IncompatibleOperandsError, PastaError
+from repro.formats import CooTensor, HicooTensor
+
+
+def partner(tensor, seed=7):
+    """A tensor with the same pattern but different values."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.5, 1.5, size=tensor.nnz).astype(np.float32)
+    return CooTensor(tensor.shape, tensor.indices, values)
+
+
+class TestSamePatternCoo:
+    @pytest.mark.parametrize("op", sorted(OPERATIONS))
+    def test_matches_dense(self, tensor3, op):
+        y = partner(tensor3)
+        z = tew_coo(tensor3, y, op)
+        expected = OPERATIONS[op](tensor3.values, y.values)
+        assert np.allclose(z.values, expected, rtol=1e-5)
+        assert np.array_equal(z.indices, tensor3.indices)
+
+    def test_reordered_same_pattern(self, tensor3):
+        y = partner(tensor3).sorted_morton(4)
+        z = tew_coo(tensor3, y, "add")
+        assert np.allclose(
+            z.to_dense(), tensor3.to_dense() + y.to_dense(), rtol=1e-5
+        )
+
+    def test_rejects_different_shape(self, tensor3):
+        other = CooTensor.random((5, 5), 10, seed=0)
+        with pytest.raises(IncompatibleOperandsError):
+            tew_coo(tensor3, other)
+
+    def test_rejects_different_pattern(self, tensor3):
+        other = CooTensor.random(tensor3.shape, tensor3.nnz, seed=42)
+        with pytest.raises(IncompatibleOperandsError):
+            tew_coo(tensor3, other)
+
+    def test_rejects_unknown_op(self, tensor3):
+        with pytest.raises(PastaError):
+            tew_coo(tensor3, partner(tensor3), "pow")
+
+
+class TestSamePatternHicoo:
+    @pytest.mark.parametrize("op", sorted(OPERATIONS))
+    def test_matches_coo_result(self, tensor3, op):
+        y = partner(tensor3)
+        hx = HicooTensor.from_coo(tensor3, 8)
+        hy = HicooTensor.from_coo(y, 8)
+        hz = tew_hicoo(hx, hy, op)
+        z = tew_coo(tensor3, y, op)
+        assert hz.to_coo().allclose(z)
+
+    def test_rejects_block_size_mismatch(self, tensor3):
+        hx = HicooTensor.from_coo(tensor3, 8)
+        hy = HicooTensor.from_coo(partner(tensor3), 4)
+        with pytest.raises(IncompatibleOperandsError):
+            tew_hicoo(hx, hy)
+
+    def test_rejects_pattern_mismatch(self, tensor3):
+        hx = HicooTensor.from_coo(tensor3, 8)
+        hy = HicooTensor.from_coo(
+            CooTensor.random(tensor3.shape, tensor3.nnz, seed=3), 8
+        )
+        with pytest.raises(IncompatibleOperandsError):
+            tew_hicoo(hx, hy)
+
+
+class TestGeneralTew:
+    def test_union_add(self, tensor3):
+        other = CooTensor.random(tensor3.shape, 300, seed=11)
+        z = tew_general_coo(tensor3, other, "add")
+        assert np.allclose(
+            z.to_dense(), tensor3.to_dense() + other.to_dense(), rtol=1e-5
+        )
+
+    def test_union_sub_negates_unmatched(self, tensor3):
+        other = CooTensor.random(tensor3.shape, 300, seed=12)
+        z = tew_general_coo(tensor3, other, "sub")
+        assert np.allclose(
+            z.to_dense(), tensor3.to_dense() - other.to_dense(), rtol=1e-5
+        )
+
+    def test_intersection_mul(self, tensor3):
+        other = CooTensor.random(tensor3.shape, 300, seed=13)
+        z = tew_general_coo(tensor3, other, "mul")
+        assert np.allclose(
+            z.to_dense(), tensor3.to_dense() * other.to_dense(), rtol=1e-5
+        )
+
+    def test_intersection_div_only_matched(self, tensor3):
+        # Division is evaluated only where both operands have entries.
+        other = partner(tensor3)
+        z = tew_general_coo(tensor3, other, "div")
+        assert z.nnz == tensor3.nnz
+        expected = tensor3.sorted_lexicographic().values / (
+            other.sorted_lexicographic().values
+        )
+        assert np.allclose(z.sorted_lexicographic().values, expected, rtol=1e-5)
+
+    def test_different_shapes_take_max(self):
+        a = CooTensor.random((4, 6), 8, seed=1)
+        b = CooTensor.random((6, 4), 8, seed=2)
+        z = tew_general_coo(a, b, "add")
+        assert z.shape == (6, 6)
+        dense = np.zeros((6, 6), dtype=np.float32)
+        dense[:4, :6] += a.to_dense()
+        dense[:6, :4] += b.to_dense()
+        assert np.allclose(z.to_dense(), dense, rtol=1e-5)
+
+    def test_rejects_order_mismatch(self, tensor3, tensor4):
+        with pytest.raises(IncompatibleOperandsError):
+            tew_general_coo(tensor3, tensor4)
+
+    def test_disjoint_patterns_union_size(self):
+        a = CooTensor((4, 4), np.array([[0], [0]]), np.array([1.0], dtype=np.float32))
+        b = CooTensor((4, 4), np.array([[1], [1]]), np.array([2.0], dtype=np.float32))
+        assert tew_general_coo(a, b, "add").nnz == 2
+        assert tew_general_coo(a, b, "mul").nnz == 0
+
+    def test_matches_same_pattern_path(self, tensor3):
+        y = partner(tensor3)
+        assert tew_general_coo(tensor3, y, "add").allclose(
+            tew_coo(tensor3, y, "add")
+        )
+
+
+class TestSchedule:
+    def test_table1_row(self, tensor3):
+        s = schedule_tew(tensor3)
+        assert s.flops == tensor3.nnz
+        assert s.streamed_bytes == 12 * tensor3.nnz
+        assert s.irregular_bytes == 0
+        assert s.atomic_updates == 0
+        assert s.operational_intensity == pytest.approx(1 / 12)
+
+    def test_work_units_cover_nnz(self, tensor3):
+        s = schedule_tew(tensor3)
+        assert s.work_units.sum() == tensor3.nnz

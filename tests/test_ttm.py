@@ -1,0 +1,113 @@
+"""Unit tests for the tensor-times-matrix (TTM) kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import dense_ttm
+from repro.core.ttm import schedule_ttm, ttm_coo, ttm_hicoo
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor, SemiSparseCooTensor, SHicooTensor
+
+
+def matrix_for(tensor, mode, rank=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 1.5, size=(tensor.shape[mode], rank)).astype(np.float32)
+
+
+class TestCooTtm:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_all_modes(self, tensor3, dense3, mode):
+        u = matrix_for(tensor3, mode)
+        out = ttm_coo(tensor3, u, mode)
+        assert isinstance(out, SemiSparseCooTensor)
+        assert np.allclose(out.to_dense(), dense_ttm(dense3, u, mode), rtol=1e-4)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fourth_order(self, tensor4, mode):
+        u = matrix_for(tensor4, mode)
+        out = ttm_coo(tensor4, u, mode)
+        assert np.allclose(
+            out.to_dense(), dense_ttm(tensor4.to_dense(), u, mode), rtol=1e-4
+        )
+
+    def test_output_shape_replaces_mode_with_rank(self, tensor3):
+        u = matrix_for(tensor3, 1, rank=7)
+        out = ttm_coo(tensor3, u, 1)
+        assert out.shape == (40, 7, 18)
+        assert out.dense_modes == (1,)
+
+    def test_output_fibers_match_input_fibers(self, tensor3):
+        u = matrix_for(tensor3, 0)
+        out = ttm_coo(tensor3, u, 0)
+        assert out.nnz_fibers == tensor3.num_fibers(0)
+
+    def test_rank_one_matches_ttv(self, tensor3):
+        from repro.core.ttv import ttv_coo
+
+        u = matrix_for(tensor3, 2, rank=1)
+        ttm_out = ttm_coo(tensor3, u, 2)
+        ttv_out = ttv_coo(tensor3, u[:, 0], 2)
+        assert np.allclose(
+            ttm_out.to_dense()[:, :, 0], ttv_out.to_dense(), rtol=1e-4
+        )
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((4, 5, 6))
+        out = ttm_coo(t, np.ones((6, 3), dtype=np.float32), 2)
+        assert out.nnz_fibers == 0
+        assert out.shape == (4, 5, 3)
+
+    def test_rejects_wrong_row_count(self, tensor3):
+        with pytest.raises(IncompatibleOperandsError):
+            ttm_coo(tensor3, np.ones((7, 3), dtype=np.float32), 2)
+
+    def test_rejects_vector_operand(self, tensor3):
+        with pytest.raises(IncompatibleOperandsError):
+            ttm_coo(tensor3, np.ones(18, dtype=np.float32), 2)
+
+
+class TestHicooTtm:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_coo(self, tensor3, mode):
+        u = matrix_for(tensor3, mode)
+        coo_out = ttm_coo(tensor3, u, mode)
+        hicoo_out = ttm_hicoo(tensor3, u, mode, 8)
+        assert isinstance(hicoo_out, SHicooTensor)
+        assert np.allclose(hicoo_out.to_dense(), coo_out.to_dense(), rtol=1e-4)
+
+    def test_accepts_hicoo_input(self, tensor3, hicoo3):
+        u = matrix_for(tensor3, 1)
+        out = ttm_hicoo(hicoo3, u, 1)
+        assert np.allclose(
+            out.to_dense(), ttm_coo(tensor3, u, 1).to_dense(), rtol=1e-4
+        )
+
+
+class TestSchedule:
+    def test_table1_row_coo(self, tensor3):
+        rank = 16
+        s = schedule_ttm(tensor3, 1, rank, "COO")
+        m = tensor3.nnz
+        mf = tensor3.num_fibers(1)
+        assert s.flops == 2 * m * rank
+        expected = 4 * m * rank + 4 * mf * rank + 8 * mf + 8 * m + 8 * mf
+        assert s.total_bytes == expected
+
+    def test_table1_row_hicoo_saves_index_copy(self, tensor3):
+        rank = 16
+        coo = schedule_ttm(tensor3, 1, rank, "COO")
+        hicoo = schedule_ttm(tensor3, 1, rank, "HiCOO")
+        mf = tensor3.num_fibers(1)
+        assert coo.total_bytes - hicoo.total_bytes == 8 * mf
+
+    def test_oi_approaches_half_with_long_fibers(self):
+        # Dense fibers: M_F << M, so OI -> 2MR/4MR = 1/2 (Table I).
+        dense = np.ones((4, 4, 64), dtype=np.float32)
+        t = CooTensor.from_dense(dense)
+        s = schedule_ttm(t, 2, 16, "COO")
+        assert 0.4 < s.operational_intensity <= 0.5
+
+    def test_matrix_row_chunk(self, tensor3):
+        s = schedule_ttm(tensor3, 2, 16, "COO")
+        assert s.irregular_chunk_bytes == 64
+        assert s.random_operand_bytes == 4 * tensor3.shape[2] * 16

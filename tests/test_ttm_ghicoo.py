@@ -1,0 +1,83 @@
+"""Tests for the direct gHiCOO TTM kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.ttm import ttm_coo, ttm_ghicoo_direct, ttm_hicoo
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor, GHicooTensor, SHicooTensor
+
+
+def ghicoo_for_mode(tensor, mode, block=8):
+    compressed = [m for m in range(tensor.order) if m != mode]
+    return GHicooTensor.from_coo(tensor, compressed, block)
+
+
+def matrix_for(tensor, mode, rank=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 1.5, size=(tensor.shape[mode], rank)).astype(np.float32)
+
+
+class TestDirectGhicooTtm:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_coo_all_modes(self, tensor3, mode):
+        g = ghicoo_for_mode(tensor3, mode)
+        u = matrix_for(tensor3, mode)
+        direct = ttm_ghicoo_direct(g, u, mode)
+        assert isinstance(direct, SHicooTensor)
+        assert np.allclose(
+            direct.to_dense(),
+            ttm_coo(tensor3, u, mode).to_dense(),
+            rtol=1e-3,
+            atol=1e-4,
+        )
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fourth_order(self, tensor4, mode):
+        g = ghicoo_for_mode(tensor4, mode, block=4)
+        u = matrix_for(tensor4, mode)
+        direct = ttm_ghicoo_direct(g, u, mode)
+        assert np.allclose(
+            direct.to_dense(),
+            ttm_coo(tensor4, u, mode).to_dense(),
+            rtol=1e-3,
+            atol=1e-4,
+        )
+
+    def test_output_structure_valid(self, tensor3):
+        g = ghicoo_for_mode(tensor3, 1)
+        out = ttm_ghicoo_direct(g, matrix_for(tensor3, 1), 1)
+        SHicooTensor(
+            out.shape, out.block_size, out.dense_modes, out.bptr,
+            out.binds, out.einds, out.values,
+        )
+        assert out.dense_modes == (1,)
+        assert out.shape == (40, 5, 18)
+
+    def test_fiber_count_matches_input(self, tensor3):
+        g = ghicoo_for_mode(tensor3, 0)
+        out = ttm_ghicoo_direct(g, matrix_for(tensor3, 0), 0)
+        assert out.nnz_fibers == tensor3.num_fibers(0)
+
+    def test_empty(self):
+        g = GHicooTensor.from_coo(CooTensor.empty((8, 8, 8)), [0, 1], 4)
+        out = ttm_ghicoo_direct(g, np.ones((8, 3), dtype=np.float32), 2)
+        assert out.nnz_fibers == 0
+
+    def test_rejects_wrong_uncompressed_set(self, tensor3):
+        g = GHicooTensor.from_coo(tensor3, [2], 8)
+        with pytest.raises(IncompatibleOperandsError):
+            ttm_ghicoo_direct(g, matrix_for(tensor3, 0), 0)
+
+    def test_rejects_bad_mode(self, tensor3):
+        g = ghicoo_for_mode(tensor3, 0)
+        with pytest.raises(IncompatibleOperandsError):
+            ttm_ghicoo_direct(g, matrix_for(tensor3, 0), 9)
+
+    def test_ttm_hicoo_dispatches_to_direct(self, tensor3):
+        g = ghicoo_for_mode(tensor3, 2)
+        u = matrix_for(tensor3, 2)
+        assert np.allclose(
+            ttm_hicoo(g, u, 2).to_dense(),
+            ttm_ghicoo_direct(g, u, 2).to_dense(),
+        )

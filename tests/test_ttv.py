@@ -1,0 +1,117 @@
+"""Unit tests for the tensor-times-vector (TTV) kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import dense_ttv
+from repro.core.ttv import schedule_ttv, ttv_coo, ttv_hicoo
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor, GHicooTensor, HicooTensor
+
+
+def vector_for(tensor, mode, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 1.5, size=tensor.shape[mode]).astype(np.float32)
+
+
+class TestCooTtv:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_all_modes(self, tensor3, dense3, mode):
+        v = vector_for(tensor3, mode)
+        out = ttv_coo(tensor3, v, mode)
+        assert out.order == 2
+        assert np.allclose(out.to_dense(), dense_ttv(dense3, v, mode), rtol=1e-4)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fourth_order(self, tensor4, mode):
+        v = vector_for(tensor4, mode)
+        out = ttv_coo(tensor4, v, mode)
+        assert np.allclose(
+            out.to_dense(), dense_ttv(tensor4.to_dense(), v, mode), rtol=1e-4
+        )
+
+    def test_second_order_gives_vector(self):
+        t = CooTensor.random((6, 8), 20, seed=1)
+        v = vector_for(t, 1)
+        out = ttv_coo(t, v, 1)
+        assert out.shape == (6,)
+        assert np.allclose(out.to_dense(), t.to_dense() @ v, rtol=1e-4)
+
+    def test_negative_mode(self, tensor3, dense3):
+        v = vector_for(tensor3, 2)
+        assert np.allclose(
+            ttv_coo(tensor3, v, -1).to_dense(),
+            dense_ttv(dense3, v, 2),
+            rtol=1e-4,
+        )
+
+    def test_output_nnz_is_fiber_count(self, tensor3):
+        v = vector_for(tensor3, 1)
+        out = ttv_coo(tensor3, v, 1)
+        assert out.nnz == tensor3.num_fibers(1)
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((4, 5, 6))
+        out = ttv_coo(t, np.ones(6, dtype=np.float32), 2)
+        assert out.nnz == 0
+        assert out.shape == (4, 5)
+
+    def test_rejects_wrong_vector_length(self, tensor3):
+        with pytest.raises(IncompatibleOperandsError):
+            ttv_coo(tensor3, np.ones(5, dtype=np.float32), 0)
+
+    def test_rejects_matrix_operand(self, tensor3):
+        with pytest.raises(IncompatibleOperandsError):
+            ttv_coo(tensor3, np.ones((18, 2), dtype=np.float32), 2)
+
+
+class TestHicooTtv:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_coo(self, tensor3, mode):
+        v = vector_for(tensor3, mode)
+        coo_out = ttv_coo(tensor3, v, mode)
+        hicoo_out = ttv_hicoo(tensor3, v, mode, 8)
+        assert isinstance(hicoo_out, HicooTensor)
+        assert hicoo_out.to_coo().allclose(coo_out)
+
+    def test_accepts_hicoo_input(self, tensor3, hicoo3):
+        v = vector_for(tensor3, 2)
+        out = ttv_hicoo(hicoo3, v, 2)
+        assert out.to_coo().allclose(ttv_coo(tensor3, v, 2))
+
+    def test_accepts_ghicoo_input(self, tensor3):
+        v = vector_for(tensor3, 2)
+        g = GHicooTensor.from_coo(tensor3, [0, 1], 8)
+        out = ttv_hicoo(g, v, 2)
+        assert out.to_coo().allclose(ttv_coo(tensor3, v, 2))
+
+
+class TestSchedule:
+    def test_table1_row(self, tensor3):
+        s = schedule_ttv(tensor3, 1)
+        m = tensor3.nnz
+        mf = tensor3.num_fibers(1)
+        assert s.flops == 2 * m
+        assert s.total_bytes == 12 * m + 12 * mf
+        assert s.irregular_bytes == 4 * m
+        assert s.num_work_units == mf
+        assert s.work_units.sum() == m
+
+    def test_oi_matches_exact_formula(self, tensor3):
+        s = schedule_ttv(tensor3, 2)
+        m, mf = tensor3.nnz, tensor3.num_fibers(2)
+        assert s.operational_intensity == pytest.approx(
+            2 * m / (12 * m + 12 * mf)
+        )
+
+    def test_oi_approaches_sixth_with_long_fibers(self):
+        # A tensor with dense fibers: M_F << M, so OI -> 1/6 (Table I).
+        dense = np.ones((4, 4, 64), dtype=np.float32)
+        t = CooTensor.from_dense(dense)
+        s = schedule_ttv(t, 2)
+        assert s.operational_intensity == pytest.approx(1 / 6, rel=0.05)
+
+    def test_random_operand_is_vector(self, tensor3):
+        s = schedule_ttv(tensor3, 0)
+        assert s.random_operand_bytes == 4 * tensor3.shape[0]
+        assert s.irregular_chunk_bytes == 4

@@ -1,0 +1,72 @@
+"""Tests for the direct gHiCOO TTV kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.ttv import ttv_coo, ttv_ghicoo_direct, ttv_hicoo
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor, GHicooTensor, HicooTensor
+
+
+def ghicoo_for_mode(tensor, mode, block=8):
+    compressed = [m for m in range(tensor.order) if m != mode]
+    return GHicooTensor.from_coo(tensor, compressed, block)
+
+
+class TestDirectGhicooTtv:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_coo_all_modes(self, tensor3, rng, mode):
+        g = ghicoo_for_mode(tensor3, mode)
+        v = rng.uniform(0.5, 1.5, size=tensor3.shape[mode]).astype(np.float32)
+        direct = ttv_ghicoo_direct(g, v, mode)
+        assert isinstance(direct, HicooTensor)
+        assert direct.to_coo().allclose(ttv_coo(tensor3, v, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fourth_order(self, tensor4, rng, mode):
+        g = ghicoo_for_mode(tensor4, mode, block=4)
+        v = rng.uniform(0.5, 1.5, size=tensor4.shape[mode]).astype(np.float32)
+        direct = ttv_ghicoo_direct(g, v, mode)
+        assert direct.to_coo().allclose(ttv_coo(tensor4, v, mode))
+
+    def test_output_block_structure_valid(self, tensor3, rng):
+        g = ghicoo_for_mode(tensor3, 2)
+        v = rng.uniform(size=tensor3.shape[2]).astype(np.float32)
+        out = ttv_ghicoo_direct(g, v, 2)
+        # The constructor's validation is skipped internally; re-validate.
+        HicooTensor(
+            out.shape, out.block_size, out.bptr, out.binds, out.einds,
+            out.values,
+        )
+
+    def test_output_blocks_subset_of_input_blocks(self, tensor3, rng):
+        g = ghicoo_for_mode(tensor3, 1)
+        v = rng.uniform(size=tensor3.shape[1]).astype(np.float32)
+        out = ttv_ghicoo_direct(g, v, 1)
+        in_blocks = {tuple(g.binds[:, b]) for b in range(g.num_blocks)}
+        out_blocks = {tuple(out.binds[:, b]) for b in range(out.num_blocks)}
+        assert out_blocks <= in_blocks
+
+    def test_empty_tensor(self):
+        g = GHicooTensor.from_coo(CooTensor.empty((8, 8, 8)), [0, 1], 4)
+        out = ttv_ghicoo_direct(g, np.ones(8, dtype=np.float32), 2)
+        assert out.nnz == 0
+
+    def test_rejects_wrong_uncompressed_set(self, tensor3, rng):
+        g = GHicooTensor.from_coo(tensor3, [0], 8)  # two modes uncompressed
+        v = rng.uniform(size=tensor3.shape[2]).astype(np.float32)
+        with pytest.raises(IncompatibleOperandsError):
+            ttv_ghicoo_direct(g, v, 2)
+
+    def test_rejects_out_of_range_mode(self, tensor3, rng):
+        g = ghicoo_for_mode(tensor3, 2)
+        v = rng.uniform(size=tensor3.shape[2]).astype(np.float32)
+        with pytest.raises(IncompatibleOperandsError):
+            ttv_ghicoo_direct(g, v, 7)
+
+    def test_ttv_hicoo_dispatches_to_direct_path(self, tensor3, rng):
+        g = ghicoo_for_mode(tensor3, 0)
+        v = rng.uniform(size=tensor3.shape[0]).astype(np.float32)
+        via_dispatch = ttv_hicoo(g, v, 0)
+        direct = ttv_ghicoo_direct(g, v, 0)
+        assert via_dispatch.to_coo().allclose(direct.to_coo())

@@ -1,0 +1,110 @@
+"""Tests for Tucker decomposition (TTM chains, HOSVD, HOOI)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tucker import hooi, hosvd, ttm_chain
+from repro.core.reference import dense_ttm
+from repro.errors import IncompatibleOperandsError
+from repro.formats import CooTensor
+
+
+def multilinear_rank_tensor(shape, ranks, seed=0):
+    """A dense-sampled tensor of exact multilinear rank ``ranks``."""
+    rng = np.random.default_rng(seed)
+    core = rng.normal(size=ranks)
+    dense = core
+    for mode, (n, r) in enumerate(zip(shape, ranks)):
+        u, _ = np.linalg.qr(rng.normal(size=(n, r)))
+        dense = np.moveaxis(
+            np.tensordot(dense, u[:, :r], axes=([mode], [1])), -1, mode
+        )
+    return CooTensor.from_dense(dense.astype(np.float32))
+
+
+class TestTtmChain:
+    def test_matches_sequential_dense_ttm(self, tensor3, rng):
+        mats = {
+            0: rng.normal(size=(tensor3.shape[0], 4)).astype(np.float32),
+            2: rng.normal(size=(tensor3.shape[2], 3)).astype(np.float32),
+        }
+        chain = ttm_chain(tensor3, mats)
+        ref = dense_ttm(
+            dense_ttm(tensor3.to_dense(), mats[0], 0), mats[2], 2
+        )
+        assert np.allclose(chain.to_dense(), ref, rtol=1e-3, atol=1e-4)
+
+    def test_all_modes(self, tensor3, rng):
+        mats = {
+            m: rng.normal(size=(s, 2)).astype(np.float32)
+            for m, s in enumerate(tensor3.shape)
+        }
+        chain = ttm_chain(tensor3, mats)
+        assert chain.shape == (2, 2, 2)
+        ref = tensor3.to_dense()
+        for m in range(3):
+            ref = dense_ttm(ref, mats[m], m)
+        assert np.allclose(chain.to_dense(), ref, rtol=1e-3, atol=1e-3)
+
+    def test_empty_chain_is_identity(self, tensor3):
+        assert ttm_chain(tensor3, {}).allclose(tensor3)
+
+    def test_order_independent(self, tensor3, rng):
+        mats = {
+            0: rng.normal(size=(tensor3.shape[0], 3)).astype(np.float32),
+            1: rng.normal(size=(tensor3.shape[1], 3)).astype(np.float32),
+        }
+        a = ttm_chain(tensor3, mats)
+        b = ttm_chain(ttm_chain(tensor3, {1: mats[1]}), {0: mats[0]})
+        assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-3, atol=1e-3)
+
+
+class TestHosvd:
+    def test_exact_on_multilinear_rank_input(self):
+        t = multilinear_rank_tensor((18, 14, 10), (3, 2, 2), seed=1)
+        result = hosvd(t, (3, 2, 2))
+        assert result.final_fit > 0.999
+        assert result.ranks == (3, 2, 2)
+
+    def test_factors_orthonormal(self):
+        t = multilinear_rank_tensor((15, 12, 10), (2, 2, 2), seed=2)
+        result = hosvd(t, (2, 2, 2))
+        for factor in result.factors:
+            gram = factor.T @ factor
+            assert np.allclose(gram, np.eye(factor.shape[1]), atol=1e-6)
+
+    def test_rejects_bad_ranks(self, tensor3):
+        with pytest.raises(IncompatibleOperandsError):
+            hosvd(tensor3, (2, 2))
+        with pytest.raises(IncompatibleOperandsError):
+            hosvd(tensor3, (100, 2, 2))
+
+
+class TestHooi:
+    def test_recovers_exact_model(self):
+        t = multilinear_rank_tensor((20, 15, 12), (3, 2, 2), seed=3)
+        result = hooi(t, (3, 2, 2), max_sweeps=15)
+        assert result.final_fit > 0.999
+        err = np.abs(result.reconstruct_dense() - t.to_dense()).max()
+        assert err < 1e-4
+
+    def test_fit_no_worse_than_hosvd(self):
+        t = CooTensor.random((16, 14, 12), 400, seed=4)
+        init = hosvd(t, (4, 4, 4))
+        refined = hooi(t, (4, 4, 4), max_sweeps=10, initialization=init)
+        assert refined.final_fit >= init.final_fit - 1e-6
+
+    def test_fourth_order(self):
+        t = multilinear_rank_tensor((10, 9, 8, 7), (2, 2, 2, 2), seed=5)
+        result = hooi(t, (2, 2, 2, 2), max_sweeps=10)
+        assert result.final_fit > 0.99
+
+    def test_fit_bounded(self):
+        t = CooTensor.random((12, 12, 12), 300, seed=6)
+        result = hooi(t, (3, 3, 3), max_sweeps=5)
+        assert all(0.0 <= f <= 1.0 for f in result.fits)
+
+    def test_core_shape(self):
+        t = CooTensor.random((12, 10, 8), 200, seed=7)
+        result = hooi(t, (4, 3, 2), max_sweeps=3)
+        assert result.core.shape == (4, 3, 2)

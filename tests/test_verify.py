@@ -1,0 +1,72 @@
+"""Tests for the suite self-verification module."""
+
+import numpy as np
+import pytest
+
+from repro.bench.verify import (
+    VerificationReport,
+    VerificationResult,
+    verify_suite,
+)
+from repro.cli import main
+from repro.formats import CooTensor
+
+
+class TestVerifySuite:
+    def test_all_checks_pass(self):
+        report = verify_suite()
+        assert report.all_passed, report.summary()
+        assert len(report.results) >= 80
+
+    def test_custom_probe_tensor(self):
+        probes = [CooTensor.random((10, 9, 8), 80, seed=0)]
+        report = verify_suite(probes, rank=4, block_size=4)
+        assert report.all_passed
+        # 5 kernels x (3 cross-format/target checks + 1 dense check)
+        # plus the two CSF checks.
+        assert len(report.results) == 5 * 4 + 2
+
+    def test_detects_corruption(self, monkeypatch):
+        # Sabotage one kernel and confirm verification notices.
+        import repro.bench.verify as verify_module
+
+        original = verify_module.run_algorithm
+
+        def corrupted(name, tensor, operands=None, **kwargs):
+            result = original(name, tensor, operands, **kwargs)
+            if name == "HiCOO-TS-GPU":
+                result = type(result)(
+                    result.shape,
+                    result.block_size,
+                    result.bptr,
+                    result.binds,
+                    result.einds,
+                    result.values * 2.0,
+                    validate=False,
+                )
+            return result
+
+        monkeypatch.setattr(verify_module, "run_algorithm", corrupted)
+        probes = [CooTensor.random((10, 9, 8), 80, seed=1)]
+        report = verify_suite(probes, rank=4, block_size=4)
+        assert not report.all_passed
+        assert any("HiCOO-TS-GPU" in f.check for f in report.failures)
+
+    def test_summary_format(self):
+        report = VerificationReport(
+            [
+                VerificationResult("a", True),
+                VerificationResult("b", False, "mismatch"),
+            ]
+        )
+        text = report.summary()
+        assert "[ok  ] a" in text
+        assert "[FAIL] b — mismatch" in text
+        assert "1/2 checks passed" in text
+
+
+class TestVerifyCli:
+    def test_cli_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out

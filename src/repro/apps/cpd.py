@@ -121,17 +121,24 @@ def cp_als(
     fits: List[float] = []
     ones = np.ones(rank)
     previous_fit = 0.0
+    # Working float32 copies of the factors, refreshed one factor at a
+    # time as each mode is updated — not all N factors N times per sweep.
+    f32 = [f.astype(VALUE_DTYPE) for f in factors]
+    last = tensor.order - 1
     for _sweep in range(max_sweeps):
         for mode in range(tensor.order):
-            f32 = [f.astype(VALUE_DTYPE) for f in factors]
             if hicoo is not None:
                 m_new = mttkrp_hicoo(hicoo, f32, mode).astype(np.float64)
             else:
                 m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)
             gram = _gram_hadamard(factors, mode)
             factors[mode] = m_new @ np.linalg.pinv(gram)
-        # Sparse fit evaluation with the raw (unnormalized) factors.
-        inner = _model_inner(tensor, factors, ones)
+            f32[mode] = factors[mode].astype(VALUE_DTYPE)
+        # Sparse fit evaluation with the raw (unnormalized) factors.  The
+        # last mode's MTTKRP already contracted every other mode, so
+        # <X, model> is just its elementwise product with that factor —
+        # no extra pass over the nonzeros.
+        inner = float(np.sum(m_new * factors[last]))
         norm_model_sq = _model_norm_sq(factors, ones)
         residual_sq = max(norm_x**2 - 2 * inner + norm_model_sq, 0.0)
         fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x else 1.0

@@ -75,19 +75,23 @@ def power_iteration(
     if norm == 0:
         raise IncompatibleOperandsError("start vector must be nonzero")
     v = v / norm
-    eigenvalue = 0.0
     for iteration in range(1, max_iterations + 1):
         w = tensor_apply(tensor, v.astype(np.float32)).astype(np.float64)
         norm = np.linalg.norm(w)
         if norm == 0:
             return PowerMethodResult(0.0, v, iteration, True)
         new_v = w / norm
-        eigenvalue = float(new_v @ tensor_apply(tensor, new_v.astype(np.float32)))
         if np.linalg.norm(new_v - v) < tolerance or (
             np.linalg.norm(new_v + v) < tolerance
         ):
+            # The Rayleigh quotient is only reported, never used to
+            # iterate — evaluate it once at the end instead of per step.
+            eigenvalue = float(
+                new_v @ tensor_apply(tensor, new_v.astype(np.float32))
+            )
             return PowerMethodResult(eigenvalue, new_v, iteration, True)
         v = new_v
+    eigenvalue = float(v @ tensor_apply(tensor, v.astype(np.float32)))
     return PowerMethodResult(eigenvalue, v, max_iterations, False)
 
 

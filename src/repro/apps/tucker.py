@@ -153,11 +153,16 @@ def hooi(
 
 def _mode_gram(tensor: CooTensor, mode: int) -> np.ndarray:
     """Sparse ``X_(n) X_(n)^T``: Gram matrix of the mode-``n`` unfolding."""
-    ordered, fptr = tensor.fiber_partition(mode)
+    from ..perf.plans import build_fiber_plan, fiber_plan
+
+    plan = fiber_plan(tensor, mode)
+    if plan is None:
+        plan = build_fiber_plan(tensor, mode)
+    fptr = plan.fptr
     size = tensor.shape[mode]
     gram = np.zeros((size, size))
-    ids = ordered.indices[mode]
-    values = ordered.values.astype(np.float64)
+    ids = plan.sorted_indices[mode]
+    values = tensor.values[plan.perm].astype(np.float64)
     for f in range(len(fptr) - 1):
         lo, hi = fptr[f], fptr[f + 1]
         rows = ids[lo:hi]

@@ -21,7 +21,10 @@ import numpy as np
 
 from ..errors import IncompatibleOperandsError
 from ..formats.coo import VALUE_DTYPE, CooTensor
-from ..formats.hicoo import HicooTensor
+from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from ..formats.modes import check_mode
+from ..perf.plans import expanded_coo, expanded_indices, hicoo_for, mode_sort_plan
+from ..perf.scatter import scatter_cols_segmented, scatter_rows_bincount
 from .schedule import (
     GRAIN_BLOCK,
     GRAIN_NONZERO,
@@ -77,21 +80,35 @@ def _khatri_rao_rows(
     return rows
 
 
-def _scatter_rows(
-    target_indices: np.ndarray, rows: np.ndarray, num_rows: int
+def _khatri_rao_cols_sorted(
+    sorted_indices: np.ndarray,
+    sorted_values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
 ) -> np.ndarray:
-    """Sum contribution rows into an output matrix (a fused atomic add).
+    """Khatri-Rao products in plan sort order, as ``(rank, nnz)`` columns.
 
-    Uses one ``bincount`` per rank column, which is numerically the same
-    reduction the atomic adds perform.
+    The segmented scatter accumulates in float64 anyway, so the products
+    stay float32 here — the first factor gather doubles as the
+    accumulator, saving the float64 broadcast copy of the fallback path.
+    The transposed layout makes each reduceat segment contiguous.
     """
-    rank = rows.shape[1]
-    out = np.empty((num_rows, rank), dtype=np.float64)
-    for r in range(rank):
-        out[:, r] = np.bincount(
-            target_indices, weights=rows[:, r], minlength=num_rows
-        )
-    return out
+    cols = None
+    for m, factor in enumerate(factors):
+        if m == mode:
+            continue
+        gathered = np.take(factor.T, sorted_indices[m], axis=1)
+        if cols is None:
+            cols = gathered
+        else:
+            cols *= gathered
+    if cols is None:  # order-1 tensor: no other factors
+        rank = factors[0].shape[1]
+        return np.broadcast_to(
+            sorted_values, (rank, sorted_values.shape[0])
+        ).copy()
+    cols *= sorted_values
+    return cols
 
 
 def mttkrp_coo(
@@ -102,11 +119,22 @@ def mttkrp_coo(
     Returns the updated dense matrix ``out ∈ R^{I_mode × R}``.  The entry
     of ``factors`` at position ``mode`` participates only through its
     shape (it defines the output's row count), matching equation (3).
+
+    With plan caching on, nonzeros are pre-sorted by the output mode
+    (once per tensor) and the scatter is a single segmented reduction;
+    uncached calls keep the seed's bincount path, which needs no sort.
     """
     mode = x.check_mode(mode)
     factors = check_factors(x.shape, factors)
-    rows = _khatri_rao_rows(x.indices, x.values, factors, mode)
-    out = _scatter_rows(x.indices[mode], rows, x.shape[mode])
+    plan = mode_sort_plan(x, mode)
+    if plan is None:
+        rows = _khatri_rao_rows(x.indices, x.values, factors, mode)
+        out = scatter_rows_bincount(x.indices[mode], rows, x.shape[mode])
+    else:
+        cols = _khatri_rao_cols_sorted(
+            plan.sorted_indices, plan.sorted_values(x.values), factors, mode
+        )
+        out = scatter_cols_segmented(plan, cols, x.shape[mode])
     return out.astype(VALUE_DTYPE)
 
 
@@ -127,19 +155,22 @@ def mttkrp_hicoo(
     path computes the identical reduction vectorized over all nonzeros.
     """
     if isinstance(x, CooTensor):
-        x = HicooTensor.from_coo(x)
-    if not -x.order <= mode < x.order:
-        raise IncompatibleOperandsError(
-            f"mode {mode} out of range for order-{x.order} tensor"
-        )
-    mode = mode % x.order
+        x = hicoo_for(x, DEFAULT_BLOCK_SIZE)
+    mode = check_mode(x.order, mode, exc=IncompatibleOperandsError)
     factors = check_factors(x.shape, factors)
-    if not literal_blocked:
-        coo = x.to_coo()
+    if literal_blocked:
+        return _mttkrp_hicoo_blocked(x, factors, mode)
+    plan = mode_sort_plan(x, mode)
+    if plan is None:
+        coo = expanded_coo(x)
         rows = _khatri_rao_rows(coo.indices, coo.values, factors, mode)
-        out = _scatter_rows(coo.indices[mode], rows, x.shape[mode])
-        return out.astype(VALUE_DTYPE)
-    return _mttkrp_hicoo_blocked(x, factors, mode)
+        out = scatter_rows_bincount(coo.indices[mode], rows, x.shape[mode])
+    else:
+        cols = _khatri_rao_cols_sorted(
+            plan.sorted_indices, plan.sorted_values(x.values), factors, mode
+        )
+        out = scatter_cols_segmented(plan, cols, x.shape[mode])
+    return out.astype(VALUE_DTYPE)
 
 
 def _mttkrp_hicoo_blocked(
@@ -185,6 +216,12 @@ def schedule_mttkrp_coo(
     irregular = 4 * rank * order * nnz
     streamed = 4 * (order + 1) * nnz
     factor_bytes = 4 * rank * sum(x.shape)
+    plan = mode_sort_plan(x, mode)
+    if plan is not None and nnz:
+        # 1 - (distinct rows / nnz) == sum(c_i - 1) / sum(c_i).
+        conflict = 1.0 - plan.num_segments / nnz
+    else:
+        conflict = estimate_conflict_fraction(x.indices[mode], x.shape[mode])
     return KernelSchedule(
         kernel="MTTKRP",
         tensor_format="COO",
@@ -194,9 +231,7 @@ def schedule_mttkrp_coo(
         work_units=uniform_work_units(nnz),
         parallel_grain=GRAIN_NONZERO,
         atomic_updates=nnz * rank,
-        atomic_conflict_fraction=estimate_conflict_fraction(
-            x.indices[mode], x.shape[mode]
-        ),
+        atomic_conflict_fraction=conflict,
         working_set_bytes=streamed + factor_bytes,
         reuse_bytes=max(irregular - factor_bytes, 0),
         irregular_chunk_bytes=4 * rank,
@@ -228,8 +263,7 @@ def schedule_mttkrp_hicoo(
     counts = x.nnz_per_block()
     # The atomics still land on individual output rows (Algorithm 3 line
     # 8), so contention is measured at element granularity just like COO.
-    counts_expanded = np.repeat(x.binds[mode].astype(np.int64), counts)
-    element_targets = counts_expanded * x.block_size + x.einds[mode]
+    element_targets = expanded_indices(x)[mode]
     return KernelSchedule(
         kernel="MTTKRP",
         tensor_format="HiCOO",

@@ -28,6 +28,7 @@ from ..errors import PastaError
 from ..formats.coo import CooTensor
 from ..formats.csf import csf_for_mode
 from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from ..perf.plan_cache import cache_disabled
 from ..platforms.specs import PlatformSpec, get_platform
 from .registry import parse_algorithm_name
 
@@ -81,21 +82,26 @@ def run_stage(
     mode: int = 0,
     block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> float:
-    """Execute the algorithm's pre-processing stage; returns wall seconds."""
+    """Execute the algorithm's pre-processing stage; returns wall seconds.
+
+    The plan cache is disabled inside the timed region so the measurement
+    always reflects the real cost of the stage, not a cache hit.
+    """
     parsed = parse_algorithm_name(algorithm_name)
-    start = time.perf_counter()
-    if parsed.kernel in ("TEW", "TS"):
-        # Output allocation: copy the index structure (HiCOO TEW/TS share
-        # the input's block structure, so this is the whole stage there
-        # too).
-        tensor.indices.copy()
-    elif parsed.kernel in ("TTV", "TTM"):
-        tensor.fiber_partition(mode)
-    elif parsed.tensor_format == "HiCOO":
-        HicooTensor.from_coo(tensor, block_size)
-    else:
-        tensor.indices.copy()
-    return time.perf_counter() - start
+    with cache_disabled():
+        start = time.perf_counter()
+        if parsed.kernel in ("TEW", "TS"):
+            # Output allocation: copy the index structure (HiCOO TEW/TS
+            # share the input's block structure, so this is the whole
+            # stage there too).
+            tensor.indices.copy()
+        elif parsed.kernel in ("TTV", "TTM"):
+            tensor.fiber_partition(mode)
+        elif parsed.tensor_format == "HiCOO":
+            HicooTensor.from_coo(tensor, block_size)
+        else:
+            tensor.indices.copy()
+        return time.perf_counter() - start
 
 
 def modeled_stage_seconds(

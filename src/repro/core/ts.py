@@ -17,6 +17,7 @@ from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import HicooTensor
 from ..formats.scoo import SemiSparseCooTensor
 from ..formats.shicoo import SHicooTensor
+from ..perf.plans import adopt_plans
 from .schedule import GRAIN_NONZERO, KernelSchedule, uniform_work_units
 
 _SparseTensor = Union[CooTensor, HicooTensor, SemiSparseCooTensor, SHicooTensor]
@@ -34,12 +35,19 @@ def _check_tensor(tensor: _SparseTensor) -> _SparseTensor:
 
 
 def _apply_to_values(tensor: _SparseTensor, values: np.ndarray) -> _SparseTensor:
-    """Rebuild a tensor of the same format around new values."""
+    """Rebuild a tensor of the same format around new values.
+
+    The result shares the input's index arrays, so any cached structural
+    plans (sort permutations, fiber partitions, ...) remain valid and are
+    shared with the output.
+    """
     values = values.astype(VALUE_DTYPE)
     if isinstance(tensor, CooTensor):
-        return CooTensor(tensor.shape, tensor.indices, values, validate=False)
-    if isinstance(tensor, HicooTensor):
-        return HicooTensor(
+        result: _SparseTensor = CooTensor(
+            tensor.shape, tensor.indices, values, validate=False
+        )
+    elif isinstance(tensor, HicooTensor):
+        result = HicooTensor(
             tensor.shape,
             tensor.block_size,
             tensor.bptr,
@@ -48,13 +56,13 @@ def _apply_to_values(tensor: _SparseTensor, values: np.ndarray) -> _SparseTensor
             values,
             validate=False,
         )
-    if isinstance(tensor, SemiSparseCooTensor):
-        return SemiSparseCooTensor(
+    elif isinstance(tensor, SemiSparseCooTensor):
+        result = SemiSparseCooTensor(
             tensor.shape, tensor.dense_modes, tensor.indices, values,
             validate=False,
         )
-    if isinstance(tensor, SHicooTensor):
-        return SHicooTensor(
+    elif isinstance(tensor, SHicooTensor):
+        result = SHicooTensor(
             tensor.shape,
             tensor.block_size,
             tensor.dense_modes,
@@ -64,7 +72,10 @@ def _apply_to_values(tensor: _SparseTensor, values: np.ndarray) -> _SparseTensor
             values,
             validate=False,
         )
-    raise PastaError(f"unsupported tensor type for TS: {type(tensor).__name__}")
+    else:
+        raise PastaError(f"unsupported tensor type for TS: {type(tensor).__name__}")
+    adopt_plans(result, tensor)
+    return result
 
 
 def ts_add(tensor: _SparseTensor, scalar: float) -> _SparseTensor:

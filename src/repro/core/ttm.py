@@ -19,8 +19,15 @@ from ..errors import IncompatibleOperandsError
 from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.ghicoo import GHicooTensor
 from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
+from ..formats.modes import check_mode
 from ..formats.scoo import SemiSparseCooTensor
 from ..formats.shicoo import SHicooTensor
+from ..perf.plans import (
+    build_ghicoo_fiber_plan,
+    fiber_fptr,
+    ghicoo_fiber_plan,
+    ghicoo_for_mode,
+)
 from .analysis import DEFAULT_RANK
 from .schedule import GRAIN_FIBER, KernelSchedule
 
@@ -79,11 +86,7 @@ def ttm_ghicoo_direct(
     ``binds`` — emitted straight into sHiCOO.
     """
     order = ghicoo.order
-    if not -order <= mode < order:
-        raise IncompatibleOperandsError(
-            f"mode {mode} out of range for order-{order} tensor"
-        )
-    mode = mode % order
+    mode = check_mode(order, mode, exc=IncompatibleOperandsError)
     if tuple(ghicoo.uncompressed_modes) != (mode,):
         raise IncompatibleOperandsError(
             f"direct gHiCOO TTM needs exactly the product mode {mode} "
@@ -100,34 +103,24 @@ def ttm_ghicoo_direct(
         return SHicooTensor.from_coo(
             CooTensor.empty(out_shape), [mode], ghicoo.block_size
         )
-    block_of = np.repeat(
-        np.arange(ghicoo.num_blocks, dtype=np.int64), ghicoo.nnz_per_block()
-    )
-    perm = np.lexsort(tuple(reversed((block_of,) + tuple(ghicoo.einds))))
-    block_sorted = block_of[perm]
-    einds_sorted = ghicoo.einds[:, perm]
-    values_sorted = ghicoo.values[perm]
-    product_idx = ghicoo.cinds[0][perm]
-    changed = block_sorted[1:] != block_sorted[:-1]
-    changed |= np.any(einds_sorted[:, 1:] != einds_sorted[:, :-1], axis=0)
-    starts = np.flatnonzero(np.concatenate(([True], changed)))
+    # The fiber sort and output block structure come from the same cached
+    # plan the direct TTV kernel uses; only the value/matrix work is
+    # per-call.
+    plan = ghicoo_fiber_plan(ghicoo)
+    if plan is None:
+        plan = build_ghicoo_fiber_plan(ghicoo)
     contributions = (
-        values_sorted[:, None].astype(np.float64) * matrix[product_idx]
+        ghicoo.values[plan.perm, None].astype(np.float64)
+        * matrix[plan.product_indices]
     )
-    rows = np.add.reduceat(contributions, starts, axis=0)
-    fiber_blocks = block_sorted[starts]
-    fiber_einds = einds_sorted[:, starts]
-    block_changed = fiber_blocks[1:] != fiber_blocks[:-1]
-    out_block_starts = np.flatnonzero(np.concatenate(([True], block_changed)))
-    bptr = np.concatenate([out_block_starts, [len(starts)]]).astype(np.int64)
-    binds = ghicoo.binds[:, fiber_blocks[out_block_starts]]
+    rows = np.add.reduceat(contributions, plan.fiber_starts, axis=0)
     return SHicooTensor(
         out_shape,
         ghicoo.block_size,
         [mode],
-        bptr,
-        binds,
-        fiber_einds,
+        plan.out_bptr,
+        plan.out_binds,
+        plan.fiber_einds,
         rows.astype(VALUE_DTYPE),
         validate=False,
     )
@@ -152,15 +145,10 @@ def ttm_hicoo(
             mode % x.order,
         ):
             return ttm_ghicoo_direct(x, matrix, mode)
-        coo = x.to_coo()
     elif isinstance(x, HicooTensor):
         block_size = x.block_size
-        coo = x.to_coo()
-    else:
-        coo = x
-    mode = coo.check_mode(mode)
-    compressed = [m for m in range(coo.order) if m != mode]
-    ghicoo = GHicooTensor.from_coo(coo, compressed, block_size)
+    mode = x.check_mode(mode)
+    ghicoo = ghicoo_for_mode(x, mode, block_size)
     return ttm_ghicoo_direct(ghicoo, matrix, mode)
 
 
@@ -179,8 +167,7 @@ def schedule_ttm(
     bytes) is the reusable operand that can live in the LLC.
     """
     mode = x.check_mode(mode)
-    _, fptr = x.fiber_partition(mode)
-    fiber_lengths = np.diff(fptr)
+    fiber_lengths = np.diff(fiber_fptr(x, mode))
     nnz = x.nnz
     num_fibers = len(fiber_lengths)
     matrix_bytes = 4 * x.shape[mode] * rank

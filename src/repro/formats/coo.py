@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ModeError, TensorShapeError
+from .modes import check_mode as _check_mode
 from .morton import morton_sort_order
 
 INDEX_DTYPE = np.int32
@@ -45,7 +46,7 @@ class CooTensor:
         When true (the default), check index bounds and array consistency.
     """
 
-    __slots__ = ("shape", "indices", "values")
+    __slots__ = ("shape", "indices", "values", "__weakref__")
 
     def __init__(
         self,
@@ -110,9 +111,7 @@ class CooTensor:
 
     def check_mode(self, mode: int) -> int:
         """Validate a mode index, supporting negatives, and return it."""
-        if not -self.order <= mode < self.order:
-            raise ModeError(f"mode {mode} out of range for order-{self.order} tensor")
-        return mode % self.order
+        return _check_mode(self.order, mode)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -257,21 +256,19 @@ class CooTensor:
         start offsets.  This is the pre-processing step of the paper's
         TTV/TTM algorithms (Algorithm 1, line 1).
         """
+        from ..perf.plans import build_fiber_plan, fiber_plan
+
         mode = self.check_mode(mode)
-        other_modes = [m for m in range(self.order) if m != mode]
-        ordered = self.sorted_lexicographic(other_modes + [mode])
-        if ordered.nnz == 0:
-            return ordered, np.zeros(1, dtype=np.int64)
-        other = ordered.indices[other_modes]
-        boundary = np.any(other[:, 1:] != other[:, :-1], axis=0)
-        starts = np.flatnonzero(np.concatenate(([True], boundary)))
-        fptr = np.concatenate([starts, [ordered.nnz]]).astype(np.int64)
-        return ordered, fptr
+        plan = fiber_plan(self, mode)
+        if plan is None:
+            plan = build_fiber_plan(self, mode)
+        return plan.ordered_tensor(self), plan.fptr
 
     def num_fibers(self, mode: int) -> int:
         """Number of nonempty mode-``mode`` fibers (``M_F`` in Table I)."""
-        _, fptr = self.fiber_partition(mode)
-        return len(fptr) - 1
+        from ..perf.plans import fiber_fptr
+
+        return len(fiber_fptr(self, self.check_mode(mode))) - 1
 
     # ------------------------------------------------------------------
     # Comparison helpers

@@ -26,7 +26,8 @@ from .hicoo import (
     _group_sorted_blocks,
     check_block_size,
 )
-from .morton import morton_sort_order
+from .modes import check_mode as _check_mode
+from .modes import normalize_mode
 
 
 class GHicooTensor:
@@ -58,6 +59,7 @@ class GHicooTensor:
         "einds",
         "cinds",
         "values",
+        "__weakref__",
     )
 
     def __init__(
@@ -134,6 +136,10 @@ class GHicooTensor:
         """Number of nonempty blocks over the compressed modes."""
         return int(self.binds.shape[1])
 
+    def check_mode(self, mode: int) -> int:
+        """Validate a mode index, supporting negatives, and return it."""
+        return _check_mode(self.order, mode)
+
     def nnz_per_block(self) -> np.ndarray:
         """Nonzero count of each block."""
         return np.diff(self.bptr)
@@ -163,9 +169,11 @@ class GHicooTensor:
         if not comp:
             raise ModeError("must compress at least one mode")
         uncomp = [m for m in range(tensor.order) if m not in comp]
+        from ..perf.plans import morton_perm
+
         idx = tensor.indices.astype(np.int64)
         block_coords = idx[comp] // block_size
-        perm = morton_sort_order(block_coords)
+        perm = morton_perm(tensor, block_size, comp)
         idx = idx[:, perm]
         block_coords = block_coords[:, perm]
         values = tensor.values[perm]
@@ -199,7 +207,7 @@ class GHicooTensor:
         This is the fast path TTV/TTM rely on: the product mode is left
         uncompressed so its coordinates are read directly here.
         """
-        mode = mode % self.order if -self.order <= mode < self.order else mode
+        mode = normalize_mode(self.order, mode)
         if mode not in self.uncompressed_modes:
             raise ModeError(f"mode {mode} is compressed; its index is blocked")
         return self.cinds[self.uncompressed_modes.index(mode)]

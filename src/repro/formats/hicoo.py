@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import FormatParameterError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
-from .morton import morton_sort_order
+from .modes import check_mode as _check_mode
 
 ELEMENT_DTYPE = np.uint8
 BPTR_DTYPE = np.int64
@@ -75,7 +75,15 @@ class HicooTensor:
         ``(nnz,)`` nonzero values.
     """
 
-    __slots__ = ("shape", "block_size", "bptr", "binds", "einds", "values")
+    __slots__ = (
+        "shape",
+        "block_size",
+        "bptr",
+        "binds",
+        "einds",
+        "values",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -141,6 +149,10 @@ class HicooTensor:
         """Number of nonempty index blocks (``n_b`` in Table I)."""
         return int(self.binds.shape[1])
 
+    def check_mode(self, mode: int) -> int:
+        """Validate a mode index, supporting negatives, and return it."""
+        return _check_mode(self.order, mode)
+
     def nnz_per_block(self) -> np.ndarray:
         """Nonzero count of each block, in storage order."""
         return np.diff(self.bptr)
@@ -166,10 +178,12 @@ class HicooTensor:
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> "HicooTensor":
         """Convert a COO tensor to HiCOO with the given block size."""
+        from ..perf.plans import morton_perm
+
         block_size = check_block_size(block_size)
         idx = tensor.indices.astype(np.int64)
         block_coords = idx // block_size
-        perm = morton_sort_order(block_coords)
+        perm = morton_perm(tensor, block_size)
         idx = idx[:, perm]
         block_coords = block_coords[:, perm]
         values = tensor.values[perm]

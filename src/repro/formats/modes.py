@@ -1,0 +1,35 @@
+"""Shared mode-index validation for every tensor format.
+
+Each format used to carry its own copy of the "negative modes wrap, out
+of range raises" logic, and the kernels copied it again with a different
+exception type.  This module is the single implementation: formats raise
+:class:`~repro.errors.ModeError`, kernels pass
+``exc=IncompatibleOperandsError`` to keep their documented error type.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from ..errors import ModeError, PastaError
+
+
+def check_mode(order: int, mode: int, *, exc: Type[PastaError] = ModeError) -> int:
+    """Validate a mode index, supporting negatives, and return it normalized.
+
+    Raises ``exc`` (default :class:`ModeError`) when ``mode`` is outside
+    ``[-order, order)``.
+    """
+    if not -order <= mode < order:
+        raise exc(f"mode {mode} out of range for order-{order} tensor")
+    return mode % order
+
+
+def normalize_mode(order: int, mode: int) -> int:
+    """Best-effort normalization: wrap in-range negatives, never raise.
+
+    Out-of-range modes are returned unchanged so the caller's later
+    validation (with its own exception type) still sees the original
+    value.
+    """
+    return mode % order if -order <= mode < order else mode

@@ -9,9 +9,21 @@ and their interleaved-bit Morton codes.
 The encoding interleaves bits round-robin across modes, least-significant
 bit first: for coordinates ``(x, y, z)`` the code is
 ``x0 y0 z0 x1 y1 z1 ...`` reading from the least-significant code bit.
+
+Two implementations share this contract:
+
+* the production path interleaves whole bytes at a time through
+  per-order 256-entry lookup tables (one table lookup spreads 8
+  coordinate bits at stride ``order``), so the Python-level loop runs
+  over bytes, not bits;
+* :func:`morton_encode_reference` / :func:`morton_decode_reference` keep
+  the original bit-by-bit loops as the ground truth the tests compare
+  against.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -34,6 +46,75 @@ def bits_needed(max_value: int) -> int:
     return max(int(max_value).bit_length(), 1)
 
 
+# ----------------------------------------------------------------------
+# Byte-interleave lookup tables (cached per order)
+# ----------------------------------------------------------------------
+
+_ENCODE_LUTS: Dict[int, np.ndarray] = {}
+_DECODE_LUTS: Dict[int, np.ndarray] = {}
+
+
+def _encode_lut(order: int) -> np.ndarray:
+    """256-entry table spreading a byte's bits to stride ``order``.
+
+    ``lut[b]`` places bit ``j`` of ``b`` at bit ``j * order``, so a whole
+    byte of one mode's coordinate interleaves in a single lookup.
+    """
+    lut = _ENCODE_LUTS.get(order)
+    if lut is None:
+        bytes_ = np.arange(256, dtype=np.uint64)
+        lut = np.zeros(256, dtype=np.uint64)
+        for j in range(8):
+            lut |= ((bytes_ >> np.uint64(j)) & np.uint64(1)) << np.uint64(j * order)
+        _ENCODE_LUTS[order] = lut
+    return lut
+
+
+def _decode_lut(order: int) -> np.ndarray:
+    """Tables gathering one code byte back into per-mode coordinate bits.
+
+    ``lut[phase, mode, b]`` collects the bits of code byte value ``b``
+    that belong to ``mode`` when the byte starts at code-bit offset
+    ``phase (mod order)``, already shifted to their relative coordinate
+    position.  The caller shifts by the byte's whole-stride offset.
+    """
+    lut = _DECODE_LUTS.get(order)
+    if lut is None:
+        bytes_ = np.arange(256, dtype=np.uint64)
+        lut = np.zeros((order, order, 256), dtype=np.uint64)
+        for phase in range(order):
+            for j in range(8):
+                mode = (phase + j) % order
+                coord_bit = (phase + j) // order
+                lut[phase, mode] |= (
+                    (bytes_ >> np.uint64(j)) & np.uint64(1)
+                ) << np.uint64(coord_bit)
+        _DECODE_LUTS[order] = lut
+    return lut
+
+
+def _validate_coords(coords: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    coords = np.asarray(coords)
+    if coords.ndim != 2:
+        raise TensorShapeError(
+            f"coords must have shape (order, n), got ndim={coords.ndim}"
+        )
+    order, n = coords.shape
+    if order == 0:
+        raise TensorShapeError("coords must have at least one mode")
+    if n and np.any(coords < 0):
+        raise TensorShapeError("coordinates must be non-negative")
+    return coords, order, n
+
+
+def _check_code_width(order: int, per_mode_bits: int) -> None:
+    if per_mode_bits * order > _MAX_CODE_BITS:
+        raise TensorShapeError(
+            f"Morton code overflow: {order} modes x {per_mode_bits} bits "
+            f"exceeds {_MAX_CODE_BITS} bits"
+        )
+
+
 def morton_encode(coords: np.ndarray) -> np.ndarray:
     """Encode integer coordinates into Morton codes.
 
@@ -49,32 +130,23 @@ def morton_encode(coords: np.ndarray) -> np.ndarray:
         ``int64`` array of ``n`` Morton codes.  Sorting by these codes
         orders the points along the Z-order space-filling curve.
     """
-    coords = np.asarray(coords)
-    if coords.ndim != 2:
-        raise TensorShapeError(
-            f"coords must have shape (order, n), got ndim={coords.ndim}"
-        )
-    order, n = coords.shape
-    if order == 0:
-        raise TensorShapeError("coords must have at least one mode")
+    coords, order, n = _validate_coords(coords)
     if n == 0:
         return np.empty(0, dtype=np.int64)
-    if np.any(coords < 0):
-        raise TensorShapeError("coordinates must be non-negative")
 
     per_mode_bits = bits_needed(int(coords.max()))
-    if per_mode_bits * order > _MAX_CODE_BITS:
-        raise TensorShapeError(
-            f"Morton code overflow: {order} modes x {per_mode_bits} bits "
-            f"exceeds {_MAX_CODE_BITS} bits"
-        )
+    _check_code_width(order, per_mode_bits)
 
-    codes = np.zeros(n, dtype=np.int64)
-    work = coords.astype(np.int64, copy=True)
-    for bit in range(per_mode_bits):
+    lut = _encode_lut(order)
+    work = coords.astype(np.uint64, copy=False)
+    codes = np.zeros(n, dtype=np.uint64)
+    num_bytes = (per_mode_bits + 7) // 8
+    for byte_idx in range(num_bytes):
+        shift = np.uint64(8 * byte_idx)
+        chunk = (work >> shift) & np.uint64(0xFF)
         for mode in range(order):
-            codes |= ((work[mode] >> bit) & 1) << (bit * order + mode)
-    return codes
+            codes |= lut[chunk[mode]] << np.uint64(8 * byte_idx * order + mode)
+    return codes.astype(np.int64)
 
 
 def morton_decode(codes: np.ndarray, order: int, per_mode_bits: int) -> np.ndarray:
@@ -88,11 +160,58 @@ def morton_decode(codes: np.ndarray, order: int, per_mode_bits: int) -> np.ndarr
         raise TensorShapeError(f"order must be positive, got {order}")
     if per_mode_bits <= 0:
         raise TensorShapeError(f"per_mode_bits must be positive, got {per_mode_bits}")
-    if per_mode_bits * order > _MAX_CODE_BITS:
-        raise TensorShapeError(
-            f"Morton code overflow: {order} modes x {per_mode_bits} bits "
-            f"exceeds {_MAX_CODE_BITS} bits"
-        )
+    _check_code_width(order, per_mode_bits)
+
+    lut = _decode_lut(order)
+    work = codes.astype(np.uint64)
+    coords = np.zeros((order, codes.shape[0]), dtype=np.uint64)
+    total_bits = per_mode_bits * order
+    num_bytes = (total_bits + 7) // 8
+    for byte_idx in range(num_bytes):
+        chunk = (work >> np.uint64(8 * byte_idx)) & np.uint64(0xFF)
+        live = total_bits - 8 * byte_idx
+        if live < 8:
+            # Ignore code bits past per_mode_bits per mode, matching the
+            # bit-loop reference.
+            chunk &= np.uint64((1 << live) - 1)
+        phase = (8 * byte_idx) % order
+        stride_shift = np.uint64((8 * byte_idx) // order)
+        coords |= lut[phase][:, chunk] << stride_shift
+    return coords.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Bit-by-bit reference implementations (kept for tests)
+# ----------------------------------------------------------------------
+
+
+def morton_encode_reference(coords: np.ndarray) -> np.ndarray:
+    """The original bit-loop encoder; ground truth for the LUT path."""
+    coords, order, n = _validate_coords(coords)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    per_mode_bits = bits_needed(int(coords.max()))
+    _check_code_width(order, per_mode_bits)
+
+    codes = np.zeros(n, dtype=np.int64)
+    work = coords.astype(np.int64, copy=True)
+    for bit in range(per_mode_bits):
+        for mode in range(order):
+            codes |= ((work[mode] >> bit) & 1) << (bit * order + mode)
+    return codes
+
+
+def morton_decode_reference(
+    codes: np.ndarray, order: int, per_mode_bits: int
+) -> np.ndarray:
+    """The original bit-loop decoder; ground truth for the LUT path."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if order <= 0:
+        raise TensorShapeError(f"order must be positive, got {order}")
+    if per_mode_bits <= 0:
+        raise TensorShapeError(f"per_mode_bits must be positive, got {per_mode_bits}")
+    _check_code_width(order, per_mode_bits)
     coords = np.zeros((order, codes.shape[0]), dtype=np.int64)
     for bit in range(per_mode_bits):
         for mode in range(order):

@@ -35,7 +35,14 @@ class SemiSparseCooTensor:
         mode number.
     """
 
-    __slots__ = ("shape", "dense_modes", "sparse_modes", "indices", "values")
+    __slots__ = (
+        "shape",
+        "dense_modes",
+        "sparse_modes",
+        "indices",
+        "values",
+        "__weakref__",
+    )
 
     def __init__(
         self,

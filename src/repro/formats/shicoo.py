@@ -42,6 +42,7 @@ class SHicooTensor:
         "binds",
         "einds",
         "values",
+        "__weakref__",
     )
 
     def __init__(

@@ -1,0 +1,475 @@
+"""Kernel plan builders: the cached pre-processing artifacts.
+
+Each plan captures one pre-processing product the paper's suite computes
+*outside* the timed kernel region:
+
+* :class:`ModeSortPlan` — nonzeros sorted by one mode's index, with
+  segment boundaries, which turns MTTKRP's scattered row updates into a
+  single segmented reduction (:mod:`repro.perf.scatter`);
+* :class:`FiberPlan` — the fiber partition TTV/TTM pre-processing builds
+  (Algorithm 1 line 1): a lexicographic sort permutation plus the fiber
+  pointer array;
+* :class:`GhicooFiberPlan` — the intra-block fiber grouping of the
+  direct gHiCOO TTV/TTM kernels, plus the output's block structure;
+* expanded HiCOO indices, Morton sort permutations, and whole cached
+  HiCOO/gHiCOO conversions.
+
+Plans are *structural*: they are derived from index arrays only, never
+from values, so tensors that share coordinates (e.g. tensor-scalar
+results) can share them via :meth:`PlanCache.adopt`.  The two exceptions
+— cached HiCOO/gHiCOO conversions — embed values and are marked
+value-bearing in :mod:`repro.perf.plan_cache`.
+
+Every ``*_plan`` helper returns ``None`` when caching is disabled; the
+matching ``build_*`` function computes the same plan uncached, so
+kernels can fall back without duplicating the math.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..formats.coo import INDEX_DTYPE, CooTensor
+from ..formats.ghicoo import GHicooTensor
+from ..formats.hicoo import HicooTensor
+from .plan_cache import PlanCache, cache_enabled, get_plan_cache
+
+KIND_MODE_SORT = "mode_sort"
+KIND_FIBER = "fiber_partition"
+KIND_EXPANSION = "hicoo_expansion"
+KIND_MORTON = "morton_perm"
+KIND_GHICOO_FIBER = "ghicoo_fiber_sort"
+KIND_GHICOO_BUILD = "ghicoo_build"
+KIND_HICOO_BUILD = "hicoo_build"
+
+_CooLike = Union[CooTensor, HicooTensor]
+
+
+def _cache(cache: Optional[PlanCache]) -> PlanCache:
+    return cache if cache is not None else get_plan_cache()
+
+
+# ----------------------------------------------------------------------
+# Mode sort plans (MTTKRP scatter pre-processing)
+# ----------------------------------------------------------------------
+
+
+class ModeSortPlan:
+    """Nonzeros sorted by one mode's index, segmented by output row.
+
+    Attributes
+    ----------
+    mode:
+        The (normalized) mode whose index is the sort key.
+    perm:
+        Stable permutation sorting nonzeros by ``indices[mode]``.
+    sorted_indices:
+        The full ``(order, nnz)`` index matrix permuted by ``perm``.
+    segment_starts:
+        Offsets (into the sorted order) where a new output row begins —
+        the ``reduceat`` boundaries.
+    unique_targets:
+        The output row of each segment (strictly increasing).
+    """
+
+    __slots__ = ("mode", "perm", "sorted_indices", "segment_starts", "unique_targets")
+
+    def __init__(
+        self,
+        mode: int,
+        perm: np.ndarray,
+        sorted_indices: np.ndarray,
+        segment_starts: np.ndarray,
+        unique_targets: np.ndarray,
+    ) -> None:
+        self.mode = mode
+        self.perm = perm
+        self.sorted_indices = sorted_indices
+        self.segment_starts = segment_starts
+        self.unique_targets = unique_targets
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros the plan covers."""
+        return int(self.perm.shape[0])
+
+    @property
+    def num_segments(self) -> int:
+        """Number of distinct output rows (nonempty segments)."""
+        return int(self.segment_starts.shape[0])
+
+    def sorted_values(self, values: np.ndarray) -> np.ndarray:
+        """Gather a value array into the plan's sorted order."""
+        return np.take(values, self.perm)
+
+
+def _build_mode_sort(indices: np.ndarray, mode: int) -> ModeSortPlan:
+    perm = np.argsort(indices[mode], kind="stable")
+    sorted_indices = np.ascontiguousarray(indices[:, perm])
+    targets = sorted_indices[mode]
+    if targets.size:
+        boundary = np.concatenate(([True], targets[1:] != targets[:-1]))
+        starts = np.flatnonzero(boundary)
+    else:
+        starts = np.empty(0, dtype=np.int64)
+    return ModeSortPlan(mode, perm, sorted_indices, starts, targets[starts])
+
+
+def build_mode_sort_plan(tensor: _CooLike, mode: int) -> ModeSortPlan:
+    """Build a mode sort plan without touching the cache."""
+    return _build_mode_sort(_indices_of(tensor), mode)
+
+
+def mode_sort_plan(
+    tensor: _CooLike, mode: int, *, cache: Optional[PlanCache] = None
+) -> Optional[ModeSortPlan]:
+    """Cached mode sort plan, or ``None`` when caching is disabled.
+
+    Accepts COO and HiCOO tensors; for HiCOO the sort runs over the
+    (cached) expanded coordinates, in the tensor's own storage order, so
+    ``plan.perm`` applies directly to ``tensor.values``.
+    """
+    if not cache_enabled():
+        return None
+    cache = _cache(cache)
+    return cache.get(
+        tensor,
+        KIND_MODE_SORT,
+        int(mode),
+        lambda: _build_mode_sort(_indices_of(tensor, cache=cache), mode),
+    )
+
+
+def _indices_of(
+    tensor: _CooLike, *, cache: Optional[PlanCache] = None
+) -> np.ndarray:
+    """Element coordinates of a COO or HiCOO tensor, in storage order."""
+    if isinstance(tensor, HicooTensor):
+        if cache is not None:
+            return cache.get(
+                tensor,
+                KIND_EXPANSION,
+                None,
+                lambda: _expand_hicoo_indices(tensor),
+            )
+        return _expand_hicoo_indices(tensor)
+    return tensor.indices
+
+
+# ----------------------------------------------------------------------
+# Fiber partition plans (TTV/TTM pre-processing)
+# ----------------------------------------------------------------------
+
+
+class FiberPlan:
+    """Fiber grouping of one product mode (Algorithm 1 line 1).
+
+    ``perm`` sorts nonzeros so each mode-``mode`` fiber is contiguous
+    with the product mode varying fastest; ``fptr`` (length
+    ``num_fibers + 1``) holds fiber start offsets.
+    """
+
+    __slots__ = ("mode", "other_modes", "perm", "sorted_indices", "fptr")
+
+    def __init__(
+        self,
+        mode: int,
+        other_modes: Tuple[int, ...],
+        perm: np.ndarray,
+        sorted_indices: np.ndarray,
+        fptr: np.ndarray,
+    ) -> None:
+        self.mode = mode
+        self.other_modes = other_modes
+        self.perm = perm
+        self.sorted_indices = sorted_indices
+        self.fptr = fptr
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of nonempty mode-``mode`` fibers (``M_F`` in Table I)."""
+        return int(self.fptr.shape[0]) - 1
+
+    def fiber_lengths(self) -> np.ndarray:
+        """Nonzeros per fiber — the TTV/TTM work-unit array."""
+        return np.diff(self.fptr)
+
+    def ordered_tensor(self, tensor: CooTensor) -> CooTensor:
+        """The fiber-sorted tensor (values gathered from ``tensor``)."""
+        return CooTensor(
+            tensor.shape,
+            self.sorted_indices,
+            tensor.values[self.perm],
+            validate=False,
+        )
+
+
+def build_fiber_plan(tensor: CooTensor, mode: int) -> FiberPlan:
+    """Build a fiber partition plan without touching the cache."""
+    mode = mode % tensor.order
+    other_modes = tuple(m for m in range(tensor.order) if m != mode)
+    perm = tensor.lexicographic_order(list(other_modes) + [mode])
+    sorted_indices = np.ascontiguousarray(tensor.indices[:, perm])
+    nnz = perm.shape[0]
+    if nnz == 0:
+        return FiberPlan(
+            mode, other_modes, perm, sorted_indices, np.zeros(1, dtype=np.int64)
+        )
+    other = sorted_indices[list(other_modes)]
+    boundary = np.any(other[:, 1:] != other[:, :-1], axis=0)
+    starts = np.flatnonzero(np.concatenate(([True], boundary)))
+    fptr = np.concatenate([starts, [nnz]]).astype(np.int64)
+    return FiberPlan(mode, other_modes, perm, sorted_indices, fptr)
+
+
+def fiber_plan(
+    tensor: CooTensor, mode: int, *, cache: Optional[PlanCache] = None
+) -> Optional[FiberPlan]:
+    """Cached fiber partition plan, or ``None`` when caching is disabled."""
+    if not cache_enabled():
+        return None
+    mode = mode % tensor.order
+    return _cache(cache).get(
+        tensor, KIND_FIBER, mode, lambda: build_fiber_plan(tensor, mode)
+    )
+
+
+def fiber_fptr(tensor: CooTensor, mode: int) -> np.ndarray:
+    """Fiber pointer array of one mode, cached when caching is enabled.
+
+    The ``schedule_*`` functions use this to read fiber counts and
+    lengths without gathering values or rebuilding a sorted tensor.
+    """
+    plan = fiber_plan(tensor, mode)
+    if plan is None:
+        plan = build_fiber_plan(tensor, mode)
+    return plan.fptr
+
+
+# ----------------------------------------------------------------------
+# HiCOO expansion
+# ----------------------------------------------------------------------
+
+
+def _expand_hicoo_indices(tensor: HicooTensor) -> np.ndarray:
+    if tensor.num_blocks == 0:
+        return np.empty((tensor.order, 0), dtype=INDEX_DTYPE)
+    counts = tensor.nnz_per_block()
+    expanded = np.repeat(tensor.binds, counts, axis=1).astype(np.int64)
+    return (expanded * tensor.block_size + tensor.einds).astype(INDEX_DTYPE)
+
+
+def expanded_indices(
+    tensor: HicooTensor, *, cache: Optional[PlanCache] = None
+) -> np.ndarray:
+    """HiCOO element coordinates ``(order, nnz)``, cached when enabled.
+
+    The result is in the tensor's own (Morton) storage order, aligned
+    with ``tensor.values``.
+    """
+    if not cache_enabled():
+        return _expand_hicoo_indices(tensor)
+    return _cache(cache).get(
+        tensor, KIND_EXPANSION, None, lambda: _expand_hicoo_indices(tensor)
+    )
+
+
+def expanded_coo(tensor: HicooTensor) -> CooTensor:
+    """The HiCOO tensor expanded to COO, reusing cached indices.
+
+    A fresh :class:`CooTensor` wrapper is returned each call (so callers
+    may hold it without pinning the cache), but the index matrix inside
+    is the cached expansion when caching is enabled.
+    """
+    return CooTensor(
+        tensor.shape, expanded_indices(tensor), tensor.values, validate=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Morton permutations and format rebuild caching
+# ----------------------------------------------------------------------
+
+
+def morton_perm(
+    tensor: CooTensor,
+    block_size: int,
+    modes: Optional[Sequence[int]] = None,
+    *,
+    cache: Optional[PlanCache] = None,
+) -> np.ndarray:
+    """Permutation sorting nonzeros by the Morton code of their block.
+
+    ``modes=None`` blocks every mode (plain HiCOO); a subset gives the
+    gHiCOO ordering over the compressed modes only.  Cached per
+    ``(block_size, modes)`` when caching is enabled.
+    """
+    from ..formats.morton import morton_sort_order
+
+    mode_key = None if modes is None else tuple(sorted(modes))
+
+    def build() -> np.ndarray:
+        idx = tensor.indices.astype(np.int64)
+        if mode_key is not None:
+            idx = idx[list(mode_key)]
+        return morton_sort_order(idx // block_size)
+
+    if not cache_enabled():
+        return build()
+    return _cache(cache).get(
+        tensor, KIND_MORTON, (int(block_size), mode_key), build
+    )
+
+
+def hicoo_for(
+    tensor: CooTensor, block_size: int, *, cache: Optional[PlanCache] = None
+) -> HicooTensor:
+    """A HiCOO conversion of ``tensor``, memoized per block size.
+
+    Value-bearing: the cached object embeds the tensor's values, so it is
+    dropped (not transferred) when plans are adopted by a new tensor.
+    """
+    if not cache_enabled():
+        return HicooTensor.from_coo(tensor, block_size)
+    return _cache(cache).get(
+        tensor,
+        KIND_HICOO_BUILD,
+        int(block_size),
+        lambda: HicooTensor.from_coo(tensor, block_size),
+    )
+
+
+def ghicoo_for_mode(
+    tensor: Union[CooTensor, HicooTensor, GHicooTensor],
+    mode: int,
+    block_size: int,
+    *,
+    cache: Optional[PlanCache] = None,
+) -> GHicooTensor:
+    """The gHiCOO rebuild TTV/TTM consume: product mode uncompressed.
+
+    Keyed on the *original* tensor object (COO, HiCOO, or a differently
+    compressed gHiCOO) so repeated kernel calls get the identical gHiCOO
+    object back — which in turn keeps the downstream
+    :func:`ghicoo_fiber_plan` warm.
+    """
+    mode = mode % len(tensor.shape)
+
+    def build() -> GHicooTensor:
+        if isinstance(tensor, CooTensor):
+            coo = tensor
+        elif isinstance(tensor, HicooTensor):
+            coo = expanded_coo(tensor)
+        else:
+            coo = tensor.to_coo()
+        compressed = [m for m in range(coo.order) if m != mode]
+        return GHicooTensor.from_coo(coo, compressed, block_size)
+
+    if not cache_enabled():
+        return build()
+    return _cache(cache).get(
+        tensor, KIND_GHICOO_BUILD, (mode, int(block_size)), build
+    )
+
+
+# ----------------------------------------------------------------------
+# gHiCOO fiber sort plans (direct TTV/TTM kernels)
+# ----------------------------------------------------------------------
+
+
+class GhicooFiberPlan:
+    """Intra-block fiber grouping of a gHiCOO tensor, plus the output
+    block structure the direct TTV/TTM kernels emit.
+
+    With the product mode uncompressed every fiber lies inside one block
+    (paper Section III-D1), so a single sort by (block, compressed
+    element indices) makes fibers contiguous while preserving block
+    contiguity.  All fields are index-derived; per-call kernels combine
+    them with the current values and the dense operand.
+    """
+
+    __slots__ = (
+        "perm",
+        "fiber_starts",
+        "product_indices",
+        "fiber_einds",
+        "out_bptr",
+        "out_binds",
+    )
+
+    def __init__(
+        self,
+        perm: np.ndarray,
+        fiber_starts: np.ndarray,
+        product_indices: np.ndarray,
+        fiber_einds: np.ndarray,
+        out_bptr: np.ndarray,
+        out_binds: np.ndarray,
+    ) -> None:
+        self.perm = perm
+        self.fiber_starts = fiber_starts
+        self.product_indices = product_indices
+        self.fiber_einds = fiber_einds
+        self.out_bptr = out_bptr
+        self.out_binds = out_binds
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of fibers (output nonzeros / output rows)."""
+        return int(self.fiber_starts.shape[0])
+
+
+def build_ghicoo_fiber_plan(ghicoo: GHicooTensor) -> GhicooFiberPlan:
+    """Build the fiber sort plan of a single-uncompressed-mode gHiCOO."""
+    block_of = np.repeat(
+        np.arange(ghicoo.num_blocks, dtype=np.int64), ghicoo.nnz_per_block()
+    )
+    sort_keys = tuple(reversed((block_of,) + tuple(ghicoo.einds)))
+    perm = np.lexsort(sort_keys)
+    block_sorted = block_of[perm]
+    einds_sorted = ghicoo.einds[:, perm]
+    product_indices = ghicoo.cinds[0][perm]
+    changed = block_sorted[1:] != block_sorted[:-1]
+    changed |= np.any(einds_sorted[:, 1:] != einds_sorted[:, :-1], axis=0)
+    starts = np.flatnonzero(np.concatenate(([True], changed)))
+    fiber_blocks = block_sorted[starts]
+    fiber_einds = np.ascontiguousarray(einds_sorted[:, starts])
+    block_changed = fiber_blocks[1:] != fiber_blocks[:-1]
+    out_block_starts = np.flatnonzero(np.concatenate(([True], block_changed)))
+    out_bptr = np.concatenate([out_block_starts, [len(starts)]]).astype(np.int64)
+    out_binds = np.ascontiguousarray(
+        ghicoo.binds[:, fiber_blocks[out_block_starts]]
+    )
+    return GhicooFiberPlan(
+        perm, starts, product_indices, fiber_einds, out_bptr, out_binds
+    )
+
+
+def ghicoo_fiber_plan(
+    ghicoo: GHicooTensor, *, cache: Optional[PlanCache] = None
+) -> Optional[GhicooFiberPlan]:
+    """Cached gHiCOO fiber sort plan, or ``None`` when caching is off."""
+    if not cache_enabled():
+        return None
+    return _cache(cache).get(
+        ghicoo, KIND_GHICOO_FIBER, None, lambda: build_ghicoo_fiber_plan(ghicoo)
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan adoption (tensor-scalar outputs share the input's structure)
+# ----------------------------------------------------------------------
+
+
+def adopt_plans(child: object, parent: object) -> int:
+    """Share the parent's structural plans with a same-structure child.
+
+    Used by the tensor-scalar kernels, whose outputs keep the input's
+    coordinates (in the same storage order) and change values only.
+    Returns the number of plans shared; a no-op when caching is off.
+    """
+    if not cache_enabled():
+        return 0
+    return get_plan_cache().adopt(child, parent)

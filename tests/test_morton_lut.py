@@ -1,0 +1,108 @@
+"""LUT-based Morton encode/decode must match the bit-loop reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.formats.morton import (
+    bits_needed,
+    morton_decode,
+    morton_decode_reference,
+    morton_encode,
+    morton_encode_reference,
+    morton_sort_order,
+)
+
+
+class TestLutMatchesReference:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5, 6])
+    def test_random_coords_encode_identically(self, rng, order):
+        max_coord = 2 ** (62 // order) - 1
+        coords = rng.integers(0, min(max_coord, 10**6) + 1, size=(order, 500))
+        np.testing.assert_array_equal(
+            morton_encode(coords), morton_encode_reference(coords)
+        )
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_round_trip(self, rng, order):
+        coords = rng.integers(0, 1000, size=(order, 300))
+        codes = morton_encode(coords)
+        bits = bits_needed(int(coords.max()))
+        np.testing.assert_array_equal(
+            morton_decode(codes, order, bits), coords
+        )
+        np.testing.assert_array_equal(
+            morton_decode_reference(codes, order, bits), coords
+        )
+
+    def test_wide_coordinates_use_multiple_bytes(self, rng):
+        # > 16 bits per mode exercises the multi-byte LUT path.
+        coords = rng.integers(0, 2**20, size=(3, 200))
+        codes = morton_encode(coords)
+        np.testing.assert_array_equal(codes, morton_encode_reference(coords))
+        bits = bits_needed(int(coords.max()))
+        np.testing.assert_array_equal(
+            morton_decode(codes, 3, bits), coords
+        )
+
+    def test_decode_ignores_extra_high_bits(self):
+        # Decoding with fewer per-mode bits than encoded must mask the
+        # junk above, exactly as the bit loop does.
+        coords = np.array([[255, 3], [7, 200]])
+        codes = morton_encode(coords)
+        for bits in (1, 3, 5, 8):
+            np.testing.assert_array_equal(
+                morton_decode(codes, 2, bits),
+                morton_decode_reference(codes, 2, bits),
+            )
+
+    def test_decode_with_wider_bits_is_harmless(self, rng):
+        coords = rng.integers(0, 64, size=(2, 50))
+        codes = morton_encode(coords)
+        np.testing.assert_array_equal(morton_decode(codes, 2, 20), coords)
+
+    def test_known_interleave(self):
+        # (x, y) = (0b11, 0b01) -> code bits x0 y0 x1 y1 = 1 1 1 0 = 0b0111.
+        assert morton_encode(np.array([[0b11], [0b01]]))[0] == 0b0111
+
+    def test_empty_input(self):
+        assert morton_encode(np.empty((3, 0), dtype=np.int64)).shape == (0,)
+        assert morton_decode(np.empty(0, dtype=np.int64), 3, 4).shape == (3, 0)
+
+
+class TestValidation:
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(TensorShapeError):
+            morton_encode(np.array([[-1], [2]]))
+
+    def test_overflow_rejected(self):
+        too_wide = np.array([[2**32], [1], [1]])
+        with pytest.raises(TensorShapeError):
+            morton_encode(too_wide)
+        with pytest.raises(TensorShapeError):
+            morton_encode_reference(too_wide)
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.zeros(1, dtype=np.int64), 3, 33)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(TensorShapeError):
+            morton_encode(np.zeros(5, dtype=np.int64))
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.zeros(1, dtype=np.int64), 0, 4)
+        with pytest.raises(TensorShapeError):
+            morton_decode(np.zeros(1, dtype=np.int64), 3, 0)
+
+
+class TestSortOrder:
+    def test_sort_order_matches_reference_codes(self, rng):
+        coords = rng.integers(0, 512, size=(3, 400))
+        perm = morton_sort_order(coords)
+        codes = morton_encode_reference(coords)
+        assert np.all(np.diff(codes[perm]) >= 0)
+
+    def test_ties_stay_stable(self):
+        coords = np.array([[1, 1, 0, 1], [2, 2, 0, 2]])
+        perm = morton_sort_order(coords)
+        np.testing.assert_array_equal(perm, [2, 0, 1, 3])

@@ -1,0 +1,177 @@
+"""Plan cache behavior: hits, misses, invalidation, adoption, scoping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CooTensor, HicooTensor
+from repro.perf import (
+    KIND_FIBER,
+    KIND_MODE_SORT,
+    PlanCache,
+    STRUCTURAL_KINDS,
+    VALUE_BEARING_KINDS,
+    cache_disabled,
+    cache_enabled,
+    fresh_cache,
+    fiber_plan,
+    get_plan_cache,
+    hicoo_for,
+    invalidate,
+    mode_sort_plan,
+)
+
+
+class TestPlanCacheCore:
+    def test_hit_and_miss_counters(self, tensor3):
+        cache = PlanCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return "plan"
+
+        assert cache.get(tensor3, "mode_sort", 0, builder) == "plan"
+        assert cache.get(tensor3, "mode_sort", 0, builder) == "plan"
+        assert len(built) == 1
+        assert cache.hits("mode_sort") == 1
+        assert cache.misses("mode_sort") == 1
+        # A different key under the same kind is a separate entry.
+        cache.get(tensor3, "mode_sort", 1, builder)
+        assert len(built) == 2
+        assert cache.misses("mode_sort") == 2
+
+    def test_keys_distinguish_kinds(self, tensor3):
+        cache = PlanCache()
+        cache.get(tensor3, "mode_sort", 0, lambda: "a")
+        assert cache.get(tensor3, "fiber_partition", 0, lambda: "b") == "b"
+        assert cache.peek(tensor3, "mode_sort", 0) == "a"
+        assert cache.peek(tensor3, "fiber_partition", 0) == "b"
+
+    def test_invalidate_drops_all_plans_of_a_tensor(self, tensor3, tensor4):
+        cache = PlanCache()
+        cache.get(tensor3, "mode_sort", 0, lambda: "a")
+        cache.get(tensor3, "mode_sort", 1, lambda: "b")
+        cache.get(tensor4, "mode_sort", 0, lambda: "c")
+        assert cache.invalidate(tensor3) == 2
+        assert cache.peek(tensor3, "mode_sort", 0) is None
+        assert cache.peek(tensor4, "mode_sort", 0) == "c"
+        assert cache.invalidate(tensor3) == 0
+
+    def test_entries_die_with_the_tensor(self):
+        cache = PlanCache()
+        t = CooTensor.random((10, 10), 20, seed=0)
+        cache.get(t, "mode_sort", 0, lambda: "a")
+        assert cache.stats().tensors == 1
+        del t
+        assert cache.stats().tensors == 0
+
+    def test_adopt_transfers_structural_only(self, tensor3):
+        cache = PlanCache()
+        child = CooTensor(
+            tensor3.shape, tensor3.indices, tensor3.values * 2, validate=False
+        )
+        for kind in sorted(STRUCTURAL_KINDS):
+            cache.get(tensor3, kind, 0, lambda: f"plan-{kind}")
+        for kind in sorted(VALUE_BEARING_KINDS):
+            cache.get(tensor3, kind, 0, lambda: f"plan-{kind}")
+        shared = cache.adopt(child, tensor3)
+        assert shared == len(STRUCTURAL_KINDS)
+        for kind in STRUCTURAL_KINDS:
+            assert cache.peek(child, kind, 0) == f"plan-{kind}"
+        for kind in VALUE_BEARING_KINDS:
+            assert cache.peek(child, kind, 0) is None
+
+    def test_stats_snapshot(self, tensor3):
+        cache = PlanCache()
+        cache.get(tensor3, "mode_sort", 0, lambda: "a")
+        cache.get(tensor3, "mode_sort", 0, lambda: "a")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.by_kind["mode_sort"] == (1, 1)
+        cache.reset_stats()
+        assert cache.stats().hits == 0
+        # Plans survive a counter reset.
+        assert cache.peek(tensor3, "mode_sort", 0) == "a"
+
+
+class TestGlobalCacheScoping:
+    def test_fresh_cache_swaps_and_restores(self, tensor3):
+        outer = get_plan_cache()
+        with fresh_cache() as inner:
+            assert get_plan_cache() is inner
+            assert inner is not outer
+            mode_sort_plan(tensor3, 0)
+            assert inner.misses(KIND_MODE_SORT) == 1
+        assert get_plan_cache() is outer
+
+    def test_cache_disabled_makes_helpers_noop(self, tensor3):
+        with fresh_cache() as cache:
+            with cache_disabled():
+                assert not cache_enabled()
+                assert mode_sort_plan(tensor3, 0) is None
+                assert fiber_plan(tensor3, 0) is None
+            assert cache_enabled()
+            assert cache.stats().entries == 0
+
+    def test_module_level_invalidate(self, tensor3):
+        with fresh_cache():
+            mode_sort_plan(tensor3, 0)
+            assert invalidate(tensor3) == 1
+            assert invalidate(tensor3) == 0
+
+
+class TestCachedPlanReuse:
+    def test_fiber_partition_reuses_plan(self, tensor3):
+        with fresh_cache() as cache:
+            ordered_a, fptr_a = tensor3.fiber_partition(1)
+            ordered_b, fptr_b = tensor3.fiber_partition(1)
+            assert cache.hits(KIND_FIBER) == 1
+            assert cache.misses(KIND_FIBER) == 1
+            assert fptr_a is fptr_b
+            np.testing.assert_array_equal(ordered_a.indices, ordered_b.indices)
+
+    def test_fiber_plan_matches_uncached_partition(self, tensor3):
+        with cache_disabled():
+            ordered_ref, fptr_ref = tensor3.fiber_partition(2)
+        with fresh_cache():
+            ordered, fptr = tensor3.fiber_partition(2)
+        np.testing.assert_array_equal(fptr, fptr_ref)
+        np.testing.assert_array_equal(ordered.indices, ordered_ref.indices)
+        np.testing.assert_array_equal(ordered.values, ordered_ref.values)
+
+    def test_hicoo_for_returns_same_object(self, tensor3):
+        with fresh_cache():
+            a = hicoo_for(tensor3, 8)
+            b = hicoo_for(tensor3, 8)
+            c = hicoo_for(tensor3, 16)
+        assert a is b
+        assert c is not a and c.block_size == 16
+        assert a.to_coo().allclose(tensor3)
+
+    def test_hicoo_conversion_matches_uncached(self, tensor3):
+        with cache_disabled():
+            reference = HicooTensor.from_coo(tensor3, 8)
+        with fresh_cache():
+            cached = HicooTensor.from_coo(tensor3, 8)
+        np.testing.assert_array_equal(cached.bptr, reference.bptr)
+        np.testing.assert_array_equal(cached.binds, reference.binds)
+        np.testing.assert_array_equal(cached.einds, reference.einds)
+        np.testing.assert_array_equal(cached.values, reference.values)
+
+    def test_ts_output_adopts_structural_plans(self, tensor3):
+        from repro.core.ts import ts_mul
+
+        with fresh_cache() as cache:
+            tensor3.fiber_partition(0)
+            doubled = ts_mul(tensor3, 2.0)
+            assert cache.peek(doubled, KIND_FIBER, 0) is not None
+            # The adopted plan is correct for the child: same coordinates.
+            ordered, fptr = doubled.fiber_partition(0)
+            assert cache.hits(KIND_FIBER) == 1
+            with cache_disabled():
+                ref_ordered, ref_fptr = doubled.fiber_partition(0)
+            np.testing.assert_array_equal(fptr, ref_fptr)
+            np.testing.assert_array_equal(ordered.values, ref_ordered.values)

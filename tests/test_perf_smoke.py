@@ -1,0 +1,79 @@
+"""Fast smoke tests: the warm kernel path issues no re-sort.
+
+These assert amortization through the cache counters — the property the
+hotpath benchmark measures as wall-clock — so CI catches a regression
+that silently reverts a kernel to per-call pre-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.cpd import cp_als
+from repro.core.mttkrp import mttkrp_coo, mttkrp_hicoo
+from repro.core.ttv import ttv_coo, ttv_hicoo
+from repro.formats import CooTensor
+from repro.perf import (
+    KIND_EXPANSION,
+    KIND_FIBER,
+    KIND_GHICOO_BUILD,
+    KIND_GHICOO_FIBER,
+    KIND_MODE_SORT,
+    fresh_cache,
+)
+
+
+class TestWarmPathsSkipPreprocessing:
+    def test_repeated_mttkrp_sorts_once(self, tensor3, factors3):
+        with fresh_cache() as cache:
+            for _ in range(4):
+                mttkrp_coo(tensor3, factors3, 0)
+            assert cache.misses(KIND_MODE_SORT) == 1
+            assert cache.hits(KIND_MODE_SORT) == 3
+
+    def test_repeated_hicoo_mttkrp_expands_once(self, hicoo3, factors3):
+        with fresh_cache() as cache:
+            for _ in range(3):
+                mttkrp_hicoo(hicoo3, factors3, 1)
+            assert cache.misses(KIND_EXPANSION) == 1
+            assert cache.misses(KIND_MODE_SORT) == 1
+            assert cache.hits(KIND_MODE_SORT) == 2
+
+    def test_repeated_ttv_partitions_once(self, tensor3, rng):
+        v = rng.normal(size=tensor3.shape[0]).astype(np.float32)
+        with fresh_cache() as cache:
+            for _ in range(5):
+                ttv_coo(tensor3, v, 0)
+            assert cache.misses(KIND_FIBER) == 1
+            assert cache.hits(KIND_FIBER) == 4
+
+    def test_repeated_hicoo_ttv_rebuilds_ghicoo_once(self, tensor3, rng):
+        v = rng.normal(size=tensor3.shape[2]).astype(np.float32)
+        with fresh_cache() as cache:
+            out_first = ttv_hicoo(tensor3, v, 2, block_size=8)
+            out_second = ttv_hicoo(tensor3, v, 2, block_size=8)
+            assert cache.misses(KIND_GHICOO_BUILD) == 1
+            assert cache.hits(KIND_GHICOO_BUILD) == 1
+            assert cache.misses(KIND_GHICOO_FIBER) == 1
+            assert cache.hits(KIND_GHICOO_FIBER) == 1
+        assert out_first.to_coo().allclose(out_second.to_coo())
+
+    def test_cp_als_sorts_each_mode_exactly_once(self):
+        tensor = CooTensor.random((30, 25, 20), 800, seed=7)
+        sweeps = 4
+        with fresh_cache() as cache:
+            result = cp_als(tensor, 4, max_sweeps=sweeps, tolerance=0.0)
+            # One sort per mode on the first sweep; every later MTTKRP
+            # hits the cache.
+            assert cache.misses(KIND_MODE_SORT) == tensor.order
+            assert cache.hits(KIND_MODE_SORT) == tensor.order * (sweeps - 1)
+        assert len(result.fits) == sweeps
+
+    def test_cp_als_warm_equals_cold(self):
+        tensor = CooTensor.random((30, 25, 20), 800, seed=7)
+        with fresh_cache():
+            cold = cp_als(tensor, 4, max_sweeps=3, tolerance=0.0)
+            warm = cp_als(tensor, 4, max_sweeps=3, tolerance=0.0)
+        assert cold.final_fit == warm.final_fit
+        for a, b in zip(cold.factors, warm.factors):
+            np.testing.assert_array_equal(a, b)

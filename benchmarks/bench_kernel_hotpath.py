@@ -13,13 +13,16 @@ records the cache counters proving each sort/expansion ran once.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py [--smoke]
 
-``docs/performance.md`` explains how to read the emitted JSON.
+``--smoke`` runs a tiny tensor with one repetition and writes no JSON —
+a seconds-long correctness pass for CI.  ``docs/performance.md``
+explains how to read the emitted JSON.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -41,6 +44,12 @@ SEED = 42
 #: Repetitions for the per-kernel timings (medians reported).
 KERNEL_REPS = 9
 CPD_REPS = 3
+
+#: ``--smoke`` overrides: just prove every path runs and agrees.
+SMOKE_SHAPE = (30, 25, 20)
+SMOKE_NNZ = 2_000
+SMOKE_SWEEPS = 2
+SMOKE_REPS = 1
 
 
 def _median_seconds(fn, reps):
@@ -126,6 +135,18 @@ def bench_cp_als(tensor):
 
 
 def main():
+    global SHAPE, NNZ, SWEEPS, KERNEL_REPS, CPD_REPS
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny tensor, one rep, no JSON written (CI correctness pass)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        SHAPE, NNZ, SWEEPS = SMOKE_SHAPE, SMOKE_NNZ, SMOKE_SWEEPS
+        KERNEL_REPS = CPD_REPS = SMOKE_REPS
+
     rng = np.random.default_rng(SEED)
     tensor = CooTensor.random(SHAPE, NNZ, rng=rng)
     factors = [
@@ -157,10 +178,12 @@ def main():
         "cp_als": bench_cp_als(tensor),
     }
 
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
-    out_path.write_text(json.dumps(results, indent=2) + "\n")
-
-    print(f"wrote {out_path}")
+    if args.smoke:
+        print("smoke run: no JSON written")
+    else:
+        out_path = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+        out_path.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out_path}")
     for entry in results["kernels"]:
         print(
             f"{entry['kernel']:>12}: uncached {entry['uncached_seconds']*1e3:7.2f} ms"

@@ -24,6 +24,7 @@ from ..core.mttkrp import check_factors, mttkrp_coo, mttkrp_hicoo
 from ..core.reference import khatri_rao
 from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import HicooTensor
+from ..perf.parallel import parallel_config
 
 
 @dataclass
@@ -100,13 +101,18 @@ def cp_als(
     use_hicoo: bool = False,
     block_size: int = 128,
     initial_factors: Optional[Sequence[np.ndarray]] = None,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> CpdResult:
     """Sparse CP-ALS driven by the suite's MTTKRP kernel.
 
     The fit is ``1 - ||X - model|| / ||X||``, evaluated sparsely; sweeps
     stop early when the fit improves by less than ``tolerance``.  With
     ``use_hicoo=True`` each MTTKRP goes through the HiCOO kernel,
-    matching the paper's HiCOO-MTTKRP algorithm.
+    matching the paper's HiCOO-MTTKRP algorithm.  ``num_threads`` /
+    ``schedule`` run every MTTKRP under that parallel configuration
+    (``None`` keeps the process-wide setting); parallel sweeps produce
+    bit-identical factors to serial ones.
     """
     rng = np.random.default_rng(seed)
     if initial_factors is not None:
@@ -125,27 +131,28 @@ def cp_als(
     # time as each mode is updated — not all N factors N times per sweep.
     f32 = [f.astype(VALUE_DTYPE) for f in factors]
     last = tensor.order - 1
-    for _sweep in range(max_sweeps):
-        for mode in range(tensor.order):
-            if hicoo is not None:
-                m_new = mttkrp_hicoo(hicoo, f32, mode).astype(np.float64)
-            else:
-                m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)
-            gram = _gram_hadamard(factors, mode)
-            factors[mode] = m_new @ np.linalg.pinv(gram)
-            f32[mode] = factors[mode].astype(VALUE_DTYPE)
-        # Sparse fit evaluation with the raw (unnormalized) factors.  The
-        # last mode's MTTKRP already contracted every other mode, so
-        # <X, model> is just its elementwise product with that factor —
-        # no extra pass over the nonzeros.
-        inner = float(np.sum(m_new * factors[last]))
-        norm_model_sq = _model_norm_sq(factors, ones)
-        residual_sq = max(norm_x**2 - 2 * inner + norm_model_sq, 0.0)
-        fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x else 1.0
-        fits.append(fit)
-        if abs(fit - previous_fit) < tolerance:
-            break
-        previous_fit = fit
+    with parallel_config(num_threads=num_threads, schedule=schedule):
+        for _sweep in range(max_sweeps):
+            for mode in range(tensor.order):
+                if hicoo is not None:
+                    m_new = mttkrp_hicoo(hicoo, f32, mode).astype(np.float64)
+                else:
+                    m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)
+                gram = _gram_hadamard(factors, mode)
+                factors[mode] = m_new @ np.linalg.pinv(gram)
+                f32[mode] = factors[mode].astype(VALUE_DTYPE)
+            # Sparse fit evaluation with the raw (unnormalized) factors.
+            # The last mode's MTTKRP already contracted every other mode,
+            # so <X, model> is just its elementwise product with that
+            # factor — no extra pass over the nonzeros.
+            inner = float(np.sum(m_new * factors[last]))
+            norm_model_sq = _model_norm_sq(factors, ones)
+            residual_sq = max(norm_x**2 - 2 * inner + norm_model_sq, 0.0)
+            fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x else 1.0
+            fits.append(fit)
+            if abs(fit - previous_fit) < tolerance:
+                break
+            previous_fit = fit
     # Pull column norms out into the weight vector.
     weights = np.ones(rank)
     for mode, factor in enumerate(factors):

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.ttv import ttv_coo
 from ..errors import IncompatibleOperandsError
 from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from ..perf.parallel import parallel_config
 
 
 @dataclass(frozen=True)
@@ -66,8 +67,14 @@ def power_iteration(
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     seed: int = 0,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> PowerMethodResult:
-    """Extract the dominant robust eigenpair of a cubical sparse tensor."""
+    """Extract the dominant robust eigenpair of a cubical sparse tensor.
+
+    ``num_threads`` / ``schedule`` run every TTV under that parallel
+    configuration (``None`` keeps the process-wide setting).
+    """
     size = _check_cubical(tensor)
     rng = np.random.default_rng(seed)
     v = start.astype(np.float64) if start is not None else rng.normal(size=size)
@@ -75,23 +82,25 @@ def power_iteration(
     if norm == 0:
         raise IncompatibleOperandsError("start vector must be nonzero")
     v = v / norm
-    for iteration in range(1, max_iterations + 1):
-        w = tensor_apply(tensor, v.astype(np.float32)).astype(np.float64)
-        norm = np.linalg.norm(w)
-        if norm == 0:
-            return PowerMethodResult(0.0, v, iteration, True)
-        new_v = w / norm
-        if np.linalg.norm(new_v - v) < tolerance or (
-            np.linalg.norm(new_v + v) < tolerance
-        ):
-            # The Rayleigh quotient is only reported, never used to
-            # iterate — evaluate it once at the end instead of per step.
-            eigenvalue = float(
-                new_v @ tensor_apply(tensor, new_v.astype(np.float32))
-            )
-            return PowerMethodResult(eigenvalue, new_v, iteration, True)
-        v = new_v
-    eigenvalue = float(v @ tensor_apply(tensor, v.astype(np.float32)))
+    with parallel_config(num_threads=num_threads, schedule=schedule):
+        for iteration in range(1, max_iterations + 1):
+            w = tensor_apply(tensor, v.astype(np.float32)).astype(np.float64)
+            norm = np.linalg.norm(w)
+            if norm == 0:
+                return PowerMethodResult(0.0, v, iteration, True)
+            new_v = w / norm
+            if np.linalg.norm(new_v - v) < tolerance or (
+                np.linalg.norm(new_v + v) < tolerance
+            ):
+                # The Rayleigh quotient is only reported, never used to
+                # iterate — evaluate it once at the end instead of per
+                # step.
+                eigenvalue = float(
+                    new_v @ tensor_apply(tensor, new_v.astype(np.float32))
+                )
+                return PowerMethodResult(eigenvalue, new_v, iteration, True)
+            v = new_v
+        eigenvalue = float(v @ tensor_apply(tensor, v.astype(np.float32)))
     return PowerMethodResult(eigenvalue, v, max_iterations, False)
 
 
@@ -142,28 +151,35 @@ def orthogonal_decomposition(
     tolerance: float = 1e-6,
     restarts: int = 5,
     seed: int = 0,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> List[PowerMethodResult]:
     """Greedy power-method decomposition with deflation.
 
     Each round runs several random restarts, keeps the eigenpair with
     the largest eigenvalue magnitude, and deflates.  For a tensor built
     from orthogonal components this recovers them (up to sign) in
-    decreasing weight order.
+    decreasing weight order.  ``num_threads`` / ``schedule`` apply to
+    every TTV and deflation TEW (``None`` keeps the process-wide
+    setting).
     """
     components: List[PowerMethodResult] = []
     current = tensor
-    for round_index in range(num_components):
-        best: Optional[PowerMethodResult] = None
-        for restart in range(restarts):
-            candidate = power_iteration(
-                current,
-                max_iterations=max_iterations,
-                tolerance=tolerance,
-                seed=seed + 1000 * round_index + restart,
-            )
-            if best is None or abs(candidate.eigenvalue) > abs(best.eigenvalue):
-                best = candidate
-        assert best is not None
-        components.append(best)
-        current = deflate(current, best)
+    with parallel_config(num_threads=num_threads, schedule=schedule):
+        for round_index in range(num_components):
+            best: Optional[PowerMethodResult] = None
+            for restart in range(restarts):
+                candidate = power_iteration(
+                    current,
+                    max_iterations=max_iterations,
+                    tolerance=tolerance,
+                    seed=seed + 1000 * round_index + restart,
+                )
+                if best is None or abs(candidate.eigenvalue) > abs(
+                    best.eigenvalue
+                ):
+                    best = candidate
+            assert best is not None
+            components.append(best)
+            current = deflate(current, best)
     return components

@@ -27,6 +27,7 @@ from ..core.reference import unfold
 from ..core.ttm import ttm_coo
 from ..errors import IncompatibleOperandsError
 from ..formats.coo import VALUE_DTYPE, CooTensor
+from ..perf.parallel import parallel_config
 
 
 @dataclass
@@ -91,22 +92,31 @@ def ttm_chain(
     return current
 
 
-def hosvd(tensor: CooTensor, ranks: Sequence[int]) -> TuckerResult:
+def hosvd(
+    tensor: CooTensor,
+    ranks: Sequence[int],
+    *,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
+) -> TuckerResult:
     """Truncated HOSVD: per-mode SVD of the unfolding, then core by TTM.
 
     Materializes per-mode Gram matrices ``X_(n) X_(n)^T`` sparsely (size
     ``I_n x I_n``), so it is practical whenever every dimension fits in
-    memory squared.
+    memory squared.  ``num_threads`` / ``schedule`` run the TTM chain
+    under that parallel configuration (``None`` keeps the process-wide
+    setting).
     """
     ranks = _check_ranks(tensor, ranks)
-    factors: List[np.ndarray] = []
-    for mode, rank in enumerate(ranks):
-        gram = _mode_gram(tensor, mode)
-        eigenvalues, eigenvectors = np.linalg.eigh(gram)
-        top = np.argsort(eigenvalues)[::-1][:rank]
-        factors.append(np.ascontiguousarray(eigenvectors[:, top]))
-    core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
-    core = core_sparse.to_dense().astype(np.float64)
+    with parallel_config(num_threads=num_threads, schedule=schedule):
+        factors: List[np.ndarray] = []
+        for mode, rank in enumerate(ranks):
+            gram = _mode_gram(tensor, mode)
+            eigenvalues, eigenvectors = np.linalg.eigh(gram)
+            top = np.argsort(eigenvalues)[::-1][:rank]
+            factors.append(np.ascontiguousarray(eigenvectors[:, top]))
+        core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
+        core = core_sparse.to_dense().astype(np.float64)
     fit = _fit(tensor, core)
     return TuckerResult(core=core, factors=factors, fits=[fit])
 
@@ -118,6 +128,8 @@ def hooi(
     max_sweeps: int = 25,
     tolerance: float = 1e-6,
     initialization: Optional[TuckerResult] = None,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> TuckerResult:
     """Higher-order orthogonal iteration (HOOI) for sparse tensors.
 
@@ -126,28 +138,33 @@ def hooi(
     and take its top left singular vectors.  Initialized by HOSVD unless
     ``initialization`` is given.  The fit is
     ``||core|| / ||X||`` (orthonormal factors make this exact).
+    ``num_threads`` / ``schedule`` run every TTM under that parallel
+    configuration (``None`` keeps the process-wide setting).
     """
     ranks = _check_ranks(tensor, ranks)
-    start = initialization if initialization is not None else hosvd(tensor, ranks)
-    factors = [f.copy() for f in start.factors]
-    fits: List[float] = []
-    previous_fit = -1.0
-    for _sweep in range(max_sweeps):
-        for mode in range(tensor.order):
-            others = {
-                m: factors[m] for m in range(tensor.order) if m != mode
-            }
-            projected = ttm_chain(tensor, others)
-            unfolded = unfold(projected.to_dense().astype(np.float64), mode)
-            u, _s, _vt = np.linalg.svd(unfolded, full_matrices=False)
-            factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]])
-        core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
-        core = core_sparse.to_dense().astype(np.float64)
-        fit = _fit(tensor, core)
-        fits.append(fit)
-        if abs(fit - previous_fit) < tolerance:
-            break
-        previous_fit = fit
+    with parallel_config(num_threads=num_threads, schedule=schedule):
+        start = (
+            initialization if initialization is not None else hosvd(tensor, ranks)
+        )
+        factors = [f.copy() for f in start.factors]
+        fits: List[float] = []
+        previous_fit = -1.0
+        for _sweep in range(max_sweeps):
+            for mode in range(tensor.order):
+                others = {
+                    m: factors[m] for m in range(tensor.order) if m != mode
+                }
+                projected = ttm_chain(tensor, others)
+                unfolded = unfold(projected.to_dense().astype(np.float64), mode)
+                u, _s, _vt = np.linalg.svd(unfolded, full_matrices=False)
+                factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]])
+            core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
+            core = core_sparse.to_dense().astype(np.float64)
+            fit = _fit(tensor, core)
+            fits.append(fit)
+            if abs(fit - previous_fit) < tolerance:
+                break
+            previous_fit = fit
     return TuckerResult(core=core, factors=factors, fits=fits)
 
 

@@ -53,6 +53,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--wallclock", action="store_true", help="also time the numpy kernel"
     )
+    run.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the numpy kernels "
+        "(default: REPRO_NUM_THREADS or 1 = serial)",
+    )
+    run.add_argument(
+        "--schedule",
+        choices=["static", "dynamic", "guided"],
+        default=None,
+        help="OpenMP-style chunk schedule for parallel kernels "
+        "(default: REPRO_SCHEDULE or dynamic)",
+    )
     _add_scale_argument(run)
 
     for name, fn in EXPERIMENTS.items():
@@ -113,6 +128,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.registry import make_schedule
+    from .perf.parallel import last_parallel_report, parallel_config
+
     parsed = parse_algorithm_name(args.algorithm)
     platform = args.platform
     if platform is None:
@@ -130,7 +148,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = harness.run_cell(args.dataset, parsed.kernel, parsed.tensor_format)
+    with parallel_config(num_threads=args.threads, schedule=args.schedule):
+        result = harness.run_cell(
+            args.dataset, parsed.kernel, parsed.tensor_format
+        )
+        report = last_parallel_report()
     print(f"algorithm : {args.algorithm}")
     print(f"platform  : {harness.spec.name}")
     print(f"dataset   : {result.dataset} ({result.tensor_name})")
@@ -143,6 +165,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"wallclock : {result.measured_seconds * 1e3:.3f} ms "
             f"({result.measured_gflops:.3f} GFLOPS on this host's numpy)"
         )
+        if report is not None and report.workers > 1:
+            # Measured imbalance from the executor next to the machine
+            # model's prediction for the same worker count.
+            spec = get_dataset(args.dataset)
+            x = harness.tensor(spec)
+            hicoo = (
+                harness.hicoo_tensor(spec)
+                if parsed.tensor_format.upper() == "HICOO"
+                else None
+            )
+            modeled_imbalance = make_schedule(
+                args.algorithm,
+                x,
+                mode=args.mode,
+                rank=args.rank,
+                block_size=harness.block_size,
+                hicoo=hicoo,
+            ).load_imbalance(report.workers)
+            print(
+                f"parallel  : {report.workers} workers, "
+                f"{report.policy} schedule, {report.num_chunks} chunks"
+            )
+            print(
+                f"imbalance : {report.measured_imbalance:.2f} measured "
+                f"/ {modeled_imbalance:.2f} modeled"
+            )
     return 0
 
 

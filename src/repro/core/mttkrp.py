@@ -23,7 +23,15 @@ from ..errors import IncompatibleOperandsError
 from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
 from ..formats.modes import check_mode
-from ..perf.plans import expanded_coo, expanded_indices, hicoo_for, mode_sort_plan
+from ..perf.parallel import kernel_chunk_plan, run_chunks, want_parallel
+from ..perf.plans import (
+    ModeSortPlan,
+    build_mode_sort_plan,
+    expanded_coo,
+    expanded_indices,
+    hicoo_for,
+    mode_sort_plan,
+)
 from ..perf.scatter import scatter_cols_segmented, scatter_rows_bincount
 from .schedule import (
     GRAIN_BLOCK,
@@ -111,6 +119,56 @@ def _khatri_rao_cols_sorted(
     return cols
 
 
+def _mttkrp_segmented(
+    owner: object,
+    plan: ModeSortPlan,
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    num_rows: int,
+    kernel_label: str,
+) -> np.ndarray:
+    """Segmented MTTKRP over a mode-sort plan, serial or partitioned.
+
+    The parallel path partitions by *output segments* — contiguous runs
+    of sorted nonzeros sharing an output row — so each worker writes a
+    disjoint set of output rows and reduces every segment over the same
+    elements in the same order as the serial ``reduceat``.  Results are
+    bit-identical to the serial segmented path (no atomics; float64
+    accumulation either way), and chunked execution keeps the
+    ``(rank, chunk)`` Khatri-Rao temporaries cache-resident instead of
+    making several full-memory passes over a ``(rank, nnz)`` array.
+    """
+    sorted_values = plan.sorted_values(values)
+    chunks = kernel_chunk_plan(
+        owner,
+        grain="segment",
+        key=plan.mode,
+        element_offsets=plan.segment_offsets(),
+    )
+    if chunks is None:
+        cols = _khatri_rao_cols_sorted(
+            plan.sorted_indices, sorted_values, factors, mode
+        )
+        return scatter_cols_segmented(plan, cols, num_rows)
+    rank = factors[0].shape[1]
+    out = np.zeros((num_rows, rank), dtype=np.float64)
+    sorted_indices = plan.sorted_indices
+    starts = plan.segment_starts
+    targets = plan.unique_targets
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        cols = _khatri_rao_cols_sorted(
+            sorted_indices[:, e0:e1], sorted_values[e0:e1], factors, mode
+        )
+        out[targets[u0:u1]] = np.add.reduceat(
+            cols, starts[u0:u1] - e0, axis=1, dtype=np.float64
+        ).T
+
+    run_chunks(chunks, task, kernel=kernel_label, grain="segment")
+    return out
+
+
 def mttkrp_coo(
     x: CooTensor, factors: Sequence[np.ndarray], mode: int
 ) -> np.ndarray:
@@ -121,20 +179,24 @@ def mttkrp_coo(
     shape (it defines the output's row count), matching equation (3).
 
     With plan caching on, nonzeros are pre-sorted by the output mode
-    (once per tensor) and the scatter is a single segmented reduction;
-    uncached calls keep the seed's bincount path, which needs no sort.
+    (once per tensor) and the scatter is a single segmented reduction —
+    executed in parallel over output-segment chunks when
+    ``repro.perf.parallel`` is configured with more than one thread;
+    uncached serial calls keep the seed's bincount path, which needs no
+    sort.
     """
     mode = x.check_mode(mode)
     factors = check_factors(x.shape, factors)
     plan = mode_sort_plan(x, mode)
+    if plan is None and want_parallel(x.nnz):
+        plan = build_mode_sort_plan(x, mode)
     if plan is None:
         rows = _khatri_rao_rows(x.indices, x.values, factors, mode)
         out = scatter_rows_bincount(x.indices[mode], rows, x.shape[mode])
     else:
-        cols = _khatri_rao_cols_sorted(
-            plan.sorted_indices, plan.sorted_values(x.values), factors, mode
+        out = _mttkrp_segmented(
+            x, plan, x.values, factors, mode, x.shape[mode], "MTTKRP-COO"
         )
-        out = scatter_cols_segmented(plan, cols, x.shape[mode])
     return out.astype(VALUE_DTYPE)
 
 
@@ -161,15 +223,16 @@ def mttkrp_hicoo(
     if literal_blocked:
         return _mttkrp_hicoo_blocked(x, factors, mode)
     plan = mode_sort_plan(x, mode)
+    if plan is None and want_parallel(x.nnz):
+        plan = build_mode_sort_plan(x, mode)
     if plan is None:
         coo = expanded_coo(x)
         rows = _khatri_rao_rows(coo.indices, coo.values, factors, mode)
         out = scatter_rows_bincount(coo.indices[mode], rows, x.shape[mode])
     else:
-        cols = _khatri_rao_cols_sorted(
-            plan.sorted_indices, plan.sorted_values(x.values), factors, mode
+        out = _mttkrp_segmented(
+            x, plan, x.values, factors, mode, x.shape[mode], "MTTKRP-HiCOO"
         )
-        out = scatter_cols_segmented(plan, cols, x.shape[mode])
     return out.astype(VALUE_DTYPE)
 
 
@@ -194,7 +257,19 @@ def _mttkrp_hicoo_blocked(
             if m == mode:
                 continue
             rows *= windows[m][eind[m]]
-        np.add.at(out, base[mode] + eind[mode], rows)
+        # Scatter into the block's output window with one bincount per
+        # rank column.  Element indices stay below the window span, so
+        # the bincount length is exactly the window — no ``np.add.at``,
+        # whose per-element dispatch made this path unusable beyond toy
+        # tensors.
+        span = min(block, x.shape[mode] - base[mode])
+        window_targets = eind[mode]
+        acc = np.empty((span, rank), dtype=np.float64)
+        for r in range(rank):
+            acc[:, r] = np.bincount(
+                window_targets, weights=rows[:, r], minlength=span
+            )
+        out[base[mode] : base[mode] + span] += acc
     return out.astype(VALUE_DTYPE)
 
 

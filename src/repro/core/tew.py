@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import IncompatibleOperandsError, PastaError
 from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import HicooTensor
+from ..perf.parallel import kernel_chunk_plan, run_chunks
 from .schedule import GRAIN_NONZERO, KernelSchedule, uniform_work_units
 
 #: Supported element-wise operations and their numpy ufuncs.
@@ -38,6 +39,30 @@ def _check_op(op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
     return OPERATIONS[op]
 
 
+def _tew_values(
+    ufunc: Callable[..., np.ndarray],
+    x_values: np.ndarray,
+    y_values: np.ndarray,
+    kernel: str,
+) -> np.ndarray:
+    """Apply ``ufunc`` over aligned value arrays, chunked when parallel.
+
+    Elementwise ops have no cross-element dependency, so any nonzero-range
+    partition yields the exact serial result.
+    """
+    nnz = x_values.shape[0]
+    chunks = kernel_chunk_plan(None, grain="nonzero", total_elements=nnz)
+    if chunks is None:
+        return ufunc(x_values, y_values).astype(VALUE_DTYPE)
+    out = np.empty(nnz, dtype=VALUE_DTYPE)
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        out[e0:e1] = ufunc(x_values[e0:e1], y_values[e0:e1])
+
+    run_chunks(chunks, task, kernel=kernel, grain="nonzero")
+    return out
+
+
 def tew_coo(x: CooTensor, y: CooTensor, op: str = "add") -> CooTensor:
     """Element-wise ``x (op) y`` for same-pattern COO tensors.
 
@@ -58,9 +83,9 @@ def tew_coo(x: CooTensor, y: CooTensor, op: str = "add") -> CooTensor:
         # Same pattern in a different stored order: align y to x.
         y = y.sorted_lexicographic()
         x_sorted = x.sorted_lexicographic()
-        values = ufunc(x_sorted.values, y.values).astype(VALUE_DTYPE)
+        values = _tew_values(ufunc, x_sorted.values, y.values, "TEW-COO")
         return CooTensor(x.shape, x_sorted.indices, values, validate=False)
-    values = ufunc(x.values, y.values).astype(VALUE_DTYPE)
+    values = _tew_values(ufunc, x.values, y.values, "TEW-COO")
     return CooTensor(x.shape, x.indices, values, validate=False)
 
 
@@ -85,7 +110,7 @@ def tew_hicoo(x: HicooTensor, y: HicooTensor, op: str = "add") -> HicooTensor:
             "HiCOO TEW requires identical nonzero patterns; "
             "convert through tew_general_coo instead"
         )
-    values = ufunc(x.values, y.values).astype(VALUE_DTYPE)
+    values = _tew_values(ufunc, x.values, y.values, "TEW-HiCOO")
     return HicooTensor(
         x.shape, x.block_size, x.bptr, x.binds, x.einds, values, validate=False
     )
@@ -134,9 +159,18 @@ def _match_sorted_patterns(
     key_a = _linearize(a, b)
     key_b = _linearize(b, a)
     _, a_pos, b_pos = np.intersect1d(key_a, key_b, return_indices=True)
-    a_only = np.setdiff1d(np.arange(a.shape[1]), a_pos, assume_unique=False)
-    b_only = np.setdiff1d(np.arange(b.shape[1]), b_pos, assume_unique=False)
+    # Unmatched positions fall out of a boolean mask over the matched
+    # ones; ``np.setdiff1d`` would re-sort and deduplicate an arange
+    # that is already sorted and unique.
+    a_only = _unmatched_positions(a.shape[1], a_pos)
+    b_only = _unmatched_positions(b.shape[1], b_pos)
     return a_pos, b_pos, a_only, b_only
+
+
+def _unmatched_positions(count: int, matched: np.ndarray) -> np.ndarray:
+    mask = np.ones(count, dtype=bool)
+    mask[matched] = False
+    return np.flatnonzero(mask)
 
 
 def _linearize(indices: np.ndarray, other: np.ndarray) -> np.ndarray:

@@ -17,6 +17,7 @@ from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import HicooTensor
 from ..formats.scoo import SemiSparseCooTensor
 from ..formats.shicoo import SHicooTensor
+from ..perf.parallel import kernel_chunk_plan, run_chunks
 from ..perf.plans import adopt_plans
 from .schedule import GRAIN_NONZERO, KernelSchedule, uniform_work_units
 
@@ -78,6 +79,23 @@ def _apply_to_values(tensor: _SparseTensor, values: np.ndarray) -> _SparseTensor
     return result
 
 
+def _ts_values(
+    values: np.ndarray, ufunc: np.ufunc, scalar: np.ndarray
+) -> np.ndarray:
+    """``ufunc(values, scalar)``, chunked over nonzero ranges when parallel."""
+    nnz = values.shape[0]
+    chunks = kernel_chunk_plan(None, grain="nonzero", total_elements=nnz)
+    if chunks is None:
+        return ufunc(values, scalar)
+    out = np.empty(nnz, dtype=VALUE_DTYPE)
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        ufunc(values[e0:e1], scalar, out=out[e0:e1])
+
+    run_chunks(chunks, task, kernel="TS", grain="nonzero")
+    return out
+
+
 def ts_add(tensor: _SparseTensor, scalar: float) -> _SparseTensor:
     """TSA: add ``scalar`` to every stored nonzero value.
 
@@ -85,13 +103,17 @@ def ts_add(tensor: _SparseTensor, scalar: float) -> _SparseTensor:
     paper's suite, which operates on the nonzero values only.
     """
     tensor = _check_tensor(tensor)
-    return _apply_to_values(tensor, tensor.values + VALUE_DTYPE(scalar))
+    return _apply_to_values(
+        tensor, _ts_values(tensor.values, np.add, VALUE_DTYPE(scalar))
+    )
 
 
 def ts_mul(tensor: _SparseTensor, scalar: float) -> _SparseTensor:
     """TSM: multiply every stored nonzero value by ``scalar``."""
     tensor = _check_tensor(tensor)
-    return _apply_to_values(tensor, tensor.values * VALUE_DTYPE(scalar))
+    return _apply_to_values(
+        tensor, _ts_values(tensor.values, np.multiply, VALUE_DTYPE(scalar))
+    )
 
 
 def ts_sub(tensor: _SparseTensor, scalar: float) -> _SparseTensor:

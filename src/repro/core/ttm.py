@@ -22,6 +22,7 @@ from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
 from ..formats.modes import check_mode
 from ..formats.scoo import SemiSparseCooTensor
 from ..formats.shicoo import SHicooTensor
+from ..perf.parallel import kernel_chunk_plan, run_chunks
 from ..perf.plans import (
     build_ghicoo_fiber_plan,
     fiber_fptr,
@@ -65,8 +66,31 @@ def ttm_coo(x: CooTensor, matrix: np.ndarray, mode: int) -> SemiSparseCooTensor:
             np.empty((len(other_modes), 0), dtype=ordered.indices.dtype),
             np.empty((0, rank), dtype=VALUE_DTYPE),
         )
-    contributions = ordered.values[:, None] * matrix[ordered.indices[mode]]
-    rows = np.add.reduceat(contributions.astype(np.float64), fptr[:-1], axis=0)
+    chunks = kernel_chunk_plan(
+        x, grain="fiber", key=("ttm", mode), element_offsets=fptr
+    )
+    if chunks is None:
+        contributions = ordered.values[:, None] * matrix[ordered.indices[mode]]
+        rows = np.add.reduceat(
+            contributions.astype(np.float64), fptr[:-1], axis=0
+        )
+    else:
+        # Fiber-parallel region: each chunk owns whole fibers, hence a
+        # disjoint slice of output rows, and replays the serial
+        # gather-multiply-reduceat on its own element slice.
+        rows = np.empty((num_fibers, rank), dtype=np.float64)
+        values = ordered.values
+        product_indices = ordered.indices[mode]
+
+        def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+            contributions = (
+                values[e0:e1, None] * matrix[product_indices[e0:e1]]
+            )
+            rows[u0:u1] = np.add.reduceat(
+                contributions.astype(np.float64), fptr[u0:u1] - e0, axis=0
+            )
+
+        run_chunks(chunks, task, kernel="TTM-COO", grain="fiber")
     out_indices = ordered.indices[other_modes][:, fptr[:-1]]
     return SemiSparseCooTensor(
         out_shape, [mode], out_indices, rows.astype(VALUE_DTYPE)
@@ -109,11 +133,36 @@ def ttm_ghicoo_direct(
     plan = ghicoo_fiber_plan(ghicoo)
     if plan is None:
         plan = build_ghicoo_fiber_plan(ghicoo)
-    contributions = (
-        ghicoo.values[plan.perm, None].astype(np.float64)
-        * matrix[plan.product_indices]
+    chunks = kernel_chunk_plan(
+        ghicoo,
+        grain="fiber",
+        key="ghicoo_ttm",
+        element_offsets=plan.fiber_offsets(),
     )
-    rows = np.add.reduceat(contributions, plan.fiber_starts, axis=0)
+    if chunks is None:
+        contributions = (
+            ghicoo.values[plan.perm, None].astype(np.float64)
+            * matrix[plan.product_indices]
+        )
+        rows = np.add.reduceat(contributions, plan.fiber_starts, axis=0)
+    else:
+        num_fibers = plan.fiber_starts.shape[0]
+        rows = np.empty((num_fibers, rank), dtype=np.float64)
+        values = ghicoo.values
+        perm = plan.perm
+        product_indices = plan.product_indices
+        fiber_starts = plan.fiber_starts
+
+        def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+            contributions = (
+                values[perm[e0:e1], None].astype(np.float64)
+                * matrix[product_indices[e0:e1]]
+            )
+            rows[u0:u1] = np.add.reduceat(
+                contributions, fiber_starts[u0:u1] - e0, axis=0
+            )
+
+        run_chunks(chunks, task, kernel="TTM-HiCOO", grain="fiber")
     return SHicooTensor(
         out_shape,
         ghicoo.block_size,

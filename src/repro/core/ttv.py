@@ -23,6 +23,7 @@ from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.ghicoo import GHicooTensor
 from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
 from ..formats.modes import check_mode, normalize_mode
+from ..perf.parallel import kernel_chunk_plan, run_chunks
 from ..perf.plans import (
     build_ghicoo_fiber_plan,
     fiber_fptr,
@@ -72,9 +73,37 @@ def ttv_coo(x: CooTensor, v: np.ndarray, mode: int) -> CooTensor:
     mode = x.check_mode(mode)
     v = _check_vector(x.shape[mode], v)
     ordered, fptr = x.fiber_partition(mode)
-    per_nonzero = ordered.values * v[ordered.indices[mode]]
-    out_shape, out_indices, out_values = _reduce_fibers(ordered, fptr, mode, per_nonzero)
-    return CooTensor(out_shape, out_indices, out_values, validate=False)
+    chunks = kernel_chunk_plan(
+        x, grain="fiber", key=("ttv", mode), element_offsets=fptr
+    )
+    if chunks is None:
+        per_nonzero = ordered.values * v[ordered.indices[mode]]
+        out_shape, out_indices, out_values = _reduce_fibers(
+            ordered, fptr, mode, per_nonzero
+        )
+        return CooTensor(out_shape, out_indices, out_values, validate=False)
+    # Parallel region: fibers are the units, so every worker owns a
+    # disjoint run of output nonzeros.  Each chunk repeats the serial
+    # gather-multiply-reduceat on its own element slice — same elements,
+    # same order, float64 accumulation — so the result is bit-identical.
+    other_modes = [m for m in range(ordered.order) if m != mode]
+    out_shape = tuple(ordered.shape[m] for m in other_modes)
+    num_fibers = len(fptr) - 1
+    sums = np.empty(num_fibers, dtype=np.float64)
+    values = ordered.values
+    product_indices = ordered.indices[mode]
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        per_nonzero = values[e0:e1] * v[product_indices[e0:e1]]
+        sums[u0:u1] = np.add.reduceat(
+            per_nonzero.astype(np.float64), fptr[u0:u1] - e0
+        )
+
+    run_chunks(chunks, task, kernel="TTV-COO", grain="fiber")
+    out_indices = ordered.indices[other_modes][:, fptr[:-1]]
+    return CooTensor(
+        out_shape, out_indices, sums.astype(VALUE_DTYPE), validate=False
+    )
 
 
 def ttv_hicoo(
@@ -143,10 +172,34 @@ def ttv_ghicoo_direct(
     plan = ghicoo_fiber_plan(ghicoo)
     if plan is None:
         plan = build_ghicoo_fiber_plan(ghicoo)
-    contributions = ghicoo.values[plan.perm].astype(np.float64) * v[
-        plan.product_indices
-    ]
-    sums = np.add.reduceat(contributions, plan.fiber_starts)
+    chunks = kernel_chunk_plan(
+        ghicoo,
+        grain="fiber",
+        key="ghicoo_ttv",
+        element_offsets=plan.fiber_offsets(),
+    )
+    if chunks is None:
+        contributions = ghicoo.values[plan.perm].astype(np.float64) * v[
+            plan.product_indices
+        ]
+        sums = np.add.reduceat(contributions, plan.fiber_starts)
+    else:
+        num_fibers = plan.fiber_starts.shape[0]
+        sums = np.empty(num_fibers, dtype=np.float64)
+        values = ghicoo.values
+        perm = plan.perm
+        product_indices = plan.product_indices
+        fiber_starts = plan.fiber_starts
+
+        def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+            contributions = values[perm[e0:e1]].astype(np.float64) * v[
+                product_indices[e0:e1]
+            ]
+            sums[u0:u1] = np.add.reduceat(
+                contributions, fiber_starts[u0:u1] - e0
+            )
+
+        run_chunks(chunks, task, kernel="TTV-HiCOO", grain="fiber")
     return HicooTensor(
         out_shape,
         ghicoo.block_size,

@@ -43,6 +43,7 @@ STRUCTURAL_KINDS = frozenset(
         "hicoo_expansion",
         "morton_perm",
         "ghicoo_fiber_sort",
+        "partition",
     }
 )
 

@@ -74,7 +74,14 @@ class ModeSortPlan:
         The output row of each segment (strictly increasing).
     """
 
-    __slots__ = ("mode", "perm", "sorted_indices", "segment_starts", "unique_targets")
+    __slots__ = (
+        "mode",
+        "perm",
+        "sorted_indices",
+        "segment_starts",
+        "unique_targets",
+        "_segment_offsets",
+    )
 
     def __init__(
         self,
@@ -89,6 +96,7 @@ class ModeSortPlan:
         self.sorted_indices = sorted_indices
         self.segment_starts = segment_starts
         self.unique_targets = unique_targets
+        self._segment_offsets: Optional[np.ndarray] = None
 
     @property
     def nnz(self) -> int:
@@ -103,6 +111,19 @@ class ModeSortPlan:
     def sorted_values(self, values: np.ndarray) -> np.ndarray:
         """Gather a value array into the plan's sorted order."""
         return np.take(values, self.perm)
+
+    def segment_offsets(self) -> np.ndarray:
+        """Segment boundaries extended with the end offset.
+
+        Length ``num_segments + 1``: segment ``s`` spans sorted elements
+        ``offsets[s]:offsets[s + 1]`` — the unit structure the parallel
+        executor partitions.  Built lazily and kept with the plan.
+        """
+        if self._segment_offsets is None:
+            self._segment_offsets = np.concatenate(
+                [self.segment_starts, [self.nnz]]
+            ).astype(np.int64)
+        return self._segment_offsets
 
 
 def _build_mode_sort(indices: np.ndarray, mode: int) -> ModeSortPlan:
@@ -397,6 +418,7 @@ class GhicooFiberPlan:
         "fiber_einds",
         "out_bptr",
         "out_binds",
+        "_fiber_offsets",
     )
 
     def __init__(
@@ -414,11 +436,24 @@ class GhicooFiberPlan:
         self.fiber_einds = fiber_einds
         self.out_bptr = out_bptr
         self.out_binds = out_binds
+        self._fiber_offsets: Optional[np.ndarray] = None
 
     @property
     def num_fibers(self) -> int:
         """Number of fibers (output nonzeros / output rows)."""
         return int(self.fiber_starts.shape[0])
+
+    def fiber_offsets(self) -> np.ndarray:
+        """Fiber boundaries extended with the end offset (the nnz).
+
+        Length ``num_fibers + 1`` — the unit structure the parallel
+        executor partitions.  Built lazily and kept with the plan.
+        """
+        if self._fiber_offsets is None:
+            self._fiber_offsets = np.concatenate(
+                [self.fiber_starts, [self.perm.shape[0]]]
+            ).astype(np.int64)
+        return self._fiber_offsets
 
 
 def build_ghicoo_fiber_plan(ghicoo: GHicooTensor) -> GhicooFiberPlan:

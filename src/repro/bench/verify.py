@@ -74,11 +74,15 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-def _as_comparable(result) -> np.ndarray:
+def as_comparable(result) -> np.ndarray:
     """Normalize any kernel output to a dense array for comparison."""
     if isinstance(result, np.ndarray):
         return result.astype(np.float64)
     return to_coo(result).to_dense().astype(np.float64)
+
+
+#: Backwards-compatible alias (pre-conformance name).
+_as_comparable = as_comparable
 
 
 def _close(a: np.ndarray, b: np.ndarray) -> bool:
@@ -106,7 +110,7 @@ def verify_suite(
             for fmt in ("COO", "HiCOO"):
                 for target in ("OMP", "GPU"):
                     name = f"{fmt}-{kernel}-{target}"
-                    outputs[name] = _as_comparable(
+                    outputs[name] = as_comparable(
                         run_algorithm(
                             name, tensor, operands, mode=mode,
                             rank=rank, block_size=block_size,
@@ -123,9 +127,7 @@ def verify_suite(
                         passed=_close(value, baseline),
                     )
                 )
-            reference = _dense_reference(
-                kernel, dense, tensor, operands, mode
-            )
+            reference = dense_reference(kernel, dense, operands, mode)
             if reference is not None:
                 report.results.append(
                     VerificationResult(
@@ -142,7 +144,7 @@ def verify_suite(
                     )
                 )
             if kernel == "TTV":
-                csf_out = _as_comparable(
+                csf_out = as_comparable(
                     ttv_csf(tensor, operands.vector, mode)
                 )
                 report.results.append(
@@ -154,8 +156,13 @@ def verify_suite(
     return report
 
 
-def _dense_reference(kernel, dense, tensor, operands, mode):
-    """The dense numpy reference output for a kernel, densified."""
+def dense_reference(kernel, dense, operands, mode):
+    """The dense numpy reference output for a kernel, densified.
+
+    ``dense`` is the densified input tensor; ``operands`` the
+    :class:`~repro.core.registry.KernelOperands` the kernel consumed.
+    Returns ``None`` for kernels without a dense formulation.
+    """
     if kernel == "TEW":
         return dense + operands.second_tensor.to_dense().astype(np.float64)
     if kernel == "TS":

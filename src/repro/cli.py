@@ -124,6 +124,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-check all algorithms' numerics against each other "
         "and the dense references",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across formats, kernels, "
+        "caches, and parallel schedules",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=100, metavar="N",
+        help="maximum fuzz iterations (default 100)",
+    )
+    fuzz.add_argument(
+        "--seconds", type=float, default=None, metavar="S",
+        help="wall-clock cap; stops early when reached",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--corpus-dir", default="tests/corpus", metavar="DIR",
+        help="where shrunk reproducers are written (default tests/corpus)",
+    )
+    fuzz.add_argument(
+        "--no-corpus", action="store_true",
+        help="report failures without writing reproducer files",
+    )
+    fuzz.add_argument("--block-size", type=int, default=8)
+    fuzz.add_argument("--rank", type=int, default=4)
+    fuzz.add_argument(
+        "--threads", default="2,4", metavar="T1,T2",
+        help="comma-separated worker counts for the serial-vs-parallel "
+        "exactness checks (default 2,4)",
+    )
+    fuzz.add_argument("--max-failures", type=int, default=5)
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-iteration progress"
+    )
     return parser
 
 
@@ -290,11 +324,32 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .conformance import fuzz
+
+    threads = tuple(int(t) for t in args.threads.split(",") if t.strip())
+    report = fuzz(
+        budget=args.budget,
+        seconds=args.seconds,
+        seed=args.seed,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+        max_failures=args.max_failures,
+        block_size=args.block_size,
+        rank=args.rank,
+        threads=threads,
+        progress=None if args.quiet else (lambda line: print(line, file=sys.stderr)),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "features":
         return _cmd_features(args)
     if args.command == "sweep":

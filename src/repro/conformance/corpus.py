@@ -1,0 +1,135 @@
+"""Regression corpus: failing fuzz cases persisted for replay.
+
+Every failure the fuzzer finds is shrunk and written to a JSON file
+under ``tests/corpus/`` containing the exact tensor (shape, indices,
+values), the failing check config, and the failure message.  The test
+suite replays every corpus file on each run, so a bug found once by the
+fuzzer can never silently return — the corpus is the fuzzer's memory.
+
+File names are content-addressed (a short SHA-1 of the canonical JSON),
+so re-finding the same minimal reproducer never duplicates an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .harness import run_check
+
+FORMAT_VERSION = 1
+
+#: The repository's regression corpus, relative to the repo root.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+def tensor_to_payload(tensor: CooTensor) -> Dict[str, Any]:
+    """JSON-friendly encoding of a COO tensor."""
+    return {
+        "shape": list(tensor.shape),
+        "indices": tensor.indices.tolist(),
+        "values": [float(v) for v in tensor.values],
+    }
+
+
+def tensor_from_payload(payload: Dict[str, Any]) -> CooTensor:
+    """Rebuild a COO tensor from :func:`tensor_to_payload` output."""
+    shape = tuple(int(s) for s in payload["shape"])
+    indices = np.asarray(payload["indices"], dtype=INDEX_DTYPE)
+    if indices.size == 0:
+        indices = indices.reshape(len(shape), 0)
+    values = np.asarray(payload["values"], dtype=VALUE_DTYPE)
+    return CooTensor(shape, indices, values, validate=False)
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry: a tensor plus the check it must keep passing."""
+
+    tensor: CooTensor
+    config: Dict[str, Any]
+    failure: str
+    spec: Optional[Dict[str, Any]] = None
+    path: Optional[str] = None
+
+    def replay(self) -> Optional[str]:
+        """Re-run the stored check; ``None`` means the bug stays fixed."""
+        return run_check(self.tensor, self.config)
+
+
+def _entry_digest(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(
+        {"tensor": payload["tensor"], "config": payload["config"]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+
+def save_reproducer(
+    corpus_dir: Union[str, Path],
+    tensor: CooTensor,
+    config: Dict[str, Any],
+    failure: str,
+    spec: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write one reproducer file; returns its path.
+
+    The directory is created on first failure, and saving the same
+    (tensor, config) pair twice is idempotent.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "failure": failure,
+        "config": config,
+        "tensor": tensor_to_payload(tensor),
+        "spec": spec,
+    }
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"repro-{_entry_digest(payload)}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return str(path)
+
+
+def load_reproducer(path: Union[str, Path]) -> Reproducer:
+    """Read one corpus file back into a replayable :class:`Reproducer`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported corpus format version {version!r}"
+        )
+    return Reproducer(
+        tensor=tensor_from_payload(payload["tensor"]),
+        config=payload["config"],
+        failure=payload.get("failure", ""),
+        spec=payload.get("spec"),
+        path=str(path),
+    )
+
+
+def iter_corpus(corpus_dir: Union[str, Path] = DEFAULT_CORPUS_DIR) -> Iterator[str]:
+    """Paths of every reproducer file in a corpus directory (sorted)."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return
+    for path in sorted(corpus_dir.glob("repro-*.json")):
+        yield str(path)
+
+
+def replay_corpus(corpus_dir: Union[str, Path] = DEFAULT_CORPUS_DIR) -> Dict[str, Optional[str]]:
+    """Replay every corpus entry; maps path -> failure message (or None)."""
+    return {
+        path: load_reproducer(path).replay() for path in iter_corpus(corpus_dir)
+    }

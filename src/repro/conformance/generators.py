@@ -1,0 +1,214 @@
+"""Seeded random-tensor generation for the conformance fuzzer.
+
+Every fuzz iteration is described by a :class:`TensorSpec` — a small,
+JSON-serializable recipe that deterministically reproduces the tensor.
+Specs carry not just shape/nnz but also the *structural hazards* that
+format-crossing code historically mishandles: duplicate coordinates,
+unsorted nonzero order, and coordinates sitting exactly on HiCOO's
+``uint8`` element-index boundary.
+
+The generator interleaves fully random specs with a fixed rotation of
+edge-case kinds (:data:`EDGE_KINDS`), so every budgeted run — however
+short — exercises the empty tensor, order-1 tensors, single-nonzero
+tensors, and the ``block_size=256`` boundary at least once per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+
+#: Edge-case kinds the fuzzer is guaranteed to cycle through.
+EDGE_KINDS = (
+    "empty",
+    "order1",
+    "single",
+    "block_boundary",
+    "duplicates",
+    "unsorted",
+)
+
+#: All spec kinds, edge cases plus the plain random one.
+ALL_KINDS = ("random",) + EDGE_KINDS
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A reproducible recipe for one fuzz tensor.
+
+    Parameters
+    ----------
+    shape:
+        Dimension sizes.
+    nnz:
+        Number of *distinct* positions sampled before hazard injection.
+    seed:
+        RNG seed; together with the other fields it fully determines the
+        realized tensor.
+    kind:
+        One of :data:`ALL_KINDS`; edge kinds override shape/nnz details.
+    duplicates:
+        How many existing coordinates are appended again (with fresh
+        values), producing a tensor with duplicate entries.
+    shuffle:
+        Whether the nonzeros are left in a seeded random order instead of
+        the canonical lexicographic order.
+    """
+
+    shape: Tuple[int, ...]
+    nnz: int
+    seed: int
+    kind: str = "random"
+    duplicates: int = 0
+    shuffle: bool = False
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form (tuples become lists)."""
+        d = asdict(self)
+        d["shape"] = list(self.shape)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "TensorSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            shape=tuple(int(s) for s in d["shape"]),
+            nnz=int(d["nnz"]),
+            seed=int(d["seed"]),
+            kind=str(d.get("kind", "random")),
+            duplicates=int(d.get("duplicates", 0)),
+            shuffle=bool(d.get("shuffle", False)),
+        )
+
+
+def realize(spec: TensorSpec) -> CooTensor:
+    """Deterministically build the tensor a spec describes."""
+    rng = np.random.default_rng(spec.seed)
+    if spec.kind == "empty":
+        return CooTensor.empty(spec.shape)
+    if spec.kind == "block_boundary":
+        return _block_boundary_tensor(spec, rng)
+    nnz = spec.nnz
+    if spec.kind == "single":
+        nnz = 1
+    capacity = 1
+    for s in spec.shape:
+        capacity *= s
+    nnz = max(0, min(nnz, capacity))
+    if nnz == 0:
+        return CooTensor.empty(spec.shape)
+    tensor = CooTensor.random(spec.shape, nnz, rng=rng)
+    return inject_hazards(tensor, spec, rng)
+
+
+def inject_hazards(
+    tensor: CooTensor, spec: TensorSpec, rng: np.random.Generator
+) -> CooTensor:
+    """Append duplicate coordinates and/or shuffle the nonzero order."""
+    indices = tensor.indices
+    values = tensor.values
+    if spec.duplicates > 0 and tensor.nnz > 0:
+        picks = rng.integers(0, tensor.nnz, size=spec.duplicates)
+        extra_values = rng.uniform(0.5, 1.5, size=spec.duplicates).astype(VALUE_DTYPE)
+        indices = np.concatenate([indices, indices[:, picks]], axis=1)
+        values = np.concatenate([values, extra_values])
+    if spec.shuffle and indices.shape[1] > 1:
+        perm = rng.permutation(indices.shape[1])
+        indices = indices[:, perm]
+        values = values[perm]
+    return CooTensor(tensor.shape, indices, values, validate=False)
+
+
+def _block_boundary_tensor(spec: TensorSpec, rng: np.random.Generator) -> CooTensor:
+    """A tensor whose coordinates straddle the 255/256 element boundary.
+
+    With ``block_size=256`` these produce element indices of exactly 255
+    (the ``uint8`` maximum) next to indices of 0 in the adjacent block —
+    the off-by-one hot spot of HiCOO's 8-bit compression.
+    """
+    shape = tuple(max(int(s), 257) for s in spec.shape)
+    boundary = np.array([255, 256, 0, shape[0] - 1], dtype=np.int64)
+    columns = [boundary % s for s in shape]
+    forced = np.vstack(columns).astype(INDEX_DTYPE)
+    # Mode 0 keeps the exact boundary values.
+    forced[0] = boundary.astype(INDEX_DTYPE)
+    extra = max(0, spec.nnz - forced.shape[1])
+    random_cols = np.vstack(
+        [rng.integers(0, s, size=extra, dtype=np.int64) for s in shape]
+    ).astype(INDEX_DTYPE)
+    indices = np.concatenate([forced, random_cols], axis=1)
+    values = rng.uniform(0.5, 1.5, size=indices.shape[1]).astype(VALUE_DTYPE)
+    return CooTensor(shape, indices, values).sum_duplicates()
+
+
+@dataclass
+class SpecGenerator:
+    """Draws the spec stream a fuzz run walks through.
+
+    Iteration ``i`` with master seed ``s`` always yields the same spec,
+    so ``repro fuzz --seed S`` runs are exactly reproducible and any
+    iteration can be replayed in isolation.
+    """
+
+    master_seed: int = 0
+    max_order: int = 4
+    max_dim: int = 40
+    max_nnz: int = 300
+    _edge_cursor: int = field(default=0, repr=False)
+
+    def spec_for(self, iteration: int) -> TensorSpec:
+        """The spec of one fuzz iteration (pure function of the seed)."""
+        seed = int(self.master_seed) * 1_000_003 + int(iteration)
+        rng = np.random.default_rng(seed)
+        # Every len(ALL_KINDS)-th iteration block revisits each edge kind
+        # once; the rest are fully random draws.
+        cycle = iteration % (2 * len(ALL_KINDS))
+        if cycle < len(EDGE_KINDS):
+            kind = EDGE_KINDS[cycle]
+        else:
+            kind = "random"
+        return self._draw(kind, seed, rng)
+
+    def _draw(self, kind: str, seed: int, rng: np.random.Generator) -> TensorSpec:
+        if kind == "order1":
+            shape: Tuple[int, ...] = (int(rng.integers(2, self.max_dim * 4)),)
+            nnz = int(rng.integers(1, max(2, shape[0] // 2)))
+            return TensorSpec(shape, nnz, seed, kind="order1")
+        order = int(rng.integers(2, self.max_order + 1))
+        shape = tuple(int(rng.integers(2, self.max_dim + 1)) for _ in range(order))
+        capacity = 1
+        for s in shape:
+            capacity *= s
+        nnz = int(rng.integers(1, min(self.max_nnz, max(2, capacity // 2))))
+        if kind == "empty":
+            return TensorSpec(shape, 0, seed, kind="empty")
+        if kind == "single":
+            return TensorSpec(shape, 1, seed, kind="single")
+        if kind == "block_boundary":
+            return TensorSpec((300,) + shape[1:], min(nnz, 64), seed, kind=kind)
+        if kind == "duplicates":
+            return TensorSpec(
+                shape, nnz, seed, kind=kind, duplicates=int(rng.integers(1, 6))
+            )
+        if kind == "unsorted":
+            return TensorSpec(shape, nnz, seed, kind=kind, shuffle=True)
+        # Plain random specs still roll the hazard dice occasionally.
+        duplicates = int(rng.integers(0, 4)) if rng.random() < 0.25 else 0
+        shuffle = bool(rng.random() < 0.25)
+        return TensorSpec(
+            shape, nnz, seed, kind="random", duplicates=duplicates, shuffle=shuffle
+        )
+
+
+def edge_case_specs(seed: int = 0) -> Tuple[TensorSpec, ...]:
+    """One spec per edge kind — the set unit tests pin coverage against."""
+    gen = SpecGenerator(master_seed=seed)
+    specs = []
+    for i, kind in enumerate(EDGE_KINDS):
+        rng = np.random.default_rng(seed * 1_000_003 + i)
+        specs.append(gen._draw(kind, seed * 1_000_003 + i, rng))
+    return tuple(specs)

@@ -1,0 +1,430 @@
+"""Differential checks: the conformance matrix one tensor is run through.
+
+A *check* is a small JSON-serializable dict — ``{"check": kind, ...}`` —
+and :func:`run_check` executes one of them against a COO tensor,
+returning ``None`` on success or a failure message.  Keeping checks as
+plain data is what makes the rest of the subsystem composable: the
+fuzzer enumerates them, the shrinker re-runs a single failing one on
+smaller tensors, and corpus reproducers replay them verbatim from disk.
+
+Check kinds
+-----------
+``roundtrip``
+    Convert through a path of formats (validating the structural
+    invariants after every hop) and compare the final expansion against
+    the original tensor.
+``kernel_oracle``
+    Run one kernel on one format serially and compare against the dense
+    numpy reference (skipped automatically for tensors too large to
+    densify).
+``cross_format``
+    Run one kernel on every applicable representation — COO, HiCOO, and
+    the CSF / F-COO extension kernels — and compare all outputs against
+    the COO baseline with float32 tolerances.
+``parallel_exact``
+    Run one kernel serially and under a parallel schedule and require
+    **bit-identical** outputs (the executor's output-ownership
+    guarantee).
+``cache_exact``
+    Run one kernel with the plan cache disabled and with a warm cache
+    and compare outputs with float32 tolerances (a cached plan may
+    legally reorder float accumulation; only serial-vs-parallel carries
+    the bit-identical guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench.verify import as_comparable, dense_reference
+from ..core.csf_kernels import mttkrp_csf, ttv_csf
+from ..core.registry import KernelOperands, make_operands, run_algorithm
+from ..formats.coo import CooTensor
+from ..formats.convert import convert
+from ..formats.csf import CsfTensor
+from ..formats.fcoo import FcooTensor, ttm_fcoo, ttv_fcoo
+from ..perf.parallel import parallel_config
+from ..perf.plan_cache import cache_disabled, fresh_cache
+from .invariants import validate
+
+#: Mirrors bench.verify's float32 cross-implementation tolerances.
+RTOL = 1e-3
+ATOL = 1e-3
+
+#: Tensors with more cells than this skip the dense oracle (the
+#: differential cross-format check remains, and scales to any size).
+MAX_DENSE_CELLS = 200_000
+
+KERNELS = ("TEW", "TS", "TTV", "TTM", "MTTKRP")
+
+#: Kernels that contract a mode need at least two modes to leave an
+#: output mode standing.
+MODE_KERNELS = ("TTV", "TTM", "MTTKRP")
+
+
+def _capacity(shape: Sequence[int]) -> int:
+    total = 1
+    for s in shape:
+        total *= int(s)
+    return total
+
+
+def _to_coo(tensor) -> CooTensor:
+    if isinstance(tensor, CooTensor):
+        return tensor
+    return tensor.to_coo()
+
+
+def _convert_hop(current, name: str, config: Dict[str, Any]):
+    """One conversion step of a roundtrip path."""
+    block_size = int(config.get("block_size", 8))
+    if name == "coo":
+        return _to_coo(current)
+    if name == "hicoo":
+        return convert(_to_coo(current), "hicoo", block_size=block_size)
+    if name == "ghicoo":
+        return convert(
+            _to_coo(current),
+            "ghicoo",
+            compressed_modes=config["compressed_modes"],
+            block_size=block_size,
+        )
+    if name == "scoo":
+        return convert(_to_coo(current), "scoo", dense_modes=config["dense_modes"])
+    if name == "shicoo":
+        return convert(
+            _to_coo(current),
+            "shicoo",
+            dense_modes=config["dense_modes"],
+            block_size=block_size,
+        )
+    if name == "csf":
+        return CsfTensor.from_coo(_to_coo(current))
+    if name == "fcoo":
+        return FcooTensor.from_coo(_to_coo(current), int(config.get("mode", 0)))
+    raise ValueError(f"unknown roundtrip format {name!r}")
+
+
+def _sparse_mismatch(a: CooTensor, b: CooTensor, label: str) -> Optional[str]:
+    """Tolerance comparison of two COO tensors without ever densifying.
+
+    Shapes here can exceed memory as dense arrays (the block-boundary
+    fuzz tensors force every dimension past the einds uint8 range), so
+    the comparison works on the sparse difference ``a - b``: concatenate
+    the nonzeros with ``b`` negated, combine duplicates, and bound the
+    surviving values against a combined float32 tolerance.
+    """
+    if a.shape != b.shape:
+        return f"{label}: shapes differ ({a.shape} vs {b.shape})"
+    diff_indices = np.concatenate([a.indices, b.indices], axis=1)
+    diff_values = np.concatenate([a.values, -b.values])
+    diff = CooTensor(a.shape, diff_indices, diff_values, validate=False)
+    residual = diff.sum_duplicates().values
+    if residual.size == 0:
+        return None
+    scale = max(
+        float(np.max(np.abs(a.values), initial=0.0)),
+        float(np.max(np.abs(b.values), initial=0.0)),
+    )
+    worst = float(np.max(np.abs(residual)))
+    if worst > ATOL + RTOL * scale:
+        return f"{label} (max abs error {worst:.3g})"
+    return None
+
+
+def _run_roundtrip(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    current: Any = tensor
+    for hop in config["path"]:
+        current = _convert_hop(current, hop, config)
+        validate(current)
+    back = _to_coo(current)
+    return _sparse_mismatch(
+        back,
+        tensor,
+        f"roundtrip through {'->'.join(config['path'])} does not "
+        f"reproduce the original tensor",
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel execution helpers
+# ----------------------------------------------------------------------
+
+
+def _operands(tensor: CooTensor, config: Dict[str, Any]) -> KernelOperands:
+    return make_operands(
+        tensor,
+        config["kernel"],
+        mode=int(config.get("mode", 0)),
+        rank=int(config.get("rank", 4)),
+        seed=int(config.get("seed", 0)),
+    )
+
+
+def _execute(
+    tensor: CooTensor,
+    config: Dict[str, Any],
+    operands: KernelOperands,
+    *,
+    tensor_format: Optional[str] = None,
+    num_threads: int = 1,
+    schedule: Optional[str] = None,
+):
+    name = f"{tensor_format or config['format']}-{config['kernel']}-OMP"
+    with parallel_config(
+        num_threads=num_threads,
+        schedule=schedule,
+        min_parallel_nnz=0 if num_threads > 1 else None,
+    ):
+        return run_algorithm(
+            name,
+            tensor,
+            operands,
+            mode=int(config.get("mode", 0)),
+            rank=int(config.get("rank", 4)),
+            block_size=int(config.get("block_size", 8)),
+        )
+
+
+def _exact_mismatch(a, b, label: str) -> Optional[str]:
+    """Require two kernel outputs to be bit-identical."""
+    if type(a) is not type(b):
+        return f"{label}: output types differ ({type(a).__name__} vs {type(b).__name__})"
+    if isinstance(a, np.ndarray):
+        if not np.array_equal(a, b):
+            return f"{label}: dense outputs are not bit-identical"
+        return None
+    for attr in ("indices", "values", "bptr", "binds", "einds", "cinds"):
+        left = getattr(a, attr, None)
+        right = getattr(b, attr, None)
+        if left is None and right is None:
+            continue
+        if not np.array_equal(left, right):
+            return f"{label}: {attr} arrays are not bit-identical"
+    return None
+
+
+def _tolerance_mismatch(a, b, label: str) -> Optional[str]:
+    """Compare two kernel outputs with float32 tolerances.
+
+    Dense outputs (MTTKRP factor matrices) compare directly; sparse
+    outputs compare in canonical COO via :func:`_sparse_mismatch`, so no
+    output is ever densified — the fuzzer's tensors can be far too large
+    for that.
+    """
+    a_dense = isinstance(a, np.ndarray)
+    b_dense = isinstance(b, np.ndarray)
+    if a_dense != b_dense:
+        return (
+            f"{label}: output kinds differ "
+            f"({type(a).__name__} vs {type(b).__name__})"
+        )
+    if a_dense:
+        if a.shape != b.shape:
+            return f"{label}: shapes differ ({a.shape} vs {b.shape})"
+        if not np.allclose(a, b, rtol=RTOL, atol=ATOL):
+            worst = float(np.max(np.abs(a.astype(np.float64) - b)))
+            return f"{label} (max abs error {worst:.3g})"
+        return None
+    return _sparse_mismatch(_to_coo(a), _to_coo(b), label)
+
+
+def _run_kernel_oracle(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    if _capacity(tensor.shape) > MAX_DENSE_CELLS:
+        return None
+    operands = _operands(tensor, config)
+    out = as_comparable(_execute(tensor, config, operands))
+    dense = tensor.to_dense().astype(np.float64)
+    reference = dense_reference(
+        config["kernel"], dense, operands, int(config.get("mode", 0))
+    )
+    if reference is None:
+        return None
+    if not np.allclose(out, reference, rtol=RTOL, atol=ATOL):
+        worst = float(np.max(np.abs(out - reference)))
+        return (
+            f"{config['format']}-{config['kernel']} deviates from the dense "
+            f"oracle (max abs error {worst:.3g})"
+        )
+    return None
+
+
+def _run_cross_format(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    kernel = config["kernel"]
+    mode = int(config.get("mode", 0))
+    operands = _operands(tensor, config)
+    baseline = _execute(tensor, config, operands, tensor_format="COO")
+    others: List[Tuple[str, Any]] = [
+        ("HiCOO", _execute(tensor, config, operands, tensor_format="HiCOO"))
+    ]
+    if kernel == "MTTKRP":
+        others.append(("CSF", mttkrp_csf(tensor, operands.factors, mode)))
+    if kernel == "TTV":
+        others.append(("CSF", ttv_csf(tensor, operands.vector, mode)))
+        fcoo = FcooTensor.from_coo(tensor, mode)
+        validate(fcoo)
+        others.append(("F-COO", ttv_fcoo(fcoo, operands.vector)))
+    if kernel == "TTM":
+        fcoo = FcooTensor.from_coo(tensor, mode)
+        validate(fcoo)
+        others.append(("F-COO", ttm_fcoo(fcoo, operands.matrix)))
+    for label, out in others:
+        mismatch = _tolerance_mismatch(
+            out, baseline, f"{label}-{kernel} disagrees with COO baseline"
+        )
+        if mismatch is not None:
+            return mismatch
+    return None
+
+
+def _run_parallel_exact(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    operands = _operands(tensor, config)
+    serial = _execute(tensor, config, operands, num_threads=1)
+    parallel = _execute(
+        tensor,
+        config,
+        operands,
+        num_threads=int(config.get("threads", 2)),
+        schedule=config.get("schedule", "dynamic"),
+    )
+    return _exact_mismatch(
+        serial,
+        parallel,
+        f"{config['format']}-{config['kernel']} "
+        f"serial vs {config.get('threads', 2)}x{config.get('schedule', 'dynamic')}",
+    )
+
+
+def _run_cache_exact(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    operands = _operands(tensor, config)
+    with cache_disabled():
+        cold = _execute(tensor, config, operands)
+    with fresh_cache():
+        _execute(tensor, config, operands)  # populate the plan cache
+        warm = _execute(tensor, config, operands)
+    return _tolerance_mismatch(
+        cold, warm, f"{config['format']}-{config['kernel']} uncached vs cached"
+    )
+
+
+_RUNNERS = {
+    "roundtrip": _run_roundtrip,
+    "kernel_oracle": _run_kernel_oracle,
+    "cross_format": _run_cross_format,
+    "parallel_exact": _run_parallel_exact,
+    "cache_exact": _run_cache_exact,
+}
+
+
+def run_check(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """Execute one check config; ``None`` on pass, a message on failure.
+
+    Any exception a conversion or kernel raises is itself a conformance
+    failure (fuzz inputs are constructed to be valid), so it is caught
+    and reported rather than propagated.
+    """
+    runner = _RUNNERS.get(config.get("check"))
+    if runner is None:
+        raise ValueError(f"unknown check kind {config.get('check')!r}")
+    try:
+        return runner(tensor, config)
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        return f"{type(exc).__name__}: {exc}"
+
+
+# ----------------------------------------------------------------------
+# Check enumeration
+# ----------------------------------------------------------------------
+
+
+def roundtrip_paths(order: int) -> List[List[str]]:
+    """The format conversion paths a tensor of this order supports.
+
+    Single-hop paths cover every format; two-hop paths cross the format
+    pairs where conversions compose (the paper's formats all expand
+    through COO, so pairs exercise both directions of each conversion).
+    """
+    singles = ["hicoo", "ghicoo", "csf"]
+    if order >= 2:
+        singles += ["scoo", "shicoo", "fcoo"]
+    paths = [[name] for name in singles]
+    pair_chain = ["hicoo", "ghicoo"] if order < 2 else ["hicoo", "scoo", "ghicoo"]
+    paths.append(pair_chain)
+    if order >= 2:
+        paths.append(["fcoo", "hicoo"])
+        paths.append(["shicoo", "csf"])
+    return paths
+
+
+def enumerate_checks(
+    tensor: CooTensor,
+    *,
+    block_size: int = 8,
+    rank: int = 4,
+    seed: int = 0,
+    mode: Optional[int] = None,
+    threads: Sequence[int] = (2, 4),
+    schedule: str = "dynamic",
+) -> List[Dict[str, Any]]:
+    """The conformance matrix for one tensor, as runnable check configs.
+
+    ``mode`` selects the product/target mode for mode-specific kernels
+    (default: rotated from the seed so successive iterations cover all
+    modes); ``schedule`` is the parallel policy this enumeration pairs
+    with each thread count (the fuzzer rotates it across iterations).
+    """
+    order = tensor.order
+    if mode is None:
+        mode = seed % order
+    mode = mode % order
+    compressed = [m for m in range(order) if m != mode] or [0]
+    dense_modes = [min(range(order), key=lambda m: tensor.shape[m])] if order >= 2 else []
+    checks: List[Dict[str, Any]] = []
+    for path in roundtrip_paths(order):
+        checks.append(
+            {
+                "check": "roundtrip",
+                "path": path,
+                "block_size": block_size,
+                "compressed_modes": compressed,
+                "dense_modes": dense_modes,
+                "mode": mode,
+            }
+        )
+    kernels = [k for k in KERNELS if order >= 2 or k not in MODE_KERNELS]
+    for kernel in kernels:
+        base = {
+            "kernel": kernel,
+            "mode": mode,
+            "rank": rank,
+            "block_size": block_size,
+            "seed": seed,
+        }
+        checks.append({"check": "cross_format", "format": "COO", **base})
+        for fmt in ("COO", "HiCOO"):
+            checks.append({"check": "kernel_oracle", "format": fmt, **base})
+            checks.append({"check": "cache_exact", "format": fmt, **base})
+            for t in threads:
+                checks.append(
+                    {
+                        "check": "parallel_exact",
+                        "format": fmt,
+                        "threads": int(t),
+                        "schedule": schedule,
+                        **base,
+                    }
+                )
+    return checks
+
+
+def describe_check(config: Dict[str, Any]) -> str:
+    """A short human-readable label for one check config."""
+    kind = config.get("check", "?")
+    if kind == "roundtrip":
+        return f"roundtrip {'->'.join(config.get('path', []))}"
+    label = f"{kind} {config.get('format', '')}-{config.get('kernel', '')}"
+    if kind == "parallel_exact":
+        label += f" x{config.get('threads')} {config.get('schedule')}"
+    return label

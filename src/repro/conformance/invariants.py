@@ -1,0 +1,282 @@
+"""Structural invariant checkers for every sparse format.
+
+Each format's constructor validates *shape* consistency, but the deeper
+contracts that conversions rely on — canonical Morton block order,
+element indices strictly below the block size, fiber flags that start a
+segment, strictly increasing pointer arrays — were only enforced
+implicitly by construction.  The fuzzer calls :func:`validate` after
+every conversion so a silently-broken conversion fails loudly at the
+format boundary instead of corrupting a kernel result three steps later.
+
+All checkers raise :class:`~repro.errors.ConformanceError` with a
+message naming the violated invariant; :func:`validate` dispatches on
+the tensor type and is the single entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConformanceError
+from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from ..formats.csf import CsfTensor
+from ..formats.fcoo import FcooTensor
+from ..formats.ghicoo import GHicooTensor
+from ..formats.hicoo import BPTR_DTYPE, ELEMENT_DTYPE, HicooTensor
+from ..formats.morton import morton_encode
+from ..formats.scoo import SemiSparseCooTensor
+from ..formats.shicoo import SHicooTensor
+
+
+def _fail(tensor, message: str) -> None:
+    raise ConformanceError(f"{type(tensor).__name__}: {message}")
+
+
+def _check_dtype(tensor, array: np.ndarray, name: str, dtype) -> None:
+    if array.dtype != np.dtype(dtype):
+        _fail(tensor, f"{name} must have dtype {np.dtype(dtype)}, got {array.dtype}")
+
+
+def _check_bptr(tensor, bptr: np.ndarray, num_blocks: int, nnz: int) -> None:
+    _check_dtype(tensor, bptr, "bptr", BPTR_DTYPE)
+    if bptr.shape != (num_blocks + 1,):
+        _fail(tensor, f"bptr must have length {num_blocks + 1}, got {bptr.shape}")
+    if num_blocks == 0:
+        return
+    if bptr[0] != 0 or bptr[-1] != nnz:
+        _fail(tensor, f"bptr must span [0, {nnz}], got ends ({bptr[0]}, {bptr[-1]})")
+    if np.any(np.diff(bptr) <= 0):
+        _fail(tensor, "bptr must be strictly increasing (no empty blocks)")
+
+
+def _check_morton_order(tensor, binds: np.ndarray) -> None:
+    """Block coordinates must be distinct and in strictly increasing
+    Morton (Z-curve) order — the layout every HiCOO-family kernel and
+    plan assumes."""
+    if binds.shape[1] <= 1:
+        return
+    codes = morton_encode(binds.astype(np.int64))
+    if np.any(np.diff(codes) <= 0):
+        _fail(tensor, "blocks must be distinct and in strictly increasing Morton order")
+
+
+def check_coo(tensor: CooTensor) -> None:
+    """COO contracts: dtypes, array shapes, and in-bounds indices."""
+    _check_dtype(tensor, tensor.indices, "indices", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if tensor.indices.ndim != 2 or tensor.indices.shape[0] != tensor.order:
+        _fail(tensor, f"indices must have shape (order, nnz), got {tensor.indices.shape}")
+    if tensor.values.shape != (tensor.nnz,):
+        _fail(tensor, f"values must have shape ({tensor.nnz},), got {tensor.values.shape}")
+    if not all(s > 0 for s in tensor.shape):
+        _fail(tensor, f"all dimensions must be positive, got {tensor.shape}")
+    for mode, size in enumerate(tensor.shape):
+        column = tensor.indices[mode]
+        if column.size and (column.min() < 0 or column.max() >= size):
+            _fail(tensor, f"mode-{mode} indices out of range [0, {size})")
+    if not np.all(np.isfinite(tensor.values)):
+        _fail(tensor, "values must be finite")
+
+
+def check_hicoo(tensor: HicooTensor) -> None:
+    """HiCOO contracts: bptr, uint8 element bound, Morton block order."""
+    order, nnz, nb = tensor.order, tensor.nnz, tensor.num_blocks
+    _check_dtype(tensor, tensor.binds, "binds", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.einds, "einds", ELEMENT_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if tensor.binds.shape != (order, nb):
+        _fail(tensor, f"binds must have shape ({order}, {nb})")
+    if tensor.einds.shape != (order, nnz):
+        _fail(tensor, f"einds must have shape ({order}, {nnz})")
+    _check_bptr(tensor, tensor.bptr, nb, nnz)
+    if nnz and int(tensor.einds.max()) >= tensor.block_size:
+        _fail(
+            tensor,
+            f"element indices must be < block_size={tensor.block_size}, "
+            f"got max {int(tensor.einds.max())}",
+        )
+    _check_morton_order(tensor, tensor.binds)
+    for row, size in enumerate(tensor.shape):
+        if nb == 0:
+            continue
+        base = tensor.binds[row].astype(np.int64) * tensor.block_size
+        if tensor.binds[row].min() < 0 or base.max() >= size:
+            _fail(tensor, f"mode-{row} block indices out of range for dim {size}")
+    # Every reconstructed coordinate must land inside the shape.
+    if nnz:
+        coords = tensor.full_indices()
+        for mode, size in enumerate(tensor.shape):
+            if coords[mode].min() < 0 or coords[mode].max() >= size:
+                _fail(tensor, f"reconstructed mode-{mode} coordinates out of range")
+
+
+def check_ghicoo(tensor: GHicooTensor) -> None:
+    """gHiCOO contracts: HiCOO invariants over the compressed modes plus
+    in-bounds plain COO indices for the uncompressed modes."""
+    nc = len(tensor.compressed_modes)
+    nu = len(tensor.uncompressed_modes)
+    nnz, nb = tensor.nnz, tensor.num_blocks
+    _check_dtype(tensor, tensor.binds, "binds", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.einds, "einds", ELEMENT_DTYPE)
+    _check_dtype(tensor, tensor.cinds, "cinds", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if tensor.binds.shape != (nc, nb) or tensor.einds.shape != (nc, nnz):
+        _fail(tensor, "binds/einds must cover exactly the compressed modes")
+    if tensor.cinds.shape != (nu, nnz):
+        _fail(tensor, f"cinds must have shape ({nu}, {nnz}), got {tensor.cinds.shape}")
+    _check_bptr(tensor, tensor.bptr, nb, nnz)
+    if nnz and nc and int(tensor.einds.max()) >= tensor.block_size:
+        _fail(tensor, f"element indices must be < block_size={tensor.block_size}")
+    _check_morton_order(tensor, tensor.binds)
+    for row, mode in enumerate(tensor.uncompressed_modes):
+        column = tensor.cinds[row]
+        if column.size and (column.min() < 0 or column.max() >= tensor.shape[mode]):
+            _fail(tensor, f"uncompressed mode-{mode} indices out of range")
+
+
+def check_scoo(tensor: SemiSparseCooTensor) -> None:
+    """sCOO contracts: disjoint mode split, dense value block shape, and
+    distinct lexicographically sorted sparse coordinates (the canonical
+    order :meth:`from_coo` emits and TTM consumers assume)."""
+    _check_dtype(tensor, tensor.indices, "indices", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if set(tensor.dense_modes) & set(tensor.sparse_modes):
+        _fail(tensor, "dense and sparse modes must be disjoint")
+    if sorted(tensor.dense_modes + tensor.sparse_modes) != list(range(tensor.order)):
+        _fail(tensor, "dense + sparse modes must cover every mode exactly once")
+    dense_shape = tuple(tensor.shape[m] for m in tensor.dense_modes)
+    if tensor.values.shape != (tensor.nnz_fibers,) + dense_shape:
+        _fail(
+            tensor,
+            f"values must have shape (nnz_fibers, *{dense_shape}), "
+            f"got {tensor.values.shape}",
+        )
+    for row, mode in enumerate(tensor.sparse_modes):
+        column = tensor.indices[row]
+        if column.size and (column.min() < 0 or column.max() >= tensor.shape[mode]):
+            _fail(tensor, f"sparse mode-{mode} indices out of range")
+    if tensor.nnz_fibers > 1:
+        diff = tensor.indices[:, 1:].astype(np.int64) - tensor.indices[:, :-1]
+        # Lexicographic strict increase: the first differing row is positive.
+        order_sign = np.zeros(tensor.nnz_fibers - 1, dtype=np.int64)
+        for row in range(tensor.indices.shape[0] - 1, -1, -1):
+            order_sign = np.where(diff[row] != 0, np.sign(diff[row]), order_sign)
+        if np.any(order_sign <= 0):
+            _fail(tensor, "sparse coordinates must be distinct and sorted")
+
+
+def check_shicoo(tensor: SHicooTensor) -> None:
+    """sHiCOO contracts: HiCOO invariants over the sparse modes plus the
+    dense value block shape."""
+    ns = len(tensor.sparse_modes)
+    fibers, nb = tensor.nnz_fibers, tensor.num_blocks
+    _check_dtype(tensor, tensor.binds, "binds", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.einds, "einds", ELEMENT_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if tensor.binds.shape != (ns, nb) or tensor.einds.shape != (ns, fibers):
+        _fail(tensor, "binds/einds must cover exactly the sparse modes")
+    dense_shape = tuple(tensor.shape[m] for m in tensor.dense_modes)
+    if tensor.values.shape != (fibers,) + dense_shape:
+        _fail(tensor, f"values must have shape (nnz_fibers, *{dense_shape})")
+    _check_bptr(tensor, tensor.bptr, nb, fibers)
+    if fibers and int(tensor.einds.max()) >= tensor.block_size:
+        _fail(tensor, f"element indices must be < block_size={tensor.block_size}")
+    _check_morton_order(tensor, tensor.binds)
+
+
+def check_csf(tensor: CsfTensor) -> None:
+    """CSF contracts: per-level pointer spans, in-range fids, and
+    strictly increasing sibling index runs (the sorted-children property
+    the tree traversals binary-search on)."""
+    order = tensor.order
+    if sorted(tensor.mode_order) != list(range(order)):
+        _fail(tensor, f"mode_order {tensor.mode_order} is not a permutation")
+    for level, mode in enumerate(tensor.mode_order):
+        fids = tensor.fids[level]
+        _check_dtype(tensor, fids, f"fids[{level}]", INDEX_DTYPE)
+        if fids.size and (fids.min() < 0 or fids.max() >= tensor.shape[mode]):
+            _fail(tensor, f"level-{level} fids out of range for mode {mode}")
+    if tensor.values.shape != (tensor.fids[-1].shape[0],):
+        _fail(tensor, "values must align with the leaf level")
+    for level in range(order - 1):
+        nodes = tensor.fids[level].shape[0]
+        fptr = tensor.fptr[level]
+        if fptr.shape != (nodes + 1,):
+            _fail(tensor, f"fptr[{level}] must have length {nodes + 1}")
+        if nodes == 0:
+            continue
+        if fptr[0] != 0 or fptr[-1] != tensor.fids[level + 1].shape[0]:
+            _fail(tensor, f"fptr[{level}] must span level {level + 1}")
+        if np.any(np.diff(fptr) <= 0):
+            _fail(tensor, f"fptr[{level}] must be strictly increasing")
+        # Sibling runs at the child level must be strictly increasing.
+        child = tensor.fids[level + 1].astype(np.int64)
+        within = np.ones(child.shape[0], dtype=bool)
+        within[fptr[:-1]] = False
+        if np.any((np.diff(child) <= 0) & within[1:]):
+            _fail(tensor, f"level-{level + 1} sibling indices must be sorted")
+    root = tensor.fids[0].astype(np.int64)
+    if root.size > 1 and np.any(np.diff(root) <= 0):
+        _fail(tensor, "root-level indices must be strictly increasing")
+
+
+def check_fcoo(tensor: FcooTensor) -> None:
+    """F-COO contracts: segment flags, per-fiber start indices, and
+    in-range product-mode coordinates."""
+    nnz = tensor.nnz
+    _check_dtype(tensor, tensor.product_indices, "product_indices", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.start_indices, "start_indices", INDEX_DTYPE)
+    _check_dtype(tensor, tensor.values, "values", VALUE_DTYPE)
+    if not 0 <= tensor.product_mode < tensor.order:
+        _fail(tensor, f"product mode {tensor.product_mode} out of range")
+    if nnz and not tensor.bit_flags[0]:
+        _fail(tensor, "the first nonzero must start a fiber")
+    fibers = int(tensor.bit_flags.sum())
+    if tensor.start_indices.shape != (tensor.order - 1, fibers):
+        _fail(tensor, f"start_indices must have shape ({tensor.order - 1}, {fibers})")
+    size = tensor.shape[tensor.product_mode]
+    if nnz and (
+        tensor.product_indices.min() < 0 or tensor.product_indices.max() >= size
+    ):
+        _fail(tensor, "product-mode indices out of range")
+    other = [m for m in range(tensor.order) if m != tensor.product_mode]
+    for row, mode in enumerate(other):
+        column = tensor.start_indices[row]
+        if column.size and (column.min() < 0 or column.max() >= tensor.shape[mode]):
+            _fail(tensor, f"fiber-start mode-{mode} indices out of range")
+
+
+_CHECKERS = {
+    CooTensor: check_coo,
+    HicooTensor: check_hicoo,
+    GHicooTensor: check_ghicoo,
+    SemiSparseCooTensor: check_scoo,
+    SHicooTensor: check_shicoo,
+    CsfTensor: check_csf,
+    FcooTensor: check_fcoo,
+}
+
+
+def validate(tensor) -> None:
+    """Check every structural invariant of a format instance.
+
+    Raises :class:`~repro.errors.ConformanceError` naming the violated
+    invariant; returns ``None`` on success.
+    """
+    checker = _CHECKERS.get(type(tensor))
+    if checker is None:
+        raise ConformanceError(
+            f"no invariant checker for {type(tensor).__name__}"
+        )
+    checker(tensor)
+
+
+def validation_error(tensor) -> Optional[str]:
+    """Like :func:`validate` but returns the message instead of raising."""
+    try:
+        validate(tensor)
+    except ConformanceError as exc:
+        return str(exc)
+    return None

@@ -1,0 +1,107 @@
+"""Failure minimization: reduce a failing tensor to a minimal reproducer.
+
+Given a tensor and a predicate (``run_check`` against one failing check
+config), the shrinker searches for the smallest tensor that still fails:
+delta-debugging over the nonzero list (halves, then quarters, then
+single removals), followed by shape trimming and value canonicalization.
+Every candidate evaluation re-runs the *same* check, so the reproducer
+that comes out fails for the same reason the original did — just with a
+handful of nonzeros instead of hundreds, which is what makes corpus
+entries debuggable by reading them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..formats.coo import VALUE_DTYPE, CooTensor
+
+#: Cap on predicate evaluations; shrinking is best-effort, not exhaustive.
+DEFAULT_MAX_EVALS = 150
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    tensor: CooTensor
+    evaluations: int
+    original_nnz: int
+
+    @property
+    def reduced(self) -> bool:
+        """Whether the shrinker made the tensor strictly smaller."""
+        return self.tensor.nnz < self.original_nnz
+
+
+def _keep(tensor: CooTensor, mask: np.ndarray) -> CooTensor:
+    return CooTensor(
+        tensor.shape, tensor.indices[:, mask], tensor.values[mask], validate=False
+    )
+
+
+def shrink_tensor(
+    tensor: CooTensor,
+    still_fails: Callable[[CooTensor], bool],
+    *,
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> ShrinkResult:
+    """Minimize ``tensor`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must be deterministic; it is typically
+    ``lambda t: run_check(t, config) is not None`` for the failing
+    config.  The input tensor is assumed to fail (it is never
+    re-checked) and is returned unchanged when no reduction reproduces
+    the failure within the evaluation budget.
+    """
+    evals = 0
+
+    def fails(candidate: CooTensor) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        return bool(still_fails(candidate))
+
+    best = tensor
+    # --- ddmin over the nonzero list: try dropping aligned chunks of
+    # shrinking granularity (1/2, 1/4, ... of the current size).
+    granularity = 2
+    while best.nnz > 1 and evals < max_evals:
+        n = best.nnz
+        chunk = max(1, n // granularity)
+        improved = False
+        for start in range(0, n, chunk):
+            mask = np.ones(n, dtype=bool)
+            mask[start : start + chunk] = False
+            if not mask.any():
+                continue
+            candidate = _keep(best, mask)
+            if fails(candidate):
+                best = candidate
+                improved = True
+                break
+        if improved:
+            granularity = 2
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, best.nnz)
+    # --- trim the shape to the occupied bounding box.
+    if best.nnz:
+        trimmed = tuple(int(best.indices[m].max()) + 1 for m in range(best.order))
+        if trimmed != best.shape:
+            candidate = CooTensor(trimmed, best.indices, best.values, validate=False)
+            if fails(candidate):
+                best = candidate
+    # --- canonicalize values to 1.0 when the failure is structural.
+    if best.nnz:
+        ones = np.ones(best.nnz, dtype=VALUE_DTYPE)
+        if not np.array_equal(best.values, ones):
+            candidate = CooTensor(best.shape, best.indices, ones, validate=False)
+            if fails(candidate):
+                best = candidate
+    return ShrinkResult(tensor=best, evaluations=evals, original_nnz=tensor.nnz)

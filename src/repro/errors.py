@@ -29,6 +29,11 @@ class ModeError(PastaError):
     """A mode index is out of range for the tensor's order."""
 
 
+class ConformanceError(PastaError):
+    """A format instance violates its structural invariants, or two
+    implementations of the same kernel semantics disagree."""
+
+
 class DatasetError(PastaError):
     """A dataset name is unknown or a dataset recipe cannot be realized."""
 

@@ -14,7 +14,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ModeError, TensorShapeError
-from .modes import check_mode as _check_mode
+from .modes import ModeValidationMixin
 from .morton import morton_sort_order
 
 INDEX_DTYPE = np.int32
@@ -30,7 +30,7 @@ def _as_index_matrix(indices: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
 
 
-class CooTensor:
+class CooTensor(ModeValidationMixin):
     """An arbitrary-order sparse tensor in coordinate format.
 
     Parameters
@@ -108,10 +108,6 @@ class CooTensor:
     def storage_bytes(self) -> int:
         """Bytes for COO storage: ``4 * (order + 1) * nnz`` (paper III-A)."""
         return self.indices.nbytes + self.values.nbytes
-
-    def check_mode(self, mode: int) -> int:
-        """Validate a mode index, supporting negatives, and return it."""
-        return _check_mode(self.order, mode)
 
     # ------------------------------------------------------------------
     # Constructors

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ModeError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .modes import ModeValidationMixin
 
 PTR_DTYPE = np.int64
 
@@ -39,7 +40,7 @@ def _prefix_boundaries(sorted_indices: np.ndarray, depth: int) -> np.ndarray:
     return np.flatnonzero(np.concatenate(([True], boundary))).astype(PTR_DTYPE)
 
 
-class CsfTensor:
+class CsfTensor(ModeValidationMixin):
     """A sparse tensor as a compressed sparse fiber tree.
 
     Attributes

@@ -25,9 +25,10 @@ import numpy as np
 
 from ..errors import ModeError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .modes import ModeValidationMixin
 
 
-class FcooTensor:
+class FcooTensor(ModeValidationMixin):
     """A sparse tensor in F-COO form for one product mode.
 
     Attributes

@@ -26,11 +26,10 @@ from .hicoo import (
     _group_sorted_blocks,
     check_block_size,
 )
-from .modes import check_mode as _check_mode
-from .modes import normalize_mode
+from .modes import ModeValidationMixin, normalize_mode
 
 
-class GHicooTensor:
+class GHicooTensor(ModeValidationMixin):
     """A sparse tensor with HiCOO blocking on selected modes only.
 
     Attributes
@@ -135,10 +134,6 @@ class GHicooTensor:
     def num_blocks(self) -> int:
         """Number of nonempty blocks over the compressed modes."""
         return int(self.binds.shape[1])
-
-    def check_mode(self, mode: int) -> int:
-        """Validate a mode index, supporting negatives, and return it."""
-        return _check_mode(self.order, mode)
 
     def nnz_per_block(self) -> np.ndarray:
         """Nonzero count of each block."""

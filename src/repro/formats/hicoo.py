@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import FormatParameterError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
-from .modes import check_mode as _check_mode
+from .modes import ModeValidationMixin
 
 ELEMENT_DTYPE = np.uint8
 BPTR_DTYPE = np.int64
@@ -56,7 +56,7 @@ def _group_sorted_blocks(block_coords: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     return starts, bptr
 
 
-class HicooTensor:
+class HicooTensor(ModeValidationMixin):
     """An arbitrary-order sparse tensor in HiCOO format.
 
     Attributes
@@ -148,10 +148,6 @@ class HicooTensor:
     def num_blocks(self) -> int:
         """Number of nonempty index blocks (``n_b`` in Table I)."""
         return int(self.binds.shape[1])
-
-    def check_mode(self, mode: int) -> int:
-        """Validate a mode index, supporting negatives, and return it."""
-        return _check_mode(self.order, mode)
 
     def nnz_per_block(self) -> np.ndarray:
         """Nonzero count of each block, in storage order."""

@@ -33,3 +33,19 @@ def normalize_mode(order: int, mode: int) -> int:
     value.
     """
     return mode % order if -order <= mode < order else mode
+
+
+class ModeValidationMixin:
+    """``check_mode`` for any format class exposing an ``order`` property.
+
+    Every tensor format validates caller-supplied mode indices the same
+    way; inheriting this mixin replaces the per-class copies so the
+    error message (and the negative-mode wrapping rule) cannot drift
+    between formats.
+    """
+
+    __slots__ = ()
+
+    def check_mode(self, mode: int) -> int:
+        """Validate a mode index, supporting negatives, and return it."""
+        return check_mode(self.order, mode)

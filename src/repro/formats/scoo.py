@@ -15,9 +15,10 @@ import numpy as np
 
 from ..errors import ModeError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .modes import ModeValidationMixin, normalize_mode
 
 
-class SemiSparseCooTensor:
+class SemiSparseCooTensor(ModeValidationMixin):
     """A tensor with some modes sparse (COO indices) and some dense.
 
     Parameters
@@ -55,7 +56,7 @@ class SemiSparseCooTensor:
     ) -> None:
         self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
         order = len(self.shape)
-        normalized = sorted({m % order if -order <= m < order else m for m in dense_modes})
+        normalized = sorted({normalize_mode(order, m) for m in dense_modes})
         self.dense_modes: Tuple[int, ...] = tuple(normalized)
         self.sparse_modes: Tuple[int, ...] = tuple(
             m for m in range(order) if m not in self.dense_modes

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import ModeError, TensorShapeError
 from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .modes import ModeValidationMixin, normalize_mode
 from .hicoo import (
     BPTR_DTYPE,
     DEFAULT_BLOCK_SIZE,
@@ -25,7 +26,7 @@ from .morton import morton_sort_order
 from .scoo import SemiSparseCooTensor
 
 
-class SHicooTensor:
+class SHicooTensor(ModeValidationMixin):
     """A semi-sparse tensor: HiCOO-blocked sparse modes plus dense modes.
 
     Attributes mirror :class:`~repro.formats.hicoo.HicooTensor` over the
@@ -60,7 +61,9 @@ class SHicooTensor:
         self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
         self.block_size = check_block_size(block_size)
         order = len(self.shape)
-        self.dense_modes: Tuple[int, ...] = tuple(sorted(m % order for m in dense_modes))
+        self.dense_modes: Tuple[int, ...] = tuple(
+            sorted({normalize_mode(order, m) for m in dense_modes})
+        )
         self.sparse_modes: Tuple[int, ...] = tuple(
             m for m in range(order) if m not in self.dense_modes
         )
@@ -72,8 +75,13 @@ class SHicooTensor:
             self._validate()
 
     def _validate(self) -> None:
+        order = len(self.shape)
         if not self.dense_modes:
             raise ModeError("sHiCOO requires at least one dense mode")
+        if any(m < 0 or m >= order for m in self.dense_modes):
+            raise ModeError(
+                f"dense modes {self.dense_modes} out of range for order {order}"
+            )
         if not self.sparse_modes:
             raise ModeError("sHiCOO requires at least one sparse mode")
         ns = len(self.sparse_modes)

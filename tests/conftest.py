@@ -1,11 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.formats import CooTensor, HicooTensor
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional locally
+    settings = None
+
+if settings is not None:
+    # One place for hypothesis budgets: property tests must not set their
+    # own @settings.  The "ci" profile is derandomized so CI failures are
+    # reproducible byte-for-byte from the log.
+    settings.register_profile("dev", max_examples=30, deadline=None)
+    settings.register_profile(
+        "ci", max_examples=30, deadline=None, derandomize=True
+    )
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

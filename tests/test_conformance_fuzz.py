@@ -1,0 +1,129 @@
+"""End-to-end fuzzer tests, including the injected-bug drill.
+
+The drill is the subsystem's acceptance test: deliberately break a
+conversion, and the fuzzer must catch it, shrink it, and write a corpus
+reproducer that keeps failing until the bug is reverted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.conformance import (
+    SpecGenerator,
+    fuzz,
+    iter_corpus,
+    load_reproducer,
+    realize,
+)
+from repro.conformance import harness
+
+
+class TestCleanFuzz:
+    def test_small_budget_passes(self):
+        report = fuzz(budget=6, corpus_dir=None, threads=(2,))
+        assert report.ok
+        assert report.iterations == 6
+        assert report.checks_run > 0
+        assert "all checks passed" in report.summary()
+
+    def test_deterministic_given_seed(self):
+        a = fuzz(budget=4, seed=11, corpus_dir=None, threads=(2,))
+        b = fuzz(budget=4, seed=11, corpus_dir=None, threads=(2,))
+        assert a.checks_run == b.checks_run
+
+    def test_time_budget_stops_run(self):
+        report = fuzz(budget=10_000, seconds=0.0, corpus_dir=None)
+        assert report.stopped_by == "time"
+        assert report.iterations == 0
+
+
+class TestInjectedBug:
+    """Break HiCOO conversion; the fuzzer must catch/shrink/persist it."""
+
+    @pytest.fixture
+    def broken_convert(self, monkeypatch):
+        real_convert = harness.convert
+
+        def broken(src, target, **kwargs):
+            out = real_convert(src, target, **kwargs)
+            if target == "hicoo" and out.nnz:
+                out.values[0] += 1.0
+            return out
+
+        monkeypatch.setattr(harness, "convert", broken)
+        return monkeypatch
+
+    def test_caught_shrunk_and_replayable(self, broken_convert, tmp_path):
+        corpus = tmp_path / "corpus"
+        report = fuzz(budget=12, corpus_dir=str(corpus), threads=(2,), max_failures=1)
+        assert not report.ok
+        failure = report.failures[0]
+        assert "roundtrip" in failure.config["check"]
+        # Shrinking must reach the minimal reproducer: one nonzero is
+        # enough to show a corrupted value.
+        assert failure.shrunk_nnz == 1
+        assert failure.original_nnz >= failure.shrunk_nnz
+        # The reproducer is on disk and fails while the bug is live...
+        paths = list(iter_corpus(corpus))
+        assert failure.corpus_path in paths
+        repro_case = load_reproducer(failure.corpus_path)
+        assert repro_case.replay() is not None
+        # ...and passes once the bug is reverted.
+        broken_convert.undo()
+        assert repro_case.replay() is None
+
+    def test_failure_summary_names_the_check(self, broken_convert, tmp_path):
+        report = fuzz(budget=12, corpus_dir=str(tmp_path), threads=(2,), max_failures=1)
+        assert report.stopped_by == "failures"
+        line = report.failures[0].summary()
+        assert "roundtrip" in line
+        assert "nnz" in line
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--budget", "3", "--no-corpus", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_progress_lines_on_stderr(self, capsys):
+        code = main(["fuzz", "--budget", "2", "--no-corpus"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err
+
+    def test_failure_exits_nonzero(self, monkeypatch, tmp_path, capsys):
+        real_convert = harness.convert
+
+        def broken(src, target, **kwargs):
+            out = real_convert(src, target, **kwargs)
+            if target == "hicoo" and out.nnz:
+                out.values[0] += 1.0
+            return out
+
+        monkeypatch.setattr(harness, "convert", broken)
+        code = main(
+            [
+                "fuzz",
+                "--budget",
+                "12",
+                "--quiet",
+                "--corpus-dir",
+                str(tmp_path / "corpus"),
+                "--max-failures",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestSeedStreamQuality:
+    def test_first_cycle_has_nonzero_work(self):
+        # The edge-kind rotation must not starve the run of real tensors.
+        gen = SpecGenerator(master_seed=0)
+        sizes = [realize(gen.spec_for(i)).nnz for i in range(14)]
+        assert max(sizes) > 10

@@ -1,0 +1,107 @@
+"""Tests for the fuzzer's seeded tensor generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    ALL_KINDS,
+    EDGE_KINDS,
+    SpecGenerator,
+    TensorSpec,
+    edge_case_specs,
+    realize,
+)
+
+
+class TestTensorSpec:
+    def test_dict_roundtrip(self):
+        spec = TensorSpec((4, 5), 7, 99, kind="duplicates", duplicates=2, shuffle=True)
+        assert TensorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_friendly(self):
+        d = TensorSpec((4, 5), 7, 99).to_dict()
+        assert d["shape"] == [4, 5]
+        assert isinstance(d["shape"], list)
+
+
+class TestRealize:
+    def test_deterministic(self):
+        spec = TensorSpec((6, 7, 8), 30, seed=5, kind="random", shuffle=True)
+        a = realize(spec)
+        b = realize(spec)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_indices_in_bounds(self):
+        gen = SpecGenerator(master_seed=3)
+        for i in range(20):
+            tensor = realize(gen.spec_for(i))
+            for mode, size in enumerate(tensor.shape):
+                column = tensor.indices[mode]
+                if column.size:
+                    assert column.min() >= 0
+                    assert column.max() < size
+
+    def test_empty_kind(self):
+        tensor = realize(TensorSpec((5, 6), 40, seed=0, kind="empty"))
+        assert tensor.nnz == 0
+        assert tensor.shape == (5, 6)
+
+    def test_single_kind(self):
+        tensor = realize(TensorSpec((5, 6, 7), 40, seed=0, kind="single"))
+        assert tensor.nnz == 1
+
+    def test_duplicates_injected(self):
+        spec = TensorSpec((9, 9, 9), 20, seed=1, kind="duplicates", duplicates=3)
+        tensor = realize(spec)
+        assert tensor.nnz == 23
+        # At least one coordinate appears twice.
+        cols = {tuple(tensor.indices[:, j]) for j in range(tensor.nnz)}
+        assert len(cols) < tensor.nnz
+
+    def test_unsorted_differs_from_canonical(self):
+        spec = TensorSpec((15, 15, 15), 60, seed=2, kind="unsorted", shuffle=True)
+        tensor = realize(spec)
+        canonical = tensor.sorted_lexicographic()
+        assert not np.array_equal(tensor.indices, canonical.indices)
+        # But the shuffle must not change the tensor's contents.
+        assert tensor.allclose(canonical)
+
+    def test_block_boundary_straddles_uint8_edge(self):
+        tensor = realize(TensorSpec((10, 10), 16, seed=4, kind="block_boundary"))
+        assert all(s >= 257 for s in tensor.shape)
+        mode0 = set(tensor.indices[0].tolist())
+        # 255 is the last element of block 0 at block_size=256; 256 the
+        # first element of block 1.
+        assert {255, 256} <= mode0
+
+
+class TestSpecGenerator:
+    def test_pure_function_of_seed(self):
+        a = SpecGenerator(master_seed=7)
+        b = SpecGenerator(master_seed=7)
+        assert [a.spec_for(i) for i in range(10)] == [b.spec_for(i) for i in range(10)]
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        a = SpecGenerator(master_seed=1).spec_for(8)
+        b = SpecGenerator(master_seed=2).spec_for(8)
+        assert a != b
+
+    def test_every_edge_kind_appears_each_cycle(self):
+        gen = SpecGenerator(master_seed=0)
+        cycle = 2 * len(ALL_KINDS)
+        kinds = {gen.spec_for(i).kind for i in range(cycle)}
+        assert set(EDGE_KINDS) <= kinds
+        assert "random" in kinds
+
+    @pytest.mark.parametrize("kind", EDGE_KINDS)
+    def test_edge_case_specs_cover_every_kind(self, kind):
+        kinds = [spec.kind for spec in edge_case_specs()]
+        assert kinds.count(kind) == 1
+
+    def test_edge_case_specs_realize(self):
+        for spec in edge_case_specs():
+            tensor = realize(spec)
+            assert tensor.order == len(spec.shape)

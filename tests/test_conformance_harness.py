@@ -1,0 +1,128 @@
+"""Tests for the differential check matrix and its runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    describe_check,
+    enumerate_checks,
+    roundtrip_paths,
+    run_check,
+)
+from repro.conformance.harness import KERNELS, MODE_KERNELS
+from repro.formats import CooTensor
+
+
+@pytest.fixture
+def tensor(rng):
+    return CooTensor.random((12, 10, 8), 120, rng=rng)
+
+
+class TestEnumerateChecks:
+    def test_matrix_covers_every_kernel_and_kind(self, tensor):
+        checks = enumerate_checks(tensor, seed=1)
+        kinds = {c["check"] for c in checks}
+        assert kinds == {
+            "roundtrip",
+            "kernel_oracle",
+            "cross_format",
+            "parallel_exact",
+            "cache_exact",
+        }
+        kernels = {c["kernel"] for c in checks if "kernel" in c}
+        assert kernels == set(KERNELS)
+
+    def test_order1_skips_mode_kernels(self):
+        tensor = CooTensor.random((50,), 10, seed=3)
+        checks = enumerate_checks(tensor, seed=1)
+        kernels = {c["kernel"] for c in checks if "kernel" in c}
+        assert kernels == set(KERNELS) - set(MODE_KERNELS)
+
+    def test_roundtrip_paths_scale_with_order(self):
+        assert len(roundtrip_paths(1)) < len(roundtrip_paths(3))
+        for path in roundtrip_paths(3):
+            assert path  # never empty
+
+    def test_all_configs_json_serializable(self, tensor):
+        import json
+
+        checks = enumerate_checks(tensor, seed=1)
+        rebuilt = json.loads(json.dumps(checks))
+        assert rebuilt == checks
+
+    def test_thread_counts_respected(self, tensor):
+        checks = enumerate_checks(tensor, seed=1, threads=(3,))
+        threads = {c["threads"] for c in checks if c["check"] == "parallel_exact"}
+        assert threads == {3}
+
+
+class TestRunCheck:
+    def test_healthy_tensor_passes_whole_matrix(self, tensor):
+        for config in enumerate_checks(tensor, seed=1):
+            assert run_check(tensor, config) is None, describe_check(config)
+
+    def test_unknown_kind_raises(self, tensor):
+        with pytest.raises(ValueError, match="unknown check kind"):
+            run_check(tensor, {"check": "nonsense"})
+
+    def test_exception_becomes_failure_message(self, tensor):
+        # An impossible roundtrip hop crashes; the crash is the finding.
+        message = run_check(tensor, {"check": "roundtrip", "path": ["warp"]})
+        assert message is not None
+        assert "warp" in message
+
+    def test_corrupted_values_fail_roundtrip(self, tensor, monkeypatch):
+        from repro.conformance import harness
+
+        real_convert = harness.convert
+
+        def broken(src, target, **kwargs):
+            out = real_convert(src, target, **kwargs)
+            if target == "hicoo" and out.nnz:
+                out.values[0] += 1.0
+            return out
+
+        monkeypatch.setattr(harness, "convert", broken)
+        config = {
+            "check": "roundtrip",
+            "path": ["hicoo"],
+            "block_size": 8,
+            "compressed_modes": [0],
+            "dense_modes": [],
+            "mode": 0,
+        }
+        message = run_check(tensor, config)
+        assert message is not None
+        assert "roundtrip" in message
+
+    def test_huge_shape_never_densifies(self):
+        # 300 * 257^3 dense cells would be ~40 GB; every check must stay
+        # sparse.  A hang or MemoryError here is the regression.
+        indices = np.array(
+            [[255, 256, 299], [0, 1, 256], [5, 6, 7], [250, 251, 252]],
+            dtype=np.int32,
+        )
+        tensor = CooTensor((300, 257, 257, 257), indices, np.ones(3, dtype=np.float32))
+        for config in enumerate_checks(tensor, seed=0, threads=(2,)):
+            assert run_check(tensor, config) is None, describe_check(config)
+
+
+class TestDescribeCheck:
+    def test_roundtrip_label(self):
+        label = describe_check({"check": "roundtrip", "path": ["hicoo", "csf"]})
+        assert label == "roundtrip hicoo->csf"
+
+    def test_parallel_label_includes_schedule(self):
+        label = describe_check(
+            {
+                "check": "parallel_exact",
+                "format": "COO",
+                "kernel": "TTV",
+                "threads": 4,
+                "schedule": "guided",
+            }
+        )
+        assert "COO-TTV" in label
+        assert "x4 guided" in label

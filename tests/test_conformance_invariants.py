@@ -1,0 +1,150 @@
+"""Tests for the per-format structural invariant checkers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import validate, validation_error
+from repro.errors import ConformanceError
+from repro.formats import CooTensor, HicooTensor
+from repro.formats.convert import convert
+from repro.formats.csf import CsfTensor
+from repro.formats.fcoo import FcooTensor
+
+
+@pytest.fixture
+def tensor(rng):
+    return CooTensor.random((30, 20, 25), 400, rng=rng)
+
+
+class TestValidatePasses:
+    """Every conversion of a healthy tensor satisfies its invariants."""
+
+    def test_coo(self, tensor):
+        validate(tensor)
+
+    def test_hicoo(self, tensor):
+        validate(convert(tensor, "hicoo", block_size=8))
+
+    def test_ghicoo(self, tensor):
+        validate(convert(tensor, "ghicoo", compressed_modes=[0, 2], block_size=8))
+
+    def test_scoo(self, tensor):
+        validate(convert(tensor, "scoo", dense_modes=[1]))
+
+    def test_shicoo(self, tensor):
+        validate(convert(tensor, "shicoo", dense_modes=[1], block_size=8))
+
+    def test_csf(self, tensor):
+        validate(CsfTensor.from_coo(tensor))
+
+    def test_fcoo(self, tensor):
+        validate(FcooTensor.from_coo(tensor, 1))
+
+    def test_empty(self):
+        validate(CooTensor.empty((4, 5)))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConformanceError, match="no invariant checker"):
+            validate(object())
+
+
+class TestCooCorruption:
+    def test_out_of_range_index(self, tensor):
+        bad = CooTensor(tensor.shape, tensor.indices.copy(), tensor.values, validate=False)
+        bad.indices[0, 0] = tensor.shape[0]
+        with pytest.raises(ConformanceError, match="out of range"):
+            validate(bad)
+
+    def test_negative_index(self, tensor):
+        bad = CooTensor(tensor.shape, tensor.indices.copy(), tensor.values, validate=False)
+        bad.indices[1, 3] = -1
+        with pytest.raises(ConformanceError, match="out of range"):
+            validate(bad)
+
+    def test_non_finite_value(self, tensor):
+        bad = CooTensor(tensor.shape, tensor.indices, tensor.values.copy(), validate=False)
+        bad.values[0] = np.nan
+        with pytest.raises(ConformanceError, match="finite"):
+            validate(bad)
+
+    def test_wrong_dtype(self, tensor):
+        bad = CooTensor(tensor.shape, tensor.indices, tensor.values, validate=False)
+        bad.values = bad.values.astype(np.float64)
+        with pytest.raises(ConformanceError, match="dtype"):
+            validate(bad)
+
+
+class TestHicooCorruption:
+    @pytest.fixture
+    def hicoo(self, tensor):
+        return convert(tensor, "hicoo", block_size=8)
+
+    def test_eind_at_block_size(self, hicoo):
+        hicoo.einds[0, 0] = hicoo.block_size
+        with pytest.raises(ConformanceError, match="block_size"):
+            validate(hicoo)
+
+    def test_bptr_not_monotone(self, hicoo):
+        hicoo.bptr[1] = hicoo.bptr[2]
+        with pytest.raises(ConformanceError, match="strictly increasing"):
+            validate(hicoo)
+
+    def test_morton_order_violated(self, hicoo):
+        assert hicoo.num_blocks >= 2
+        hicoo.binds[:, [0, 1]] = hicoo.binds[:, [1, 0]]
+        with pytest.raises(ConformanceError, match="Morton"):
+            validate(hicoo)
+
+    def test_block_index_out_of_range(self, hicoo):
+        hicoo.binds[0, -1] = (hicoo.shape[0] // hicoo.block_size) + 1
+        with pytest.raises(ConformanceError):
+            validate(hicoo)
+
+
+class TestOtherFormatCorruption:
+    def test_ghicoo_cind_out_of_range(self, tensor):
+        g = convert(tensor, "ghicoo", compressed_modes=[0], block_size=8)
+        g.cinds[0, 0] = tensor.shape[g.uncompressed_modes[0]]
+        with pytest.raises(ConformanceError, match="out of range"):
+            validate(g)
+
+    def test_scoo_unsorted_fibers(self, tensor):
+        s = convert(tensor, "scoo", dense_modes=[1])
+        assert s.nnz_fibers >= 2
+        s.indices[:, [0, 1]] = s.indices[:, [1, 0]]
+        with pytest.raises(ConformanceError, match="sorted"):
+            validate(s)
+
+    def test_shicoo_bptr_ends_wrong(self, tensor):
+        s = convert(tensor, "shicoo", dense_modes=[1], block_size=8)
+        s.bptr[-1] += 1
+        with pytest.raises(ConformanceError, match="bptr"):
+            validate(s)
+
+    def test_csf_sibling_order_violated(self, tensor):
+        c = CsfTensor.from_coo(tensor)
+        root = c.fids[0]
+        assert root.shape[0] >= 2
+        root[[0, 1]] = root[[1, 0]]
+        with pytest.raises(ConformanceError):
+            validate(c)
+
+    def test_fcoo_first_flag_cleared(self, tensor):
+        f = FcooTensor.from_coo(tensor, 1)
+        f.bit_flags[0] = False
+        with pytest.raises(ConformanceError):
+            validate(f)
+
+
+class TestValidationError:
+    def test_returns_none_on_success(self, tensor):
+        assert validation_error(tensor) is None
+
+    def test_returns_message_on_failure(self, tensor):
+        bad = CooTensor(tensor.shape, tensor.indices.copy(), tensor.values, validate=False)
+        bad.indices[0, 0] = -5
+        message = validation_error(bad)
+        assert message is not None
+        assert "CooTensor" in message

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.contraction import contract, inner_product, sparse_ttm, sparse_ttv
@@ -127,7 +127,6 @@ class TestConveniences:
             sparse_ttm(x, v, 0)
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     st.integers(2, 8),
     st.integers(2, 8),

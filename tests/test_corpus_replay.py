@@ -1,0 +1,104 @@
+"""Corpus persistence round-trips, and replay of the checked-in corpus.
+
+Every ``repro-*.json`` under ``tests/corpus/`` is a bug the fuzzer once
+found, shrunk to a minimal tensor.  Replaying them here makes each one a
+permanent regression test: a fixed bug that resurfaces fails this file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    DEFAULT_CORPUS_DIR,
+    iter_corpus,
+    load_reproducer,
+    replay_corpus,
+    save_reproducer,
+    tensor_from_payload,
+    tensor_to_payload,
+)
+from repro.formats import CooTensor
+
+CONFIG = {
+    "check": "roundtrip",
+    "path": ["hicoo"],
+    "block_size": 8,
+    "compressed_modes": [0],
+    "dense_modes": [],
+    "mode": 0,
+}
+
+
+@pytest.fixture
+def tensor(rng):
+    return CooTensor.random((9, 8, 7), 40, rng=rng)
+
+
+class TestPayloadRoundtrip:
+    def test_tensor_payload_roundtrip(self, tensor):
+        rebuilt = tensor_from_payload(tensor_to_payload(tensor))
+        assert rebuilt.shape == tensor.shape
+        assert rebuilt.allclose(tensor)
+
+    def test_empty_tensor_payload_roundtrip(self):
+        empty = CooTensor.empty((3, 4))
+        rebuilt = tensor_from_payload(tensor_to_payload(empty))
+        assert rebuilt.shape == (3, 4)
+        assert rebuilt.nnz == 0
+
+
+class TestSaveLoad:
+    def test_save_then_load(self, tensor, tmp_path):
+        path = save_reproducer(tmp_path, tensor, CONFIG, "it broke", spec={"seed": 1})
+        loaded = load_reproducer(path)
+        assert loaded.config == CONFIG
+        assert loaded.failure == "it broke"
+        assert loaded.spec == {"seed": 1}
+        assert loaded.tensor.allclose(tensor)
+
+    def test_save_is_idempotent(self, tensor, tmp_path):
+        a = save_reproducer(tmp_path, tensor, CONFIG, "msg")
+        b = save_reproducer(tmp_path, tensor, CONFIG, "msg")
+        assert a == b
+        assert len(list(iter_corpus(tmp_path))) == 1
+
+    def test_distinct_cases_get_distinct_files(self, tensor, tmp_path):
+        other_config = dict(CONFIG, path=["csf"])
+        save_reproducer(tmp_path, tensor, CONFIG, "msg")
+        save_reproducer(tmp_path, tensor, other_config, "msg")
+        assert len(list(iter_corpus(tmp_path))) == 2
+
+    def test_unsupported_version_rejected(self, tensor, tmp_path):
+        path = save_reproducer(tmp_path, tensor, CONFIG, "msg")
+        payload = json.loads(open(path).read())
+        payload["format_version"] = 999
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="format version"):
+            load_reproducer(path)
+
+    def test_missing_directory_is_empty_corpus(self, tmp_path):
+        assert list(iter_corpus(tmp_path / "nope")) == []
+
+
+class TestReplay:
+    def test_healthy_reproducer_replays_clean(self, tensor, tmp_path):
+        path = save_reproducer(tmp_path, tensor, CONFIG, "fixed long ago")
+        assert load_reproducer(path).replay() is None
+
+    def test_replay_corpus_maps_every_entry(self, tensor, tmp_path):
+        path = save_reproducer(tmp_path, tensor, CONFIG, "msg")
+        results = replay_corpus(tmp_path)
+        assert results == {path: None}
+
+    def test_checked_in_corpus_stays_fixed(self):
+        """The suite's contract: every past finding stays fixed."""
+        failures = {
+            path: message
+            for path, message in replay_corpus(DEFAULT_CORPUS_DIR).items()
+            if message is not None
+        }
+        assert failures == {}

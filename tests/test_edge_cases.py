@@ -1,0 +1,135 @@
+"""Edge-case tensors every format and kernel must handle.
+
+These are the deterministic unit-test counterparts of the fuzzer's
+:data:`~repro.conformance.generators.EDGE_KINDS` rotation: the empty
+tensor, order-1 tensors, the single-nonzero tensor, and HiCOO at the
+maximum ``block_size=256`` where element indices touch the ``uint8``
+ceiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import EDGE_KINDS, edge_case_specs, realize, validate
+from repro.core.registry import make_operands, run_algorithm
+from repro.formats import CooTensor, HicooTensor
+from repro.formats.convert import convert
+from repro.formats.csf import CsfTensor
+from repro.formats.hicoo import MAX_BLOCK_SIZE
+
+
+class TestEmptyTensor:
+    @pytest.fixture
+    def empty(self):
+        return CooTensor.empty((6, 5, 4))
+
+    def test_conversions(self, empty):
+        assert convert(empty, "hicoo", block_size=4).nnz == 0
+        assert CsfTensor.from_coo(empty).nnz == 0
+        back = convert(empty, "hicoo", block_size=4).to_coo()
+        assert back.nnz == 0
+        assert back.shape == empty.shape
+
+    @pytest.mark.parametrize("kernel", ["TEW", "TS", "TTV", "TTM", "MTTKRP"])
+    def test_kernels(self, empty, kernel):
+        operands = make_operands(empty, kernel, mode=1, rank=3, seed=0)
+        out = run_algorithm(
+            f"COO-{kernel}-OMP", empty, operands, mode=1, rank=3, block_size=4
+        )
+        if isinstance(out, np.ndarray):
+            assert not np.any(out)
+        else:
+            assert out.nnz == 0
+
+
+class TestOrder1Tensor:
+    @pytest.fixture
+    def vec(self):
+        return CooTensor.random((64,), 12, seed=7)
+
+    def test_roundtrip(self, vec):
+        assert convert(vec, "hicoo", block_size=8).to_coo().allclose(vec)
+        assert CsfTensor.from_coo(vec).to_coo().allclose(vec)
+
+    @pytest.mark.parametrize("kernel", ["TEW", "TS"])
+    def test_elementwise_kernels(self, vec, kernel):
+        operands = make_operands(vec, kernel, seed=0)
+        out = run_algorithm(f"COO-{kernel}-OMP", vec, operands, block_size=8)
+        assert out.shape == vec.shape
+
+
+class TestSingleNonzero:
+    @pytest.fixture
+    def single(self):
+        indices = np.array([[3], [1], [2]], dtype=np.int32)
+        return CooTensor((5, 4, 6), indices, np.array([2.5], dtype=np.float32))
+
+    def test_mttkrp_matches_dense(self, single):
+        operands = make_operands(single, "MTTKRP", mode=0, rank=3, seed=1)
+        out = run_algorithm(
+            "COO-MTTKRP-OMP", single, operands, mode=0, rank=3, block_size=4
+        )
+        dense = single.to_dense().astype(np.float64)
+        expected = np.zeros_like(out)
+        for j in range(4):
+            for k in range(6):
+                expected[3] += (
+                    dense[3, j, k] * operands.factors[1][j] * operands.factors[2][k]
+                )
+        assert np.allclose(out, expected, rtol=1e-3, atol=1e-3)
+
+    def test_hicoo_stores_one_block(self, single):
+        h = HicooTensor.from_coo(single, 4)
+        assert h.nnz == 1
+        assert h.num_blocks == 1
+        assert h.to_coo().allclose(single)
+
+
+class TestBlockSize256Boundary:
+    """``block_size=256`` makes einds span the full uint8 range."""
+
+    @pytest.fixture
+    def boundary(self):
+        # Elements at 255 (uint8 max, last slot of block 0) and 256
+        # (first slot of block 1) in every mode combination.
+        indices = np.array(
+            [[0, 255, 255, 256, 511], [0, 255, 256, 255, 511]], dtype=np.int32
+        )
+        values = np.arange(1, 6, dtype=np.float32)
+        return CooTensor((512, 512), indices, values)
+
+    def test_einds_reach_uint8_max(self, boundary):
+        h = HicooTensor.from_coo(boundary, MAX_BLOCK_SIZE)
+        assert h.einds.dtype == np.uint8
+        assert int(h.einds.max()) == 255
+        validate(h)
+
+    def test_roundtrip_exact(self, boundary):
+        h = HicooTensor.from_coo(boundary, MAX_BLOCK_SIZE)
+        back = h.to_coo().sorted_lexicographic()
+        original = boundary.sorted_lexicographic()
+        assert np.array_equal(back.indices, original.indices)
+        assert np.array_equal(back.values, original.values)
+
+    def test_kernels_agree_across_formats(self, boundary):
+        operands = make_operands(boundary, "TTV", mode=1, seed=2)
+        coo_out = run_algorithm(
+            "COO-TTV-OMP", boundary, operands, mode=1, block_size=MAX_BLOCK_SIZE
+        )
+        hicoo_out = run_algorithm(
+            "HiCOO-TTV-OMP", boundary, operands, mode=1, block_size=MAX_BLOCK_SIZE
+        )
+        assert coo_out.allclose(hicoo_out.to_coo(), rtol=1e-3, atol=1e-3)
+
+
+class TestFuzzerCoversTheseCases:
+    """The generator rotation must include every edge kind above."""
+
+    def test_edge_kinds_pinned(self):
+        assert {"empty", "order1", "single", "block_boundary"} <= set(EDGE_KINDS)
+
+    def test_specs_realize_and_validate(self):
+        for spec in edge_case_specs(seed=3):
+            validate(realize(spec))

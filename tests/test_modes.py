@@ -1,0 +1,79 @@
+"""Mode validation is one shared implementation across every format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModeError
+from repro.formats import CooTensor
+from repro.formats.convert import convert
+from repro.formats.csf import CsfTensor
+from repro.formats.fcoo import FcooTensor
+from repro.formats.modes import ModeValidationMixin, check_mode, normalize_mode
+from repro.formats.scoo import SemiSparseCooTensor
+from repro.formats.shicoo import SHicooTensor
+
+
+@pytest.fixture
+def instances(rng):
+    """One live instance of every tensor format, all order 3."""
+    coo = CooTensor.random((12, 10, 8), 100, rng=rng)
+    return [
+        coo,
+        convert(coo, "hicoo", block_size=4),
+        convert(coo, "ghicoo", compressed_modes=[0, 1], block_size=4),
+        convert(coo, "scoo", dense_modes=[2]),
+        convert(coo, "shicoo", dense_modes=[2], block_size=4),
+        CsfTensor.from_coo(coo),
+        FcooTensor.from_coo(coo, 1),
+    ]
+
+
+class TestSharedCheckMode:
+    def test_every_format_uses_the_mixin(self, instances):
+        for tensor in instances:
+            assert isinstance(tensor, ModeValidationMixin), type(tensor).__name__
+
+    def test_negative_modes_wrap(self, instances):
+        for tensor in instances:
+            assert tensor.check_mode(-1) == tensor.order - 1
+            assert tensor.check_mode(0) == 0
+
+    @pytest.mark.parametrize("bad", [3, -4, 99])
+    def test_error_message_identical_across_formats(self, instances, bad):
+        messages = set()
+        for tensor in instances:
+            with pytest.raises(ModeError) as excinfo:
+                tensor.check_mode(bad)
+            messages.add(str(excinfo.value))
+        # Same mode, same order => byte-identical message everywhere.
+        assert messages == {f"mode {bad} out of range for order-3 tensor"}
+
+    def test_matches_free_function(self, instances):
+        for tensor in instances:
+            assert tensor.check_mode(1) == check_mode(tensor.order, 1)
+
+
+class TestDenseModeNormalization:
+    """sCOO/sHiCOO route dense-mode lists through normalize_mode."""
+
+    def test_negative_dense_modes_wrap(self, rng):
+        coo = CooTensor.random((12, 10, 8), 60, rng=rng)
+        s = SemiSparseCooTensor.from_coo(coo, dense_modes=[-1])
+        assert s.dense_modes == (2,)
+        sh = SHicooTensor.from_coo(coo, dense_modes=[-1], block_size=4)
+        assert sh.dense_modes == (2,)
+
+    def test_out_of_range_dense_mode_rejected_not_wrapped(self, rng):
+        # Before routing through normalize_mode, sHiCOO silently wrapped
+        # mode 3 of an order-3 tensor to mode 0; it must raise instead.
+        coo = CooTensor.random((12, 10, 8), 60, rng=rng)
+        with pytest.raises(ModeError):
+            SemiSparseCooTensor.from_coo(coo, dense_modes=[3])
+        with pytest.raises(ModeError):
+            SHicooTensor.from_coo(coo, dense_modes=[3], block_size=4)
+
+    def test_normalize_mode_leaves_out_of_range_alone(self):
+        assert normalize_mode(3, -1) == 2
+        assert normalize_mode(3, 5) == 5
+        assert normalize_mode(3, -4) == -4

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for core invariants."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -44,13 +44,11 @@ block_sizes = st.sampled_from([1, 2, 4, 8])
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors(), block_sizes)
 def test_hicoo_roundtrip(tensor, block):
     assert HicooTensor.from_coo(tensor, block).to_coo().allclose(tensor)
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors(), block_sizes, st.data())
 def test_ghicoo_roundtrip(tensor, block, data):
     modes = data.draw(
@@ -65,7 +63,6 @@ def test_ghicoo_roundtrip(tensor, block, data):
     assert g.to_coo().allclose(tensor)
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.data())
 def test_scoo_roundtrip(tensor, data):
     dense_mode = data.draw(st.integers(0, tensor.order - 1))
@@ -75,20 +72,17 @@ def test_scoo_roundtrip(tensor, data):
     assert np.allclose(s.to_dense(), tensor.to_dense(), rtol=1e-5, atol=1e-6)
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors())
 def test_tns_roundtrip(tensor):
     parsed = loads_tns(dumps_tns(tensor), tensor.shape)
     assert tensor.allclose(parsed)
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors())
 def test_dense_roundtrip(tensor):
     assert CooTensor.from_dense(tensor.to_dense()).allclose(tensor)
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors(), block_sizes)
 def test_hicoo_storage_never_loses_nonzeros(tensor, block):
     h = HicooTensor.from_coo(tensor, block)
@@ -96,7 +90,6 @@ def test_hicoo_storage_never_loses_nonzeros(tensor, block):
     assert h.nnz_per_block().sum() == tensor.nnz
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors(), st.data())
 def test_csf_roundtrip(tensor, data):
     from repro.formats import CsfTensor
@@ -106,7 +99,6 @@ def test_csf_roundtrip(tensor, data):
     assert tree.to_coo().allclose(tensor)
 
 
-@settings(max_examples=40, deadline=None)
 @given(sparse_tensors(), st.data())
 def test_fcoo_roundtrip(tensor, data):
     from repro.formats import FcooTensor
@@ -117,7 +109,6 @@ def test_fcoo_roundtrip(tensor, data):
     assert f.num_fibers == tensor.num_fibers(mode)
 
 
-@settings(max_examples=25, deadline=None)
 @given(sparse_tensors(max_nnz=40), st.data())
 def test_relabel_roundtrip(tensor, data):
     from repro.formats import apply_relabeling
@@ -135,7 +126,6 @@ def test_relabel_roundtrip(tensor, data):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=50, deadline=None)
 @given(
     st.integers(1, 5),
     st.integers(1, 40),
@@ -156,7 +146,6 @@ def test_morton_roundtrip(order, count, seed, bits):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.data())
 def test_ttv_matches_dense(tensor, data):
     mode = data.draw(st.integers(0, tensor.order - 1))
@@ -168,7 +157,6 @@ def test_ttv_matches_dense(tensor, data):
     )
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.data(), st.integers(1, 6))
 def test_ttm_matches_dense(tensor, data, rank):
     mode = data.draw(st.integers(0, tensor.order - 1))
@@ -180,7 +168,6 @@ def test_ttm_matches_dense(tensor, data, rank):
     )
 
 
-@settings(max_examples=25, deadline=None)
 @given(sparse_tensors(max_nnz=40), st.data(), st.integers(1, 4))
 def test_mttkrp_matches_dense(tensor, data, rank):
     mode = data.draw(st.integers(0, tensor.order - 1))
@@ -199,7 +186,6 @@ def test_mttkrp_matches_dense(tensor, data, rank):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.integers(0, 2**31 - 1))
 def test_tew_add_commutes(tensor, seed):
     rng = np.random.default_rng(seed)
@@ -213,7 +199,6 @@ def test_tew_add_commutes(tensor, seed):
     assert ab.allclose(ba)
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.integers(0, 2**31 - 1))
 def test_general_tew_union_size_bounds(tensor, seed):
     other = CooTensor.random(tensor.shape, min(tensor.nnz, 20), seed=seed)
@@ -224,21 +209,18 @@ def test_general_tew_union_size_bounds(tensor, seed):
     assert inter.nnz + union.nnz == tensor.nnz + other.nnz
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.floats(0.1, 10.0))
 def test_ts_add_inverse(tensor, scalar):
     back = ts_add(ts_add(tensor, scalar), -scalar)
     assert np.allclose(back.values, tensor.values, rtol=1e-4, atol=1e-4)
 
 
-@settings(max_examples=30, deadline=None)
 @given(sparse_tensors(), st.floats(0.25, 4.0))
 def test_ts_mul_scales_linearly(tensor, scalar):
     out = ts_mul(tensor, scalar)
     assert np.allclose(out.values, tensor.values * scalar, rtol=1e-5)
 
 
-@settings(max_examples=20, deadline=None)
 @given(sparse_tensors(), st.data())
 def test_ttv_linearity(tensor, data):
     """TTV is linear in the vector: X x (a+b) == X x a + X x b."""

@@ -6,10 +6,14 @@ import pytest
 from repro.bench.verify import (
     VerificationReport,
     VerificationResult,
+    as_comparable,
+    dense_reference,
     verify_suite,
 )
 from repro.cli import main
-from repro.formats import CooTensor
+from repro.core.reference import dense_ttv
+from repro.core.registry import make_operands
+from repro.formats import CooTensor, HicooTensor
 
 
 class TestVerifySuite:
@@ -52,6 +56,24 @@ class TestVerifySuite:
         assert not report.all_passed
         assert any("HiCOO-TS-GPU" in f.check for f in report.failures)
 
+    def test_corrupted_tensor_is_flagged(self):
+        # A NaN-poisoned probe tensor must fail verification: NaN never
+        # compares close, so every cross-implementation check trips.
+        tensor = CooTensor.random((10, 9, 8), 80, seed=2)
+        tensor.values[0] = np.nan
+        report = verify_suite([tensor], rank=4, block_size=4)
+        assert not report.all_passed
+        assert report.failures
+
+    def test_failures_property_lists_only_failures(self):
+        report = VerificationReport(
+            [
+                VerificationResult("good", True),
+                VerificationResult("bad", False, "boom"),
+            ]
+        )
+        assert [f.check for f in report.failures] == ["bad"]
+
     def test_summary_format(self):
         report = VerificationReport(
             [
@@ -65,8 +87,60 @@ class TestVerifySuite:
         assert "1/2 checks passed" in text
 
 
+class TestAsComparable:
+    def test_ndarray_passthrough_promotes_to_float64(self):
+        arr = np.ones((3, 2), dtype=np.float32)
+        out = as_comparable(arr)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, arr)
+
+    def test_sparse_output_densified(self):
+        tensor = CooTensor.random((6, 5), 8, seed=0)
+        hicoo = HicooTensor.from_coo(tensor, 4)
+        out = as_comparable(hicoo)
+        assert out.dtype == np.float64
+        assert np.allclose(out, tensor.to_dense())
+
+
+class TestDenseReference:
+    @pytest.fixture
+    def tensor(self):
+        return CooTensor.random((7, 6, 5), 40, seed=5)
+
+    def test_tew(self, tensor):
+        operands = make_operands(tensor, "TEW", seed=1)
+        dense = tensor.to_dense().astype(np.float64)
+        expected = dense + operands.second_tensor.to_dense()
+        assert np.allclose(dense_reference("TEW", dense, operands, 0), expected)
+
+    def test_ts_scales_only_nonzeros(self, tensor):
+        operands = make_operands(tensor, "TS", seed=1)
+        dense = tensor.to_dense().astype(np.float64)
+        out = dense_reference("TS", dense, operands, 0)
+        assert np.allclose(out[dense != 0], dense[dense != 0] * operands.scalar)
+        assert np.all(out[dense == 0] == 0)
+
+    def test_ttv_matches_reference_kernel(self, tensor):
+        operands = make_operands(tensor, "TTV", mode=1, seed=1)
+        dense = tensor.to_dense().astype(np.float64)
+        out = dense_reference("TTV", dense, operands, 1)
+        assert np.allclose(out, dense_ttv(dense, operands.vector.astype(np.float64), 1))
+
+    def test_unknown_kernel_returns_none(self, tensor):
+        dense = tensor.to_dense().astype(np.float64)
+        assert dense_reference("NOPE", dense, None, 0) is None
+
+
 class TestVerifyCli:
     def test_cli_verify(self, capsys):
         assert main(["verify"]) == 0
         out = capsys.readouterr().out
         assert "checks passed" in out
+
+    def test_cli_verify_exits_one_on_failure(self, capsys, monkeypatch):
+        import repro.bench.verify as verify_module
+
+        failing = VerificationReport([VerificationResult("bad", False, "boom")])
+        monkeypatch.setattr(verify_module, "verify_suite", lambda: failing)
+        assert main(["verify"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,15 @@
+"""Shared timing helpers for the benchmark scripts.
+
+Thin re-export of :mod:`repro.perf.timing` so every ``bench_*.py`` uses
+the same measurement discipline (monotonic clock, explicit warm-up,
+min/median-of-k) instead of its own copy of the timer loop.  Benchmarks
+run with ``PYTHONPATH=src``, so the library import below resolves.
+"""
+
+from repro.perf.timing import (  # noqa: F401
+    budgeted_min_seconds,
+    median_of_k,
+    min_of_k,
+    time_once,
+    warmup,
+)

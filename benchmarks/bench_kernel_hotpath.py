@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _timing import median_of_k
 from repro.apps.cpd import cp_als
 from repro.core.mttkrp import mttkrp_coo
 from repro.core.ttv import ttv_coo
@@ -52,26 +53,17 @@ SMOKE_SWEEPS = 2
 SMOKE_REPS = 1
 
 
-def _median_seconds(fn, reps):
-    samples = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - start)
-    return float(np.median(samples))
-
-
 def bench_kernel(name, run, check_close):
     """Time one kernel uncached / cold / warm and verify agreement."""
     with cache_disabled():
         run()  # untimed warm-up of numpy itself
-        uncached_s = _median_seconds(run, KERNEL_REPS)
+        uncached_s = median_of_k(run, KERNEL_REPS)
         uncached_out = run()
     with fresh_cache() as cache:
         cold_start = time.perf_counter()
         cold_out = run()
         cold_s = time.perf_counter() - cold_start
-        warm_s = _median_seconds(run, KERNEL_REPS)
+        warm_s = median_of_k(run, KERNEL_REPS)
         stats = cache.stats()
     return {
         "kernel": name,
@@ -95,13 +87,13 @@ def bench_cp_als(tensor):
         return cp_als(tensor, RANK, max_sweeps=SWEEPS, tolerance=0.0, seed=SEED)
 
     with cache_disabled():
-        uncached_s = _median_seconds(run, CPD_REPS)
+        uncached_s = median_of_k(run, CPD_REPS)
         uncached = run()
     with fresh_cache() as cache:
         cold_start = time.perf_counter()
         cold = run()
         cold_s = time.perf_counter() - cold_start
-        warm_s = _median_seconds(run, CPD_REPS)
+        warm_s = median_of_k(run, CPD_REPS)
         stats = cache.stats()
     sort_hits, sort_misses = stats.by_kind.get("mode_sort", (0, 0))
     return {

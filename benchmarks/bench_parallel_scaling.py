@@ -31,11 +31,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 
+from _timing import median_of_k
 from repro.core.mttkrp import (
     mttkrp_coo,
     mttkrp_hicoo,
@@ -71,15 +71,6 @@ HEADLINE_POLICY = "dynamic"
 HEADLINE_MIN_SPEEDUP = 1.8
 
 
-def _median_seconds(fn, reps):
-    samples = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - start)
-    return float(np.median(samples))
-
-
 def _exact(a, b) -> bool:
     if isinstance(a, np.ndarray):
         return bool(np.array_equal(a, b))
@@ -99,7 +90,7 @@ def bench_kernel(name, run, modeled_imbalance, reps):
     pre-processing costs.
     """
     run()  # warm numpy and the plan cache (untimed)
-    serial_s = _median_seconds(run, reps)
+    serial_s = median_of_k(run, reps)
     serial_out = run()
     runs = []
     for policy in POLICIES:
@@ -111,7 +102,7 @@ def bench_kernel(name, run, modeled_imbalance, reps):
             ):
                 out = run()
                 exact = _exact(out, serial_out)
-                seconds = _median_seconds(run, reps)
+                seconds = median_of_k(run, reps)
                 report = last_parallel_report()
             runs.append(
                 {

@@ -34,6 +34,7 @@ from . import (
     generators,
     io,
     machine,
+    perf,
     platforms,
     roofline,
 )
@@ -85,6 +86,7 @@ from .formats import (
     to_hicoo,
 )
 from .generators import kronecker_tensor, lift_tensor, powerlaw_tensor
+from .perf import TuneConfig, TuningReport, last_tuning_report, mttkrp, ttm, ttv, tune
 from .io import loads_tns, read_tns, write_tns
 from .machine import ExecutionEstimate, execution_model, predict
 from .platforms import PlatformSpec, all_platforms, get_platform, run_ert, table3
@@ -109,7 +111,7 @@ __all__ = [
     "__version__",
     # subpackages
     "formats", "core", "machine", "platforms", "roofline",
-    "generators", "datasets", "io", "bench", "apps",
+    "generators", "datasets", "io", "bench", "apps", "perf",
     # apps
     "cp_als", "power_iteration", "orthogonal_decomposition",
     # formats
@@ -129,6 +131,9 @@ __all__ = [
     "get_dataset", "realize", "table2", "read_tns", "write_tns", "loads_tns",
     # bench
     "BenchmarkHarness", "BenchResult", "run_experiment",
+    # autotuned dispatch
+    "mttkrp", "ttv", "ttm", "tune", "TuneConfig", "TuningReport",
+    "last_tuning_report",
     # helpers
     "random_vector", "random_matrix",
     # errors

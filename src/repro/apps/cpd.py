@@ -100,6 +100,7 @@ def cp_als(
     seed: int = 0,
     use_hicoo: bool = False,
     block_size: int = 128,
+    variant: Optional[str] = None,
     initial_factors: Optional[Sequence[np.ndarray]] = None,
     num_threads: Optional[int] = None,
     schedule: Optional[str] = None,
@@ -109,10 +110,14 @@ def cp_als(
     The fit is ``1 - ||X - model|| / ||X||``, evaluated sparsely; sweeps
     stop early when the fit improves by less than ``tolerance``.  With
     ``use_hicoo=True`` each MTTKRP goes through the HiCOO kernel,
-    matching the paper's HiCOO-MTTKRP algorithm.  ``num_threads`` /
-    ``schedule`` run every MTTKRP under that parallel configuration
-    (``None`` keeps the process-wide setting); parallel sweeps produce
-    bit-identical factors to serial ones.
+    matching the paper's HiCOO-MTTKRP algorithm.  ``variant`` (which
+    overrides ``use_hicoo``) routes every MTTKRP through the dispatch
+    layer: ``"auto"`` autotunes one configuration per mode before the
+    first sweep and reuses it for all sweeps; ``"coo"``/``"hicoo"``/
+    ``"csf"`` force that kernel.  ``num_threads`` / ``schedule`` run
+    every MTTKRP under that parallel configuration (``None`` keeps the
+    process-wide setting); parallel sweeps produce bit-identical factors
+    to serial ones.
     """
     rng = np.random.default_rng(seed)
     if initial_factors is not None:
@@ -122,7 +127,31 @@ def cp_als(
         factors = [
             rng.uniform(0.1, 1.0, size=(s, rank)) for s in tensor.shape
         ]
-    hicoo = HicooTensor.from_coo(tensor, block_size) if use_hicoo else None
+    configs = None
+    if variant is not None:
+        from ..perf.dispatch import resolve_config
+
+        # Tune once per mode, before the sweep loop; every sweep then
+        # reuses the committed configuration.  Resolution runs under the
+        # caller's parallel configuration so explicit variants adopt it.
+        with parallel_config(num_threads=num_threads, schedule=schedule):
+            configs = {
+                mode: resolve_config(
+                    tensor,
+                    "MTTKRP",
+                    variant=variant,
+                    block_size=block_size,
+                    mode=mode,
+                    rank=rank,
+                    seed=seed,
+                )
+                for mode in range(tensor.order)
+            }
+    hicoo = (
+        HicooTensor.from_coo(tensor, block_size)
+        if use_hicoo and configs is None
+        else None
+    )
     norm_x = _tensor_norm(tensor)
     fits: List[float] = []
     ones = np.ones(rank)
@@ -134,7 +163,13 @@ def cp_als(
     with parallel_config(num_threads=num_threads, schedule=schedule):
         for _sweep in range(max_sweeps):
             for mode in range(tensor.order):
-                if hicoo is not None:
+                if configs is not None:
+                    from ..perf.dispatch import mttkrp as mttkrp_dispatch
+
+                    m_new = mttkrp_dispatch(
+                        tensor, f32, mode, variant=configs[mode]
+                    ).astype(np.float64)
+                elif hicoo is not None:
                     m_new = mttkrp_hicoo(hicoo, f32, mode).astype(np.float64)
                 else:
                     m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)

@@ -76,6 +76,7 @@ def _check_ranks(tensor: CooTensor, ranks: Sequence[int]) -> List[int]:
 def ttm_chain(
     tensor: CooTensor,
     matrices: Dict[int, np.ndarray],
+    configs: Optional[Dict[int, object]] = None,
 ) -> CooTensor:
     """Apply TTM in several modes successively (a Tucker sweep's core op).
 
@@ -83,19 +84,44 @@ def ttm_chain(
     the suite's sparse TTM; the semi-sparse intermediate is re-sparsified
     between steps.  Contracting the largest modes first keeps the
     intermediates smallest, so modes are processed in decreasing size.
+    ``configs`` optionally maps a mode to a
+    :class:`~repro.perf.autotune.TuneConfig` that routes that step
+    through the dispatch layer's chosen kernel variant.
     """
     current = tensor
     for mode in sorted(matrices, key=lambda m: -tensor.shape[m]):
         matrix = np.asarray(matrices[mode], dtype=VALUE_DTYPE)
-        semi = ttm_coo(current, matrix, mode)
+        if configs is not None and mode in configs:
+            from ..perf.dispatch import ttm as ttm_dispatch
+
+            semi = ttm_dispatch(current, matrix, mode, variant=configs[mode])
+        else:
+            semi = ttm_coo(current, matrix, mode)
         current = semi.to_coo(drop_zeros=True)
     return current
+
+
+def _ttm_configs(
+    tensor: CooTensor, ranks: Sequence[int], variant: Optional[str]
+) -> Optional[Dict[int, object]]:
+    """Resolve one TTM dispatch config per mode (None when not dispatching)."""
+    if variant is None:
+        return None
+    from ..perf.dispatch import resolve_config
+
+    return {
+        mode: resolve_config(
+            tensor, "TTM", variant=variant, mode=mode, rank=int(ranks[mode])
+        )
+        for mode in range(tensor.order)
+    }
 
 
 def hosvd(
     tensor: CooTensor,
     ranks: Sequence[int],
     *,
+    variant: Optional[str] = None,
     num_threads: Optional[int] = None,
     schedule: Optional[str] = None,
 ) -> TuckerResult:
@@ -103,19 +129,21 @@ def hosvd(
 
     Materializes per-mode Gram matrices ``X_(n) X_(n)^T`` sparsely (size
     ``I_n x I_n``), so it is practical whenever every dimension fits in
-    memory squared.  ``num_threads`` / ``schedule`` run the TTM chain
-    under that parallel configuration (``None`` keeps the process-wide
-    setting).
+    memory squared.  ``variant`` routes each TTM through the dispatch
+    layer (``"auto"`` tunes once per mode on the input tensor).
+    ``num_threads`` / ``schedule`` run the TTM chain under that parallel
+    configuration (``None`` keeps the process-wide setting).
     """
     ranks = _check_ranks(tensor, ranks)
     with parallel_config(num_threads=num_threads, schedule=schedule):
+        configs = _ttm_configs(tensor, ranks, variant)
         factors: List[np.ndarray] = []
         for mode, rank in enumerate(ranks):
             gram = _mode_gram(tensor, mode)
             eigenvalues, eigenvectors = np.linalg.eigh(gram)
             top = np.argsort(eigenvalues)[::-1][:rank]
             factors.append(np.ascontiguousarray(eigenvectors[:, top]))
-        core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
+        core_sparse = ttm_chain(tensor, dict(enumerate(factors)), configs)
         core = core_sparse.to_dense().astype(np.float64)
     fit = _fit(tensor, core)
     return TuckerResult(core=core, factors=factors, fits=[fit])
@@ -128,6 +156,7 @@ def hooi(
     max_sweeps: int = 25,
     tolerance: float = 1e-6,
     initialization: Optional[TuckerResult] = None,
+    variant: Optional[str] = None,
     num_threads: Optional[int] = None,
     schedule: Optional[str] = None,
 ) -> TuckerResult:
@@ -138,14 +167,20 @@ def hooi(
     and take its top left singular vectors.  Initialized by HOSVD unless
     ``initialization`` is given.  The fit is
     ``||core|| / ||X||`` (orthonormal factors make this exact).
-    ``num_threads`` / ``schedule`` run every TTM under that parallel
-    configuration (``None`` keeps the process-wide setting).
+    ``variant`` routes every TTM through the dispatch layer; ``"auto"``
+    tunes once per mode before the first sweep and reuses the decision
+    across sweeps.  ``num_threads`` / ``schedule`` run every TTM under
+    that parallel configuration (``None`` keeps the process-wide
+    setting).
     """
     ranks = _check_ranks(tensor, ranks)
     with parallel_config(num_threads=num_threads, schedule=schedule):
         start = (
-            initialization if initialization is not None else hosvd(tensor, ranks)
+            initialization
+            if initialization is not None
+            else hosvd(tensor, ranks, variant=variant)
         )
+        configs = _ttm_configs(tensor, ranks, variant)
         factors = [f.copy() for f in start.factors]
         fits: List[float] = []
         previous_fit = -1.0
@@ -154,11 +189,11 @@ def hooi(
                 others = {
                     m: factors[m] for m in range(tensor.order) if m != mode
                 }
-                projected = ttm_chain(tensor, others)
+                projected = ttm_chain(tensor, others, configs)
                 unfolded = unfold(projected.to_dense().astype(np.float64), mode)
                 u, _s, _vt = np.linalg.svd(unfolded, full_matrices=False)
                 factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]])
-            core_sparse = ttm_chain(tensor, dict(enumerate(factors)))
+            core_sparse = ttm_chain(tensor, dict(enumerate(factors)), configs)
             core = core_sparse.to_dense().astype(np.float64)
             fit = _fit(tensor, core)
             fits.append(fit)

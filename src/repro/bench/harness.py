@@ -17,7 +17,6 @@ Each cell is produced twice:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,6 +27,7 @@ from ..formats.coo import CooTensor
 from ..formats.hicoo import DEFAULT_BLOCK_SIZE, HicooTensor
 from ..machine import execution_model
 from ..machine.result import ExecutionEstimate
+from ..perf.timing import min_of_k
 from ..platforms.specs import PlatformSpec, get_platform
 from ..roofline.model import RooflineModel
 
@@ -191,10 +191,8 @@ class BenchmarkHarness:
         """Best-of-N wall-clock of the numpy kernel implementation."""
         kernel = algorithm.split("-")[1]
         operands = make_operands(x, kernel, mode=mode, rank=self.rank, seed=mode)
-        best = float("inf")
-        for _ in range(self.wallclock_repeats):
-            start = time.perf_counter()
-            run_algorithm(
+        return min_of_k(
+            lambda: run_algorithm(
                 algorithm,
                 x,
                 operands,
@@ -202,9 +200,9 @@ class BenchmarkHarness:
                 rank=self.rank,
                 block_size=self.block_size,
                 hicoo=hicoo,
-            )
-            best = min(best, time.perf_counter() - start)
-        return best
+            ),
+            self.wallclock_repeats,
+        )
 
     def _roofline_gflops(
         self,

@@ -118,6 +118,40 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--platform", default=None)
     _add_scale_argument(sweep)
 
+    tune = sub.add_parser(
+        "tune",
+        help="autotune kernel variant / block size / schedule for a tensor",
+    )
+    tune.add_argument(
+        "source", help="Table II key/name, or a path to a .tns file"
+    )
+    tune.add_argument(
+        "--kernel", default="MTTKRP", choices=["MTTKRP", "TTV", "TTM"],
+        help="kernel to tune (default MTTKRP)",
+    )
+    tune.add_argument("--mode", type=int, default=0)
+    tune.add_argument("--rank", type=int, default=16)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--no-probe", action="store_true",
+        help="model-only selection: skip the measured micro-probes",
+    )
+    tune.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="candidates promoted to the probe stage "
+        "(default: REPRO_TUNE_TOPK or 3)",
+    )
+    tune.add_argument(
+        "--budget-ms", type=float, default=None, metavar="MS",
+        help="probe time budget per candidate "
+        "(default: REPRO_TUNE_BUDGET_MS or 25)",
+    )
+    tune.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the on-disk tuning cache for this run",
+    )
+    _add_scale_argument(tune)
+
     sub.add_parser("list", help="list algorithms, datasets, platforms")
     sub.add_parser(
         "verify",
@@ -252,6 +286,56 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import os
+
+    from .io.frostt import read_tns
+    from .perf.autotune import tune, tuning_cache_path
+
+    if os.path.exists(args.source):
+        tensor = read_tns(args.source)
+    else:
+        tensor = get_dataset(args.source).realize(args.scale_divisor)
+    report = tune(
+        tensor,
+        args.kernel,
+        mode=args.mode,
+        rank=args.rank,
+        seed=args.seed,
+        probe=not args.no_probe,
+        top_k=args.top_k,
+        budget_ms=args.budget_ms,
+        use_disk_cache=not args.no_cache,
+    )
+    print(
+        f"kernel    : {report.kernel} (mode {report.mode}, rank {report.rank})"
+    )
+    print(f"tensor    : {args.source} "
+          f"(nnz {tensor.nnz}, fingerprint {report.fingerprint})")
+    print(f"machine   : {report.machine}")
+    if report.cache_hit:
+        print(f"cache     : hit ({report.cache_hit}, {tuning_cache_path()}) "
+              "— probes skipped")
+    rows = []
+    for cand in report.candidates:
+        rows.append(
+            {
+                "config": cand.config.label(),
+                "modeled (ms)": f"{cand.modeled_seconds * 1e3:.3f}",
+                "measured (ms)": (
+                    "-"
+                    if cand.measured_seconds is None
+                    else f"{cand.measured_seconds * 1e3:.3f}"
+                ),
+                "probe reps": cand.probe_reps or "-",
+                "chosen": "*" if cand.config == report.chosen else "",
+            }
+        )
+    print(format_table(rows))
+    print(f"chosen    : {report.chosen.label()}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dims = tuple(int(d) for d in args.dims.split(","))
     if args.generator == "kronecker":
@@ -352,6 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "features":
         return _cmd_features(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "generate":

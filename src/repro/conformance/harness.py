@@ -30,6 +30,11 @@ Check kinds
     and compare outputs with float32 tolerances (a cached plan may
     legally reorder float accumulation; only serial-vs-parallel carries
     the bit-identical guarantee).
+``auto_dispatch``
+    Run one kernel through ``variant="auto"`` (model-only tuning, disk
+    cache disabled) and require tolerance agreement with the serial COO
+    baseline plus bit-identical agreement with a direct invocation of
+    the tuner's chosen configuration.
 """
 
 from __future__ import annotations
@@ -309,12 +314,70 @@ def _run_cache_exact(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]
     )
 
 
+def _run_auto_dispatch(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """``variant="auto"`` differential: serial COO vs the tuned dispatch.
+
+    Model-only selection (no probes) with the disk tuning cache disabled
+    keeps the check deterministic and independent of the host's tuning
+    file.  Auto-dispatch must agree with the serial COO baseline to
+    float32 tolerance AND be bit-identical to a direct invocation of the
+    configuration the tuner chose.
+    """
+    from ..perf import dispatch
+    from ..perf.autotune import disk_cache_disabled
+
+    kernel = config["kernel"]
+    mode = int(config.get("mode", 0))
+    rank = int(config.get("rank", 4))
+    seed = int(config.get("seed", 0))
+    operands = _operands(tensor, config)
+    baseline = _execute(tensor, config, operands, tensor_format="COO")
+    with disk_cache_disabled():
+        # The same resolution the public variant="auto" entry points use
+        # (including their rank derivation), so `chosen` is exactly the
+        # config the auto calls below execute.
+        resolve_kwargs = {} if kernel == "TTV" else {"rank": rank}
+        chosen = dispatch.resolve_config(
+            tensor, kernel, variant="auto", mode=mode, seed=seed,
+            probe=False, **resolve_kwargs,
+        )
+        if kernel == "MTTKRP":
+            auto = dispatch.mttkrp(
+                tensor, operands.factors, mode, variant="auto",
+                seed=seed, probe=False,
+            )
+        elif kernel == "TTV":
+            auto = dispatch.ttv(
+                tensor, operands.vector, mode, variant="auto",
+                seed=seed, probe=False,
+            )
+        else:
+            auto = dispatch.ttm(
+                tensor, operands.matrix, mode, variant="auto",
+                seed=seed, probe=False,
+            )
+        direct = dispatch.run_config(tensor, kernel, chosen, operands, mode=mode)
+    mismatch = _exact_mismatch(
+        auto,
+        direct,
+        f"{kernel} variant=auto vs direct {chosen.label()}",
+    )
+    if mismatch is not None:
+        return mismatch
+    return _tolerance_mismatch(
+        auto,
+        baseline,
+        f"{kernel} variant=auto ({chosen.label()}) disagrees with serial COO",
+    )
+
+
 _RUNNERS = {
     "roundtrip": _run_roundtrip,
     "kernel_oracle": _run_kernel_oracle,
     "cross_format": _run_cross_format,
     "parallel_exact": _run_parallel_exact,
     "cache_exact": _run_cache_exact,
+    "auto_dispatch": _run_auto_dispatch,
 }
 
 
@@ -403,6 +466,8 @@ def enumerate_checks(
             "seed": seed,
         }
         checks.append({"check": "cross_format", "format": "COO", **base})
+        if kernel in MODE_KERNELS:
+            checks.append({"check": "auto_dispatch", "format": "COO", **base})
         for fmt in ("COO", "HiCOO"):
             checks.append({"check": "kernel_oracle", "format": fmt, **base})
             checks.append({"check": "cache_exact", "format": fmt, **base})
@@ -424,6 +489,8 @@ def describe_check(config: Dict[str, Any]) -> str:
     kind = config.get("check", "?")
     if kind == "roundtrip":
         return f"roundtrip {'->'.join(config.get('path', []))}"
+    if kind == "auto_dispatch":
+        return f"auto_dispatch {config.get('kernel', '')} (serial vs auto)"
     label = f"{kind} {config.get('format', '')}-{config.get('kernel', '')}"
     if kind == "parallel_exact":
         label += f" x{config.get('threads')} {config.get('schedule')}"

@@ -35,7 +35,13 @@ def to_coo(tensor: AnySparse) -> CooTensor:
 
 
 def to_hicoo(tensor: AnySparse, block_size: int = DEFAULT_BLOCK_SIZE) -> HicooTensor:
-    """Convert any supported general sparse format to HiCOO."""
+    """Convert any supported general sparse format to HiCOO.
+
+    Always builds a fresh tensor the caller owns outright.  The plan
+    cache still makes repeats cheap (the Morton permutation is
+    memoized); the kernel dispatch layer, whose outputs are never
+    mutated, additionally memoizes whole conversions via ``hicoo_for``.
+    """
     if isinstance(tensor, HicooTensor) and tensor.block_size == block_size:
         return tensor
     return HicooTensor.from_coo(to_coo(tensor), block_size)

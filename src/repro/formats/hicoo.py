@@ -56,6 +56,28 @@ def _group_sorted_blocks(block_coords: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     return starts, bptr
 
 
+def _scalar_block_keys(
+    block_coords: np.ndarray, shape: Sequence[int], block_size: int
+) -> Optional[np.ndarray]:
+    """Mixed-radix packing of per-mode block coords into one int64 key.
+
+    Injective whenever the block-grid volume fits in 63 bits, which
+    covers every realistic tensor; returns ``None`` otherwise so callers
+    fall back to row-wise coordinate comparison.
+    """
+    radices = [max(1, -(-int(s) // block_size)) for s in shape]
+    volume = 1
+    for radix in radices:
+        volume *= radix
+        if volume >= 1 << 62:
+            return None
+    keys = block_coords[0].astype(np.int64, copy=True)
+    for mode in range(1, block_coords.shape[0]):
+        keys *= radices[mode]
+        keys += block_coords[mode]
+    return keys
+
+
 class HicooTensor(ModeValidationMixin):
     """An arbitrary-order sparse tensor in HiCOO format.
 
@@ -173,7 +195,58 @@ class HicooTensor(ModeValidationMixin):
         tensor: CooTensor,
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> "HicooTensor":
-        """Convert a COO tensor to HiCOO with the given block size."""
+        """Convert a COO tensor to HiCOO with the given block size.
+
+        This is the autotuner's re-blocking hot path (sweeping ``B``
+        rebuilds the format), so everything after the cached Morton sort
+        is shift/mask arithmetic and narrow gathers: element indices are
+        computed pre-permutation so the post-sort gather moves one byte
+        per entry instead of eight, block boundaries are detected on a
+        single packed int64 key array instead of an ``(order, nnz)``
+        row-wise comparison, and block indices are gathered only at the
+        ``num_blocks`` segment starts.
+        """
+        from ..perf.plans import morton_perm
+
+        block_size = check_block_size(block_size)
+        shift = block_size.bit_length() - 1
+        idx = tensor.indices
+        # Element offsets fit in uint8 (B <= 256); masking before the
+        # permutation keeps the gather below 1 byte/mode/entry.
+        einds = (idx & (block_size - 1)).astype(ELEMENT_DTYPE)
+        block_coords = idx >> shift
+        perm = morton_perm(tensor, block_size)
+        nnz = idx.shape[1]
+        if nnz == 0:
+            starts = np.empty(0, dtype=np.int64)
+            bptr = np.zeros(1, dtype=BPTR_DTYPE)
+        else:
+            keys = _scalar_block_keys(block_coords, tensor.shape, block_size)
+            if keys is not None:
+                keys = keys[perm]
+                boundary = keys[1:] != keys[:-1]
+                starts = np.flatnonzero(np.concatenate(([True], boundary)))
+                bptr = np.concatenate([starts, [nnz]]).astype(BPTR_DTYPE)
+            else:
+                starts, bptr = _group_sorted_blocks(block_coords[:, perm])
+        binds = block_coords[:, perm[starts]].astype(INDEX_DTYPE, copy=False)
+        return cls(
+            tensor.shape,
+            block_size,
+            bptr,
+            binds,
+            einds[:, perm],
+            tensor.values[perm],
+            validate=False,
+        )
+
+    @classmethod
+    def _from_coo_reference(
+        cls,
+        tensor: CooTensor,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "HicooTensor":
+        """The original conversion; ground truth for the vectorized path."""
         from ..perf.plans import morton_perm
 
         block_size = check_block_size(block_size)

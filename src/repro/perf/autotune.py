@@ -1,0 +1,680 @@
+"""Empirical two-stage autotuner for sparse kernel configurations.
+
+The paper's central observation is that no single format wins: COO vs
+HiCOO (and the HiCOO block size ``B``) flips winner per tensor and per
+kernel.  This module turns that observation into a mechanism:
+
+1. **Model stage** — enumerate candidate configurations (kernel variant,
+   HiCOO block size, schedule policy, thread count) and rank them with
+   the analytic :class:`~repro.core.schedule.KernelSchedule` cost model
+   plus the tensor's measured :class:`~repro.datasets.features.TensorFeatures`
+   (block occupancy drives the HiCOO metadata estimate, so the model
+   stage never performs a format conversion).
+2. **Probe stage** — run short, time-budgeted, warm-cache micro-probes
+   of the top-``k`` modeled candidates with deterministic seeded
+   operands, and commit the measured winner.
+
+Decisions are memoized at two levels: in-process under the plan cache
+(kind ``"autotune"``, so a tensor's decision dies with the tensor) and
+on disk in a JSON tuning cache keyed by a structural fingerprint of the
+tensor (shape, nnz, per-mode fiber counts, block occupancy) plus kernel
+and machine signature.  A disk hit skips the probe stage entirely, which
+is what makes ``variant="auto"`` cheap on repeated runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PastaError
+from .parallel import last_parallel_report
+from .partition import POLICIES, POLICY_DYNAMIC
+from .plan_cache import cache_enabled, get_plan_cache
+from .timing import budgeted_min_seconds
+
+#: Plan-cache kind for in-memory tuning decisions (structural: safe to
+#: transfer between tensors that share index structure).
+KIND_AUTOTUNE = "autotune"
+
+#: Kernels the tuner knows how to dispatch.
+TUNED_KERNELS = ("MTTKRP", "TTV", "TTM")
+
+#: HiCOO block sizes explored by the tuner (paper Section V sweeps B).
+BLOCK_SIZES = (16, 32, 64, 128)
+
+#: Kernel variants with a CSF implementation.
+CSF_KERNELS = ("MTTKRP", "TTV")
+
+ENV_CACHE = "REPRO_TUNE_CACHE"
+ENV_BUDGET_MS = "REPRO_TUNE_BUDGET_MS"
+ENV_TOPK = "REPRO_TUNE_TOPK"
+
+#: Per-candidate probe budget (milliseconds) when the env knob is unset.
+DEFAULT_BUDGET_MS = 25.0
+
+#: How many model-ranked candidates reach the probe stage by default.
+DEFAULT_TOP_K = 3
+
+DEFAULT_RANK = 16
+
+# ----------------------------------------------------------------------
+# Host cost-model constants.  Absolute values only need to be plausible;
+# the tuner consumes the *ranking*, and the probe stage corrects it.
+# ----------------------------------------------------------------------
+
+_STREAM_BANDWIDTH = 2.0e10  # bytes/s, contiguous
+_IRREGULAR_BANDWIDTH = 2.5e9  # bytes/s, gather/scatter
+_PEAK_FLOPS = 5.0e10  # flop/s
+_ATOMIC_SECONDS = 2.0e-8  # per conflicting atomic update
+_DISPATCH_SECONDS = 5.0e-5  # per extra worker, fork/join overhead
+_SORT_SECONDS_PER_KEY = 2.0e-8  # per (mode, nonzero) key of a rebuild sort
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One concrete way to execute a kernel."""
+
+    variant: str  # "coo" | "hicoo" | "csf"
+    block_size: Optional[int]  # HiCOO B; None for coo/csf
+    num_threads: int
+    schedule: str  # partition policy name
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``hicoo[B=32] 4T dynamic``."""
+        fmt = self.variant
+        if self.variant == "hicoo" and self.block_size is not None:
+            fmt = f"hicoo[B={self.block_size}]"
+        if self.num_threads == 1:
+            return f"{fmt} serial"
+        return f"{fmt} {self.num_threads}T {self.schedule}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "block_size": self.block_size,
+            "num_threads": self.num_threads,
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneConfig":
+        block = data.get("block_size")
+        return cls(
+            variant=str(data["variant"]),
+            block_size=None if block is None else int(block),
+            num_threads=int(data.get("num_threads", 1)),
+            schedule=str(data.get("schedule", POLICY_DYNAMIC)),
+        )
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """Model and (optional) probe outcome for one candidate."""
+
+    config: TuneConfig
+    modeled_seconds: float
+    measured_seconds: Optional[float] = None
+    probe_reps: int = 0
+    execution: Optional[Dict[str, Any]] = None  # parallel ExecutionReport summary
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Everything one :func:`tune` call decided and why."""
+
+    kernel: str
+    mode: int
+    rank: int
+    seed: int
+    fingerprint: str
+    machine: str
+    chosen: TuneConfig
+    candidates: Tuple[CandidateReport, ...]
+    probes_run: int
+    cache_hit: Optional[str]  # None | "disk"
+    budget_ms: float
+    top_k: int
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+_LAST_TUNING_REPORT: Optional[TuningReport] = None
+_PROBE_CALLS = 0
+_DISK_ENABLED = True
+#: In-process view of each tuning-cache file, keyed by path.
+_DISK_STATE: Dict[str, Dict[str, Any]] = {}
+
+
+def last_tuning_report() -> Optional[TuningReport]:
+    """The report of the most recent :func:`tune` call, if any."""
+    return _LAST_TUNING_REPORT
+
+
+def probe_count() -> int:
+    """Total micro-probes executed since import (or the last reset)."""
+    return _PROBE_CALLS
+
+
+def reset_probe_count() -> int:
+    """Zero the probe counter; returns the previous value."""
+    global _PROBE_CALLS
+    previous = _PROBE_CALLS
+    _PROBE_CALLS = 0
+    return previous
+
+
+@contextmanager
+def disk_cache_disabled() -> Iterator[None]:
+    """Context manager: neither read nor write the on-disk tuning cache.
+
+    The fuzzer runs its ``variant="auto"`` differential checks under this
+    so results never depend on (or pollute) the user's tuning file.
+    """
+    global _DISK_ENABLED
+    previous = _DISK_ENABLED
+    _DISK_ENABLED = False
+    try:
+        yield
+    finally:
+        _DISK_ENABLED = previous
+
+
+def reload_disk_cache() -> None:
+    """Drop the in-process view of the tuning file; next use re-reads it."""
+    _DISK_STATE.clear()
+
+
+# ----------------------------------------------------------------------
+# Machine signature and tensor fingerprint
+# ----------------------------------------------------------------------
+
+
+def machine_signature() -> str:
+    """Coarse host identity baked into every persisted tuning decision."""
+    return "-".join(
+        [
+            platform.machine() or "unknown",
+            f"{os.cpu_count() or 1}cpu",
+            f"py{sys.version_info.major}.{sys.version_info.minor}",
+            f"np{np.__version__}",
+        ]
+    )
+
+
+def _features_for(tensor: Any):
+    """Tensor features, memoized under the plan cache."""
+    from ..datasets.features import extract_features
+
+    coo = _as_coo(tensor)
+
+    def build():
+        return extract_features(coo)
+
+    if not cache_enabled():
+        return build()
+    return get_plan_cache().get(tensor, KIND_AUTOTUNE, ("features",), build)
+
+
+def tensor_fingerprint(tensor: Any) -> str:
+    """Structural fingerprint: shape, nnz, fiber counts, block occupancy.
+
+    Two tensors with the same fingerprint have (statistically) the same
+    best configuration, which is what lets disk-cached decisions carry
+    across processes without re-probing.
+    """
+    features = _features_for(tensor)
+    payload = "|".join(
+        [
+            "x".join(str(s) for s in features.shape),
+            str(features.nnz),
+            ",".join(str(f) for f in features.fiber_counts),
+            f"{features.block_occupancy:.4f}",
+        ]
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _as_coo(tensor: Any):
+    from ..formats.coo import CooTensor
+    from ..formats.hicoo import HicooTensor
+
+    if isinstance(tensor, CooTensor):
+        return tensor
+    if isinstance(tensor, HicooTensor):
+        from .plans import expanded_coo
+
+        return expanded_coo(tensor)
+    raise PastaError(
+        f"autotuner needs a COO or HiCOO tensor, got {type(tensor).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration
+# ----------------------------------------------------------------------
+
+
+def _thread_candidates(max_threads: Optional[int] = None) -> Tuple[int, ...]:
+    limit = max_threads if max_threads is not None else (os.cpu_count() or 1)
+    limit = max(1, int(limit))
+    out = [1]
+    t = 2
+    while t <= limit:
+        out.append(t)
+        t *= 2
+    return tuple(out)
+
+
+def candidate_configs(
+    kernel: str, *, max_threads: Optional[int] = None
+) -> Tuple[TuneConfig, ...]:
+    """Every configuration the tuner considers for ``kernel``.
+
+    Enumeration order is deterministic; the model stage sorts stably, so
+    ties keep this order and selection is reproducible.
+    """
+    kernel = kernel.upper()
+    if kernel not in TUNED_KERNELS:
+        raise PastaError(
+            f"kernel {kernel!r} is not tunable; use one of {TUNED_KERNELS}"
+        )
+    threads = _thread_candidates(max_threads)
+    configs: List[TuneConfig] = []
+    for variant, blocks in (("coo", (None,)), ("hicoo", BLOCK_SIZES)):
+        for block in blocks:
+            for t in threads:
+                if t == 1:
+                    configs.append(TuneConfig(variant, block, 1, POLICY_DYNAMIC))
+                else:
+                    for policy in POLICIES:
+                        configs.append(TuneConfig(variant, block, t, policy))
+    if kernel in CSF_KERNELS:
+        # CSF kernels are tree-walks with no shared-memory execution
+        # path, so only the serial variant is a candidate.
+        configs.append(TuneConfig("csf", None, 1, POLICY_DYNAMIC))
+    return tuple(configs)
+
+
+# ----------------------------------------------------------------------
+# Model stage
+# ----------------------------------------------------------------------
+
+
+def _est_blocks(features: Any, block_size: int) -> int:
+    """Estimated HiCOO block count at ``block_size``.
+
+    Anchored on the measured occupancy at the reference block size
+    (B=128, from :class:`TensorFeatures`) and scaled linearly: halving B
+    roughly halves occupancy until blocks hold a single nonzero.  Crude,
+    but conversion-free — the probe stage corrects mis-rankings.
+    """
+    occupancy = max(float(features.block_occupancy), 1.0)
+    scaled = max(occupancy * block_size / 128.0, 1.0)
+    return min(int(features.nnz), int(features.nnz / scaled) + 1)
+
+
+def _base_schedule(coo: Any, kernel: str, mode: int, rank: int, variant: str):
+    from ..core.mttkrp import schedule_mttkrp_coo
+    from ..core.ttm import schedule_ttm
+    from ..core.ttv import schedule_ttv
+
+    fmt = {"coo": "COO", "hicoo": "HiCOO", "csf": "COO"}[variant]
+    if kernel == "MTTKRP":
+        if variant == "csf":
+            from ..core.csf_kernels import schedule_mttkrp_csf
+
+            return schedule_mttkrp_csf(coo, mode, rank)
+        return schedule_mttkrp_coo(coo, mode, rank)
+    if kernel == "TTV":
+        return schedule_ttv(coo, mode, fmt)
+    if kernel == "TTM":
+        return schedule_ttm(coo, mode, rank, fmt)
+    raise PastaError(f"kernel {kernel!r} is not tunable")
+
+
+def modeled_seconds(
+    schedule: Any, num_threads: int, extra_streamed_bytes: float = 0.0
+) -> float:
+    """Analytic wall-time estimate for a schedule at a thread count.
+
+    Max of the bandwidth and compute rooflines, scaled by the measured
+    load imbalance at ``num_threads`` workers, plus atomic-conflict and
+    fork/join overhead terms.
+    """
+    streamed = max(0.0, schedule.streamed_bytes + extra_streamed_bytes)
+    bytes_seconds = (
+        streamed / _STREAM_BANDWIDTH + schedule.irregular_bytes / _IRREGULAR_BANDWIDTH
+    )
+    flop_seconds = schedule.flops / _PEAK_FLOPS
+    serial = max(bytes_seconds, flop_seconds)
+    atomic = (
+        schedule.atomic_updates * schedule.atomic_conflict_fraction * _ATOMIC_SECONDS
+    )
+    t = max(1, int(num_threads))
+    imbalance = schedule.load_imbalance(t) if t > 1 else 1.0
+    return (serial + atomic) * imbalance / t + (t - 1) * _DISPATCH_SECONDS
+
+
+def _modeled_candidate_seconds(
+    coo: Any, features: Any, kernel: str, mode: int, rank: int, config: TuneConfig
+) -> float:
+    schedule = _base_schedule(coo, kernel, mode, rank, config.variant)
+    order = coo.order
+    nnz = coo.nnz
+    extra = 0.0
+    if config.variant == "hicoo":
+        block = config.block_size or 128
+        # Block metadata stream (binds + bptr) minus the einds savings of
+        # storing 1-byte element indices instead of 4-byte coordinates.
+        extra = (4.0 * order + 8.0) * _est_blocks(features, block) - 3.0 * order * nnz
+    seconds = modeled_seconds(schedule, config.num_threads, extra)
+    if config.variant == "csf":
+        # csf_for_mode rebuilds the fiber tree on every kernel call; the
+        # lexsort over (order, nnz) keys is a real per-call cost.
+        seconds += _SORT_SECONDS_PER_KEY * order * nnz * math.log2(max(nnz, 2))
+    return seconds
+
+
+# ----------------------------------------------------------------------
+# Probe stage
+# ----------------------------------------------------------------------
+
+
+def _probe_candidate(
+    coo: Any,
+    kernel: str,
+    mode: int,
+    rank: int,
+    operands: Any,
+    config: TuneConfig,
+    budget_seconds: float,
+) -> Tuple[float, int, Optional[Dict[str, Any]]]:
+    """Warm-cache, budgeted micro-probe of one candidate configuration."""
+    global _PROBE_CALLS
+    from .dispatch import run_config
+
+    def call() -> Any:
+        return run_config(coo, kernel, config, operands, mode=mode, rank=rank)
+
+    _PROBE_CALLS += 1
+    before = last_parallel_report()
+    call()  # warm-up: pays conversion/plan costs outside the timed region
+    best, reps = budgeted_min_seconds(call, budget_seconds, min_reps=2)
+    report = last_parallel_report()
+    execution: Optional[Dict[str, Any]] = None
+    if report is not None and report is not before:
+        execution = {
+            "kernel": report.kernel,
+            "policy": report.policy,
+            "workers": report.workers,
+            "num_chunks": report.num_chunks,
+            "measured_imbalance": report.measured_imbalance,
+        }
+    return best, reps, execution
+
+
+# ----------------------------------------------------------------------
+# Disk cache
+# ----------------------------------------------------------------------
+
+
+def tuning_cache_path() -> Path:
+    """Location of the persistent tuning cache."""
+    override = os.environ.get(ENV_CACHE)
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro" / "tuning.json"
+
+
+def _disk_entries(path: Path) -> Dict[str, Any]:
+    """Entries of the tuning file, tolerating absent or corrupt files."""
+    key = str(path)
+    state = _DISK_STATE.get(key)
+    if state is None:
+        state = {}
+        try:
+            raw = json.loads(path.read_text())
+            entries = raw.get("entries") if isinstance(raw, dict) else None
+            if isinstance(entries, dict):
+                state = entries
+        except (OSError, ValueError):
+            state = {}
+        _DISK_STATE[key] = state
+    return state
+
+
+def _disk_key(fingerprint: str, machine: str, kernel: str, mode: int, rank: int) -> str:
+    return f"{fingerprint}|{machine}|{kernel}|mode={mode}|rank={rank}"
+
+
+def _disk_lookup(path: Path, key: str) -> Optional[Dict[str, Any]]:
+    entry = _disk_entries(path).get(key)
+    if not isinstance(entry, dict) or "config" not in entry:
+        return None
+    try:
+        TuneConfig.from_dict(entry["config"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return entry
+
+
+def _disk_store(path: Path, key: str, record: Dict[str, Any]) -> None:
+    entries = _disk_entries(path)
+    entries[key] = record
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"version": 1, "entries": entries}, indent=2, sort_keys=True)
+        )
+    except OSError:
+        pass  # a read-only cache location degrades to in-process memoization
+
+
+# ----------------------------------------------------------------------
+# Tuning entry points
+# ----------------------------------------------------------------------
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def tune(
+    tensor: Any,
+    kernel: str,
+    *,
+    mode: int = 0,
+    rank: int = DEFAULT_RANK,
+    seed: int = 0,
+    probe: bool = True,
+    top_k: Optional[int] = None,
+    budget_ms: Optional[float] = None,
+    use_disk_cache: bool = True,
+    max_threads: Optional[int] = None,
+) -> TuningReport:
+    """Select the best configuration for ``kernel`` on ``tensor``.
+
+    Runs the model stage over every candidate, then (unless ``probe`` is
+    false) micro-probes the ``top_k`` modeled candidates with a
+    ``budget_ms`` time budget each and commits the measured winner.
+    Consults and updates the on-disk tuning cache unless disabled.
+    """
+    global _LAST_TUNING_REPORT
+    kernel = kernel.upper()
+    if kernel not in TUNED_KERNELS:
+        raise PastaError(
+            f"kernel {kernel!r} is not tunable; use one of {TUNED_KERNELS}"
+        )
+    coo = _as_coo(tensor)
+    mode = coo.check_mode(mode)
+    rank = int(rank)
+    top_k = _env_int(ENV_TOPK, DEFAULT_TOP_K) if top_k is None else max(1, int(top_k))
+    budget_ms = (
+        _env_float(ENV_BUDGET_MS, DEFAULT_BUDGET_MS)
+        if budget_ms is None
+        else max(0.0, float(budget_ms))
+    )
+
+    features = _features_for(tensor)
+    fingerprint = tensor_fingerprint(tensor)
+    machine = machine_signature()
+    disk_on = use_disk_cache and _DISK_ENABLED
+    disk_key = _disk_key(fingerprint, machine, kernel, mode, rank)
+    path = tuning_cache_path()
+
+    if disk_on:
+        entry = _disk_lookup(path, disk_key)
+        if entry is not None:
+            chosen = TuneConfig.from_dict(entry["config"])
+            cached = CandidateReport(
+                config=chosen,
+                modeled_seconds=float(entry.get("modeled_seconds", float("nan"))),
+                measured_seconds=entry.get("measured_seconds"),
+                probe_reps=int(entry.get("probe_reps", 0)),
+            )
+            report = TuningReport(
+                kernel=kernel,
+                mode=mode,
+                rank=rank,
+                seed=int(seed),
+                fingerprint=fingerprint,
+                machine=machine,
+                chosen=chosen,
+                candidates=(cached,),
+                probes_run=0,
+                cache_hit="disk",
+                budget_ms=budget_ms,
+                top_k=top_k,
+            )
+            _LAST_TUNING_REPORT = report
+            return report
+
+    ranked = sorted(
+        (
+            CandidateReport(
+                config=config,
+                modeled_seconds=_modeled_candidate_seconds(
+                    coo, features, kernel, mode, rank, config
+                ),
+            )
+            for config in candidate_configs(kernel, max_threads=max_threads)
+        ),
+        key=lambda cand: cand.modeled_seconds,
+    )
+
+    probes_run = 0
+    if probe and top_k > 0:
+        from ..core.registry import make_operands
+
+        operands = make_operands(coo, kernel, mode=mode, rank=rank, seed=int(seed))
+        probed: List[CandidateReport] = []
+        for cand in ranked[:top_k]:
+            measured, reps, execution = _probe_candidate(
+                coo, kernel, mode, rank, operands, cand.config, budget_ms / 1000.0
+            )
+            probes_run += 1
+            probed.append(
+                CandidateReport(
+                    config=cand.config,
+                    modeled_seconds=cand.modeled_seconds,
+                    measured_seconds=measured,
+                    probe_reps=reps,
+                    execution=execution,
+                )
+            )
+        ranked = probed + ranked[top_k:]
+        winner = min(probed, key=lambda cand: cand.measured_seconds)
+    else:
+        winner = ranked[0]
+
+    report = TuningReport(
+        kernel=kernel,
+        mode=mode,
+        rank=rank,
+        seed=int(seed),
+        fingerprint=fingerprint,
+        machine=machine,
+        chosen=winner.config,
+        candidates=tuple(ranked),
+        probes_run=probes_run,
+        cache_hit=None,
+        budget_ms=budget_ms,
+        top_k=top_k,
+    )
+    if disk_on and probes_run:
+        _disk_store(
+            path,
+            disk_key,
+            {
+                "config": winner.config.to_dict(),
+                "modeled_seconds": winner.modeled_seconds,
+                "measured_seconds": winner.measured_seconds,
+                "probe_reps": winner.probe_reps,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+        )
+    _LAST_TUNING_REPORT = report
+    return report
+
+
+def decide(
+    tensor: Any,
+    kernel: str,
+    *,
+    mode: int = 0,
+    rank: int = DEFAULT_RANK,
+    seed: int = 0,
+    probe: bool = True,
+    top_k: Optional[int] = None,
+    budget_ms: Optional[float] = None,
+    use_disk_cache: bool = True,
+) -> TuneConfig:
+    """The tuned configuration, memoized in-process under the plan cache.
+
+    Repeat calls for the same live tensor object return the stored
+    decision without touching disk, features, or probes — this is the
+    fast path ``variant="auto"`` kernels hit inside iteration loops.
+    """
+    kernel = kernel.upper()
+    coo = _as_coo(tensor)
+    mode = coo.check_mode(mode)
+
+    def build() -> TuningReport:
+        return tune(
+            tensor,
+            kernel,
+            mode=mode,
+            rank=rank,
+            seed=seed,
+            probe=probe,
+            top_k=top_k,
+            budget_ms=budget_ms,
+            use_disk_cache=use_disk_cache,
+        )
+
+    if not cache_enabled():
+        return build().chosen
+    key = ("decision", kernel, mode, int(rank))
+    report = get_plan_cache().get(tensor, KIND_AUTOTUNE, key, build)
+    return report.chosen

@@ -44,6 +44,7 @@ STRUCTURAL_KINDS = frozenset(
         "morton_perm",
         "ghicoo_fiber_sort",
         "partition",
+        "autotune",
     }
 )
 

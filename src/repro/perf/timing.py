@@ -1,0 +1,77 @@
+"""Shared measurement helpers for benchmarks and the autotuner.
+
+Every timed loop in the suite follows the same discipline: monotonic
+``perf_counter`` timestamps, explicit warm-up calls so one-time plan and
+conversion costs are paid outside the measured region, and min-of-k (or
+median-of-k) aggregation to suppress scheduler noise.  This module is
+the single home for that discipline; ``benchmarks/_timing.py`` re-exports
+it for scripts that run without ``src`` on ``sys.path`` tweaks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+__all__ = [
+    "warmup",
+    "time_once",
+    "min_of_k",
+    "median_of_k",
+    "budgeted_min_seconds",
+]
+
+
+def warmup(fn: Callable[[], object], reps: int = 1) -> None:
+    """Invoke ``fn`` ``reps`` times outside any measured region."""
+    for _ in range(max(0, int(reps))):
+        fn()
+
+
+def time_once(fn: Callable[[], object]) -> float:
+    """One monotonic-clock timing of ``fn()`` in seconds."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def min_of_k(fn: Callable[[], object], reps: int = 5) -> float:
+    """Best-of-``reps`` wall time; the standard noise-robust estimator."""
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    return min(time_once(fn) for _ in range(reps))
+
+
+def median_of_k(fn: Callable[[], object], reps: int = 5) -> float:
+    """Median-of-``reps`` wall time; robust when outliers cut both ways."""
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    samples: List[float] = sorted(time_once(fn) for _ in range(reps))
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return 0.5 * (samples[mid - 1] + samples[mid])
+
+
+def budgeted_min_seconds(
+    fn: Callable[[], object],
+    budget_seconds: float,
+    *,
+    min_reps: int = 1,
+    max_reps: int = 64,
+) -> Tuple[float, int]:
+    """Repeat ``fn`` until ``budget_seconds`` of wall time is spent.
+
+    Always runs at least ``min_reps`` repetitions (so even a zero budget
+    yields a measurement) and at most ``max_reps``.  Returns
+    ``(best_seconds, reps)``.
+    """
+    if min_reps < 1:
+        raise ValueError(f"min_reps must be positive, got {min_reps}")
+    best = float("inf")
+    reps = 0
+    deadline = time.perf_counter() + max(0.0, float(budget_seconds))
+    while reps < min_reps or (reps < max_reps and time.perf_counter() < deadline):
+        best = min(best, time_once(fn))
+        reps += 1
+    return best, reps

@@ -1,0 +1,364 @@
+"""Tests for the two-stage autotuner and the ``variant="auto"`` dispatch.
+
+Covers the tuner's contract end to end: deterministic model-only
+selection, probe accounting, the on-disk tuning cache (hit skips probes,
+corrupt/missing file degrades to tuning), the in-process decision memo,
+exact agreement between ``variant="auto"`` and a direct invocation of
+the winning configuration, the ``repro tune`` CLI, and the vectorized
+HiCOO conversion fast path against its preserved reference.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.mttkrp import mttkrp_coo
+from repro.core.ttm import ttm_coo
+from repro.core.ttv import ttv_coo
+from repro.errors import PastaError
+from repro.formats import CooTensor, HicooTensor
+from repro.perf import autotune, dispatch, fresh_cache
+from repro.perf.autotune import (
+    BLOCK_SIZES,
+    TuneConfig,
+    candidate_configs,
+    decide,
+    disk_cache_disabled,
+    machine_signature,
+    probe_count,
+    reload_disk_cache,
+    tensor_fingerprint,
+    tune,
+    tuning_cache_path,
+)
+from repro.perf.timing import (
+    budgeted_min_seconds,
+    median_of_k,
+    min_of_k,
+    time_once,
+    warmup,
+)
+
+FAST = {"budget_ms": 1.0, "top_k": 2}  # keep probe stages quick in tests
+
+
+@pytest.fixture
+def tensor():
+    rng = np.random.default_rng(77)
+    return CooTensor.random((30, 25, 20), 1500, rng=rng)
+
+
+@pytest.fixture
+def factors(tensor):
+    rng = np.random.default_rng(3)
+    return [
+        rng.uniform(0.5, 1.5, size=(s, 8)).astype(np.float32)
+        for s in tensor.shape
+    ]
+
+
+@pytest.fixture
+def tune_cache(tmp_path, monkeypatch):
+    """Redirect the tuning cache to a temp file for the test's duration."""
+    path = tmp_path / "tuning.json"
+    monkeypatch.setenv(autotune.ENV_CACHE, str(path))
+    reload_disk_cache()
+    yield path
+    reload_disk_cache()
+
+
+class TestTuneConfig:
+    def test_roundtrip(self):
+        config = TuneConfig("hicoo", 32, 4, "guided")
+        assert TuneConfig.from_dict(config.to_dict()) == config
+
+    def test_labels(self):
+        assert TuneConfig("coo", None, 1, "dynamic").label() == "coo serial"
+        assert (
+            TuneConfig("hicoo", 64, 2, "static").label()
+            == "hicoo[B=64] 2T static"
+        )
+
+
+class TestCandidates:
+    def test_mttkrp_space(self):
+        configs = candidate_configs("MTTKRP")
+        variants = {c.variant for c in configs}
+        assert variants == {"coo", "hicoo", "csf"}
+        blocks = {c.block_size for c in configs if c.variant == "hicoo"}
+        assert blocks == set(BLOCK_SIZES)
+        assert all(c.num_threads >= 1 for c in configs)
+
+    def test_ttm_has_no_csf(self):
+        assert all(c.variant != "csf" for c in candidate_configs("TTM"))
+
+
+class TestFingerprint:
+    def test_values_do_not_matter(self, tensor):
+        twin = CooTensor(
+            tensor.shape, tensor.indices, tensor.values * 2.0
+        )
+        with fresh_cache():
+            a = tensor_fingerprint(tensor)
+        with fresh_cache():
+            b = tensor_fingerprint(twin)
+        assert a == b
+
+    def test_structure_does_matter(self, tensor):
+        rng = np.random.default_rng(78)
+        other = CooTensor.random((30, 25, 20), 900, rng=rng)
+        with fresh_cache():
+            assert tensor_fingerprint(tensor) != tensor_fingerprint(other)
+
+    def test_machine_signature_shape(self):
+        sig = machine_signature()
+        assert "cpu" in sig and "py" in sig and "np" in sig
+
+
+class TestModelStage:
+    def test_model_only_is_deterministic(self, tensor):
+        with disk_cache_disabled():
+            with fresh_cache():
+                first = tune(tensor, "MTTKRP", probe=False)
+            with fresh_cache():
+                second = tune(tensor, "MTTKRP", probe=False)
+        assert first.chosen == second.chosen
+        assert first.probes_run == 0 and second.probes_run == 0
+        modeled = [c.modeled_seconds for c in first.candidates]
+        assert modeled == sorted(modeled)
+
+    def test_no_probe_skips_probes(self, tensor):
+        with disk_cache_disabled(), fresh_cache():
+            before = probe_count()
+            report = tune(tensor, "TTV", probe=False)
+        assert probe_count() == before
+        assert all(c.measured_seconds is None for c in report.candidates)
+
+    def test_unknown_kernel_rejected(self, tensor):
+        with pytest.raises(PastaError):
+            tune(tensor, "TEW")
+
+    def test_env_knobs(self, tensor, monkeypatch):
+        monkeypatch.setenv(autotune.ENV_TOPK, "1")
+        monkeypatch.setenv(autotune.ENV_BUDGET_MS, "0.5")
+        with disk_cache_disabled(), fresh_cache():
+            report = tune(tensor, "MTTKRP")
+        assert report.top_k == 1
+        assert report.budget_ms == 0.5
+        assert report.probes_run == 1
+
+
+class TestDiskCache:
+    def test_probed_decision_persists(self, tensor, tune_cache):
+        with fresh_cache():
+            first = tune(tensor, "MTTKRP", **FAST)
+        assert first.probes_run > 0
+        assert first.cache_hit is None
+        assert tune_cache.exists()
+        data = json.loads(tune_cache.read_text())
+        assert data["version"] == 1 and len(data["entries"]) == 1
+
+    def test_hit_skips_probes_and_reproduces_choice(self, tensor, tune_cache):
+        with fresh_cache():
+            first = tune(tensor, "MTTKRP", **FAST)
+        before = probe_count()
+        with fresh_cache():  # fresh plan cache: only the disk can answer
+            second = tune(tensor, "MTTKRP", **FAST)
+        assert probe_count() == before
+        assert second.cache_hit == "disk"
+        assert second.probes_run == 0
+        assert second.chosen == first.chosen
+
+    def test_corrupt_cache_degrades_to_tuning(self, tensor, tune_cache):
+        tune_cache.write_text("{not json at all")
+        reload_disk_cache()
+        with fresh_cache():
+            report = tune(tensor, "MTTKRP", **FAST)
+        assert report.cache_hit is None
+        assert report.probes_run > 0
+
+    def test_missing_cache_dir_is_fine(self, tensor, tmp_path, monkeypatch):
+        deep = tmp_path / "a" / "b" / "tuning.json"
+        monkeypatch.setenv(autotune.ENV_CACHE, str(deep))
+        reload_disk_cache()
+        with fresh_cache():
+            report = tune(tensor, "TTV", **FAST)
+        assert report.chosen is not None
+        reload_disk_cache()
+
+    def test_disabled_cache_writes_nothing(self, tensor, tune_cache):
+        with disk_cache_disabled(), fresh_cache():
+            tune(tensor, "MTTKRP", **FAST)
+        assert not tune_cache.exists()
+
+    def test_model_only_not_persisted(self, tensor, tune_cache):
+        with fresh_cache():
+            tune(tensor, "MTTKRP", probe=False)
+        assert not tune_cache.exists()
+
+    def test_cache_path_override(self, tune_cache):
+        assert tuning_cache_path() == tune_cache
+
+
+class TestDecideMemo:
+    def test_second_decision_runs_no_probes(self, tensor):
+        with disk_cache_disabled(), fresh_cache():
+            first = decide(tensor, "MTTKRP", **FAST)
+            before = probe_count()
+            second = decide(tensor, "MTTKRP", **FAST)
+        assert probe_count() == before
+        assert second == first
+
+    def test_distinct_modes_get_distinct_decisions(self, tensor):
+        with disk_cache_disabled(), fresh_cache():
+            decide(tensor, "TTV", mode=0, **FAST)
+            before = probe_count()
+            decide(tensor, "TTV", mode=1, **FAST)
+        assert probe_count() > before  # a new mode is a new tuning problem
+
+
+class TestDispatch:
+    def test_auto_equals_direct_winner(self, tensor, factors):
+        with disk_cache_disabled(), fresh_cache():
+            chosen = dispatch.resolve_config(
+                tensor, "MTTKRP", variant="auto", rank=8, probe=False
+            )
+            auto = dispatch.mttkrp(tensor, factors, 0, variant="auto", probe=False)
+            direct = dispatch.mttkrp(tensor, factors, 0, variant=chosen)
+        assert np.array_equal(auto, direct)
+
+    def test_explicit_coo_matches_core_kernel(self, tensor, factors):
+        with disk_cache_disabled(), fresh_cache():
+            via_dispatch = dispatch.mttkrp(tensor, factors, 1, variant="coo")
+        assert np.array_equal(via_dispatch, mttkrp_coo(tensor, factors, 1))
+
+    def test_variants_agree_mttkrp(self, tensor, factors):
+        with disk_cache_disabled(), fresh_cache():
+            baseline = mttkrp_coo(tensor, factors, 0)
+            for variant in ("hicoo", "csf"):
+                out = dispatch.mttkrp(tensor, factors, 0, variant=variant)
+                np.testing.assert_allclose(
+                    out, baseline, rtol=1e-4, atol=1e-5
+                )
+
+    def test_variants_agree_ttv(self, tensor):
+        rng = np.random.default_rng(5)
+        v = rng.uniform(0.5, 1.5, size=tensor.shape[2]).astype(np.float32)
+        with disk_cache_disabled(), fresh_cache():
+            baseline = ttv_coo(tensor, v, 2).to_dense()
+            for variant in ("coo", "hicoo", "csf"):
+                out = dispatch.ttv(tensor, v, 2, variant=variant)
+                if isinstance(out, HicooTensor):
+                    out = out.to_coo()
+                np.testing.assert_allclose(
+                    out.to_dense(), baseline, rtol=1e-4, atol=1e-5
+                )
+
+    def test_variants_agree_ttm(self, tensor):
+        rng = np.random.default_rng(6)
+        m = rng.uniform(0.5, 1.5, size=(tensor.shape[1], 6)).astype(np.float32)
+        with disk_cache_disabled(), fresh_cache():
+            baseline = ttm_coo(tensor, m, 1).to_coo()
+            for variant in ("coo", "hicoo"):
+                out = dispatch.ttm(tensor, m, 1, variant=variant).to_coo()
+                assert np.array_equal(out.indices, baseline.indices)
+                np.testing.assert_allclose(
+                    out.values, baseline.values, rtol=1e-4, atol=1e-5
+                )
+
+    def test_csf_rejected_for_ttm(self, tensor):
+        with pytest.raises(PastaError):
+            dispatch.resolve_config(tensor, "TTM", variant="csf")
+
+    def test_unknown_variant_rejected(self, tensor):
+        with pytest.raises(PastaError):
+            dispatch.resolve_config(tensor, "MTTKRP", variant="cxx")
+
+    def test_hicoo_input_accepted(self, tensor, factors):
+        hicoo = HicooTensor.from_coo(tensor, 32)
+        with disk_cache_disabled(), fresh_cache():
+            out = dispatch.mttkrp(hicoo, factors, 0, variant="coo")
+            ref = dispatch.mttkrp(tensor, factors, 0, variant="coo")
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+
+class TestCli:
+    def test_tune_table(self, capsys, tune_cache):
+        code = main(
+            [
+                "tune", "r1", "--scale-divisor", "16384",
+                "--budget-ms", "1", "--top-k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modeled (ms)" in out and "measured (ms)" in out
+        assert "chosen" in out
+
+    def test_tune_no_probe_no_cache(self, capsys, tune_cache):
+        code = main(
+            [
+                "tune", "r1", "--scale-divisor", "16384",
+                "--kernel", "TTV", "--no-probe", "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "chosen" in capsys.readouterr().out
+        assert not tune_cache.exists()
+
+
+class TestFromCooFastPath:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_matches_reference(self, block_size):
+        rng = np.random.default_rng(9)
+        tensor = CooTensor.random((50, 33, 17), 2200, rng=rng)
+        fast = HicooTensor.from_coo(tensor, block_size)
+        ref = HicooTensor._from_coo_reference(tensor, block_size)
+        assert np.array_equal(fast.bptr, ref.bptr)
+        assert np.array_equal(fast.binds, ref.binds)
+        assert np.array_equal(fast.einds, ref.einds)
+        assert np.array_equal(fast.values, ref.values)
+
+    def test_empty_tensor(self):
+        empty = CooTensor(
+            (8, 8, 8),
+            np.empty((3, 0), dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+        )
+        h = HicooTensor.from_coo(empty, 16)
+        assert h.nnz == 0 and h.num_blocks == 0
+
+    def test_huge_block_grid_has_no_scalar_keys(self):
+        from repro.formats.hicoo import _scalar_block_keys
+
+        coords = np.zeros((3, 4), dtype=np.int64)
+        keys = _scalar_block_keys(coords, (2**40, 2**40, 2**40), 16)
+        assert keys is None
+
+
+class TestTimingHelpers:
+    def test_counters(self):
+        calls = []
+        warmup(lambda: calls.append(1), 3)
+        assert len(calls) == 3
+        assert time_once(lambda: calls.append(1)) >= 0.0
+        assert min_of_k(lambda: calls.append(1), 2) >= 0.0
+        assert median_of_k(lambda: calls.append(1), 3) >= 0.0
+
+    def test_budgeted_respects_max_reps(self):
+        best, reps = budgeted_min_seconds(
+            lambda: None, 10.0, min_reps=1, max_reps=4
+        )
+        assert best >= 0.0
+        assert 1 <= reps <= 4
+
+    def test_budgeted_runs_min_reps(self):
+        calls = []
+        best, reps = budgeted_min_seconds(
+            lambda: calls.append(1), 0.0, min_reps=2, max_reps=8
+        )
+        assert reps == 2 and len(calls) == 2

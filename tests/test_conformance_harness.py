@@ -30,6 +30,7 @@ class TestEnumerateChecks:
             "cross_format",
             "parallel_exact",
             "cache_exact",
+            "auto_dispatch",
         }
         kernels = {c["kernel"] for c in checks if "kernel" in c}
         assert kernels == set(KERNELS)

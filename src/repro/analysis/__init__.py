@@ -1,0 +1,78 @@
+"""Static analysis and runtime sanitizers for the repro kernel stack.
+
+Two halves of one contract checker:
+
+* ``repro lint`` (:mod:`.engine`, the ``rules_*`` modules,
+  :mod:`.baseline`) — a stdlib-``ast`` linter enforcing the suite's
+  numeric and concurrency contracts at the source level: explicit
+  dtypes, index-width safety, no hidden densification in hot paths,
+  parallel output ownership, and plan-cache invalidation hygiene.
+* ``REPRO_SANITIZE=1`` (:mod:`.sanitizer`) — a runtime checked-serial
+  mode for the parallel executor that verifies what the linter cannot
+  prove statically: that each chunk task writes exactly the output
+  region it owns.
+"""
+
+from .baseline import (
+    BASELINE_VERSION,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    LintContext,
+    LintReport,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+    suppressed_lines,
+)
+from .findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Finding,
+    severity_rank,
+    sort_findings,
+)
+from .sanitizer import (
+    SANITIZE_ENV,
+    OverlappingWriteError,
+    RegionTracker,
+    SanitizerError,
+    checked_task,
+    sanitizer_enabled,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "OverlappingWriteError",
+    "RegionTracker",
+    "SANITIZE_ENV",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "SanitizerError",
+    "all_rules",
+    "apply_baseline",
+    "checked_task",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "rule_catalog",
+    "sanitizer_enabled",
+    "severity_rank",
+    "sort_findings",
+    "suppressed_lines",
+    "write_baseline",
+]

@@ -1,0 +1,96 @@
+"""Baseline ratchet: known findings are tolerated, new ones fail.
+
+A baseline file is a committed JSON snapshot of the fingerprints of all
+findings accepted at some point in time.  ``repro lint --baseline FILE``
+subtracts those fingerprints from the current report, so CI fails only
+on *new* findings — the count can go down (fixing a baselined finding
+just leaves a dead entry) but never up.  ``--update-baseline`` rewrites
+the file from the current findings, which is how entries are retired.
+
+Fingerprints are line-independent (see :class:`~.findings.Finding`), so
+shifting code around a file does not invalidate the baseline; changing
+the offending statement itself does, which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+#: Schema version of the baseline file format.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline."""
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, str]]:
+    """Read a baseline file into ``{fingerprint: entry}``.
+
+    A missing file is an empty baseline (first run bootstraps by
+    ``--update-baseline``); a malformed file raises
+    :class:`BaselineError` so CI cannot silently pass on garbage.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    try:
+        data = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(f"baseline {path} has no 'findings' key")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {version!r}; this linter "
+            f"writes version {BASELINE_VERSION}"
+        )
+    entries = data["findings"]
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path} 'findings' must be an object")
+    return entries
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Write the current findings as the new baseline; returns the count.
+
+    Entries are keyed by fingerprint and carry just enough context
+    (rule, path, scope, snippet) for a reviewer to audit the file in a
+    diff without re-running the linter.
+    """
+    entries = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "scope": finding.scope,
+            "snippet": " ".join(finding.snippet.split()),
+        }
+        for finding in findings
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, str]]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined_count)."""
+    fresh: List[Finding] = []
+    known = 0
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            known += 1
+        else:
+            fresh.append(finding)
+    return fresh, known

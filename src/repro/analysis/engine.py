@@ -1,0 +1,390 @@
+"""The ``repro lint`` engine: parse, run rules, apply suppressions.
+
+Rules are stdlib-``ast`` passes over one module at a time; each rule
+module exposes ``RULE`` (its family name), ``DESCRIPTION``, and a
+``run(ctx)`` entry point that reports violations through
+:meth:`LintContext.add`.  The engine owns everything rule-agnostic:
+parsing, parent links, scope resolution, ``# repro: ignore[...]``
+suppression comments, and path scoping.
+
+Suppression semantics
+---------------------
+A comment of the form ``# repro: ignore`` or ``# repro: ignore[rule]``
+(comma-separated rule names allowed) suppresses matching findings for
+the **whole statement** it is attached to, not just the physical line
+the comment sits on.  A trailing comment anywhere inside a multi-line
+numpy call therefore covers the full call expression, and a comment on
+its own line covers the next statement.  This is the contract the test
+suite pins; anchoring to physical lines silently un-suppresses findings
+whenever a call gets reformatted across lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, sort_findings
+
+#: Matches a suppression comment, capturing the optional rule list.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: Sentinel rule set meaning "suppress every rule on this statement".
+_ALL_RULES = frozenset({"*"})
+
+
+class LintContext:
+    """Everything one rule needs to analyze one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.findings: List[Finding] = []
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ------------------------------------------------------------------
+    # Path scoping
+    # ------------------------------------------------------------------
+
+    @property
+    def is_hot_path(self) -> bool:
+        """Whether this file is in a kernel hot path (``core/``, ``perf/``)."""
+        posix = self.path.replace("\\", "/")
+        return "/core/" in posix or "/perf/" in posix
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Immediate parent node, or ``None`` for the module."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Parents from the node outward to the module."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_statement(self, node: ast.AST) -> ast.AST:
+        """The outermost simple statement containing ``node``."""
+        best = node
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, ast.stmt):
+                best = current
+                break
+            current = self._parents.get(current)
+        return best
+
+    def in_loop(self, node: ast.AST) -> bool:
+        """Whether the node sits inside a ``for``/``while`` body."""
+        child: ast.AST = node
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.For, ast.While)):
+                # The loop's iterable/condition is evaluated once; only
+                # the body re-executes.
+                if child is not getattr(
+                    ancestor, "iter", None
+                ) and child is not getattr(ancestor, "test", None):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            child = ancestor
+        return False
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted enclosing scope name (``Class.method`` or ``<module>``)."""
+        names: List[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(ancestor.name)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def add(self, rule: str, severity: str, node: ast.AST, message: str) -> None:
+        """Record one finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                path=self.path,
+                line=line,
+                col=col,
+                message=message,
+                scope=self.scope_of(node),
+                snippet=snippet,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers (imported by the rule modules)
+# ----------------------------------------------------------------------
+
+#: Names the codebase uses for the numpy module.
+NUMPY_NAMES = ("np", "numpy")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` expressions as a dotted string, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def numpy_func(node: ast.Call) -> Optional[str]:
+    """``"zeros"`` for ``np.zeros(...)``/``numpy.zeros(...)``, else ``None``."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in NUMPY_NAMES
+    ):
+        return func.attr
+    return None
+
+
+def method_name(node: ast.Call) -> Optional[str]:
+    """The attribute name of a method-style call (``x.sum()`` → ``sum``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def has_kwarg(node: ast.Call, name: str) -> bool:
+    """Whether the call passes keyword argument ``name``."""
+    return any(kw.arg == name for kw in node.keywords)
+
+
+def wrapped_in(ctx: LintContext, node: ast.AST, names: Sequence[str]) -> bool:
+    """Whether ``node`` is directly an argument of ``int(...)``-style calls."""
+    parent = ctx.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in names
+        and node in parent.args
+    )
+
+
+def mentions_any(node: ast.AST, names: Set[str]) -> bool:
+    """Whether any ``Name`` in the subtree is in ``names``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names for sub in ast.walk(node)
+    )
+
+
+def attribute_chain_root(node: ast.AST) -> Optional[str]:
+    """The root ``Name`` of a ``x.a.b[...]`` chain, else ``None``."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+def _suppression_comments(source: str) -> Dict[int, frozenset]:
+    """Map comment line → suppressed rule names (``{"*"}`` = all)."""
+    suppressions: Dict[int, frozenset] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                suppressions[token.start[0]] = _ALL_RULES
+            else:
+                names = frozenset(
+                    name.strip() for name in rules.split(",") if name.strip()
+                )
+                suppressions[token.start[0]] = names or _ALL_RULES
+    except tokenize.TokenError:
+        pass  # best effort: a truncated file still lints its parsed part
+    return suppressions
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """``(first_line, last_line)`` of every simple statement, sorted."""
+    spans = [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    ]
+    spans.sort()
+    return spans
+
+
+def suppressed_lines(source: str, tree: ast.Module) -> Dict[int, frozenset]:
+    """Line → suppressed rules, with comments expanded to full statements.
+
+    A suppression comment on any physical line of a multi-line statement
+    covers the statement's whole ``lineno..end_lineno`` span; a comment
+    on a line of its own covers the next statement that starts below it.
+    """
+    comments = _suppression_comments(source)
+    if not comments:
+        return {}
+    spans = _statement_spans(tree)
+    expanded: Dict[int, Set[str]] = {}
+
+    def cover(first: int, last: int, rules: frozenset) -> None:
+        for line in range(first, last + 1):
+            expanded.setdefault(line, set()).update(rules)
+
+    for comment_line, rules in comments.items():
+        # Innermost statement whose span contains the comment line.
+        covering = [
+            span for span in spans if span[0] <= comment_line <= span[1]
+        ]
+        if covering:
+            first, last = min(covering, key=lambda span: span[1] - span[0])
+            cover(first, last, rules)
+            continue
+        # Standalone comment line: attach to the next statement below.
+        following = [span for span in spans if span[0] > comment_line]
+        if following:
+            first, last = min(following)
+            cover(first, last, rules)
+        else:
+            cover(comment_line, comment_line, rules)
+    return {line: frozenset(rules) for line, rules in expanded.items()}
+
+
+def _is_suppressed(finding: Finding, suppressions: Dict[int, frozenset]) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return "*" in rules or finding.rule in rules
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+
+def all_rules():
+    """The registered rule modules, in catalog order."""
+    from . import (
+        rules_cache,
+        rules_densify,
+        rules_dtype,
+        rules_index,
+        rules_parallel,
+    )
+
+    return (
+        rules_dtype,
+        rules_index,
+        rules_densify,
+        rules_parallel,
+        rules_cache,
+    )
+
+
+def rule_catalog() -> Dict[str, str]:
+    """Rule family name → one-line description."""
+    return {module.RULE: module.DESCRIPTION for module in all_rules()}
+
+
+# ----------------------------------------------------------------------
+# Running the linter
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """What one lint run produced, before any baseline is applied."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence] = None,
+) -> LintReport:
+    """Lint one module's source text; suppressions already applied."""
+    report = LintReport(files=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+        return report
+    ctx = LintContext(path, source, tree)
+    for module in rules if rules is not None else all_rules():
+        module.run(ctx)
+    suppressions = suppressed_lines(source, tree)
+    kept = []
+    for finding in ctx.findings:
+        if _is_suppressed(finding, suppressions):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+    report.findings = sort_findings(kept)
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence[str]) -> LintReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        sub = lint_source(source, path=file_path.as_posix())
+        report.findings.extend(sub.findings)
+        report.suppressed += sub.suppressed
+        report.files += 1
+        report.parse_errors.extend(sub.parse_errors)
+    report.findings = sort_findings(report.findings)
+    return report

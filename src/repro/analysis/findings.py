@@ -1,0 +1,99 @@
+"""Lint findings: the one data type every analysis layer exchanges.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` deliberately excludes the line number — it hashes the
+rule, the file, the enclosing scope, and the normalized source of the
+statement — so a committed baseline survives unrelated edits that shift
+code up or down a file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Severity names in increasing order of concern.
+SEVERITY_INFO = "info"
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+SEVERITIES = (SEVERITY_INFO, SEVERITY_WARNING, SEVERITY_ERROR)
+
+#: Sort key: errors first in reports.
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(reversed(SEVERITIES))}
+
+
+def severity_rank(severity: str) -> int:
+    """Rank for sorting (0 = error, larger = less severe)."""
+    return _SEVERITY_RANK.get(severity, len(SEVERITIES))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule family name (``dtype``, ``index-width``, ``densify``,
+        ``parallel-write``, ``cache-invalidation``).
+    severity:
+        One of :data:`SEVERITIES`.
+    path:
+        Path of the offending file as given to the linter (posix
+        separators, repo-relative when linting a repo tree).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation.
+    scope:
+        Dotted enclosing scope (``Class.method``) or ``<module>``.
+    snippet:
+        The stripped source of the offending statement's first line.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    scope: str = "<module>"
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline ratchet (line-independent).
+
+        Collapses whitespace in the snippet so formatting-only edits do
+        not churn the baseline.
+        """
+        normalized = " ".join(self.snippet.split())
+        payload = "\x1f".join((self.rule, self.path, self.scope, normalized))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the ``repro lint --json`` schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "scope": self.scope,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format_text(self) -> str:
+        """One-line text rendering: ``path:line:col: severity[rule] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.rule}] {self.message}"
+        )
+
+
+def sort_findings(findings):
+    """Deterministic report order: by path, line, column, rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

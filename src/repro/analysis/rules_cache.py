@@ -1,0 +1,110 @@
+"""cache-invalidation hygiene rule: structural mutation must invalidate.
+
+The plan cache in :mod:`repro.perf.plan_cache` keys chunk plans on a
+tensor's *structure* (nnz, shape, sort order, block layout).  Mutating a
+structural field in place — replacing ``tensor.indices``, resizing
+``tensor.values``, rewriting ``bptr`` — leaves stale plans behind unless
+the mutation site calls ``invalidate(tensor)``.  A stale plan does not
+crash; it silently partitions against the old structure, which is
+exactly the failure mode the conformance fuzzer needs days to hit.
+
+This rule flags functions that assign to (or subscript-mutate) a
+structural field of a non-``self`` object without calling ``invalidate``
+anywhere in the same function.  Constructors and validators are exempt:
+``__init__``/``__post_init__`` build the structure the cache will key
+on, and ``_validate`` only reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .engine import LintContext, dotted_name
+from .findings import SEVERITY_WARNING
+
+RULE = "cache-invalidation"
+DESCRIPTION = (
+    "in-place mutation of structural tensor fields without a paired "
+    "plan-cache invalidate() call"
+)
+
+#: Fields the plan cache's structure key is derived from.
+_STRUCTURAL_FIELDS = {
+    "indices",
+    "values",
+    "binds",
+    "einds",
+    "bptr",
+    "cinds",
+    "bit_flags",
+    "shape",
+    "block_size",
+}
+
+#: Function names allowed to build/rebuild structure without invalidating.
+_EXEMPT_FUNCS = {"__init__", "__post_init__", "_validate", "__setstate__"}
+
+#: Call leaf names that count as invalidating the cache for the object.
+_INVALIDATORS = {"invalidate", "adopt", "adopt_plans", "fresh_cache"}
+
+
+def _structural_store(target: ast.AST) -> ast.AST | None:
+    """The flaggable node if ``target`` mutates a structural field."""
+    # obj.field = ...  (attribute replacement)
+    if isinstance(target, ast.Attribute) and target.attr in _STRUCTURAL_FIELDS:
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            return None  # methods building their own object are handled
+            # by the _EXEMPT_FUNCS check at the function level
+        return target
+    # obj.field[...] = ...  (in-place structural rewrite)
+    if isinstance(target, ast.Subscript):
+        inner = target.value
+        if isinstance(inner, ast.Attribute) and inner.attr in _STRUCTURAL_FIELDS:
+            return target
+    return None
+
+
+def _calls_invalidator(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _INVALIDATORS:
+                return True
+    return False
+
+
+def run(ctx: LintContext) -> None:
+    """Check every function for unpaired structural mutation."""
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name in _EXEMPT_FUNCS:
+            continue
+        stores: List[ast.AST] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    hit = _structural_store(target)
+                    if hit is not None:
+                        stores.append(hit)
+            elif isinstance(node, ast.AugAssign):
+                hit = _structural_store(node.target)
+                if hit is not None:
+                    stores.append(hit)
+        if not stores or _calls_invalidator(func):
+            continue
+        for store in stores:
+            field = (
+                store.attr
+                if isinstance(store, ast.Attribute)
+                else store.value.attr  # type: ignore[union-attr]
+            )
+            ctx.add(
+                RULE,
+                SEVERITY_WARNING,
+                store,
+                f"mutation of structural field {field!r} without a paired "
+                f"plan-cache invalidate(); stale cached chunk plans will "
+                f"partition against the old structure",
+            )

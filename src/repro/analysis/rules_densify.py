@@ -1,0 +1,87 @@
+"""hidden-densification rule: no full-shape materialization in hot paths.
+
+The whole point of the suite is that kernels scale with ``nnz``, not
+with the tensor's dense capacity; fuzz tensors deliberately use shapes
+whose dense form would not fit in memory.  Inside the kernel hot paths
+(``core/`` and ``perf/``) this rule flags constructs that silently
+allocate or iterate the full index space:
+
+* ``.to_dense()`` calls (error — a dense round-trip hidden in a kernel);
+* ``np.zeros``/``np.empty``/``np.ones``/``np.full`` whose size argument
+  is a whole ``.shape`` attribute (a full-capacity allocation — kernel
+  outputs should size themselves from rows/fibers/nonzeros);
+* ``np.outer`` (materializes a rank-1 update that segmented reductions
+  are designed to avoid).
+
+Files outside ``core/`` and ``perf/`` — dense references, verification
+oracles, apps — may densify freely; the rule does not fire there.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import LintContext, numpy_func
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING
+
+RULE = "densify"
+DESCRIPTION = (
+    "full-shape allocations, .to_dense() round-trips, and outer-product "
+    "materialization inside core/ and perf/ hot paths"
+)
+
+_ALLOCATORS = ("zeros", "empty", "ones", "full")
+
+
+def _is_full_shape(arg: ast.AST) -> bool:
+    """Whether an allocation size argument is a whole ``.shape``."""
+    if isinstance(arg, ast.Attribute) and arg.attr == "shape":
+        return True
+    if isinstance(arg, ast.Call):
+        # tuple(x.shape) / list(x.shape)
+        if (
+            isinstance(arg.func, ast.Name)
+            and arg.func.id in ("tuple", "list")
+            and arg.args
+        ):
+            return _is_full_shape(arg.args[0])
+    return False
+
+
+def run(ctx: LintContext) -> None:
+    """Apply the densification checks to one hot-path module."""
+    if not ctx.is_hot_path:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "to_dense"
+        ):
+            ctx.add(
+                RULE,
+                SEVERITY_ERROR,
+                node,
+                ".to_dense() in a kernel hot path materializes the full "
+                "index space; operate on the sparse arrays instead",
+            )
+            continue
+        np_name = numpy_func(node)
+        if np_name in _ALLOCATORS and node.args and _is_full_shape(node.args[0]):
+            ctx.add(
+                RULE,
+                SEVERITY_ERROR,
+                node,
+                f"np.{np_name} over a full tensor shape allocates dense "
+                f"capacity in a hot path; size the buffer from "
+                f"rows/fibers/nonzeros instead",
+            )
+        elif np_name == "outer":
+            ctx.add(
+                RULE,
+                SEVERITY_WARNING,
+                node,
+                "np.outer materializes a dense rank-1 update; use the "
+                "segmented scatter engine instead",
+            )

@@ -1,0 +1,124 @@
+"""dtype-discipline rule: no implicit float64 (or int) promotion.
+
+The paper's formats fix value storage at float32 and the suite's
+bit-exactness guarantees depend on every accumulation choosing its
+precision *on purpose*.  Dtype-less numpy allocations and reductions
+default to float64 (or platform int), so each one is either a silent
+promotion or an undocumented intent — this rule forces the decision
+into the source: pass ``dtype=`` or suppress with a justified
+``# repro: ignore[dtype]``.
+
+Flags
+-----
+* ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full`` / ``np.arange``
+  / ``np.sum`` without a ``dtype=`` keyword;
+* ``.sum()`` / ``.mean()`` method calls without ``dtype=`` — unless the
+  result feeds straight into ``int(...)`` / ``float(...)``, which
+  already states the intended result type;
+* ``.astype`` inside a loop body (cast churn: hoist it);
+* bare Python float literals folded into ``.values`` arrays, whose
+  result dtype silently depends on numpy's promotion rules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import (
+    LintContext,
+    has_kwarg,
+    method_name,
+    numpy_func,
+    wrapped_in,
+)
+from .findings import SEVERITY_INFO, SEVERITY_WARNING
+
+RULE = "dtype"
+DESCRIPTION = (
+    "dtype-less numpy allocations/reductions and cast churn that promote "
+    "to float64 implicitly"
+)
+
+#: numpy module-level constructors and reductions that take ``dtype=``.
+_NP_NEEDS_DTYPE = ("zeros", "empty", "ones", "full", "arange", "sum")
+
+#: Method reductions whose dtype-less default is float64/int64.
+_METHOD_NEEDS_DTYPE = ("sum", "mean")
+
+#: Calls that make the result type explicit, excusing an inner reduction.
+_SCALAR_WRAPPERS = ("int", "float", "bool")
+
+
+def _mentions_values(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "values"
+        for sub in ast.walk(node)
+    )
+
+
+def run(ctx: LintContext) -> None:
+    """Apply the dtype-discipline checks to one module."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            _check_call(ctx, node)
+        elif isinstance(node, ast.BinOp):
+            _check_float_fold(ctx, node)
+
+
+def _check_call(ctx: LintContext, node: ast.Call) -> None:
+    np_name = numpy_func(node)
+    if np_name in _NP_NEEDS_DTYPE and not has_kwarg(node, "dtype"):
+        if np_name == "sum" and wrapped_in(ctx, node, _SCALAR_WRAPPERS):
+            return
+        kind = "reduction" if np_name == "sum" else "allocation"
+        ctx.add(
+            RULE,
+            SEVERITY_WARNING,
+            node,
+            f"dtype-less np.{np_name} {kind} defaults to float64/int64; "
+            f"pass dtype= to make the precision explicit",
+        )
+        return
+    name = method_name(node)
+    if np_name is None and name in _METHOD_NEEDS_DTYPE and not has_kwarg(node, "dtype"):
+        if not wrapped_in(ctx, node, _SCALAR_WRAPPERS):
+            ctx.add(
+                RULE,
+                SEVERITY_WARNING,
+                node,
+                f"dtype-less .{name}() accumulates in the array's promoted "
+                f"dtype (float64 for float inputs); pass dtype= or wrap in "
+                f"int()/float() to state the intent",
+            )
+        return
+    if name == "astype" and ctx.in_loop(node):
+        ctx.add(
+            RULE,
+            SEVERITY_INFO,
+            node,
+            ".astype inside a loop re-casts every iteration; hoist the "
+            "cast out of the loop",
+        )
+
+
+def _check_float_fold(ctx: LintContext, node: ast.BinOp) -> None:
+    if not isinstance(node.op, (ast.Mult, ast.Add, ast.Sub, ast.Div)):
+        return
+    left_float = isinstance(node.left, ast.Constant) and isinstance(
+        node.left.value, float
+    )
+    right_float = isinstance(node.right, ast.Constant) and isinstance(
+        node.right.value, float
+    )
+    if left_float == right_float:  # neither, or a pure-constant fold
+        return
+    other = node.right if left_float else node.left
+    if _mentions_values(other):
+        ctx.add(
+            RULE,
+            SEVERITY_INFO,
+            node,
+            "bare Python float folded into a value array; the result dtype "
+            "depends on numpy promotion rules — use a typed scalar "
+            "(e.g. VALUE_DTYPE(c)) or an explicit astype",
+        )

@@ -1,0 +1,204 @@
+"""index-width safety rule: int32/uint8 index arithmetic must not wrap.
+
+The formats hard-code narrow index widths — ``INDEX_DTYPE`` (int32)
+coordinate and block-index arrays, ``ELEMENT_DTYPE`` (uint8) in-block
+element indices — per the paper's storage contracts.  Arithmetic that
+stays in those widths wraps silently: a mixed-radix block-key packing or
+a Morton shift on int32 inputs near ``2**31`` produces a valid-looking
+wrong answer.  This rule performs a light per-function dataflow pass:
+
+* names bound to narrow sources (``.indices`` / ``.binds`` / ``.einds``
+  attributes, ``.astype`` to a narrow dtype) are tracked as *narrow*;
+* overflow-capable arithmetic (``*``, ``+``, ``-``, ``**``, ``<<``) on a
+  narrow operand with no widening operand is flagged;
+* ``.astype`` back down to a narrow dtype applied to a *computed* value
+  (a ``BinOp``, or a name bound to one) is flagged as a narrowing cast —
+  prove the range first (assert-or-upcast) or suppress with a comment
+  stating why the range is bounded.
+
+``.astype(np.int64)`` (or any wide dtype) clears narrowness, which is
+exactly the fix the rule is asking for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from .engine import LintContext, dotted_name
+from .findings import SEVERITY_WARNING
+
+RULE = "index-width"
+DESCRIPTION = (
+    "overflow-capable arithmetic on int32/uint8 index arrays and "
+    "narrowing casts of computed values"
+)
+
+#: Attribute names the formats store in narrow dtypes.
+_NARROW_ATTRS = {"indices", "binds", "einds", "cinds"}
+
+#: Dtype spellings that are narrow (can wrap under index arithmetic).
+_NARROW_DTYPES = {
+    "np.int32", "numpy.int32", "np.uint8", "numpy.uint8",
+    "np.int16", "numpy.int16", "np.uint16", "numpy.uint16",
+    "np.int8", "numpy.int8", "np.uint32", "numpy.uint32",
+    "INDEX_DTYPE", "ELEMENT_DTYPE",
+}
+
+#: Dtype spellings wide enough that index arithmetic cannot wrap.
+_WIDE_DTYPES = {
+    "np.int64", "numpy.int64", "np.uint64", "numpy.uint64",
+    "np.intp", "numpy.intp", "np.float64", "numpy.float64",
+    "np.float32", "numpy.float32", "BPTR_DTYPE", "VALUE_DTYPE",
+}
+
+#: Binary operators under which a narrow integer can overflow.
+_OVERFLOW_OPS = (ast.Mult, ast.Add, ast.Sub, ast.Pow, ast.LShift)
+
+
+def _astype_dtype(node: ast.Call) -> Optional[str]:
+    """The dtype argument of an ``.astype`` call, as a dotted string."""
+    if not (isinstance(node.func, ast.Attribute) and node.func.attr == "astype"):
+        return None
+    for arg in node.args[:1]:
+        return dotted_name(arg)
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return dotted_name(kw.value)
+    return None
+
+
+class _FunctionPass:
+    """One function's narrow/computed dataflow and checks."""
+
+    def __init__(self, ctx: LintContext, func: ast.FunctionDef) -> None:
+        self.ctx = ctx
+        self.func = func
+        self.narrow: Set[str] = set()
+        self.computed: Set[str] = set()
+        self.flagged_lines: Set[int] = set()
+
+    # -- classification ------------------------------------------------
+
+    def is_narrow(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.narrow
+        if isinstance(node, ast.Attribute):
+            return node.attr in _NARROW_ATTRS
+        if isinstance(node, ast.Subscript):
+            return self.is_narrow(node.value)
+        if isinstance(node, ast.Call):
+            dtype = _astype_dtype(node)
+            return dtype in _NARROW_DTYPES if dtype else False
+        if isinstance(node, ast.BinOp):
+            return (self.is_narrow(node.left) or self.is_narrow(node.right)) and not (
+                self.is_wide(node.left) or self.is_wide(node.right)
+            )
+        return False
+
+    def is_wide(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            dtype = _astype_dtype(node)
+            if dtype in _WIDE_DTYPES:
+                return True
+            # int()/float() lift to unbounded Python scalars.
+            if isinstance(node.func, ast.Name) and node.func.id in ("int", "float"):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.wide_names
+        if isinstance(node, ast.Subscript):
+            return self.is_wide(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_wide(node.left) or self.is_wide(node.right)
+        return False
+
+    # -- the pass ------------------------------------------------------
+
+    def run(self) -> None:
+        self.wide_names: Set[str] = set()
+        for stmt in ast.walk(self.func):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self._record_assignment(target.id, stmt.value)
+        for node in ast.walk(self.func):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _OVERFLOW_OPS):
+                self._check_arith(node)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _OVERFLOW_OPS
+            ):
+                if self.is_narrow(node.target) and not self.is_wide(node.value):
+                    self._flag_arith(node)
+            elif isinstance(node, ast.Call):
+                self._check_narrowing_cast(node)
+
+    def _record_assignment(self, name: str, value: ast.AST) -> None:
+        if self.is_wide(value):
+            self.wide_names.add(name)
+            self.narrow.discard(name)
+        elif self.is_narrow(value):
+            self.narrow.add(name)
+        if isinstance(value, ast.BinOp):
+            self.computed.add(name)
+
+    def _check_arith(self, node: ast.BinOp) -> None:
+        if not (self.is_narrow(node.left) or self.is_narrow(node.right)):
+            return
+        if self.is_wide(node.left) or self.is_wide(node.right):
+            return
+        self._flag_arith(node)
+
+    def _flag_arith(self, node: ast.AST) -> None:
+        # One finding per source line keeps chained expressions readable.
+        line = getattr(node, "lineno", 0)
+        if line in self.flagged_lines:
+            return
+        self.flagged_lines.add(line)
+        self.ctx.add(
+            RULE,
+            SEVERITY_WARNING,
+            node,
+            "arithmetic on a narrow (int32/uint8) index array can wrap "
+            "silently; upcast with .astype(np.int64) before multiplying, "
+            "adding, or shifting",
+        )
+
+    def _check_narrowing_cast(self, node: ast.Call) -> None:
+        dtype = _astype_dtype(node)
+        if dtype not in _NARROW_DTYPES:
+            return
+        receiver = node.func.value  # type: ignore[union-attr]
+        computed = isinstance(receiver, ast.BinOp) or (
+            isinstance(receiver, ast.Name) and receiver.id in self.computed
+        ) or (
+            isinstance(receiver, ast.Subscript)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in self.computed
+        )
+        if computed:
+            self.ctx.add(
+                RULE,
+                SEVERITY_WARNING,
+                node,
+                f"narrowing cast to {dtype} of a computed value wraps "
+                f"out-of-range results silently; assert the range (or "
+                f"guard loudly) before narrowing",
+            )
+
+
+def run(ctx: LintContext) -> None:
+    """Apply the index-width pass to every outermost function.
+
+    Nested defs are analyzed as part of their enclosing function (their
+    closures see the outer narrow/wide bindings), not as separate
+    passes — that would double-report every finding inside them.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(
+                isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for anc in ctx.ancestors(node)
+            ):
+                continue
+            _FunctionPass(ctx, node).run()

@@ -50,7 +50,7 @@ class CpdResult:
         rank = self.rank
         order = len(self.factors)
         shape = tuple(f.shape[0] for f in self.factors)
-        out = np.zeros(shape)
+        out = np.zeros(shape, dtype=np.float64)
         for r in range(rank):
             component = self.weights[r]
             outer = self.factors[0][:, r]
@@ -63,7 +63,7 @@ class CpdResult:
 def _gram_hadamard(factors: Sequence[np.ndarray], skip: int) -> np.ndarray:
     """Hadamard product of the Gram matrices of all factors but ``skip``."""
     rank = factors[0].shape[1]
-    v = np.ones((rank, rank))
+    v = np.ones((rank, rank), dtype=np.float64)
     for m, factor in enumerate(factors):
         if m == skip:
             continue
@@ -77,7 +77,7 @@ def _tensor_norm(tensor: CooTensor) -> float:
 
 def _model_inner(tensor: CooTensor, factors, weights) -> float:
     """<X, model> computed sparsely over the nonzeros."""
-    rows = np.ones((tensor.nnz, factors[0].shape[1]))
+    rows = np.ones((tensor.nnz, factors[0].shape[1]), dtype=np.float64)
     for m, factor in enumerate(factors):
         rows *= factor[tensor.indices[m]]
     return float((tensor.values.astype(np.float64) * (rows @ weights)).sum())
@@ -85,7 +85,7 @@ def _model_inner(tensor: CooTensor, factors, weights) -> float:
 
 def _model_norm_sq(factors, weights) -> float:
     rank = weights.shape[0]
-    v = np.ones((rank, rank))
+    v = np.ones((rank, rank), dtype=np.float64)
     for factor in factors:
         v *= factor.T @ factor
     return float(weights @ v @ weights)
@@ -154,7 +154,7 @@ def cp_als(
     )
     norm_x = _tensor_norm(tensor)
     fits: List[float] = []
-    ones = np.ones(rank)
+    ones = np.ones(rank, dtype=np.float64)
     previous_fit = 0.0
     # Working float32 copies of the factors, refreshed one factor at a
     # time as each mode is updated — not all N factors N times per sweep.
@@ -189,7 +189,7 @@ def cp_als(
                 break
             previous_fit = fit
     # Pull column norms out into the weight vector.
-    weights = np.ones(rank)
+    weights = np.ones(rank, dtype=np.float64)
     for mode, factor in enumerate(factors):
         norms = np.linalg.norm(factor, axis=0)
         norms[norms == 0] = 1.0
@@ -229,7 +229,7 @@ def random_low_rank_tensor(
         grids = np.meshgrid(*supports, indexing="ij")
         coords = np.vstack([g.reshape(-1) for g in grids])
         value_grids = np.meshgrid(*coefficients, indexing="ij")
-        values = np.ones(coords.shape[1])
+        values = np.ones(coords.shape[1], dtype=np.float64)
         for g in value_grids:
             values = values * g.reshape(-1)
         pieces_idx.append(coords)

@@ -126,7 +126,7 @@ def symmetric_tensor_from_components(
     size, count = vectors.shape
     if weights.shape != (count,):
         raise IncompatibleOperandsError("one weight per component required")
-    dense = np.zeros((size, size, size))
+    dense = np.zeros((size, size, size), dtype=np.float64)
     for k in range(count):
         v = vectors[:, k]
         dense += weights[k] * np.einsum("i,j,k->ijk", v, v, v)

@@ -212,7 +212,7 @@ def _mode_gram(tensor: CooTensor, mode: int) -> np.ndarray:
         plan = build_fiber_plan(tensor, mode)
     fptr = plan.fptr
     size = tensor.shape[mode]
-    gram = np.zeros((size, size))
+    gram = np.zeros((size, size), dtype=np.float64)
     ids = plan.sorted_indices[mode]
     values = tensor.values[plan.perm].astype(np.float64)
     for f in range(len(fptr) - 1):

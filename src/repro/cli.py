@@ -8,7 +8,10 @@ artifacts:
 * ``fig3`` ... ``fig7`` — regenerate the paper's figures (text series);
 * ``observations`` — evaluate the paper's five observations;
 * ``generate`` — emit a synthetic tensor as FROSTT ``.tns`` text;
-* ``list`` — list algorithms, datasets, and platforms.
+* ``list`` — list algorithms, datasets, and platforms;
+* ``lint`` — static contract checks over the source tree (dtype
+  discipline, index widths, densification, parallel-write safety,
+  cache hygiene) with a committed-baseline ratchet.
 """
 
 from __future__ import annotations
@@ -191,6 +194,41 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-failures", type=int, default=5)
     fuzz.add_argument(
         "--quiet", action="store_true", help="suppress per-iteration progress"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static contract checks: dtype discipline, index widths, "
+        "hidden densification, parallel-write safety, cache hygiene",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document instead of text lines",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="tolerate findings recorded in this baseline file; "
+        "fail only on new ones",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--severity", choices=["info", "warning", "error"], default="info",
+        help="minimum severity to report (default info = everything)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated rule families to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
     )
     return parser
 
@@ -427,6 +465,87 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis import (
+        BaselineError,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        rule_catalog,
+        severity_rank,
+        write_baseline,
+    )
+    from .analysis.engine import all_rules
+
+    if args.list_rules:
+        for rule, description in rule_catalog().items():
+            print(f"{rule:<18} {description}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: repro lint src/repro)", file=sys.stderr)
+        return 2
+    selected = None
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",") if name.strip()}
+        catalog = rule_catalog()
+        unknown = wanted - set(catalog)
+        if unknown:
+            print(
+                f"error: unknown rule(s) {sorted(unknown)}; "
+                f"known: {sorted(catalog)}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [m for m in all_rules() if m.RULE in wanted]
+
+    report = lint_paths(args.paths)
+    if selected is not None:
+        kept_rules = {m.RULE for m in selected}
+        report.findings = [f for f in report.findings if f.rule in kept_rules]
+    min_rank = severity_rank(args.severity)
+    findings = [f for f in report.findings if severity_rank(f.severity) <= min_rank]
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline needs --baseline FILE", file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, findings)
+        print(f"wrote baseline {args.baseline} with {count} finding(s)")
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, baseline)
+
+    if args.as_json:
+        payload = {
+            "files": report.files,
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": report.suppressed,
+            "baselined": baselined,
+            "parse_errors": report.parse_errors,
+        }
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        summary = (
+            f"{len(findings)} finding(s) in {report.files} file(s)"
+            f" ({report.suppressed} suppressed, {baselined} baselined)"
+        )
+        print(summary, file=sys.stderr)
+        for error in report.parse_errors:
+            print(f"parse error: {error}", file=sys.stderr)
+    return 1 if findings or report.parse_errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -434,6 +553,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "features":
         return _cmd_features(args)
     if args.command == "tune":

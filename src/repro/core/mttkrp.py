@@ -165,7 +165,13 @@ def _mttkrp_segmented(
             cols, starts[u0:u1] - e0, axis=1, dtype=np.float64
         ).T
 
-    run_chunks(chunks, task, kernel=kernel_label, grain="segment")
+    run_chunks(
+        chunks,
+        task,
+        kernel=kernel_label,
+        grain="segment",
+        outputs=((out, ("rows", targets)),),
+    )
     return out
 
 

@@ -182,14 +182,14 @@ def warp_divergence_factor(work_units: np.ndarray, warp_size: int = 32) -> float
     units = np.asarray(work_units, dtype=np.float64)
     if units.size == 0:
         return 1.0
-    total = units.sum()
+    total = units.sum(dtype=np.float64)
     if total == 0:
         return 1.0
     pad = (-units.size) % warp_size
-    padded = np.concatenate([units, np.zeros(pad)])
+    padded = np.concatenate([units, np.zeros(pad, dtype=np.float64)])
     warps = padded.reshape(-1, warp_size)
     warp_time = warps.max(axis=1) * warp_size
-    return float(warp_time.sum() / total)
+    return float(warp_time.sum(dtype=np.float64) / total)
 
 
 def uniform_work_units(total_work: int, grain_size: int = 256) -> np.ndarray:
@@ -228,6 +228,6 @@ def estimate_conflict_fraction(
         minlength=num_targets if num_targets else 0,
     )
     counts = counts[counts > 0]
-    total = counts.sum()
-    conflicts = (counts - 1).sum()
+    total = counts.sum(dtype=np.int64)
+    conflicts = (counts - 1).sum(dtype=np.int64)
     return float(conflicts) / float(total) if total else 0.0

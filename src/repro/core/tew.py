@@ -59,7 +59,9 @@ def _tew_values(
     def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
         out[e0:e1] = ufunc(x_values[e0:e1], y_values[e0:e1])
 
-    run_chunks(chunks, task, kernel=kernel, grain="nonzero")
+    run_chunks(
+        chunks, task, kernel=kernel, grain="nonzero", outputs=((out, "element"),)
+    )
     return out
 
 

@@ -92,7 +92,9 @@ def _ts_values(
     def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
         ufunc(values[e0:e1], scalar, out=out[e0:e1])
 
-    run_chunks(chunks, task, kernel="TS", grain="nonzero")
+    run_chunks(
+        chunks, task, kernel="TS", grain="nonzero", outputs=((out, "element"),)
+    )
     return out
 
 

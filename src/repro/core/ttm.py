@@ -90,7 +90,13 @@ def ttm_coo(x: CooTensor, matrix: np.ndarray, mode: int) -> SemiSparseCooTensor:
                 contributions.astype(np.float64), fptr[u0:u1] - e0, axis=0
             )
 
-        run_chunks(chunks, task, kernel="TTM-COO", grain="fiber")
+        run_chunks(
+            chunks,
+            task,
+            kernel="TTM-COO",
+            grain="fiber",
+            outputs=((rows, "unit"),),
+        )
     out_indices = ordered.indices[other_modes][:, fptr[:-1]]
     return SemiSparseCooTensor(
         out_shape, [mode], out_indices, rows.astype(VALUE_DTYPE)
@@ -162,7 +168,13 @@ def ttm_ghicoo_direct(
                 contributions, fiber_starts[u0:u1] - e0, axis=0
             )
 
-        run_chunks(chunks, task, kernel="TTM-HiCOO", grain="fiber")
+        run_chunks(
+            chunks,
+            task,
+            kernel="TTM-HiCOO",
+            grain="fiber",
+            outputs=((rows, "unit"),),
+        )
     return SHicooTensor(
         out_shape,
         ghicoo.block_size,

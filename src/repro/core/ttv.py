@@ -99,7 +99,9 @@ def ttv_coo(x: CooTensor, v: np.ndarray, mode: int) -> CooTensor:
             per_nonzero.astype(np.float64), fptr[u0:u1] - e0
         )
 
-    run_chunks(chunks, task, kernel="TTV-COO", grain="fiber")
+    run_chunks(
+        chunks, task, kernel="TTV-COO", grain="fiber", outputs=((sums, "unit"),)
+    )
     out_indices = ordered.indices[other_modes][:, fptr[:-1]]
     return CooTensor(
         out_shape, out_indices, sums.astype(VALUE_DTYPE), validate=False
@@ -199,7 +201,13 @@ def ttv_ghicoo_direct(
                 contributions, fiber_starts[u0:u1] - e0
             )
 
-        run_chunks(chunks, task, kernel="TTV-HiCOO", grain="fiber")
+        run_chunks(
+            chunks,
+            task,
+            kernel="TTV-HiCOO",
+            grain="fiber",
+            outputs=((sums, "unit"),),
+        )
     return HicooTensor(
         out_shape,
         ghicoo.block_size,

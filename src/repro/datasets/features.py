@@ -93,7 +93,7 @@ def fit_powerlaw_alpha(degrees: np.ndarray, minimum_degree: int = 2) -> float:
     if degrees.size < 10:
         return float("nan")
     logs = np.log(degrees / (minimum_degree - 0.5))
-    total = logs.sum()
+    total = logs.sum(dtype=np.float64)
     if total <= 0:
         return float("nan")
     return float(1.0 + degrees.size / total)
@@ -110,7 +110,7 @@ def extract_features(
         degrees = mode_degree_distribution(tensor, mode)
         used = degrees[degrees > 0]
         coverage = used.size / tensor.shape[mode]
-        skew = float(used.max() / used.mean()) if used.size else 0.0
+        skew = float(used.max() / used.mean(dtype=np.float64)) if used.size else 0.0
         skews.append(skew)
         if coverage >= DENSE_MODE_COVERAGE:
             dense_modes.append(mode)

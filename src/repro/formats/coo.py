@@ -27,6 +27,23 @@ def _as_index_matrix(indices: np.ndarray) -> np.ndarray:
         raise TensorShapeError(
             f"indices must have shape (order, nnz), got ndim={indices.ndim}"
         )
+    if (
+        indices.size
+        and np.issubdtype(indices.dtype, np.integer)
+        and indices.dtype.itemsize > np.dtype(INDEX_DTYPE).itemsize
+    ):
+        # A wider input cast to int32 wraps silently, and wrapped
+        # coordinates can still pass the per-mode bounds check — fail
+        # loudly instead of storing a valid-looking wrong tensor.
+        limit = np.iinfo(INDEX_DTYPE)
+        lo = indices.min(axis=1).min()
+        hi = indices.max(axis=1).max()
+        if lo < limit.min or hi > limit.max:
+            raise TensorShapeError(
+                f"coordinate {int(hi if hi > limit.max else lo)} does not "
+                f"fit the {np.dtype(INDEX_DTYPE).name} index storage "
+                f"(range [{limit.min}, {limit.max}])"
+            )
     return np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
 
 

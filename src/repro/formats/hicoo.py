@@ -56,6 +56,23 @@ def _group_sorted_blocks(block_coords: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     return starts, bptr
 
 
+def _check_index_width(shape: Sequence[int]) -> None:
+    """Fail loudly when a shape exceeds the narrow index storage.
+
+    Block coordinates and ``binds`` live in ``INDEX_DTYPE`` (int32); a
+    mode size past ``2**31`` would wrap during the block-key packing and
+    produce a valid-looking, silently wrong block structure.
+    """
+    limit = int(np.iinfo(INDEX_DTYPE).max)
+    for mode, size in enumerate(shape):
+        if int(size) - 1 > limit:
+            raise TensorShapeError(
+                f"mode-{mode} size {size} exceeds the {np.dtype(INDEX_DTYPE).name} "
+                f"index storage (max coordinate {limit}); HiCOO block "
+                f"indices would wrap"
+            )
+
+
 def _scalar_block_keys(
     block_coords: np.ndarray, shape: Sequence[int], block_size: int
 ) -> Optional[np.ndarray]:
@@ -209,11 +226,12 @@ class HicooTensor(ModeValidationMixin):
         from ..perf.plans import morton_perm
 
         block_size = check_block_size(block_size)
+        _check_index_width(tensor.shape)
         shift = block_size.bit_length() - 1
         idx = tensor.indices
         # Element offsets fit in uint8 (B <= 256); masking before the
         # permutation keeps the gather below 1 byte/mode/entry.
-        einds = (idx & (block_size - 1)).astype(ELEMENT_DTYPE)
+        einds = (idx & (block_size - 1)).astype(ELEMENT_DTYPE)  # repro: ignore[index-width]
         block_coords = idx >> shift
         perm = morton_perm(tensor, block_size)
         nnz = idx.shape[1]
@@ -229,7 +247,9 @@ class HicooTensor(ModeValidationMixin):
                 bptr = np.concatenate([starts, [nnz]]).astype(BPTR_DTYPE)
             else:
                 starts, bptr = _group_sorted_blocks(block_coords[:, perm])
-        binds = block_coords[:, perm[starts]].astype(INDEX_DTYPE, copy=False)
+        # Safe narrowing: block coords come from int32 inputs shifted
+        # right, so they always fit INDEX_DTYPE (see _check_index_width).
+        binds = block_coords[:, perm[starts]].astype(INDEX_DTYPE, copy=False)  # repro: ignore[index-width]
         return cls(
             tensor.shape,
             block_size,
@@ -257,8 +277,9 @@ class HicooTensor(ModeValidationMixin):
         block_coords = block_coords[:, perm]
         values = tensor.values[perm]
         starts, bptr = _group_sorted_blocks(block_coords)
-        binds = block_coords[:, starts].astype(INDEX_DTYPE)
-        einds = (idx % block_size).astype(ELEMENT_DTYPE)
+        # Safe narrowing: int32 coords // B and % B stay in range.
+        binds = block_coords[:, starts].astype(INDEX_DTYPE)  # repro: ignore[index-width]
+        einds = (idx % block_size).astype(ELEMENT_DTYPE)  # repro: ignore[index-width]
         return cls(
             tensor.shape, block_size, bptr, binds, einds, values, validate=False
         )
@@ -270,8 +291,10 @@ class HicooTensor(ModeValidationMixin):
             return CooTensor.empty(self.shape)
         expanded_binds = np.repeat(self.binds, counts, axis=1).astype(np.int64)
         indices = expanded_binds * self.block_size + self.einds
+        # Safe narrowing: bind * B + eind reconstructs the original
+        # int32 coordinate (shape checked at construction).
         return CooTensor(
-            self.shape, indices.astype(INDEX_DTYPE), self.values, validate=False
+            self.shape, indices.astype(INDEX_DTYPE), self.values, validate=False  # repro: ignore[index-width]
         )
 
     def block_of_nonzero(self) -> np.ndarray:

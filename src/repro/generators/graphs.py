@@ -49,7 +49,10 @@ def degree_powerlaw_pvalue_proxy(degrees: np.ndarray) -> float:
         return 0.0
     top = max(int(np.ceil(degrees.size * 0.01)), 1)
     sorted_degrees = np.sort(degrees)[::-1]
-    return float(sorted_degrees[:top].sum() / degrees.sum())
+    return float(
+        sorted_degrees[:top].sum(dtype=np.float64)
+        / degrees.sum(dtype=np.float64)
+    )
 
 
 def sampled_clustering_coefficient(

@@ -40,7 +40,7 @@ def default_initiator(order: int) -> np.ndarray:
         shape = [1] * order
         shape[axis] = 2
         cells = cells * np.array([high, low]).reshape(shape)
-    return cells / cells.sum()
+    return cells / cells.sum(dtype=np.float64)
 
 
 def _check_initiator(initiator: np.ndarray) -> np.ndarray:
@@ -49,7 +49,7 @@ def _check_initiator(initiator: np.ndarray) -> np.ndarray:
         raise TensorShapeError("initiator must be a tensor")
     if np.any(initiator < 0):
         raise TensorShapeError("initiator probabilities must be non-negative")
-    total = initiator.sum()
+    total = initiator.sum(dtype=np.float64)
     if total <= 0:
         raise TensorShapeError("initiator must have positive mass")
     return initiator / total

@@ -19,7 +19,7 @@ from typing import Optional, Sequence, TextIO, Tuple, Union
 import numpy as np
 
 from ..errors import TensorShapeError
-from ..formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from ..formats.coo import VALUE_DTYPE, CooTensor
 
 PathOrFile = Union[str, Path, TextIO]
 
@@ -83,7 +83,9 @@ def read_tns(
         raise TensorShapeError(".tns indices must be 1-based positive integers")
     if shape is None:
         shape = tuple(int(indices[m].max()) + 1 for m in range(order))
-    return CooTensor(shape, indices.astype(INDEX_DTYPE), values)
+    # Hand the int64 coordinates to the constructor unnarrowed: its
+    # range check rejects out-of-int32 input loudly instead of wrapping.
+    return CooTensor(shape, indices, values)
 
 
 def write_tns(tensor: CooTensor, target: PathOrFile, *, header: bool = True) -> None:

@@ -44,6 +44,7 @@ from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import checked_task, sanitizer_enabled
 from .partition import (
     POLICY_DYNAMIC,
     POLICY_STATIC,
@@ -346,6 +347,7 @@ def run_chunks(
     *,
     kernel: str = "",
     grain: str = "",
+    outputs: Tuple[Tuple[np.ndarray, Any], ...] = (),
 ) -> ExecutionReport:
     """Execute one chunked kernel region; returns its report.
 
@@ -354,11 +356,24 @@ def run_chunks(
     ``unit_lo:unit_hi``.  The caller participates as worker 0, helpers
     cover the remaining slots; with one worker (or inside an enclosing
     parallel region) everything runs inline on the calling thread.
+
+    ``outputs`` declares the arrays the task writes and which rows each
+    chunk owns (``(array, kind)`` with kind ``"element"``, ``"unit"``,
+    or ``("rows", targets)`` — see :mod:`repro.analysis.sanitizer`).
+    It is ignored in normal runs; under ``REPRO_SANITIZE=1`` the region
+    executes in checked-serial mode, which verifies every chunk claims
+    a disjoint region and writes only the rows it owns.  Checked-serial
+    results stay bit-identical to both serial and parallel execution.
     """
     global _LAST_REPORT
     start = perf_counter()
     workers = max(1, min(plan.workers, plan.num_chunks))
-    if workers <= 1 or _in_parallel_region():
+    if sanitizer_enabled():
+        # Checked serial: chunks run in plan order on this thread with
+        # ownership claims and complement-snapshot write verification.
+        job = _Job(plan, checked_task(task, outputs), 1, True)
+        job.run_share(0)
+    elif workers <= 1 or _in_parallel_region():
         job = _Job(plan, task, 1, True)
         job.run_share(0)
     else:

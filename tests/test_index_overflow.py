@@ -1,0 +1,73 @@
+"""Regression tests for int32 index-width overflow guards.
+
+The formats store coordinates in ``INDEX_DTYPE`` (int32).  These tests
+pin the contract that coordinates or mode sizes a hair past 2**31 fail
+loudly with :class:`TensorShapeError` instead of silently wrapping
+negative at the narrowing cast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.formats import CooTensor, HicooTensor
+from repro.formats.coo import INDEX_DTYPE
+from repro.io import loads_tns
+
+INT32_MAX = np.iinfo(np.int32).max
+
+
+class TestCooIndexWidth:
+    def test_int64_coordinate_past_int32_rejected(self):
+        indices = np.array([[0, INT32_MAX + 1]], dtype=np.int64)
+        values = np.ones(2, dtype=np.float32)
+        with pytest.raises(TensorShapeError, match="int32"):
+            CooTensor((INT32_MAX + 2,), indices, values)
+
+    def test_int64_in_range_narrowed_exactly(self):
+        indices = np.array([[0, 5, INT32_MAX - 1]], dtype=np.int64)
+        values = np.ones(3, dtype=np.float32)
+        tensor = CooTensor((INT32_MAX,), indices, values)
+        assert tensor.indices.dtype == np.dtype(INDEX_DTYPE)
+        assert tensor.indices[0].tolist() == [0, 5, INT32_MAX - 1]
+
+    def test_negative_wrap_is_impossible_not_silent(self):
+        # Without the guard, INT32_MAX + 1 narrows to -2**31; the check
+        # fires before the cast so no tensor with negative coordinates
+        # can be constructed from wide input.
+        indices = np.array([[1, INT32_MAX + 1], [0, 1]], dtype=np.int64)
+        with pytest.raises(TensorShapeError):
+            CooTensor(
+                (INT32_MAX + 2, 4), indices, np.ones(2, dtype=np.float32)
+            )
+
+
+class TestHicooIndexWidth:
+    def test_mode_size_past_int32_rejected(self):
+        tensor = CooTensor.random((8, 8, 8), 20, seed=0)
+        huge = CooTensor(
+            (INT32_MAX + 2, 8, 8),
+            tensor.indices.astype(np.int64),
+            tensor.values,
+        )
+        with pytest.raises(TensorShapeError, match="block"):
+            HicooTensor.from_coo(huge, block_size=8)
+
+    def test_normal_shape_converts(self):
+        tensor = CooTensor.random((32, 16, 8), 50, seed=1)
+        hicoo = HicooTensor.from_coo(tensor, block_size=8)
+        assert hicoo.to_coo().allclose(tensor)
+
+
+class TestFrosttIndexWidth:
+    def test_out_of_range_coordinate_rejected(self):
+        text = f"1 1 1.0\n{INT32_MAX + 2} 2 2.0\n"
+        with pytest.raises(TensorShapeError, match="int32"):
+            loads_tns(text)
+
+    def test_in_range_text_roundtrips(self):
+        tensor = loads_tns("1 1 1.5\n3 2 2.5\n")
+        assert tensor.shape == (3, 2)
+        assert tensor.indices.dtype == np.dtype(INDEX_DTYPE)

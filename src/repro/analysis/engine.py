@@ -290,6 +290,25 @@ def _is_suppressed(finding: Finding, suppressions: Dict[int, frozenset]) -> bool
     return "*" in rules or finding.rule in rules
 
 
+#: Path-scoped rule allowances: ``(path fragment, exempted rule families)``.
+#: The JIT code generator writes C source as Python strings and marshals
+#: float64 accumulators across the ctypes boundary; the densify/dtype
+#: heuristics misread both, so those two families are exempt there —
+#: scoped here rather than grown into the baseline so the exemption is
+#: visible, reviewable, and does not absorb unrelated future findings.
+SCOPED_ALLOWANCES: Tuple[Tuple[str, frozenset], ...] = (
+    ("/perf/jit/", frozenset({"densify", "dtype"})),
+)
+
+
+def _allowed_by_scope(finding: Finding) -> bool:
+    posix = finding.path.replace("\\", "/")
+    return any(
+        fragment in posix and finding.rule in rules
+        for fragment, rules in SCOPED_ALLOWANCES
+    )
+
+
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
@@ -352,7 +371,7 @@ def lint_source(
     suppressions = suppressed_lines(source, tree)
     kept = []
     for finding in ctx.findings:
-        if _is_suppressed(finding, suppressions):
+        if _is_suppressed(finding, suppressions) or _allowed_by_scope(finding):
             report.suppressed += 1
         else:
             kept.append(finding)

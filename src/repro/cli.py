@@ -155,6 +155,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(tune)
 
+    jit_cache = sub.add_parser(
+        "jit-cache",
+        help="inspect or clear the compiled-kernel object cache",
+    )
+    jit_cache.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached shared object",
+    )
+
     sub.add_parser("list", help="list algorithms, datasets, platforms")
     sub.add_parser(
         "verify",
@@ -374,6 +383,42 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_jit_cache(args: argparse.Namespace) -> int:
+    from datetime import datetime
+
+    from .perf import jit
+
+    if args.clear:
+        removed = jit.clear_cache()
+        print(f"removed {removed} cached object(s) from {jit.object_cache_dir()}")
+        return 0
+    enabled = jit.jit_enabled()
+    compiler = jit.compiler_path()
+    print(f"cache dir : {jit.object_cache_dir()}")
+    print(f"compiler  : {compiler or 'none found'}")
+    print(
+        "status    : "
+        + (
+            "available"
+            if jit.jit_available()
+            else ("disabled via REPRO_JIT" if not enabled else "unavailable")
+        )
+    )
+    entries = jit.cache_entries()
+    rows = [
+        {
+            "object": path.name,
+            "size (KiB)": f"{size / 1024:.1f}",
+            "built": datetime.fromtimestamp(mtime).strftime("%Y-%m-%d %H:%M:%S"),
+        }
+        for path, size, mtime in entries
+    ]
+    if rows:
+        print(format_table(rows))
+    print(f"{len(entries)} cached object(s)")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dims = tuple(int(d) for d in args.dims.split(","))
     if args.generator == "kronecker":
@@ -559,6 +604,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_features(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "jit-cache":
+        return _cmd_jit_cache(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "generate":

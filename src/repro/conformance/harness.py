@@ -35,6 +35,12 @@ Check kinds
     cache disabled) and require tolerance agreement with the serial COO
     baseline plus bit-identical agreement with a direct invocation of
     the tuner's chosen configuration.
+``jit_tolerance``
+    Run every applicable compiled (``repro.perf.jit``) variant and
+    compare against the numpy COO baseline and the dense oracle under
+    tolerance comparison — compiled accumulation order may legitimately
+    differ in the last ulps, so this is never bit-exact.  Passes
+    trivially when no compiler is available or ``REPRO_JIT=0``.
 """
 
 from __future__ import annotations
@@ -371,6 +377,63 @@ def _run_auto_dispatch(tensor: CooTensor, config: Dict[str, Any]) -> Optional[st
     )
 
 
+def _run_jit_tolerance(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """Compiled variants vs the numpy baseline and the dense oracle.
+
+    Enumerated unconditionally; when the compiled backend is unavailable
+    (no compiler, ``REPRO_JIT=0``) there is nothing to differentiate and
+    the check passes trivially — fallback correctness is covered by the
+    dispatch checks, which downgrade to numpy.
+    """
+    from ..perf import jit
+
+    if not jit.jit_available():
+        return None
+    kernel = config["kernel"]
+    mode = int(config.get("mode", 0))
+    operands = _operands(tensor, config)
+    baseline = _execute(tensor, config, operands, tensor_format="COO")
+    outputs: List[Tuple[str, Any]] = []
+    if kernel == "MTTKRP":
+        out = jit.mttkrp_coo(tensor, list(operands.factors), mode)
+        if out is not None:
+            outputs.append(("COO-MTTKRP-JIT", out))
+        from ..perf.plans import hicoo_for
+
+        hicoo = hicoo_for(tensor, int(config.get("block_size", 8)))
+        out = jit.mttkrp_hicoo(hicoo, list(operands.factors), mode)
+        if out is not None:
+            outputs.append(("HICOO-MTTKRP-JIT", out))
+    elif kernel == "TTV":
+        out = jit.ttv_coo(tensor, operands.vector, mode)
+        if out is not None:
+            outputs.append(("COO-TTV-JIT", out))
+    elif kernel == "TTM":
+        out = jit.ttm_coo(tensor, operands.matrix, mode)
+        if out is not None:
+            outputs.append(("COO-TTM-JIT", out))
+    use_oracle = _capacity(tensor.shape) <= MAX_DENSE_CELLS
+    reference = None
+    if use_oracle:
+        dense = tensor.to_dense().astype(np.float64)
+        reference = dense_reference(kernel, dense, operands, mode)
+    for label, out in outputs:
+        mismatch = _tolerance_mismatch(
+            out, baseline, f"{label} disagrees with the numpy COO baseline"
+        )
+        if mismatch is not None:
+            return mismatch
+        if reference is not None:
+            comparable = as_comparable(out)
+            if not np.allclose(comparable, reference, rtol=RTOL, atol=ATOL):
+                worst = float(np.max(np.abs(comparable - reference)))
+                return (
+                    f"{label} deviates from the dense oracle "
+                    f"(max abs error {worst:.3g})"
+                )
+    return None
+
+
 _RUNNERS = {
     "roundtrip": _run_roundtrip,
     "kernel_oracle": _run_kernel_oracle,
@@ -378,6 +441,7 @@ _RUNNERS = {
     "parallel_exact": _run_parallel_exact,
     "cache_exact": _run_cache_exact,
     "auto_dispatch": _run_auto_dispatch,
+    "jit_tolerance": _run_jit_tolerance,
 }
 
 
@@ -468,6 +532,7 @@ def enumerate_checks(
         checks.append({"check": "cross_format", "format": "COO", **base})
         if kernel in MODE_KERNELS:
             checks.append({"check": "auto_dispatch", "format": "COO", **base})
+            checks.append({"check": "jit_tolerance", "format": "COO", **base})
         for fmt in ("COO", "HiCOO"):
             checks.append({"check": "kernel_oracle", "format": fmt, **base})
             checks.append({"check": "cache_exact", "format": fmt, **base})
@@ -491,6 +556,8 @@ def describe_check(config: Dict[str, Any]) -> str:
         return f"roundtrip {'->'.join(config.get('path', []))}"
     if kind == "auto_dispatch":
         return f"auto_dispatch {config.get('kernel', '')} (serial vs auto)"
+    if kind == "jit_tolerance":
+        return f"jit_tolerance {config.get('kernel', '')} (compiled vs numpy/oracle)"
     label = f"{kind} {config.get('format', '')}-{config.get('kernel', '')}"
     if kind == "parallel_exact":
         label += f" x{config.get('threads')} {config.get('schedule')}"

@@ -28,8 +28,6 @@ import hashlib
 import json
 import math
 import os
-import platform
-import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -39,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import PastaError
+from .cachedir import machine_signature  # noqa: F401 — re-exported API
 from .parallel import last_parallel_report
 from .partition import POLICIES, POLICY_DYNAMIC
 from .plan_cache import cache_enabled, get_plan_cache
@@ -56,6 +55,16 @@ BLOCK_SIZES = (16, 32, 64, 128)
 
 #: Kernel variants with a CSF implementation.
 CSF_KERNELS = ("MTTKRP", "TTV")
+
+#: Kernels each compiled (JIT) variant can execute.  ``coo_jit`` chunks
+#: exactly like the numpy COO kernels, so it spans every tuned kernel;
+#: ``hicoo_jit`` is the literal blocked Algorithm 3 loop nest, which
+#: exists for MTTKRP only and runs serial (blocks sharing an output
+#: window would race under a block partition).
+JIT_VARIANT_KERNELS = {
+    "coo_jit": ("MTTKRP", "TTV", "TTM"),
+    "hicoo_jit": ("MTTKRP",),
+}
 
 ENV_CACHE = "REPRO_TUNE_CACHE"
 ENV_BUDGET_MS = "REPRO_TUNE_BUDGET_MS"
@@ -80,6 +89,11 @@ _PEAK_FLOPS = 5.0e10  # flop/s
 _ATOMIC_SECONDS = 2.0e-8  # per conflicting atomic update
 _DISPATCH_SECONDS = 5.0e-5  # per extra worker, fork/join overhead
 _SORT_SECONDS_PER_KEY = 2.0e-8  # per (mode, nonzero) key of a rebuild sort
+#: Modeled advantage of a compiled loop nest over the numpy path: the
+#: fused C loop makes one pass where numpy gathers/multiplies in several
+#: full-array sweeps.  The probe stage measures the real ratio.
+_JIT_MODEL_SPEEDUP = 3.0
+_JIT_CALL_SECONDS = 2.0e-6  # ctypes marshalling overhead per call
 
 
 @dataclass(frozen=True)
@@ -94,8 +108,8 @@ class TuneConfig:
     def label(self) -> str:
         """Short human-readable form, e.g. ``hicoo[B=32] 4T dynamic``."""
         fmt = self.variant
-        if self.variant == "hicoo" and self.block_size is not None:
-            fmt = f"hicoo[B={self.block_size}]"
+        if self.variant.startswith("hicoo") and self.block_size is not None:
+            fmt = f"{self.variant}[B={self.block_size}]"
         if self.num_threads == 1:
             return f"{fmt} serial"
         return f"{fmt} {self.num_threads}T {self.schedule}"
@@ -196,20 +210,9 @@ def reload_disk_cache() -> None:
 
 
 # ----------------------------------------------------------------------
-# Machine signature and tensor fingerprint
+# Tensor fingerprint (machine_signature lives in perf.cachedir and is
+# re-exported above — the JIT object cache keys on the same identity)
 # ----------------------------------------------------------------------
-
-
-def machine_signature() -> str:
-    """Coarse host identity baked into every persisted tuning decision."""
-    return "-".join(
-        [
-            platform.machine() or "unknown",
-            f"{os.cpu_count() or 1}cpu",
-            f"py{sys.version_info.major}.{sys.version_info.minor}",
-            f"np{np.__version__}",
-        ]
-    )
 
 
 def _features_for(tensor: Any):
@@ -303,7 +306,36 @@ def candidate_configs(
         # CSF kernels are tree-walks with no shared-memory execution
         # path, so only the serial variant is a candidate.
         configs.append(TuneConfig("csf", None, 1, POLICY_DYNAMIC))
+    configs.extend(_jit_candidates(kernel, threads))
     return tuple(configs)
+
+
+def _jit_candidates(
+    kernel: str, threads: Tuple[int, ...]
+) -> List[TuneConfig]:
+    """Compiled-variant candidates, present only when JIT can run here.
+
+    ``coo_jit`` spans the full thread/policy grid — the ctypes call
+    releases the GIL, so it is precisely the variant where extra workers
+    pay off.  ``hicoo_jit`` is serial-only, like ``csf``, but sweeps the
+    block size the blocked loop nest is generated for.
+    """
+    from . import jit
+
+    if not jit.jit_available():
+        return []
+    configs: List[TuneConfig] = []
+    if kernel in JIT_VARIANT_KERNELS["coo_jit"]:
+        for t in threads:
+            if t == 1:
+                configs.append(TuneConfig("coo_jit", None, 1, POLICY_DYNAMIC))
+            else:
+                for policy in POLICIES:
+                    configs.append(TuneConfig("coo_jit", None, t, policy))
+    if kernel in JIT_VARIANT_KERNELS["hicoo_jit"]:
+        for block in BLOCK_SIZES:
+            configs.append(TuneConfig("hicoo_jit", block, 1, POLICY_DYNAMIC))
+    return configs
 
 
 # ----------------------------------------------------------------------
@@ -369,16 +401,23 @@ def modeled_seconds(
 def _modeled_candidate_seconds(
     coo: Any, features: Any, kernel: str, mode: int, rank: int, config: TuneConfig
 ) -> float:
-    schedule = _base_schedule(coo, kernel, mode, rank, config.variant)
+    is_jit = config.variant in JIT_VARIANT_KERNELS
+    base_variant = config.variant.removesuffix("_jit") if is_jit else config.variant
+    schedule = _base_schedule(coo, kernel, mode, rank, base_variant)
     order = coo.order
     nnz = coo.nnz
     extra = 0.0
-    if config.variant == "hicoo":
+    if base_variant == "hicoo":
         block = config.block_size or 128
         # Block metadata stream (binds + bptr) minus the einds savings of
         # storing 1-byte element indices instead of 4-byte coordinates.
         extra = (4.0 * order + 8.0) * _est_blocks(features, block) - 3.0 * order * nnz
     seconds = modeled_seconds(schedule, config.num_threads, extra)
+    if is_jit:
+        # Same traffic/flops as the numpy variant, minus the interpreter
+        # orchestration the fused loop eliminates.  Compile cost is not
+        # modeled: the object cache makes it a once-per-machine event.
+        seconds = seconds / _JIT_MODEL_SPEEDUP + _JIT_CALL_SECONDS
     if config.variant == "csf":
         # csf_for_mode rebuilds the fiber tree on every kernel call; the
         # lexsort over (order, nnz) keys is a real per-call cost.
@@ -434,7 +473,9 @@ def tuning_cache_path() -> Path:
     override = os.environ.get(ENV_CACHE)
     if override:
         return Path(override)
-    return Path(os.path.expanduser("~")) / ".cache" / "repro" / "tuning.json"
+    from .cachedir import cache_root
+
+    return cache_root() / "tuning.json"
 
 
 def _disk_entries(path: Path) -> Dict[str, Any]:

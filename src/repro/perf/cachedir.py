@@ -1,0 +1,62 @@
+"""Shared on-disk cache location and machine identity helpers.
+
+Both persistent caches — the autotuner's tuning file and the JIT
+compiler's object cache — key their entries on a coarse machine
+signature and live under one per-user cache root.  This module owns
+both concerns so the two subsystems cannot drift apart:
+
+* :func:`cache_root` resolves the root directory, honoring
+  ``XDG_CACHE_HOME`` and falling back to ``~/.cache/repro``;
+* :func:`cache_subdir` creates (best-effort) a named subdirectory,
+  returning the path even when the filesystem is read-only — callers
+  degrade gracefully when their first write fails, exactly like the
+  tuning cache always has;
+* :func:`machine_signature` is the host fingerprint persisted next to
+  every cached artifact, so entries never leak across architectures,
+  Python versions, or numpy builds.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def cache_root() -> Path:
+    """Per-user cache root: ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def cache_subdir(name: str) -> Path:
+    """A named subdirectory of the cache root, created best-effort.
+
+    A read-only home (or any other ``OSError`` from ``mkdir``) is
+    tolerated: the path is still returned and the caller's first write
+    attempt fails in its own ``try``, degrading to in-process behavior —
+    the same contract the tuning cache's ``_disk_store`` follows.
+    """
+    path = cache_root() / name
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        pass
+    return path
+
+
+def machine_signature() -> str:
+    """Coarse host identity baked into every persisted cache entry."""
+    return "-".join(
+        [
+            platform.machine() or "unknown",
+            f"{os.cpu_count() or 1}cpu",
+            f"py{sys.version_info.major}.{sys.version_info.minor}",
+            f"np{np.__version__}",
+        ]
+    )

@@ -1,7 +1,8 @@
 """Format-agnostic kernel dispatch with autotuned ``variant="auto"``.
 
 Generic :func:`mttkrp` / :func:`ttv` / :func:`ttm` entry points that
-accept a *variant* — ``"coo"``, ``"hicoo"``, ``"csf"``, an explicit
+accept a *variant* — ``"coo"``, ``"hicoo"``, ``"csf"``, a compiled
+``"coo_jit"`` / ``"hicoo_jit"`` (see :mod:`repro.perf.jit`), an explicit
 :class:`~repro.perf.autotune.TuneConfig`, or ``"auto"`` to delegate the
 choice to the autotuner.  The auto path and a direct invocation of the
 winning configuration execute byte-identical code (:func:`run_config` is
@@ -23,7 +24,12 @@ from ..errors import PastaError
 from .autotune import CSF_KERNELS, TUNED_KERNELS, TuneConfig, decide
 from .parallel import get_num_threads, get_schedule, parallel_config
 
-VARIANTS = ("auto", "coo", "hicoo", "csf")
+VARIANTS = ("auto", "coo", "hicoo", "csf", "coo_jit", "hicoo_jit")
+
+#: Numpy twin of each compiled variant: ``run_config`` downgrades to it
+#: when the JIT declines (no compiler, ``REPRO_JIT=0``, unsupported
+#: specialization), so stale cached tuning decisions stay runnable.
+JIT_FALLBACK = {"coo_jit": "coo", "hicoo_jit": "hicoo"}
 
 VariantLike = Union[str, TuneConfig]
 
@@ -37,6 +43,9 @@ def _as_coo(x: Any):
     if isinstance(x, HicooTensor):
         from .plans import expanded_coo
 
+        # Memoized per tensor (plan-cache kind "expanded_coo"), so
+        # repeated dispatch on the same HiCOO tensor reuses both the
+        # expansion and every downstream plan keyed on the wrapper.
         return expanded_coo(x)
     raise PastaError(
         f"dispatch needs a COO or HiCOO tensor, got {type(x).__name__}"
@@ -74,12 +83,19 @@ def resolve_config(
         return decide(x, kernel, mode=mode, rank=rank, seed=seed, probe=probe)
     if name == "csf" and kernel not in CSF_KERNELS:
         raise PastaError(f"kernel {kernel!r} has no CSF implementation")
+    if name in JIT_FALLBACK:
+        from .autotune import JIT_VARIANT_KERNELS
+
+        if kernel not in JIT_VARIANT_KERNELS.get(name, ()):
+            raise PastaError(
+                f"kernel {kernel!r} has no {name} implementation"
+            )
     policy, _ = get_schedule()
-    if name == "hicoo":
+    if name in ("hicoo", "hicoo_jit"):
         from ..formats.hicoo import DEFAULT_BLOCK_SIZE, check_block_size
 
         block = check_block_size(block_size or DEFAULT_BLOCK_SIZE)
-        return TuneConfig("hicoo", block, get_num_threads(), policy)
+        return TuneConfig(name, block, get_num_threads(), policy)
     return TuneConfig(name, None, get_num_threads(), policy)
 
 
@@ -106,6 +122,22 @@ def run_config(
             factors = operands.factors
             if factors is None:
                 raise PastaError("MTTKRP dispatch needs factor matrices")
+            if variant == "coo_jit":
+                from . import jit
+
+                result = jit.mttkrp_coo(coo, list(factors), mode)
+                if result is not None:
+                    return result
+                variant = "coo"
+            elif variant == "hicoo_jit":
+                from . import jit
+
+                result = jit.mttkrp_hicoo(
+                    _hicoo(coo, config), list(factors), mode
+                )
+                if result is not None:
+                    return result
+                variant = "hicoo"
             if variant == "coo":
                 from ..core.mttkrp import mttkrp_coo
 
@@ -121,6 +153,13 @@ def run_config(
         elif kernel == "TTV":
             if operands.vector is None:
                 raise PastaError("TTV dispatch needs a vector operand")
+            if variant == "coo_jit":
+                from . import jit
+
+                result = jit.ttv_coo(coo, operands.vector, mode)
+                if result is not None:
+                    return result
+                variant = "coo"
             if variant == "coo":
                 from ..core.ttv import ttv_coo
 
@@ -138,6 +177,13 @@ def run_config(
         elif kernel == "TTM":
             if operands.matrix is None:
                 raise PastaError("TTM dispatch needs a matrix operand")
+            if variant == "coo_jit":
+                from . import jit
+
+                result = jit.ttm_coo(coo, operands.matrix, mode)
+                if result is not None:
+                    return result
+                variant = "coo"
             if variant == "coo":
                 from ..core.ttm import ttm_coo
 

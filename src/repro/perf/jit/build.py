@@ -1,0 +1,267 @@
+"""Compile generated C into a content-addressed shared-object cache.
+
+The pipeline is ``source -> sha256(source + machine signature) ->
+~/.cache/repro/jit/<hash>.so -> ctypes.CDLL``.  Hashing the source text
+means two requests for the same specialization share one object file,
+and any change to the generator invalidates old entries automatically;
+mixing in :func:`repro.perf.cachedir.machine_signature` keeps objects
+from leaking across architectures or toolchains.
+
+Failure handling is deliberately boring: every step that can fail —
+no compiler on PATH, ``REPRO_JIT=0``, read-only cache dir, a corrupt or
+truncated ``.so`` — resolves to ``None`` from :func:`load_function`, and
+the caller falls back to the numpy kernel.  A corrupt cache entry is
+unlinked and recompiled once before giving up.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from ..cachedir import cache_subdir, machine_signature
+
+#: Set to ``0``/``false``/``off``/``no`` to force the numpy path even
+#: when a compiler is available.
+ENV_JIT = "REPRO_JIT"
+
+#: Override the object-cache directory (tests and benchmarks point this
+#: at a tempdir so cold-compile timings are honest).
+ENV_JIT_CACHE = "REPRO_JIT_CACHE"
+
+_FALSY = {"0", "false", "off", "no"}
+
+_CFLAGS = ("-O3", "-shared", "-fPIC", "-fno-math-errno")
+
+# Process-local memo: function name -> ctypes function (or None when a
+# previous attempt failed).  Loaded libraries are pinned separately so
+# their function pointers stay valid for the process lifetime.
+_functions: Dict[str, Optional[Callable]] = {}
+_libraries: Dict[str, ctypes.CDLL] = {}
+_compiler_memo: Optional[tuple] = None
+_fallback_dir: Optional[Path] = None
+
+
+def jit_enabled() -> bool:
+    """False when ``REPRO_JIT`` is set to a falsy value."""
+    return os.environ.get(ENV_JIT, "1").strip().lower() not in _FALSY
+
+
+def compiler_path() -> Optional[str]:
+    """Path to a usable C compiler, memoized; ``None`` when absent."""
+    global _compiler_memo
+    if _compiler_memo is None:
+        _compiler_memo = (shutil.which("gcc") or shutil.which("cc"),)
+    return _compiler_memo[0]
+
+
+def jit_available() -> bool:
+    """True when compiled kernels can actually be produced right now."""
+    return jit_enabled() and compiler_path() is not None
+
+
+def reset() -> None:
+    """Drop all process-local memos (compiler probe, loaded functions).
+
+    Tests use this after monkeypatching ``shutil.which`` or the cache
+    env vars; already-loaded ``CDLL`` handles are released to the GC but
+    any outstanding function pointers remain valid until then.
+    """
+    global _compiler_memo, _fallback_dir
+    _compiler_memo = None
+    _fallback_dir = None
+    _functions.clear()
+    _libraries.clear()
+
+
+def object_cache_dir() -> Path:
+    """Directory holding compiled ``.so`` files (created best-effort)."""
+    override = os.environ.get(ENV_JIT_CACHE)
+    if override:
+        path = Path(override)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass
+        return path
+    return cache_subdir("jit")
+
+
+def _writable_cache_dir() -> Path:
+    """The object cache dir, or a process tempdir when it is read-only."""
+    global _fallback_dir
+    primary = object_cache_dir()
+    if os.access(primary, os.W_OK):
+        return primary
+    if _fallback_dir is None:
+        _fallback_dir = Path(tempfile.mkdtemp(prefix="repro-jit-"))
+    return _fallback_dir
+
+
+def source_key(source: str) -> str:
+    """Content address for one translation unit on this machine."""
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(machine_signature().encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def _compile(source: str, out_path: Path) -> bool:
+    """Compile ``source`` to ``out_path``; False on any failure."""
+    cc = compiler_path()
+    if cc is None:
+        return False
+    workdir = out_path.parent
+    try:
+        fd, c_path = tempfile.mkstemp(suffix=".c", dir=workdir)
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(source)
+        tmp_so = Path(c_path).with_suffix(".so.tmp")
+        proc = subprocess.run(
+            [cc, *_CFLAGS, "-o", str(tmp_so), c_path],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return False
+        # Atomic publish so a concurrent process never loads a half-
+        # written object.
+        os.replace(tmp_so, out_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        for leftover in (Path(c_path), Path(c_path).with_suffix(".so.tmp")):
+            try:
+                leftover.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+def _try_load(so_path: Path, name: str) -> Optional[Callable]:
+    """Load ``name`` from ``so_path``; None when the entry is unusable."""
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        fn = getattr(lib, name)
+    except (OSError, AttributeError):
+        return None
+    # Pin the owning library for the process lifetime so the function
+    # pointer stays valid even if the memo is cleared mid-call.
+    _libraries[name] = lib
+    return fn
+
+
+def _load_via_unique_copy(so_path: Path, name: str) -> Optional[Callable]:
+    """Load through a uniquely-named copy of ``so_path``.
+
+    ``dlopen`` dedupes by pathname, so once a stale object has been
+    mapped from the canonical path, reloading a recompiled replacement
+    from that same path silently returns the old mapping.  A one-off
+    copy gets a fresh pathname; unlinking it immediately is safe because
+    the mapping outlives the directory entry.
+    """
+    try:
+        fd, copy_path = tempfile.mkstemp(suffix=".so", dir=so_path.parent)
+        os.close(fd)
+        shutil.copyfile(so_path, copy_path)
+    except OSError:
+        return None
+    try:
+        return _try_load(Path(copy_path), name)
+    finally:
+        try:
+            os.unlink(copy_path)
+        except OSError:
+            pass
+
+
+def load_function(
+    name: str,
+    source: str,
+    argtypes: Sequence,
+    restype=None,
+) -> Optional[Callable]:
+    """Return the compiled function for ``source``, or None.
+
+    Compilation results — including failures — are memoized per process
+    so a missing compiler costs one ``which`` probe, not one subprocess
+    per kernel call.  ctypes foreign calls release the GIL, which is
+    what lets the worker pool drive these concurrently.
+    """
+    if name in _functions:
+        return _functions[name]
+    fn = _load_uncached(name, source, argtypes, restype)
+    _functions[name] = fn
+    return fn
+
+
+def _load_uncached(name, source, argtypes, restype) -> Optional[Callable]:
+    if not jit_available():
+        return None
+    so_path = _writable_cache_dir() / f"{source_key(source)}.so"
+    fn = None
+    stale_mapped = False
+    if so_path.exists():
+        fn = _try_load(so_path, name)
+        if fn is None:
+            # Corrupt or stale entry (truncated write, wrong symbol from
+            # a hash collision with an older generator): recompile once.
+            # If the bad object was a valid library that merely lacked
+            # the symbol, dlopen has already mapped the canonical path
+            # and will keep returning that stale mapping.
+            stale_mapped = True
+            try:
+                so_path.unlink(missing_ok=True)
+            except OSError:
+                return None
+    if fn is None:
+        if not _compile(source, so_path):
+            return None
+        loader = _load_via_unique_copy if stale_mapped else _try_load
+        fn = loader(so_path, name)
+        if fn is None:
+            return None
+    fn.argtypes = list(argtypes)
+    fn.restype = restype
+    return fn
+
+
+def cache_entries() -> list:
+    """(path, size_bytes, mtime) for each cached object, sorted by name."""
+    entries = []
+    root = object_cache_dir()
+    try:
+        paths = sorted(root.glob("*.so"))
+    except OSError:
+        return entries
+    for path in paths:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((path, stat.st_size, stat.st_mtime))
+    return entries
+
+
+def clear_cache() -> int:
+    """Delete every cached object; returns the number removed."""
+    removed = 0
+    for path, _, _ in cache_entries():
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    _functions.clear()
+    _libraries.clear()
+    return removed

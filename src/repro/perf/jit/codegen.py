@@ -1,0 +1,242 @@
+"""C code generation: fused loop nests specialized per kernel instance.
+
+Each generator emits one self-contained translation unit holding one
+``void`` function.  The loop nests mirror the numpy kernels' iteration
+grain exactly — MTTKRP walks the mode-sort plan's output segments,
+TTV/TTM walk fiber runs, TEW walks a nonzero range, and the blocked
+HiCOO MTTKRP replays Algorithm 3's per-block windows — so a compiled
+chunk and a numpy chunk reduce the same elements in the same order.
+Accumulation is ``double`` wherever the numpy path accumulates in
+float64, and outputs are stored once per owned unit, which is what lets
+the parallel executor drive compiled chunks with the same disjoint
+ownership declarations as the interpreted kernels.
+
+Specialization axes follow the TACO thesis scaled to this suite's needs:
+tensor ``order`` and factor ``rank`` are baked into the source (the
+compiler fully unrolls the rank loop), while array extents stay runtime
+arguments.  Dtypes are fixed by the formats layer — float32 values,
+int32 coordinates, int64 offsets, uint8 element indices — and appear
+literally in the signatures.
+
+Every generator returns ``(function_name, c_source)``; the build layer
+hashes the source, so two calls asking for the same specialization reuse
+one shared object.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+_PRELUDE = """\
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef uint8_t u8;
+"""
+
+
+def _check_order(order: int, minimum: int = 1) -> int:
+    order = int(order)
+    if order < minimum:
+        raise ValueError(f"order must be >= {minimum}, got {order}")
+    if order > 16:
+        raise ValueError(f"order {order} is beyond any supported tensor")
+    return order
+
+
+def _check_rank(rank: int) -> int:
+    rank = int(rank)
+    if not 1 <= rank <= 4096:
+        raise ValueError(f"rank must be in [1, 4096], got {rank}")
+    return rank
+
+
+def mttkrp_coo_source(order: int, rank: int) -> Tuple[str, str]:
+    """Segmented COO MTTKRP over a mode-sort plan, one call per chunk.
+
+    The caller passes the ``order - 1`` non-target index rows and factor
+    matrices (ascending mode order; the elementwise product commutes) and
+    absolute segment offsets, so parallel chunks invoke the same function
+    on their own ``[u0, u1)`` segment range.  Each segment accumulates in
+    ``double`` and stores its float32 output row exactly once.
+    """
+    order = _check_order(order, minimum=2)
+    rank = _check_rank(rank)
+    k = order - 1
+    name = f"repro_mttkrp_coo_o{order}_r{rank}"
+    idx_args = ", ".join(f"const i32 *restrict idx{m}" for m in range(k))
+    fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
+    gather = "\n".join(
+        f"            const f32 *restrict row{m} = "
+        f"fac{m} + (i64)idx{m}[e] * {rank};"
+        for m in range(k)
+    )
+    product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    source = f"""{_PRELUDE}
+void {name}(i64 u0, i64 u1,
+            const i64 *restrict seg_offsets,
+            const i32 *restrict targets,
+            const f32 *restrict vals,
+            {idx_args},
+            {fac_args},
+            f32 *restrict out)
+{{
+    for (i64 s = u0; s < u1; ++s) {{
+        f64 acc[{rank}] = {{0.0}};
+        const i64 lo = seg_offsets[s];
+        const i64 hi = seg_offsets[s + 1];
+        for (i64 e = lo; e < hi; ++e) {{
+{gather}
+            const f64 v = (f64)vals[e];
+            for (int r = 0; r < {rank}; ++r)
+                acc[r] += v * {product};
+        }}
+        f32 *restrict orow = out + (i64)targets[s] * {rank};
+        for (int r = 0; r < {rank}; ++r)
+            orow[r] = (f32)acc[r];
+    }}
+}}
+"""
+    return name, source
+
+
+def mttkrp_hicoo_source(order: int, rank: int) -> Tuple[str, str]:
+    """Blocked HiCOO MTTKRP (Algorithm 3 shape), serial over blocks.
+
+    Argument convention: ``order`` (binds, einds) pairs with the *output
+    mode last*, and ``order - 1`` factors for the non-output modes in the
+    same ascending order as the index pairs.  The output array is
+    ``double`` — blocks sharing an output window accumulate into it
+    directly, which is also why this variant stays serial.
+    """
+    order = _check_order(order, minimum=2)
+    rank = _check_rank(rank)
+    k = order - 1
+    name = f"repro_mttkrp_hicoo_o{order}_r{rank}"
+    bind_args = ", ".join(
+        f"const i32 *restrict binds{m}, const u8 *restrict einds{m}"
+        for m in range(order)
+    )
+    fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
+    bases = "\n".join(
+        f"        const i64 base{m} = (i64)binds{m}[b] * block_size;"
+        for m in range(order)
+    )
+    gather = "\n".join(
+        f"            const f32 *restrict row{m} = "
+        f"fac{m} + (base{m} + (i64)einds{m}[e]) * {rank};"
+        for m in range(k)
+    )
+    product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    source = f"""{_PRELUDE}
+void {name}(i64 b0, i64 b1,
+            const i64 *restrict bptr,
+            i64 block_size,
+            const f32 *restrict vals,
+            {bind_args},
+            {fac_args},
+            f64 *restrict out)
+{{
+    for (i64 b = b0; b < b1; ++b) {{
+        const i64 lo = bptr[b];
+        const i64 hi = bptr[b + 1];
+{bases}
+        for (i64 e = lo; e < hi; ++e) {{
+{gather}
+            const f64 v = (f64)vals[e];
+            f64 *restrict orow = out + (base{k} + (i64)einds{k}[e]) * {rank};
+            for (int r = 0; r < {rank}; ++r)
+                orow[r] += v * {product};
+        }}
+    }}
+}}
+"""
+    return name, source
+
+
+def ttv_source() -> Tuple[str, str]:
+    """Fiber-grain TTV: one double reduction per fiber, any order.
+
+    Order never appears — the fiber plan already isolated the product
+    mode's indices — so a single specialization serves every tensor.
+    """
+    name = "repro_ttv_fiber"
+    source = f"""{_PRELUDE}
+void {name}(i64 u0, i64 u1,
+            const i64 *restrict fptr,
+            const f32 *restrict vals,
+            const i32 *restrict prod_idx,
+            const f32 *restrict vec,
+            f64 *restrict sums)
+{{
+    for (i64 f = u0; f < u1; ++f) {{
+        f64 acc = 0.0;
+        const i64 lo = fptr[f];
+        const i64 hi = fptr[f + 1];
+        for (i64 e = lo; e < hi; ++e)
+            acc += (f64)vals[e] * (f64)vec[prod_idx[e]];
+        sums[f] = acc;
+    }}
+}}
+"""
+    return name, source
+
+
+def ttm_source(rank: int) -> Tuple[str, str]:
+    """Fiber-grain TTM: accumulate ``value * U[i_n, :]`` rows per fiber."""
+    rank = _check_rank(rank)
+    name = f"repro_ttm_fiber_r{rank}"
+    source = f"""{_PRELUDE}
+void {name}(i64 u0, i64 u1,
+            const i64 *restrict fptr,
+            const f32 *restrict vals,
+            const i32 *restrict prod_idx,
+            const f32 *restrict mat,
+            f64 *restrict rows)
+{{
+    for (i64 f = u0; f < u1; ++f) {{
+        f64 *restrict orow = rows + f * {rank};
+        for (int r = 0; r < {rank}; ++r)
+            orow[r] = 0.0;
+        const i64 lo = fptr[f];
+        const i64 hi = fptr[f + 1];
+        for (i64 e = lo; e < hi; ++e) {{
+            const f64 v = (f64)vals[e];
+            const f32 *restrict mrow = mat + (i64)prod_idx[e] * {rank};
+            for (int r = 0; r < {rank}; ++r)
+                orow[r] += v * (f64)mrow[r];
+        }}
+    }}
+}}
+"""
+    return name, source
+
+
+#: TEW operation name -> C infix operator.
+TEW_OPS = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+
+def tew_source(op: str) -> Tuple[str, str]:
+    """Elementwise float32 op over a nonzero range, specialized per op.
+
+    Single-precision IEEE ``+ - * /`` are exactly defined, so the
+    compiled result is bit-identical to the numpy ufunc — including
+    inf/nan from division by zero.
+    """
+    if op not in TEW_OPS:
+        raise ValueError(f"unknown TEW op {op!r}; use one of {sorted(TEW_OPS)}")
+    name = f"repro_tew_{op}"
+    source = f"""{_PRELUDE}
+void {name}(i64 e0, i64 e1,
+            const f32 *restrict x,
+            const f32 *restrict y,
+            f32 *restrict out)
+{{
+    for (i64 e = e0; e < e1; ++e)
+        out[e] = x[e] {TEW_OPS[op]} y[e];
+}}
+"""
+    return name, source

@@ -1,0 +1,335 @@
+"""Compiled kernel entry points: numpy marshaling around the C loops.
+
+Every function here returns ``None`` whenever the compiled path cannot
+run — no compiler, ``REPRO_JIT=0``, an unsupported specialization — and
+the caller (``dispatch.run_config`` or the TEW value chokepoint) falls
+back to the numpy kernel.  When it does run, it reuses the *same* plans,
+chunk plans, and sanitizer ownership declarations as the numpy path:
+
+* MTTKRP consumes the cached mode-sort plan and partitions by output
+  segments (``grain="segment"``, key ``plan.mode``);
+* TTV/TTM consume the cached fiber partition and partition by fibers
+  (``grain="fiber"``, keys ``("ttv", mode)`` / ``("ttm", mode)``);
+* TEW partitions the nonzero range (``grain="nonzero"``).
+
+Parallel chunks call the same compiled function as the serial path on
+their own ``[u0, u1)`` unit range, so parallel JIT results are
+bit-identical to serial JIT results; ctypes releases the GIL around
+each call, so the worker pool gets true concurrency.  The blocked HiCOO
+MTTKRP stays serial — its blocks share output windows.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...formats.coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from ...formats.hicoo import HicooTensor
+from ..parallel import kernel_chunk_plan, run_chunks, want_parallel
+from ..plans import build_mode_sort_plan, mode_sort_plan
+from . import build, codegen
+
+_I64 = ctypes.c_int64
+_PTR_F32 = np.ctypeslib.ndpointer(dtype=np.float32, flags="C_CONTIGUOUS")
+_PTR_F64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_PTR_I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_PTR_I32 = np.ctypeslib.ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
+_PTR_U8 = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+
+def _f32(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float32)
+
+
+def _i32(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int32)
+
+
+def _i64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# MTTKRP
+# ----------------------------------------------------------------------
+
+
+def _mttkrp_coo_fn(order: int, rank: int):
+    name, source = codegen.mttkrp_coo_source(order, rank)
+    k = order - 1
+    argtypes = (
+        [_I64, _I64, _PTR_I64, _PTR_I32, _PTR_F32]
+        + [_PTR_I32] * k
+        + [_PTR_F32] * k
+        + [_PTR_F32]
+    )
+    return build.load_function(name, source, argtypes)
+
+
+def mttkrp_coo(
+    x: CooTensor, factors: Sequence[np.ndarray], mode: int
+) -> Optional[np.ndarray]:
+    """Compiled segmented COO MTTKRP; ``None`` when JIT is unavailable.
+
+    Accepts COO and HiCOO owners (the mode-sort plan expands HiCOO
+    coordinates exactly as the numpy kernel does).
+    """
+    from ...core.mttkrp import check_factors
+
+    order = len(x.shape)
+    if order < 2:
+        return None
+    mode = x.check_mode(mode)
+    factors = check_factors(x.shape, factors)
+    rank = factors[0].shape[1]
+    if rank < 1:
+        return None
+    fn = _mttkrp_coo_fn(order, rank)
+    if fn is None:
+        return None
+    plan = mode_sort_plan(x, mode)
+    if plan is None:
+        plan = build_mode_sort_plan(x, mode)
+    offsets = _i64(plan.segment_offsets())
+    targets = _i32(plan.unique_targets)
+    sorted_values = _f32(plan.sorted_values(x.values))
+    sorted_indices = plan.sorted_indices
+    non_mode = [m for m in range(order) if m != mode]
+    idx_arrays = [_i32(sorted_indices[m]) for m in non_mode]
+    fac_arrays = [_f32(factors[m]) for m in non_mode]
+    out = np.zeros((x.shape[mode], rank), dtype=VALUE_DTYPE)
+    tail = (*idx_arrays, *fac_arrays, out)
+    chunks = kernel_chunk_plan(
+        x, grain="segment", key=plan.mode, element_offsets=offsets
+    )
+    if chunks is None:
+        fn(0, plan.num_segments, offsets, targets, sorted_values, *tail)
+        return out
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        fn(u0, u1, offsets, targets, sorted_values, *tail)
+
+    run_chunks(
+        chunks,
+        task,
+        kernel="MTTKRP-COO-JIT",
+        grain="segment",
+        outputs=((out, ("rows", targets)),),
+    )
+    return out
+
+
+def _mttkrp_hicoo_fn(order: int, rank: int):
+    name, source = codegen.mttkrp_hicoo_source(order, rank)
+    k = order - 1
+    argtypes = (
+        [_I64, _I64, _PTR_I64, _I64, _PTR_F32]
+        + [_PTR_I32, _PTR_U8] * order
+        + [_PTR_F32] * k
+        + [_PTR_F64]
+    )
+    return build.load_function(name, source, argtypes)
+
+
+def mttkrp_hicoo(
+    x: HicooTensor, factors: Sequence[np.ndarray], mode: int
+) -> Optional[np.ndarray]:
+    """Compiled blocked HiCOO MTTKRP (Algorithm 3), serial over blocks."""
+    from ...core.mttkrp import check_factors
+
+    order = x.order
+    if order < 2:
+        return None
+    mode = mode % order
+    factors = check_factors(x.shape, factors)
+    rank = factors[0].shape[1]
+    if rank < 1:
+        return None
+    fn = _mttkrp_hicoo_fn(order, rank)
+    if fn is None:
+        return None
+    non_mode = [m for m in range(order) if m != mode]
+    pairs = []
+    for m in (*non_mode, mode):  # codegen convention: output mode last
+        pairs.append(_i32(x.binds[m]))
+        pairs.append(np.ascontiguousarray(x.einds[m]))
+    fac_arrays = [_f32(factors[m]) for m in non_mode]
+    out = np.zeros((x.shape[mode], rank), dtype=np.float64)
+    fn(
+        0,
+        x.num_blocks,
+        _i64(x.bptr),
+        int(x.block_size),
+        _f32(x.values),
+        *pairs,
+        *fac_arrays,
+        out,
+    )
+    return out.astype(VALUE_DTYPE)
+
+
+# ----------------------------------------------------------------------
+# TTV / TTM
+# ----------------------------------------------------------------------
+
+
+def _ttv_fn():
+    name, source = codegen.ttv_source()
+    argtypes = [_I64, _I64, _PTR_I64, _PTR_F32, _PTR_I32, _PTR_F32, _PTR_F64]
+    return build.load_function(name, source, argtypes)
+
+
+def ttv_coo(x: CooTensor, v: np.ndarray, mode: int) -> Optional[CooTensor]:
+    """Compiled fiber-grain COO TTV; same output object shape as numpy."""
+    from ...core.ttv import _check_vector
+
+    mode = x.check_mode(mode)
+    v = _check_vector(x.shape[mode], v)
+    fn = _ttv_fn()
+    if fn is None:
+        return None
+    ordered, fptr = x.fiber_partition(mode)
+    other_modes = [m for m in range(x.order) if m != mode]
+    out_shape = tuple(x.shape[m] for m in other_modes)
+    num_fibers = len(fptr) - 1
+    if num_fibers == 0:
+        return CooTensor(
+            out_shape,
+            np.empty((len(other_modes), 0), dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+    fptr = _i64(fptr)
+    values = _f32(ordered.values)
+    product_indices = _i32(ordered.indices[mode])
+    vec = _f32(v)
+    sums = np.empty(num_fibers, dtype=np.float64)
+    chunks = kernel_chunk_plan(
+        x, grain="fiber", key=("ttv", mode), element_offsets=fptr
+    )
+    if chunks is None:
+        fn(0, num_fibers, fptr, values, product_indices, vec, sums)
+    else:
+
+        def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+            fn(u0, u1, fptr, values, product_indices, vec, sums)
+
+        run_chunks(
+            chunks,
+            task,
+            kernel="TTV-COO-JIT",
+            grain="fiber",
+            outputs=((sums, "unit"),),
+        )
+    out_indices = ordered.indices[other_modes][:, fptr[:-1]]
+    return CooTensor(
+        out_shape, out_indices, sums.astype(VALUE_DTYPE), validate=False
+    )
+
+
+def _ttm_fn(rank: int):
+    name, source = codegen.ttm_source(rank)
+    argtypes = [_I64, _I64, _PTR_I64, _PTR_F32, _PTR_I32, _PTR_F32, _PTR_F64]
+    return build.load_function(name, source, argtypes)
+
+
+def ttm_coo(x: CooTensor, matrix: np.ndarray, mode: int):
+    """Compiled fiber-grain COO TTM returning the numpy kernel's sCOO."""
+    from ...core.ttm import _check_matrix
+    from ...formats.scoo import SemiSparseCooTensor
+
+    mode = x.check_mode(mode)
+    matrix = _check_matrix(x.shape[mode], matrix)
+    rank = matrix.shape[1]
+    if rank < 1:
+        return None
+    fn = _ttm_fn(rank)
+    if fn is None:
+        return None
+    ordered, fptr = x.fiber_partition(mode)
+    out_shape = list(x.shape)
+    out_shape[mode] = rank
+    other_modes = [m for m in range(x.order) if m != mode]
+    num_fibers = len(fptr) - 1
+    if num_fibers == 0:
+        return SemiSparseCooTensor(
+            out_shape,
+            [mode],
+            np.empty((len(other_modes), 0), dtype=INDEX_DTYPE),
+            np.empty((0, rank), dtype=VALUE_DTYPE),
+        )
+    fptr = _i64(fptr)
+    values = _f32(ordered.values)
+    product_indices = _i32(ordered.indices[mode])
+    mat = _f32(matrix)
+    rows = np.empty((num_fibers, rank), dtype=np.float64)
+    chunks = kernel_chunk_plan(
+        x, grain="fiber", key=("ttm", mode), element_offsets=fptr
+    )
+    if chunks is None:
+        fn(0, num_fibers, fptr, values, product_indices, mat, rows)
+    else:
+
+        def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+            fn(u0, u1, fptr, values, product_indices, mat, rows)
+
+        run_chunks(
+            chunks,
+            task,
+            kernel="TTM-COO-JIT",
+            grain="fiber",
+            outputs=((rows, "unit"),),
+        )
+    out_indices = ordered.indices[other_modes][:, fptr[:-1]]
+    return SemiSparseCooTensor(
+        out_shape, [mode], out_indices, rows.astype(VALUE_DTYPE)
+    )
+
+
+# ----------------------------------------------------------------------
+# TEW
+# ----------------------------------------------------------------------
+
+
+def _tew_fn(op: str):
+    name, source = codegen.tew_source(op)
+    argtypes = [_I64, _I64, _PTR_F32, _PTR_F32, _PTR_F32]
+    return build.load_function(name, source, argtypes)
+
+
+def tew_values(
+    op: str, x_values: np.ndarray, y_values: np.ndarray, kernel: str
+) -> Optional[np.ndarray]:
+    """Compiled elementwise op over aligned value arrays.
+
+    Bit-identical to the numpy ufunc (single-precision IEEE arithmetic
+    either way), so callers may prefer it unconditionally.  Only worth
+    the ctypes round-trip on inputs past the parallel threshold; tiny
+    arrays return ``None`` and stay on the (faster) ufunc path.
+    """
+    if op not in codegen.TEW_OPS:
+        return None
+    nnz = int(x_values.shape[0])
+    if not want_parallel(nnz):
+        return None
+    fn = _tew_fn(op)
+    if fn is None:
+        return None
+    xs = _f32(x_values)
+    ys = _f32(y_values)
+    out = np.empty(nnz, dtype=VALUE_DTYPE)
+    chunks = kernel_chunk_plan(None, grain="nonzero", total_elements=nnz)
+    if chunks is None:
+        fn(0, nnz, xs, ys, out)
+        return out
+
+    def task(chunk: int, u0: int, u1: int, e0: int, e1: int) -> None:
+        fn(e0, e1, xs, ys, out)
+
+    run_chunks(
+        chunks, task, kernel=kernel, grain="nonzero", outputs=((out, "element"),)
+    )
+    return out

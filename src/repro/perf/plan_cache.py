@@ -48,9 +48,10 @@ STRUCTURAL_KINDS = frozenset(
     }
 )
 
-#: Plan kinds that embed nonzero values (cached converted tensors).  They
-#: are never transferred by :meth:`PlanCache.adopt`.
-VALUE_BEARING_KINDS = frozenset({"ghicoo_build", "hicoo_build"})
+#: Plan kinds that embed nonzero values (cached converted tensors and the
+#: dispatch layer's HiCOO→COO expansion wrapper).  They are never
+#: transferred by :meth:`PlanCache.adopt`.
+VALUE_BEARING_KINDS = frozenset({"ghicoo_build", "hicoo_build", "expanded_coo"})
 
 
 @dataclass

@@ -43,6 +43,7 @@ KIND_MORTON = "morton_perm"
 KIND_GHICOO_FIBER = "ghicoo_fiber_sort"
 KIND_GHICOO_BUILD = "ghicoo_build"
 KIND_HICOO_BUILD = "hicoo_build"
+KIND_EXPANDED_COO = "expanded_coo"
 
 _CooLike = Union[CooTensor, HicooTensor]
 
@@ -298,15 +299,25 @@ def expanded_indices(
 
 
 def expanded_coo(tensor: HicooTensor) -> CooTensor:
-    """The HiCOO tensor expanded to COO, reusing cached indices.
+    """The HiCOO tensor expanded to COO, memoized per tensor.
 
-    A fresh :class:`CooTensor` wrapper is returned each call (so callers
-    may hold it without pinning the cache), but the index matrix inside
-    is the cached expansion when caching is enabled.
+    The *wrapper itself* is cached (kind :data:`KIND_EXPANDED_COO`), not
+    just the index matrix: downstream per-tensor artifacts — mode-sort
+    plans, fiber partitions, autotune decisions — are keyed on the COO
+    object, so handing dispatch a fresh wrapper every call silently
+    discarded all of them.  Value-bearing (the wrapper embeds the values
+    array), so it is dropped rather than transferred on plan adoption.
+    With caching disabled a fresh wrapper is built each call.
     """
-    return CooTensor(
-        tensor.shape, expanded_indices(tensor), tensor.values, validate=False
-    )
+
+    def build() -> CooTensor:
+        return CooTensor(
+            tensor.shape, expanded_indices(tensor), tensor.values, validate=False
+        )
+
+    if not cache_enabled():
+        return build()
+    return _cache(None).get(tensor, KIND_EXPANDED_COO, None, build)
 
 
 # ----------------------------------------------------------------------

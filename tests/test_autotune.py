@@ -86,12 +86,24 @@ class TestTuneConfig:
 
 class TestCandidates:
     def test_mttkrp_space(self):
+        from repro.perf import jit
+
         configs = candidate_configs("MTTKRP")
         variants = {c.variant for c in configs}
-        assert variants == {"coo", "hicoo", "csf"}
+        expected = {"coo", "hicoo", "csf"}
+        if jit.jit_available():
+            expected |= {"coo_jit", "hicoo_jit"}
+        assert variants == expected
         blocks = {c.block_size for c in configs if c.variant == "hicoo"}
         assert blocks == set(BLOCK_SIZES)
         assert all(c.num_threads >= 1 for c in configs)
+
+    def test_jit_variants_absent_when_disabled(self, monkeypatch):
+        from repro.perf import jit
+
+        monkeypatch.setenv(jit.ENV_JIT, "0")
+        configs = candidate_configs("MTTKRP")
+        assert all(not c.variant.endswith("_jit") for c in configs)
 
     def test_ttm_has_no_csf(self):
         assert all(c.variant != "csf" for c in candidate_configs("TTM"))

@@ -31,6 +31,7 @@ class TestEnumerateChecks:
             "parallel_exact",
             "cache_exact",
             "auto_dispatch",
+            "jit_tolerance",
         }
         kernels = {c["kernel"] for c in checks if "kernel" in c}
         assert kernels == set(KERNELS)

@@ -16,7 +16,7 @@ with column normalization absorbed into ``weights``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..core.reference import khatri_rao
 from ..formats.coo import VALUE_DTYPE, CooTensor
 from ..formats.hicoo import HicooTensor
 from ..perf.parallel import parallel_config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..io.binfile import MmapCooTensor
 
 
 @dataclass
@@ -92,7 +95,7 @@ def _model_norm_sq(factors, weights) -> float:
 
 
 def cp_als(
-    tensor: CooTensor,
+    tensor: Union[CooTensor, "MmapCooTensor"],
     rank: int,
     *,
     max_sweeps: int = 50,
@@ -118,7 +121,22 @@ def cp_als(
     every MTTKRP under that parallel configuration (``None`` keeps the
     process-wide setting); parallel sweeps produce bit-identical factors
     to serial ones.
+
+    An on-disk :class:`~repro.io.binfile.MmapCooTensor` runs the sweeps
+    out of core: every MTTKRP and the norm go through
+    :mod:`repro.perf.ooc`, so resident memory stays bounded by the
+    out-of-core budget plus the factor matrices.  The out-of-core path
+    is COO-only — ``use_hicoo`` and ``variant`` raise ``ValueError``.
     """
+    from ..io.binfile import MmapCooTensor
+    from ..perf import ooc
+
+    out_of_core = isinstance(tensor, MmapCooTensor)
+    if out_of_core and (use_hicoo or variant is not None):
+        raise ValueError(
+            "out-of-core CP-ALS supports only the COO kernel; "
+            "use_hicoo/variant are unavailable for mmap-backed tensors"
+        )
     rng = np.random.default_rng(seed)
     if initial_factors is not None:
         factors = [np.array(f, dtype=np.float64) for f in initial_factors]
@@ -152,7 +170,7 @@ def cp_als(
         if use_hicoo and configs is None
         else None
     )
-    norm_x = _tensor_norm(tensor)
+    norm_x = ooc.tensor_norm(tensor) if out_of_core else _tensor_norm(tensor)
     fits: List[float] = []
     ones = np.ones(rank, dtype=np.float64)
     previous_fit = 0.0
@@ -171,6 +189,8 @@ def cp_als(
                     ).astype(np.float64)
                 elif hicoo is not None:
                     m_new = mttkrp_hicoo(hicoo, f32, mode).astype(np.float64)
+                elif out_of_core:
+                    m_new = ooc.mttkrp(tensor, f32, mode).astype(np.float64)  # repro: ignore[dtype]
                 else:
                     m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)
                 gram = _gram_hadamard(factors, mode)

@@ -111,6 +111,39 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--dense-modes", default="", help="comma-separated modes")
     gen.add_argument("--output", "-o", default="-", help="path or - for stdout")
 
+    conv = sub.add_parser(
+        "convert",
+        help="convert a FROSTT .tns[.gz] text tensor to the binary "
+        "mmap layout (streaming; bounded memory)",
+    )
+    conv.add_argument("source", help="path to the .tns or .tns.gz input")
+    conv.add_argument("output", help="path of the binary file to write")
+    conv.add_argument(
+        "--chunk-nnz", type=int, default=None, metavar="N",
+        help="nonzeros per on-disk chunk (default 1,000,000)",
+    )
+    conv.add_argument(
+        "--shape", default=None, metavar="D1,D2,...",
+        help="comma-separated dimension sizes (default: inferred)",
+    )
+    conv.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+    insp = sub.add_parser(
+        "inspect",
+        help="summarize a binary tensor file and verify its checksums",
+    )
+    insp.add_argument("path", help="path to a binary tensor file")
+    insp.add_argument(
+        "--no-verify", action="store_true",
+        help="skip checksum verification (header and chunk table only)",
+    )
+    insp.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
+
     sweep = sub.add_parser(
         "sweep", help="run an ablation sweep on one dataset"
     )
@@ -440,6 +473,75 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .errors import PastaError
+    from .io.binfile import DEFAULT_CHUNK_NNZ, import_tns
+
+    shape = None
+    if args.shape:
+        shape = tuple(int(s) for s in args.shape.split(","))
+    chunk_nnz = args.chunk_nnz or DEFAULT_CHUNK_NNZ
+
+    def progress(seen: int) -> None:
+        print(f"\r{seen:,} nonzeros", end="", file=sys.stderr, flush=True)
+
+    try:
+        header = import_tns(
+            args.source,
+            args.output,
+            shape=shape,
+            chunk_nnz=chunk_nnz,
+            progress=None if args.quiet else progress,
+        )
+    except (PastaError, OSError) as exc:
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(file=sys.stderr)
+    shape_text = "x".join(str(s) for s in header["shape"])
+    print(
+        f"wrote {args.output}: shape {shape_text}, "
+        f"{header['nnz']:,} nonzeros in {len(header['chunks'])} chunk(s)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import PastaError
+    from .io.binfile import inspect_bin
+
+    try:
+        report = inspect_bin(args.path, verify=not args.no_verify)
+    except (PastaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json_module.dumps(report, indent=2))
+    else:
+        shape_text = "x".join(str(s) for s in report["shape"])
+        print(f"path      : {report['path']}")
+        print(f"format    : {report['format']} v{report['version']}")
+        print(f"shape     : {shape_text} (order {report['order']})")
+        print(f"nnz       : {report['nnz']:,}")
+        print(f"chunks    : {report['num_chunks']}")
+        print(f"payload   : {report['payload_bytes']:,} bytes "
+              f"({report['file_bytes']:,} on disk)")
+        if args.no_verify:
+            print("checksums : not verified (--no-verify)")
+        elif report["checksums_ok"]:
+            print("checksums : ok")
+        else:
+            bad = ", ".join(str(c) for c in report["corrupt_chunks"])
+            print(f"checksums : MISMATCH in chunk(s) {bad}")
+    if not args.no_verify and not report["checksums_ok"]:
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .bench.sweeps import (
         block_size_sweep,
@@ -610,6 +712,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "verify":

@@ -83,6 +83,8 @@ def _capacity(shape: Sequence[int]) -> int:
 
 
 def _to_coo(tensor) -> CooTensor:
+    """Normalize any suite tensor — including the mmap-backed
+    :class:`~repro.io.binfile.MmapCooTensor` — to an in-RAM COO."""
     if isinstance(tensor, CooTensor):
         return tensor
     return tensor.to_coo()
@@ -456,7 +458,7 @@ def run_check(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
     if runner is None:
         raise ValueError(f"unknown check kind {config.get('check')!r}")
     try:
-        return runner(tensor, config)
+        return runner(_to_coo(tensor), config)
     except Exception as exc:  # noqa: BLE001 — any crash is a finding
         return f"{type(exc).__name__}: {exc}"
 

@@ -34,6 +34,10 @@ class ConformanceError(PastaError):
     implementations of the same kernel semantics disagree."""
 
 
+class BinaryFormatError(PastaError):
+    """A binary tensor file is truncated, corrupt, or fails its checksum."""
+
+
 class DatasetError(PastaError):
     """A dataset name is unknown or a dataset recipe cannot be realized."""
 

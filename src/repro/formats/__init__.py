@@ -22,6 +22,7 @@ from .reorder import (
 )
 from .scoo import SemiSparseCooTensor
 from .shicoo import SHicooTensor
+from .streaming import streaming_csf, streaming_hicoo
 from .storage import (
     StorageBreakdown,
     breakdown,
@@ -61,6 +62,8 @@ __all__ = [
     "block_density_relabel",
     "locality_metrics",
     "blocks_histogram",
+    "streaming_hicoo",
+    "streaming_csf",
     "StorageBreakdown",
     "breakdown",
     "storage_bytes",

@@ -40,6 +40,39 @@ def _prefix_boundaries(sorted_indices: np.ndarray, depth: int) -> np.ndarray:
     return np.flatnonzero(np.concatenate(([True], boundary))).astype(PTR_DTYPE)
 
 
+def _levels_from_sorted(
+    permuted: np.ndarray,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Build the per-level ``(fids, fptr)`` arrays of a CSF forest.
+
+    ``permuted`` is the ``(order, nnz)`` index matrix already permuted to
+    tree-level order (row 0 is the root mode) and sorted
+    lexicographically by that order, duplicates removed.  Shared by the
+    in-RAM :meth:`CsfTensor.from_coo` and the chunk-at-a-time
+    :func:`repro.formats.streaming.streaming_csf`, so the two paths
+    cannot drift.
+    """
+    order = permuted.shape[0]
+    fids: List[np.ndarray] = []
+    fptr: List[np.ndarray] = []
+    previous_starts: Optional[np.ndarray] = None
+    level_starts = [
+        _prefix_boundaries(permuted, depth) for depth in range(1, order + 1)
+    ]
+    for level in range(order):
+        starts = level_starts[level]
+        fids.append(permuted[level][starts].astype(INDEX_DTYPE))  # repro: ignore[dtype]
+        if previous_starts is not None:
+            # Children pointers: positions of this level's starts
+            # within the previous level's grouping.
+            child_index = np.searchsorted(starts, previous_starts)
+            fptr.append(
+                np.concatenate([child_index, [starts.shape[0]]]).astype(PTR_DTYPE)  # repro: ignore[dtype]
+            )
+        previous_starts = starts
+    return fids, fptr
+
+
 class CsfTensor(ModeValidationMixin):
     """A sparse tensor as a compressed sparse fiber tree.
 
@@ -155,24 +188,7 @@ class CsfTensor(ModeValidationMixin):
             raise ModeError(f"{mode_order} is not a permutation of the modes")
         ordered = tensor.sum_duplicates().sorted_lexicographic(mode_order)
         permuted = ordered.indices[list(mode_order)]
-        order = tensor.order
-        fids: List[np.ndarray] = []
-        fptr: List[np.ndarray] = []
-        previous_starts: Optional[np.ndarray] = None
-        level_starts: List[np.ndarray] = [
-            _prefix_boundaries(permuted, depth) for depth in range(1, order + 1)
-        ]
-        for level in range(order):
-            starts = level_starts[level]
-            fids.append(permuted[level][starts].astype(INDEX_DTYPE))
-            if previous_starts is not None:
-                # Children pointers: positions of this level's starts
-                # within the previous level's grouping.
-                child_index = np.searchsorted(starts, previous_starts)
-                fptr.append(
-                    np.concatenate([child_index, [starts.shape[0]]]).astype(PTR_DTYPE)
-                )
-            previous_starts = starts
+        fids, fptr = _levels_from_sorted(permuted)
         return cls(
             tensor.shape, mode_order, fids, fptr, ordered.values, validate=False
         )

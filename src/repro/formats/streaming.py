@@ -1,0 +1,329 @@
+"""Streaming (chunk-at-a-time) COO → HiCOO / CSF conversion.
+
+The in-RAM converters (:meth:`HicooTensor.from_coo`,
+:meth:`CsfTensor.from_coo`) sort the whole coordinate list at once —
+impossible when the tensor lives on disk and only a bounded window may
+be resident.  This module rebuilds both conversions as external merge
+sorts over per-chunk *runs*, the coordinate-remapping structure of Chou
+et al.'s format-conversion passes:
+
+1. **per chunk**: compute the conversion's sort key (Morton block code
+   for HiCOO, mixed-radix packed coordinates for CSF), stable-sort the
+   chunk, and keep the key-sorted run plus whatever per-nonzero payload
+   the target format stores (8-bit element offsets for HiCOO, full
+   coordinates for CSF);
+2. **merge**: pairwise stable merges of adjacent runs (left run wins
+   ties) until one run remains — because each chunk sort is stable and
+   chunks are merged in file order, the final order is *identical* to a
+   single stable sort of the whole tensor;
+3. **assemble**: detect group boundaries on the merged key array and
+   reuse the in-RAM builders' assembly machinery (Morton decode for
+   block indices, :func:`repro.formats.csf._levels_from_sorted` for the
+   fiber forest).
+
+Step 2's tie/stability equivalence is what makes the streaming output
+**bit-for-bit equal** to the in-RAM conversion of the concatenated
+chunks — the conformance tests fuzz chunk boundaries against exactly
+that property.  Peak resident memory is the output representation plus
+one merge copy, independent of how the input was chunked.
+
+Sources may be a :class:`~repro.io.binfile.MmapCooTensor` (chunks come
+from disk), an in-RAM :class:`CooTensor` (optionally re-chunked with
+``chunk_nnz`` — the fuzz hook), or any iterable of same-shape
+``CooTensor`` pieces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ModeError, TensorShapeError
+from .coo import INDEX_DTYPE, VALUE_DTYPE, CooTensor
+from .csf import CsfTensor, _levels_from_sorted
+from .hicoo import (
+    BPTR_DTYPE,
+    DEFAULT_BLOCK_SIZE,
+    ELEMENT_DTYPE,
+    HicooTensor,
+    _check_index_width,
+    check_block_size,
+)
+from .modes import check_mode
+from .morton import bits_needed, morton_decode, morton_encode
+
+#: A run: the chunk's payload arrays sorted by ``"keys"``.  1-D arrays
+#: are per-nonzero vectors, 2-D arrays are ``(rows, nnz)`` matrices.
+_Run = Dict[str, np.ndarray]
+
+ChunkSource = Union[CooTensor, Iterable[CooTensor], object]
+
+
+def _chunk_stream(
+    source: ChunkSource, chunk_nnz: Optional[int]
+) -> Tuple[Tuple[int, ...], Iterator[Tuple[np.ndarray, np.ndarray]]]:
+    """Resolve a source into ``(shape, iterator of (int64 idx, values))``.
+
+    Chunks are yielded in storage (file) order; their concatenation is
+    the tensor the conversion is equivalent to converting in RAM.
+    """
+    from ..io.binfile import MmapCooTensor
+
+    if isinstance(source, MmapCooTensor):
+        def mmap_chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+            for c in range(source.num_chunks):
+                yield source.chunk_indices(c), source.chunk_values(c)
+
+        return source.shape, mmap_chunks()
+    if isinstance(source, CooTensor):
+        step = source.nnz if chunk_nnz is None else max(1, int(chunk_nnz))
+
+        def coo_chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+            for lo in range(0, source.nnz, step) if source.nnz else ():
+                hi = min(lo + step, source.nnz)
+                yield (
+                    source.indices[:, lo:hi].astype(np.int64),  # repro: ignore[dtype]
+                    source.values[lo:hi],
+                )
+
+        return source.shape, coo_chunks()
+    pieces = list(source)
+    if not pieces:
+        raise TensorShapeError("need at least one chunk to convert")
+    shape = pieces[0].shape
+    for piece in pieces[1:]:
+        if piece.shape != shape:
+            raise TensorShapeError("all chunks must share a shape")
+
+    def piece_chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for piece in pieces:
+            yield piece.indices.astype(np.int64), piece.values  # repro: ignore[dtype]
+
+    return shape, piece_chunks()
+
+
+# ----------------------------------------------------------------------
+# Stable external merge
+# ----------------------------------------------------------------------
+
+
+def _stable_merge(a: _Run, b: _Run) -> _Run:
+    """Merge two key-sorted runs, run ``a`` winning ties.
+
+    Output positions come from two ``searchsorted`` rank computations:
+    element ``i`` of ``a`` lands at ``i +`` (count of ``b`` keys strictly
+    below it), element ``j`` of ``b`` at ``j +`` (count of ``a`` keys at
+    or below it).  Ties therefore keep every ``a`` element ahead of every
+    equal ``b`` element — the merge is stable.
+    """
+    ka, kb = a["keys"], b["keys"]
+    pos_a = np.arange(ka.shape[0], dtype=np.int64)
+    pos_a += np.searchsorted(kb, ka, side="left")
+    pos_b = np.arange(kb.shape[0], dtype=np.int64)
+    pos_b += np.searchsorted(ka, kb, side="right")
+    out: _Run = {}
+    for name, arr_a in a.items():
+        arr_b = b[name]
+        total = arr_a.shape[-1] + arr_b.shape[-1]
+        if arr_a.ndim == 1:
+            merged = np.empty(total, dtype=arr_a.dtype)
+            merged[pos_a] = arr_a
+            merged[pos_b] = arr_b
+        else:
+            merged = np.empty((arr_a.shape[0], total), dtype=arr_a.dtype)
+            merged[:, pos_a] = arr_a
+            merged[:, pos_b] = arr_b
+        out[name] = merged
+    return out
+
+
+def _merge_runs(runs: List[_Run]) -> _Run:
+    """Pairwise-adjacent tournament merge of chunk-ordered stable runs.
+
+    Adjacent pairing preserves file order between rounds, so with the
+    left-priority tie rule of :func:`_stable_merge` the result equals a
+    single stable sort of the concatenated chunks.
+    """
+    while len(runs) > 1:
+        nxt = [
+            _stable_merge(runs[i], runs[i + 1])
+            for i in range(0, len(runs) - 1, 2)
+        ]
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+    return runs[0]
+
+
+def _group_starts(keys: np.ndarray) -> np.ndarray:
+    boundary = keys[1:] != keys[:-1]
+    return np.flatnonzero(np.concatenate(([True], boundary)))
+
+
+# ----------------------------------------------------------------------
+# HiCOO
+# ----------------------------------------------------------------------
+
+
+def streaming_hicoo(
+    source: ChunkSource,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    *,
+    chunk_nnz: Optional[int] = None,
+) -> HicooTensor:
+    """Build a HiCOO tensor chunk-at-a-time, bit-for-bit vs ``from_coo``.
+
+    The per-chunk key is the Morton code of the block coordinates —
+    *independent* of the chunk's coordinate range (bit ``j`` of mode
+    ``m`` always lands at code bit ``j * order + m``), so per-chunk codes
+    are globally comparable and merging them reproduces the in-RAM
+    Morton sort exactly, including its stable tie order.
+    """
+    block_size = check_block_size(block_size)
+    shape, chunks = _chunk_stream(source, chunk_nnz)
+    _check_index_width(shape)
+    order = len(shape)
+    shift = block_size.bit_length() - 1
+    mask = block_size - 1
+    runs: List[_Run] = []
+    max_block = 0
+    for idx, vals in chunks:
+        if idx.shape[1] == 0:
+            continue
+        idx64 = np.asarray(idx).astype(np.int64, copy=False)  # repro: ignore[dtype]
+        block_coords = idx64 >> shift
+        codes = morton_encode(block_coords)
+        perm = np.argsort(codes, kind="stable")
+        einds = (idx64 & mask).astype(ELEMENT_DTYPE)  # repro: ignore[index-width, dtype]
+        runs.append(
+            {
+                "keys": codes[perm],
+                "einds": np.ascontiguousarray(einds[:, perm]),
+                "values": np.asarray(vals, dtype=VALUE_DTYPE)[perm],
+            }
+        )
+        max_block = max(max_block, int(block_coords.max()))
+    if not runs:
+        return HicooTensor(
+            shape,
+            block_size,
+            np.zeros(1, dtype=BPTR_DTYPE),
+            np.empty((order, 0), dtype=INDEX_DTYPE),
+            np.empty((order, 0), dtype=ELEMENT_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+    merged = _merge_runs(runs)
+    keys = merged["keys"]
+    starts = _group_starts(keys)
+    bptr = np.concatenate([starts, [keys.shape[0]]]).astype(BPTR_DTYPE)
+    # Codes are injective over block coordinates (the encoder rejects
+    # > 62-bit interleaves), so decoding the group keys recovers the
+    # exact block indices the in-RAM path gathers at segment starts.
+    binds = morton_decode(keys[starts], order, bits_needed(max_block))
+    return HicooTensor(
+        shape,
+        block_size,
+        bptr,
+        binds.astype(INDEX_DTYPE),  # repro: ignore[index-width]
+        merged["einds"],
+        merged["values"],
+        validate=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# CSF
+# ----------------------------------------------------------------------
+
+
+def streaming_csf(
+    source: ChunkSource,
+    mode_order: Optional[Sequence[int]] = None,
+    *,
+    chunk_nnz: Optional[int] = None,
+) -> CsfTensor:
+    """Build a CSF tree chunk-at-a-time, bit-for-bit vs ``from_coo``.
+
+    The per-chunk key packs the (tree-ordered) coordinates into one
+    mixed-radix int64, so sorting by it is lexicographic sorting by
+    ``mode_order``.  After the stable merge, duplicate coordinates are
+    adjacent *in file order* — the same grouping and summation order
+    ``sum_duplicates`` produces — so the reduced values match the in-RAM
+    conversion bit-for-bit.  Falls back to materializing the tensor when
+    the coordinate space exceeds the 62-bit packing (astronomical
+    shapes only).
+    """
+    shape, chunks = _chunk_stream(source, chunk_nnz)
+    order = len(shape)
+    if mode_order is None:
+        mode_order = tuple(range(order))
+    mode_order = tuple(check_mode(order, m) for m in mode_order)
+    if sorted(mode_order) != list(range(order)):
+        raise ModeError(f"{mode_order} is not a permutation of the modes")
+    _check_index_width(shape)
+    radices = [int(shape[m]) for m in mode_order]
+    volume = 1
+    for radix in radices:
+        volume *= radix
+    if volume >= 1 << 62:
+        # No injective scalar key: fall back to the in-RAM conversion.
+        pieces = [
+            CooTensor(shape, idx, vals, validate=False)
+            for idx, vals in chunks
+        ]
+        whole = (
+            _concatenate(shape, pieces) if pieces else CooTensor.empty(shape)
+        )
+        return CsfTensor.from_coo(whole, mode_order)
+    runs: List[_Run] = []
+    for idx, vals in chunks:
+        if idx.shape[1] == 0:
+            continue
+        idx64 = np.asarray(idx).astype(np.int64, copy=False)  # repro: ignore[dtype]
+        permuted = idx64[list(mode_order)]
+        keys = permuted[0].astype(np.int64, copy=True)  # repro: ignore[dtype]
+        for level in range(1, order):
+            keys *= radices[level]
+            keys += permuted[level]
+        perm = np.argsort(keys, kind="stable")
+        runs.append(
+            {
+                "keys": keys[perm],
+                "indices": np.ascontiguousarray(idx64[:, perm]),
+                "values": np.asarray(vals, dtype=VALUE_DTYPE)[perm],
+            }
+        )
+    if not runs:
+        empty = np.empty((order, 0), dtype=np.int64)
+        fids, fptr = _levels_from_sorted(empty)
+        return CsfTensor(
+            shape,
+            mode_order,
+            fids,
+            fptr,
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+    merged = _merge_runs(runs)
+    starts = _group_starts(merged["keys"])
+    # Duplicates are adjacent in file order; float64 reduceat then a
+    # float32 cast is exactly sum_duplicates' arithmetic.
+    values = np.add.reduceat(
+        merged["values"].astype(np.float64), starts
+    ).astype(VALUE_DTYPE)
+    unique = merged["indices"][:, starts]
+    fids, fptr = _levels_from_sorted(unique[list(mode_order)])
+    return CsfTensor(shape, mode_order, fids, fptr, values, validate=False)
+
+
+def _concatenate(
+    shape: Sequence[int], pieces: List[CooTensor]
+) -> CooTensor:
+    indices = np.concatenate([p.indices for p in pieces], axis=1)
+    values = np.concatenate([p.values for p in pieces])
+    return CooTensor(shape, indices, values, validate=False)
+
+
+__all__ = ["streaming_hicoo", "streaming_csf"]

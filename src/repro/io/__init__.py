@@ -1,5 +1,33 @@
-"""Tensor file I/O (FROSTT ``.tns`` coordinate text format)."""
+"""Tensor file I/O: FROSTT ``.tns`` text and the binary mmap layout."""
 
-from .frostt import dumps_tns, loads_tns, read_tns, roundtrip_equal, write_tns
+from .binfile import (
+    BinWriter,
+    MmapCooTensor,
+    import_tns,
+    inspect_bin,
+    open_bin,
+    write_coo,
+)
+from .frostt import (
+    dumps_tns,
+    loads_tns,
+    read_tns,
+    read_tns_reference,
+    roundtrip_equal,
+    write_tns,
+)
 
-__all__ = ["read_tns", "write_tns", "dumps_tns", "loads_tns", "roundtrip_equal"]
+__all__ = [
+    "read_tns",
+    "read_tns_reference",
+    "write_tns",
+    "dumps_tns",
+    "loads_tns",
+    "roundtrip_equal",
+    "BinWriter",
+    "MmapCooTensor",
+    "import_tns",
+    "inspect_bin",
+    "open_bin",
+    "write_coo",
+]

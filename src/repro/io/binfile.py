@@ -1,0 +1,744 @@
+"""Binary, memory-mapped on-disk tensor layout (out-of-core COO storage).
+
+The text ``.tns`` path is parse-bound: every cold load re-tokenizes and
+re-validates hundreds of megabytes of ASCII.  This module stores the
+parsed tensor once, in a chunked binary layout that a later process maps
+straight into memory:
+
+::
+
+    +------------------+  0
+    | magic (16 B)     |  b"REPROBIN" + u16 version + padding
+    +------------------+  64-byte aligned
+    | chunk 0 indices  |  int64 little-endian, C-order (order, nnz_0)
+    | chunk 0 values   |  float32 little-endian (nnz_0,)
+    +------------------+  64-byte aligned
+    | chunk 1 ...      |
+    +------------------+
+    | JSON header      |  shape, dtypes, chunk table, checksums
+    +------------------+
+    | trailer (24 B)   |  header offset + length + b"RBINEND\\0"
+    +------------------+
+
+The header lives at the *end* (located through the fixed-size trailer)
+so conversion streams chunks to disk in one pass without knowing the
+chunk count — or even the shape — up front.  Truncated files therefore
+fail loudly: the trailer is the last thing written.  Every chunk carries
+a CRC-32 and the header a whole-content CRC-32, so corruption is
+detected rather than silently computed on.
+
+Indices are stored as int64 (the interchange width; the in-RAM formats
+narrow to int32 with a range check on materialization) and values as
+float32, matching :data:`repro.formats.coo.VALUE_DTYPE`.
+
+:class:`MmapCooTensor` exposes the stored tensor through ``np.memmap``
+views without loading it: whole-chunk views, arbitrary element ranges,
+and per-chunk :class:`~repro.formats.coo.CooTensor` materialization.
+Because two ``MmapCooTensor`` objects opened on the same unchanged file
+are interchangeable, the object advertises a ``plan_cache_token`` of
+``(path, mtime_ns, size, content_crc32)`` — the plan cache keys on the
+token instead of object identity, so kernel plans survive re-opens and
+are never resurrected for a rewritten file.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as mmap_module
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import BinaryFormatError, TensorShapeError
+from ..formats.coo import VALUE_DTYPE, CooTensor
+from ..formats.modes import ModeValidationMixin
+
+MAGIC = b"REPROBIN"
+FORMAT_NAME = "repro-bin-coo"
+FORMAT_VERSION = 1
+_MAGIC_LEN = 16
+_TRAILER = struct.Struct("<qq8s")
+_TRAILER_MAGIC = b"RBINEND\x00"
+_ALIGN = 64
+
+INDEX_STORAGE_DTYPE = np.dtype("<i8")
+VALUE_STORAGE_DTYPE = np.dtype("<f4")
+
+#: Nonzeros per on-disk chunk.  At order 3 a chunk is ~28 MiB — large
+#: enough that per-chunk overhead is negligible, small enough that a
+#: converter or kernel holding one chunk stays well under typical
+#: out-of-core budgets (sub-chunk ranges are still cheap: memmap reads
+#: fault only the pages they touch).
+DEFAULT_CHUNK_NNZ = 1_000_000
+
+PathLike = Union[str, Path]
+
+
+def _pack_magic() -> bytes:
+    return MAGIC + struct.pack("<H", FORMAT_VERSION) + b"\x00" * 6
+
+
+class BinWriter:
+    """Stream (indices, values) batches into the chunked binary layout.
+
+    Batches of any size may be appended; they are re-chunked to
+    ``chunk_nnz`` nonzeros on disk.  When ``shape`` is omitted it is
+    inferred at :meth:`close` from the running per-mode maxima.  The
+    writer is single-pass: header and trailer are emitted by ``close``.
+    """
+
+    def __init__(
+        self,
+        target: PathLike,
+        *,
+        shape: Optional[Sequence[int]] = None,
+        chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    ) -> None:
+        if chunk_nnz < 1:
+            raise BinaryFormatError(f"chunk_nnz must be >= 1, got {chunk_nnz}")
+        self.path = str(target)
+        self.chunk_nnz = int(chunk_nnz)
+        self._shape = None if shape is None else tuple(int(s) for s in shape)
+        self._order: Optional[int] = None
+        self._max_coord: Optional[np.ndarray] = None
+        self._pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._pending_nnz = 0
+        self._nnz = 0
+        self._chunks: List[Dict[str, int]] = []
+        self._content_crc = 0
+        self._closed = False
+        self._handle = open(self.path, "wb")
+        self._handle.write(_pack_magic())
+
+    # ------------------------------------------------------------------
+
+    def append(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Buffer one batch of nonzeros (0-based integer coordinates)."""
+        if self._closed:
+            raise BinaryFormatError("writer is closed")
+        indices = np.asarray(indices)
+        values = np.asarray(values)
+        if indices.ndim != 2:
+            raise TensorShapeError(
+                f"indices must have shape (order, nnz), got ndim={indices.ndim}"
+            )
+        if not np.issubdtype(indices.dtype, np.integer):
+            raise TensorShapeError(
+                f"indices must be integers, got dtype {indices.dtype}"
+            )
+        order, count = indices.shape
+        if self._order is None:
+            if order == 0:
+                raise TensorShapeError("tensor must have at least one mode")
+            self._order = order
+            if self._shape is not None and len(self._shape) != order:
+                raise TensorShapeError(
+                    f"indices have {order} modes but shape has "
+                    f"{len(self._shape)}"
+                )
+        elif order != self._order:
+            raise TensorShapeError(
+                f"batch has {order} modes, previous batches had {self._order}"
+            )
+        if values.shape != (count,):
+            raise TensorShapeError(
+                f"values must be a vector of length {count}, "
+                f"got shape {values.shape}"
+            )
+        if count == 0:
+            return
+        idx = np.ascontiguousarray(indices, dtype=INDEX_STORAGE_DTYPE)
+        if idx.min() < 0:
+            raise TensorShapeError("coordinates must be non-negative")
+        batch_max = idx.max(axis=1)
+        if self._max_coord is None:
+            self._max_coord = batch_max
+        else:
+            np.maximum(self._max_coord, batch_max, out=self._max_coord)
+        self._pending.append(
+            (idx, np.ascontiguousarray(values, dtype=VALUE_STORAGE_DTYPE))
+        )
+        self._pending_nnz += count
+        if self._pending_nnz >= self.chunk_nnz:
+            self._drain(final=False)
+
+    def _drain(self, *, final: bool) -> None:
+        if not self._pending:
+            return
+        if len(self._pending) == 1:
+            idx, vals = self._pending[0]
+        else:
+            idx = np.concatenate([p[0] for p in self._pending], axis=1)
+            vals = np.concatenate([p[1] for p in self._pending])
+        self._pending = []
+        self._pending_nnz = 0
+        start = 0
+        total = vals.shape[0]
+        while total - start >= self.chunk_nnz:
+            end = start + self.chunk_nnz
+            self._write_chunk(idx[:, start:end], vals[start:end])
+            start = end
+        if start < total:
+            if final:
+                self._write_chunk(idx[:, start:], vals[start:])
+            else:
+                self._pending.append((idx[:, start:], vals[start:]))
+                self._pending_nnz = total - start
+
+    def _write_chunk(self, idx: np.ndarray, vals: np.ndarray) -> None:
+        handle = self._handle
+        pad = (-handle.tell()) % _ALIGN
+        if pad:
+            handle.write(b"\x00" * pad)
+        offset = handle.tell()
+        ibytes = np.ascontiguousarray(idx, dtype=INDEX_STORAGE_DTYPE).tobytes()
+        vbytes = np.ascontiguousarray(vals, dtype=VALUE_STORAGE_DTYPE).tobytes()
+        crc = zlib.crc32(vbytes, zlib.crc32(ibytes))
+        self._content_crc = zlib.crc32(
+            vbytes, zlib.crc32(ibytes, self._content_crc)
+        )
+        handle.write(ibytes)
+        handle.write(vbytes)
+        self._chunks.append(
+            {"nnz": int(vals.shape[0]), "offset": int(offset), "crc32": crc}
+        )
+        self._nnz += int(vals.shape[0])
+
+    # ------------------------------------------------------------------
+
+    def _resolve_shape(self) -> Tuple[int, ...]:
+        if self._shape is not None:
+            if self._max_coord is not None:
+                for mode, (size, top) in enumerate(
+                    zip(self._shape, self._max_coord)
+                ):
+                    if int(top) >= size:
+                        raise TensorShapeError(
+                            f"mode-{mode} indices out of range [0, {size})"
+                        )
+            return self._shape
+        if self._max_coord is None:
+            raise TensorShapeError(
+                "cannot infer the shape of an empty tensor; pass shape="
+            )
+        return tuple(int(top) + 1 for top in self._max_coord)
+
+    def close(self) -> Dict[str, object]:
+        """Flush pending nonzeros, write header + trailer; returns header."""
+        if self._closed:
+            raise BinaryFormatError("writer is already closed")
+        self._drain(final=True)
+        shape = self._resolve_shape()
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "shape": list(shape),
+            "order": len(shape),
+            "nnz": self._nnz,
+            "index_dtype": INDEX_STORAGE_DTYPE.str,
+            "value_dtype": VALUE_STORAGE_DTYPE.str,
+            "chunk_nnz": self.chunk_nnz,
+            "chunks": self._chunks,
+            "content_crc32": self._content_crc,
+        }
+        payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        handle = self._handle
+        header_offset = handle.tell()
+        handle.write(payload)
+        handle.write(
+            _TRAILER.pack(header_offset, len(payload), _TRAILER_MAGIC)
+        )
+        handle.close()
+        self._closed = True
+        return header
+
+    def abort(self) -> None:
+        """Close the file handle and remove the partial file."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "BinWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+def write_coo(
+    tensor: CooTensor,
+    target: PathLike,
+    *,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+) -> Dict[str, object]:
+    """Write an in-RAM COO tensor to the binary layout; returns the header."""
+    writer = BinWriter(target, shape=tensor.shape, chunk_nnz=chunk_nnz)
+    try:
+        writer.append(tensor.indices.astype(np.int64), tensor.values)
+        return writer.close()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def import_tns(
+    source: PathLike,
+    target: PathLike,
+    *,
+    shape: Optional[Sequence[int]] = None,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    progress: Optional[Callable[[int], None]] = None,
+) -> Dict[str, object]:
+    """Convert a ``.tns[.gz]`` text tensor to the binary layout, streaming.
+
+    Reuses the vectorized block parser of :func:`repro.io.frostt.read_tns`
+    so peak memory is one parse block plus one pending chunk, independent
+    of the tensor's size.  ``progress`` (if given) is called with the
+    running nonzero count after each parsed block.  Returns the header.
+    """
+    from .frostt import iter_tns_rows
+
+    writer = BinWriter(target, shape=shape, chunk_nnz=chunk_nnz)
+    try:
+        seen = 0
+        for data in iter_tns_rows(source):
+            order = data.shape[1] - 1
+            indices = data[:, :order].astype(np.int64).T - 1  # repro: ignore[dtype]
+            if indices.size and indices.min() < 0:
+                raise TensorShapeError(
+                    ".tns indices must be 1-based positive integers"
+                )
+            writer.append(indices, data[:, order].astype(VALUE_DTYPE))  # repro: ignore[dtype]
+            seen += data.shape[0]
+            if progress is not None:
+                progress(seen)
+        return writer.close()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+def _read_header(path: str) -> Tuple[Dict[str, object], int]:
+    """Parse and validate the header; returns ``(header, file_size)``."""
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        raise BinaryFormatError(f"cannot read {path}: {exc}") from None
+    if size < _MAGIC_LEN + _TRAILER.size:
+        raise BinaryFormatError(
+            f"{path}: too small ({size} bytes) to be a repro binary tensor"
+        )
+    with open(path, "rb") as handle:
+        magic = handle.read(_MAGIC_LEN)
+        if magic[: len(MAGIC)] != MAGIC:
+            raise BinaryFormatError(f"{path}: not a repro binary tensor file")
+        (version,) = struct.unpack_from("<H", magic, len(MAGIC))
+        if version != FORMAT_VERSION:
+            raise BinaryFormatError(
+                f"{path}: unsupported format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        handle.seek(size - _TRAILER.size)
+        header_offset, header_len, trailer_magic = _TRAILER.unpack(
+            handle.read(_TRAILER.size)
+        )
+        if trailer_magic != _TRAILER_MAGIC:
+            raise BinaryFormatError(
+                f"{path}: missing end-of-file trailer (truncated or "
+                f"interrupted write?)"
+            )
+        if (
+            header_offset < _MAGIC_LEN
+            or header_len < 2
+            or header_offset + header_len + _TRAILER.size != size
+        ):
+            raise BinaryFormatError(
+                f"{path}: trailer points outside the file (corrupt trailer)"
+            )
+        handle.seek(header_offset)
+        payload = handle.read(header_len)
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BinaryFormatError(f"{path}: corrupt header: {exc}") from None
+    _validate_header(path, header, header_offset)
+    return header, size
+
+
+def _validate_header(
+    path: str, header: Dict[str, object], header_offset: int
+) -> None:
+    for field in (
+        "format",
+        "version",
+        "shape",
+        "nnz",
+        "index_dtype",
+        "value_dtype",
+        "chunks",
+        "content_crc32",
+    ):
+        if field not in header:
+            raise BinaryFormatError(
+                f"{path}: corrupt header: missing field {field!r}"
+            )
+    if header["format"] != FORMAT_NAME:
+        raise BinaryFormatError(
+            f"{path}: unknown payload format {header['format']!r}"
+        )
+    if header["index_dtype"] != INDEX_STORAGE_DTYPE.str:
+        raise BinaryFormatError(
+            f"{path}: unsupported index dtype {header['index_dtype']!r}"
+        )
+    if header["value_dtype"] != VALUE_STORAGE_DTYPE.str:
+        raise BinaryFormatError(
+            f"{path}: unsupported value dtype {header['value_dtype']!r}"
+        )
+    shape = header["shape"]
+    if not isinstance(shape, list) or not shape or any(
+        not isinstance(s, int) or s <= 0 for s in shape
+    ):
+        raise BinaryFormatError(f"{path}: corrupt header: bad shape {shape!r}")
+    order = len(shape)
+    chunks = header["chunks"]
+    if not isinstance(chunks, list):
+        raise BinaryFormatError(f"{path}: corrupt header: bad chunk table")
+    total = 0
+    item = INDEX_STORAGE_DTYPE.itemsize * order + VALUE_STORAGE_DTYPE.itemsize
+    for i, chunk in enumerate(chunks):
+        if (
+            not isinstance(chunk, dict)
+            or not isinstance(chunk.get("nnz"), int)
+            or not isinstance(chunk.get("offset"), int)
+            or not isinstance(chunk.get("crc32"), int)
+            or chunk["nnz"] <= 0
+            or chunk["offset"] < _MAGIC_LEN
+        ):
+            raise BinaryFormatError(
+                f"{path}: corrupt header: bad chunk table entry {i}"
+            )
+        if chunk["offset"] + chunk["nnz"] * item > header_offset:
+            raise BinaryFormatError(
+                f"{path}: chunk {i} extends past the data region "
+                f"(truncated data or corrupt chunk table)"
+            )
+        total += chunk["nnz"]
+    if total != header["nnz"]:
+        raise BinaryFormatError(
+            f"{path}: chunk table sums to {total} nonzeros, header says "
+            f"{header['nnz']}"
+        )
+
+
+class MmapCooTensor(ModeValidationMixin):
+    """A COO tensor exposed over ``np.memmap`` views of a binary file.
+
+    The file's chunks are never loaded eagerly; :meth:`chunk_indices` /
+    :meth:`chunk_values` return memmap-backed views and
+    :meth:`read_range` materializes an arbitrary element range into
+    fresh arrays.  The out-of-core kernels in :mod:`repro.perf.ooc`
+    consume those ranges chunk-at-a-time, so resident memory is bounded
+    by the configured budget, not the tensor.
+
+    ``plan_cache_token`` identifies the *file state* — ``(path,
+    mtime_ns, size, content_crc32)`` — so the plan cache shares plans
+    between re-opened handles of the same unchanged file and drops them
+    when the file is rewritten.
+    """
+
+    def __init__(self, path: PathLike, *, verify: bool = False) -> None:
+        self.path = str(path)
+        header, size = _read_header(self.path)
+        self.header = header
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in header["shape"])
+        chunks = header["chunks"]
+        self._chunk_pos = np.array(
+            [c["offset"] for c in chunks], dtype=np.int64
+        )
+        self._chunk_crc = [int(c["crc32"]) for c in chunks]
+        counts = np.array([c["nnz"] for c in chunks], dtype=np.int64)
+        self.chunk_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self.content_crc32 = int(header["content_crc32"])
+        stat = os.stat(self.path)
+        self.plan_cache_token = (
+            "mmap-coo",
+            os.path.realpath(self.path),
+            stat.st_mtime_ns,
+            size,
+            self.content_crc32,
+        )
+        self._mm: Optional[np.memmap] = (
+            np.memmap(self.path, dtype=np.uint8, mode="r") if size else None
+        )
+        if verify:
+            bad = self.verify_checksums()
+            if bad:
+                raise BinaryFormatError(
+                    f"{self.path}: checksum mismatch in chunk(s) "
+                    f"{', '.join(map(str, bad))} — data is corrupt"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic properties (CooTensor-compatible surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of modes (dimensions)."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzero entries."""
+        return int(self.chunk_offsets[-1])
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of on-disk chunks."""
+        return int(self._chunk_pos.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of possible positions that hold a stored nonzero."""
+        total = 1.0
+        for s in self.shape:
+            total *= float(s)
+        return self.nnz / total if total else 0.0
+
+    def storage_bytes(self) -> int:
+        """On-disk payload bytes (indices + values, excluding metadata)."""
+        item = INDEX_STORAGE_DTYPE.itemsize * self.order
+        item += VALUE_STORAGE_DTYPE.itemsize
+        return item * self.nnz
+
+    # ------------------------------------------------------------------
+    # Chunk access
+    # ------------------------------------------------------------------
+
+    def _require_open(self) -> np.memmap:
+        if self._mm is None:
+            raise BinaryFormatError(f"{self.path}: tensor is closed")
+        return self._mm
+
+    def _chunk_views(self, c: int) -> Tuple[np.ndarray, np.ndarray]:
+        if not 0 <= c < self.num_chunks:
+            raise BinaryFormatError(
+                f"chunk {c} out of range [0, {self.num_chunks})"
+            )
+        mm = self._require_open()
+        count = int(self.chunk_offsets[c + 1] - self.chunk_offsets[c])
+        start = int(self._chunk_pos[c])
+        isize = INDEX_STORAGE_DTYPE.itemsize * self.order * count
+        vsize = VALUE_STORAGE_DTYPE.itemsize * count
+        idx = mm[start : start + isize].view(INDEX_STORAGE_DTYPE)
+        vals = mm[start + isize : start + isize + vsize].view(
+            VALUE_STORAGE_DTYPE
+        )
+        return idx.reshape(self.order, count), vals
+
+    def chunk_indices(self, c: int) -> np.ndarray:
+        """Memmap-backed int64 ``(order, nnz_c)`` view of chunk ``c``."""
+        return self._chunk_views(c)[0]
+
+    def chunk_values(self, c: int) -> np.ndarray:
+        """Memmap-backed float32 ``(nnz_c,)`` view of chunk ``c``."""
+        return self._chunk_views(c)[1]
+
+    def chunk_coo(self, c: int) -> CooTensor:
+        """Materialize chunk ``c`` as an in-RAM :class:`CooTensor`."""
+        idx, vals = self._chunk_views(c)
+        # int64 handed unnarrowed: the COO range check fails loudly if
+        # the stored coordinates exceed the int32 in-RAM index width.
+        return CooTensor(self.shape, np.array(idx), np.array(vals))
+
+    def iter_chunks(self) -> Iterator[CooTensor]:
+        """Yield each chunk as an in-RAM :class:`CooTensor`."""
+        for c in range(self.num_chunks):
+            yield self.chunk_coo(c)
+
+    def read_range(self, e0: int, e1: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize elements ``[e0, e1)`` as ``(int64 indices, values)``.
+
+        The range may span chunk boundaries; the copies are assembled
+        directly into preallocated output arrays.
+        """
+        e0, e1 = self._check_range(e0, e1)
+        count = e1 - e0
+        out_idx = np.empty((self.order, count), dtype=np.int64)
+        out_vals = np.empty(count, dtype=VALUE_DTYPE)
+        for c, lo, hi, pos in self._overlapping(e0, e1):
+            idx, vals = self._chunk_views(c)
+            out_idx[:, pos : pos + hi - lo] = idx[:, lo:hi]
+            out_vals[pos : pos + hi - lo] = vals[lo:hi]
+        return out_idx, out_vals
+
+    def read_values(self, e0: int, e1: int) -> np.ndarray:
+        """Materialize only the values of elements ``[e0, e1)``.
+
+        Reads a quarter of the bytes of :meth:`read_range` — the warm
+        path for out-of-core kernels whose per-range index plans are
+        already cached.
+        """
+        e0, e1 = self._check_range(e0, e1)
+        out = np.empty(e1 - e0, dtype=VALUE_DTYPE)
+        for c, lo, hi, pos in self._overlapping(e0, e1):
+            out[pos : pos + hi - lo] = self._chunk_views(c)[1][lo:hi]
+        return out
+
+    def _check_range(self, e0: int, e1: int) -> Tuple[int, int]:
+        e0, e1 = int(e0), int(e1)
+        if not 0 <= e0 <= e1 <= self.nnz:
+            raise BinaryFormatError(
+                f"element range [{e0}, {e1}) out of bounds for nnz={self.nnz}"
+            )
+        return e0, e1
+
+    def _overlapping(
+        self, e0: int, e1: int
+    ) -> Iterator[Tuple[int, int, int, int]]:
+        """Chunks intersecting ``[e0, e1)`` as ``(c, lo, hi, out_pos)``."""
+        if e0 == e1:
+            return
+        first = int(np.searchsorted(self.chunk_offsets, e0, side="right")) - 1
+        pos = 0
+        for c in range(first, self.num_chunks):
+            base = int(self.chunk_offsets[c])
+            lo = max(e0 - base, 0)
+            hi = min(e1 - base, int(self.chunk_offsets[c + 1]) - base)
+            if hi <= lo:
+                break
+            yield c, lo, hi, pos
+            pos += hi - lo
+
+    def to_coo(self) -> CooTensor:
+        """Materialize the whole tensor in RAM (small tensors / oracles)."""
+        idx, vals = self.read_range(0, self.nnz)
+        return CooTensor(self.shape, idx, vals)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def verify_checksums(self) -> List[int]:
+        """Recompute every chunk CRC; returns the ids of corrupt chunks."""
+        mm = self._require_open()
+        bad = []
+        content = 0
+        item = (
+            INDEX_STORAGE_DTYPE.itemsize * self.order
+            + VALUE_STORAGE_DTYPE.itemsize
+        )
+        for c in range(self.num_chunks):
+            start = int(self._chunk_pos[c])
+            count = int(self.chunk_offsets[c + 1] - self.chunk_offsets[c])
+            raw = mm[start : start + count * item]
+            crc = zlib.crc32(raw)
+            content = zlib.crc32(raw, content)
+            if crc != self._chunk_crc[c]:
+                bad.append(c)
+        if not bad and content != self.content_crc32:
+            # Per-chunk CRCs pass but the whole-content CRC does not:
+            # the header itself is inconsistent.
+            bad = list(range(self.num_chunks))
+        return bad
+
+    # ------------------------------------------------------------------
+
+    def release_pages(self) -> bool:
+        """Drop the mapping's resident pages (``madvise(DONTNEED)``).
+
+        The out-of-core kernels call this between steps so pages already
+        streamed past stop counting toward the process's resident set —
+        the data stays in the OS page cache, so re-reads remain cheap.
+        Returns ``False`` (and does nothing) where unsupported.
+        """
+        if self._mm is None:
+            return False
+        raw = getattr(self._mm, "_mmap", None)
+        advise = getattr(raw, "madvise", None)
+        flag = getattr(mmap_module, "MADV_DONTNEED", None)
+        if advise is None or flag is None:
+            return False
+        try:
+            advise(flag)
+        except (OSError, ValueError):
+            return False
+        return True
+
+    def close(self) -> None:
+        """Release the memory map (views become invalid)."""
+        self._mm = None
+
+    def __enter__(self) -> "MmapCooTensor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MmapCooTensor(path={self.path!r}, shape={self.shape}, "
+            f"nnz={self.nnz}, chunks={self.num_chunks})"
+        )
+
+
+def open_bin(path: PathLike, *, verify: bool = False) -> MmapCooTensor:
+    """Open a binary tensor file as a :class:`MmapCooTensor`."""
+    return MmapCooTensor(path, verify=verify)
+
+
+def inspect_bin(path: PathLike, *, verify: bool = True) -> Dict[str, object]:
+    """Summarize a binary tensor file: header, chunk table, checksums.
+
+    With ``verify=True`` (the default) every chunk CRC is recomputed;
+    the report's ``"checksums_ok"`` field is ``False`` when any chunk —
+    or the whole-content checksum — mismatches.
+    """
+    path = str(path)
+    with open_bin(path) as tensor:
+        bad = tensor.verify_checksums() if verify else []
+        report: Dict[str, object] = {
+            "path": path,
+            "file_bytes": os.path.getsize(path),
+            "format": tensor.header["format"],
+            "version": tensor.header["version"],
+            "shape": list(tensor.shape),
+            "order": tensor.order,
+            "nnz": tensor.nnz,
+            "num_chunks": tensor.num_chunks,
+            "payload_bytes": tensor.storage_bytes(),
+            "content_crc32": tensor.content_crc32,
+            "chunks": [
+                {
+                    "nnz": int(
+                        tensor.chunk_offsets[c + 1] - tensor.chunk_offsets[c]
+                    ),
+                    "offset": int(tensor._chunk_pos[c]),
+                    "crc32": tensor._chunk_crc[c],
+                    "ok": (c not in bad) if verify else None,
+                }
+                for c in range(tensor.num_chunks)
+            ],
+            "verified": bool(verify),
+            "checksums_ok": not bad if verify else None,
+            "corrupt_chunks": bad,
+        }
+    return report

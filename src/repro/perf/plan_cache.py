@@ -14,6 +14,13 @@ Design points:
 * Keys are held through a :class:`weakref.WeakKeyDictionary`, so a
   tensor's plans disappear with the tensor — no unbounded growth from
   short-lived intermediates.
+* Tensors that expose a ``plan_cache_token`` attribute (the mmap-backed
+  :class:`~repro.io.binfile.MmapCooTensor`) are keyed on that token —
+  ``(path, mtime_ns, size, checksum)`` — instead of object identity.
+  Two handles opened on the same unchanged file share plans, and a
+  rewritten file (new mtime/checksum) can never resurrect stale ones.
+  Token entries are strong references, so they live in a small LRU
+  (:data:`TOKEN_LRU_CAPACITY` files) rather than forever.
 * Tensors are treated as immutable.  Code that mutates a tensor's index
   or value arrays in place must call :meth:`PlanCache.invalidate` (or
   the module-level :func:`invalidate`) first.
@@ -28,9 +35,16 @@ Design points:
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
+
+#: How many distinct token-keyed tensors (on-disk files) keep plans at
+#: once.  Token entries are strong references — unlike the weakref path
+#: there is no object lifetime to bound them — so the least recently
+#: used file's plans are dropped past this cap.
+TOKEN_LRU_CAPACITY = 16
 
 #: Plan kinds whose payloads are derived from index structure only (no
 #: nonzero values baked in).  These transfer safely between tensors that
@@ -45,6 +59,7 @@ STRUCTURAL_KINDS = frozenset(
         "ghicoo_fiber_sort",
         "partition",
         "autotune",
+        "ooc_chunk",
     }
 )
 
@@ -77,9 +92,54 @@ class PlanCache:
     def __init__(self) -> None:
         self._plans: "weakref.WeakKeyDictionary[Any, Dict[Tuple[str, Hashable], Any]]"
         self._plans = weakref.WeakKeyDictionary()
+        self._token_plans: "OrderedDict[Hashable, Dict[Tuple[str, Hashable], Any]]"
+        self._token_plans = OrderedDict()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
         self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Store resolution (object identity vs file-state token)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _token_of(tensor: Any) -> Optional[Hashable]:
+        return getattr(tensor, "plan_cache_token", None)
+
+    def _lookup(self, tensor: Any) -> Optional[Dict[Tuple[str, Hashable], Any]]:
+        """The tensor's plan dict, or ``None`` (never creates one)."""
+        token = self._token_of(tensor)
+        if token is not None:
+            per = self._token_plans.get(token)
+            if per is not None:
+                self._token_plans.move_to_end(token)
+            return per
+        try:
+            return self._plans.get(tensor)
+        except TypeError:  # unhashable or non-weakrefable key
+            return None
+
+    def _ensure(self, tensor: Any) -> Optional[Dict[Tuple[str, Hashable], Any]]:
+        """The tensor's plan dict, created if needed; ``None`` if unstorable."""
+        token = self._token_of(tensor)
+        if token is not None:
+            per = self._token_plans.get(token)
+            if per is None:
+                per = {}
+                self._token_plans[token] = per
+                while len(self._token_plans) > TOKEN_LRU_CAPACITY:
+                    self._token_plans.popitem(last=False)
+            else:
+                self._token_plans.move_to_end(token)
+            return per
+        try:
+            per = self._plans.get(tensor)
+            if per is None:
+                per = {}
+                self._plans[tensor] = per
+            return per
+        except TypeError:
+            return None
 
     # ------------------------------------------------------------------
     # Lookup / build
@@ -96,12 +156,9 @@ class PlanCache:
 
         Tensors that cannot be weak-referenced are never stored; the plan
         is built fresh (counted as a miss) so callers need no fallback.
+        Tensors exposing ``plan_cache_token`` are stored under the token.
         """
-        try:
-            per_tensor = self._plans.get(tensor)
-        except TypeError:  # unhashable or non-weakrefable key
-            self._misses[kind] = self._misses.get(kind, 0) + 1
-            return builder()
+        per_tensor = self._lookup(tensor)
         if per_tensor is not None:
             plan = per_tensor.get((kind, key))
             if plan is not None:
@@ -109,21 +166,14 @@ class PlanCache:
                 return plan
         self._misses[kind] = self._misses.get(kind, 0) + 1
         plan = builder()
-        try:
-            if per_tensor is None:
-                per_tensor = {}
-                self._plans[tensor] = per_tensor
+        per_tensor = self._ensure(tensor)
+        if per_tensor is not None:
             per_tensor[(kind, key)] = plan
-        except TypeError:
-            pass
         return plan
 
     def peek(self, tensor: Any, kind: str, key: Hashable) -> Optional[Any]:
         """Return the cached plan without building or counting anything."""
-        try:
-            per_tensor = self._plans.get(tensor)
-        except TypeError:
-            return None
+        per_tensor = self._lookup(tensor)
         if per_tensor is None:
             return None
         return per_tensor.get((kind, key))
@@ -137,18 +187,35 @@ class PlanCache:
 
         Call this after mutating a tensor's arrays in place.
         """
-        try:
-            per_tensor = self._plans.pop(tensor, None)
-        except TypeError:
-            return 0
+        token = self._token_of(tensor)
+        if token is not None:
+            per_tensor = self._token_plans.pop(token, None)
+        else:
+            try:
+                per_tensor = self._plans.pop(tensor, None)
+            except TypeError:
+                return 0
         if per_tensor is None:
             return 0
         self._invalidations += len(per_tensor)
         return len(per_tensor)
 
+    def evict(self, tensor: Any, kind: str, key: Hashable) -> bool:
+        """Drop one ``(kind, key)`` plan for ``tensor``; was it present?
+
+        The out-of-core kernels use this to bound the resident bytes of
+        their per-range ``"ooc_chunk"`` plans without discarding the
+        tensor's other plans.
+        """
+        per_tensor = self._lookup(tensor)
+        if per_tensor is None:
+            return False
+        return per_tensor.pop((kind, key), None) is not None
+
     def clear(self) -> None:
         """Drop every plan for every tensor (counters are kept)."""
         self._plans.clear()
+        self._token_plans.clear()
 
     def adopt(self, child: Any, parent: Any) -> int:
         """Share the parent's *structural* plans with ``child``.
@@ -159,10 +226,7 @@ class PlanCache:
         :data:`VALUE_BEARING_KINDS` are never transferred.  Returns the
         number of plans shared.
         """
-        try:
-            source = self._plans.get(parent)
-        except TypeError:
-            return 0
+        source = self._lookup(parent)
         if not source:
             return 0
         shared = {
@@ -170,14 +234,10 @@ class PlanCache:
         }
         if not shared:
             return 0
-        try:
-            per_child = self._plans.get(child)
-            if per_child is None:
-                per_child = {}
-                self._plans[child] = per_child
-            per_child.update(shared)
-        except TypeError:
+        per_child = self._ensure(child)
+        if per_child is None:
             return 0
+        per_child.update(shared)
         return len(shared)
 
     # ------------------------------------------------------------------
@@ -203,11 +263,12 @@ class PlanCache:
             k: (self._hits.get(k, 0), self._misses.get(k, 0)) for k in kinds
         }
         entries = sum(len(v) for v in self._plans.values())
+        entries += sum(len(v) for v in self._token_plans.values())
         return CacheStats(
             hits=self.hits(),
             misses=self.misses(),
             entries=entries,
-            tensors=len(self._plans),
+            tensors=len(self._plans) + len(self._token_plans),
             by_kind=by_kind,
         )
 

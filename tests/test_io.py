@@ -7,7 +7,15 @@ import pytest
 
 from repro.errors import TensorShapeError
 from repro.formats import CooTensor
-from repro.io import dumps_tns, loads_tns, read_tns, roundtrip_equal, write_tns
+from repro.io import (
+    dumps_tns,
+    loads_tns,
+    read_tns,
+    read_tns_reference,
+    roundtrip_equal,
+    write_tns,
+)
+from repro.io.frostt import iter_tns_rows
 
 
 class TestWrite:
@@ -104,3 +112,48 @@ class TestRead:
         )
         parsed = loads_tns(dumps_tns(t), (2, 2))
         assert parsed.values[0] == pytest.approx(0.123456, rel=1e-5)
+
+
+class TestVectorizedParserParity:
+    """The block parser must match the per-line reference exactly."""
+
+    def _assert_same(self, text, shape=None):
+        fast = read_tns(io.StringIO(text), shape)
+        slow = read_tns_reference(io.StringIO(text), shape)
+        assert fast.shape == slow.shape
+        np.testing.assert_array_equal(fast.indices, slow.indices)
+        np.testing.assert_array_equal(fast.values, slow.values)
+
+    def test_random_tensor(self, tensor3):
+        self._assert_same(dumps_tns(tensor3), tensor3.shape)
+
+    def test_messy_whitespace_and_comments(self):
+        text = "# header\n\n  1 2 3  1.5 \n\t4 5 6\t-2e-3\n% tail\n"
+        self._assert_same(text)
+
+    def test_scientific_and_integer_values(self):
+        self._assert_same("1 1 1e10\n2 2 -3\n3 3 0.0\n")
+
+    def test_small_block_chars_boundary(self, tensor3):
+        # A tiny block size forces line splits at every carry-over path.
+        text = dumps_tns(tensor3, header=False)
+        blocks = list(iter_tns_rows(io.StringIO(text), block_chars=7))
+        data = np.concatenate(blocks)
+        slow = read_tns_reference(io.StringIO(text))
+        np.testing.assert_array_equal(
+            data[:, :3].astype(np.int64).T - 1, slow.indices
+        )
+
+    def test_no_trailing_newline(self):
+        self._assert_same("1 2 1.0\n2 1 2.0")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["5\n", "1 1 1.0\n1 2 3 4.0\n", "1 x 1.0\n", "1 1 abc\n"],
+        ids=["short-line", "inconsistent-columns", "bad-index", "bad-value"],
+    )
+    def test_error_parity(self, bad):
+        with pytest.raises(TensorShapeError):
+            read_tns(io.StringIO(bad))
+        with pytest.raises(TensorShapeError):
+            read_tns_reference(io.StringIO(bad))

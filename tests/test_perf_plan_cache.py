@@ -97,6 +97,78 @@ class TestPlanCacheCore:
         assert cache.peek(tensor3, "mode_sort", 0) == "a"
 
 
+class _Tokened:
+    """Minimal stand-in for a token-bearing tensor (MmapCooTensor)."""
+
+    def __init__(self, token):
+        self.plan_cache_token = token
+
+
+class TestTokenKeyedPlans:
+    def test_same_token_shares_plans(self, tmp_path, rng):
+        from repro.io import open_bin, write_coo
+
+        tensor = CooTensor.random((12, 9, 7), 80, rng=rng)
+        write_coo(tensor, tmp_path / "t.bin", chunk_nnz=31)
+        cache = PlanCache()
+        built = []
+        with open_bin(tmp_path / "t.bin") as a, open_bin(tmp_path / "t.bin") as b:
+            cache.get(a, "ooc_chunk", (0, 0, 31), lambda: built.append(1) or "p")
+            assert cache.get(b, "ooc_chunk", (0, 0, 31), lambda: "other") == "p"
+        assert len(built) == 1
+        assert cache.hits("ooc_chunk") == 1
+
+    def test_rewritten_file_misses_cleanly(self, tmp_path, rng):
+        from repro.io import open_bin, write_coo
+
+        path = tmp_path / "t.bin"
+        write_coo(CooTensor.random((12, 9, 7), 80, rng=rng), path)
+        cache = PlanCache()
+        with open_bin(path) as a:
+            cache.get(a, "ooc_chunk", 0, lambda: "stale")
+        write_coo(CooTensor.random((12, 9, 7), 70, rng=rng), path)
+        with open_bin(path) as b:
+            assert cache.peek(b, "ooc_chunk", 0) is None
+            assert cache.get(b, "ooc_chunk", 0, lambda: "fresh") == "fresh"
+
+    def test_evict_drops_a_single_plan(self):
+        cache = PlanCache()
+        t = _Tokened(("mmap-coo", "/x", 1, 2, 3))
+        cache.get(t, "ooc_chunk", "a", lambda: "pa")
+        cache.get(t, "ooc_chunk", "b", lambda: "pb")
+        assert cache.evict(t, "ooc_chunk", "a") is True
+        assert cache.evict(t, "ooc_chunk", "a") is False
+        assert cache.peek(t, "ooc_chunk", "a") is None
+        assert cache.peek(t, "ooc_chunk", "b") == "pb"
+
+    def test_evict_handle_only_needs_the_token(self):
+        # ooc's LRU evicts through a shim object carrying just the token.
+        cache = PlanCache()
+        cache.get(_Tokened("tok"), "ooc_chunk", 0, lambda: "p")
+        assert cache.evict(_Tokened("tok"), "ooc_chunk", 0) is True
+
+    def test_token_lru_capacity_bounds_files(self):
+        from repro.perf.plan_cache import TOKEN_LRU_CAPACITY
+
+        cache = PlanCache()
+        tensors = [_Tokened(("f", i)) for i in range(TOKEN_LRU_CAPACITY + 2)]
+        for i, t in enumerate(tensors):
+            cache.get(t, "ooc_chunk", 0, lambda i=i: f"p{i}")
+        assert cache.stats().tensors == TOKEN_LRU_CAPACITY
+        # The two least recently used files were dropped.
+        assert cache.peek(tensors[0], "ooc_chunk", 0) is None
+        assert cache.peek(tensors[1], "ooc_chunk", 0) is None
+        assert cache.peek(tensors[-1], "ooc_chunk", 0) == f"p{len(tensors) - 1}"
+
+    def test_invalidate_by_token(self):
+        cache = PlanCache()
+        t = _Tokened("tok")
+        cache.get(t, "ooc_chunk", 0, lambda: "a")
+        cache.get(t, "mode_sort", 0, lambda: "b")
+        assert cache.invalidate(_Tokened("tok")) == 2
+        assert cache.peek(t, "ooc_chunk", 0) is None
+
+
 class TestGlobalCacheScoping:
     def test_fresh_cache_swaps_and_restores(self, tensor3):
         outer = get_plan_cache()

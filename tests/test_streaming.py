@@ -1,0 +1,146 @@
+"""Streaming COO → HiCOO / CSF conversion: bit-for-bit vs from_coo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModeError, TensorShapeError
+from repro.formats import (
+    CooTensor,
+    CsfTensor,
+    HicooTensor,
+    streaming_csf,
+    streaming_hicoo,
+)
+from repro.io import open_bin, write_coo
+
+
+def _assert_hicoo_identical(a: HicooTensor, b: HicooTensor) -> None:
+    for attr in ("bptr", "binds", "einds", "values"):
+        left, right = getattr(a, attr), getattr(b, attr)
+        assert left.dtype == right.dtype, attr
+        assert np.array_equal(left, right), attr
+
+
+def _assert_csf_identical(a: CsfTensor, b: CsfTensor) -> None:
+    assert a.mode_order == b.mode_order
+    assert len(a.fids) == len(b.fids)
+    for la, lb in zip(a.fids, b.fids):
+        assert np.array_equal(la, lb)
+    for pa, pb in zip(a.fptr, b.fptr):
+        assert np.array_equal(pa, pb)
+    assert a.values.dtype == b.values.dtype
+    assert np.array_equal(a.values, b.values)
+
+
+def _with_duplicates(rng, shape, nnz):
+    tensor = CooTensor.random(shape, nnz, rng=rng)
+    # Repeat a slice of coordinates so sum_duplicates has work to do and
+    # the streaming reduction order is actually exercised.
+    dup = max(1, nnz // 5)
+    indices = np.concatenate([tensor.indices, tensor.indices[:, :dup]], axis=1)
+    values = np.concatenate(
+        [tensor.values, rng.standard_normal(dup).astype(np.float32)]
+    )
+    return CooTensor(shape, indices, values, validate=False)
+
+
+CHUNK_SIZES = (1, 2, 3, 7, None)
+
+
+class TestStreamingHicoo:
+    @pytest.mark.parametrize("chunk_nnz", CHUNK_SIZES)
+    def test_bit_for_bit_vs_from_coo(self, rng, chunk_nnz):
+        tensor = CooTensor.random((40, 25, 18), 300, rng=rng)
+        expected = HicooTensor.from_coo(tensor, block_size=8)
+        got = streaming_hicoo(tensor, block_size=8, chunk_nnz=chunk_nnz)
+        _assert_hicoo_identical(got, expected)
+
+    def test_chunk_boundary_fuzz(self, rng):
+        for _ in range(8):
+            order = int(rng.integers(2, 5))
+            shape = tuple(int(s) for s in rng.integers(3, 30, size=order))
+            nnz = int(rng.integers(1, 120))
+            tensor = _with_duplicates(rng, shape, nnz)
+            expected = HicooTensor.from_coo(tensor, block_size=4)
+            for chunk in (1, int(rng.integers(1, tensor.nnz + 2)), tensor.nnz + 5):
+                got = streaming_hicoo(tensor, block_size=4, chunk_nnz=chunk)
+                _assert_hicoo_identical(got, expected)
+
+    def test_mmap_source(self, rng, tmp_path):
+        tensor = CooTensor.random((40, 25, 18), 400, rng=rng)
+        path = tmp_path / "t.bin"
+        write_coo(tensor, path, chunk_nnz=57)
+        expected = HicooTensor.from_coo(tensor, block_size=8)
+        with open_bin(path) as mm:
+            got = streaming_hicoo(mm, block_size=8)
+        _assert_hicoo_identical(got, expected)
+
+    def test_iterable_source(self, rng):
+        tensor = CooTensor.random((16, 12, 9), 90, rng=rng)
+        pieces = [
+            CooTensor(
+                tensor.shape,
+                tensor.indices[:, lo : lo + 23],
+                tensor.values[lo : lo + 23],
+                validate=False,
+            )
+            for lo in range(0, tensor.nnz, 23)
+        ]
+        _assert_hicoo_identical(
+            streaming_hicoo(pieces), HicooTensor.from_coo(tensor)
+        )
+
+    def test_empty_tensor(self):
+        got = streaming_hicoo(CooTensor.empty((8, 8)), block_size=4)
+        expected = HicooTensor.from_coo(CooTensor.empty((8, 8)), block_size=4)
+        _assert_hicoo_identical(got, expected)
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(TensorShapeError):
+            streaming_hicoo([])
+
+    def test_mismatched_chunk_shapes_rejected(self):
+        with pytest.raises(TensorShapeError):
+            streaming_hicoo([CooTensor.empty((4, 4)), CooTensor.empty((4, 5))])
+
+
+class TestStreamingCsf:
+    @pytest.mark.parametrize("chunk_nnz", CHUNK_SIZES)
+    def test_bit_for_bit_vs_from_coo(self, rng, chunk_nnz):
+        tensor = _with_duplicates(rng, (40, 25, 18), 300)
+        expected = CsfTensor.from_coo(tensor)
+        got = streaming_csf(tensor, chunk_nnz=chunk_nnz)
+        _assert_csf_identical(got, expected)
+
+    def test_mode_order_fuzz(self, rng):
+        for _ in range(8):
+            order = int(rng.integers(2, 5))
+            shape = tuple(int(s) for s in rng.integers(3, 30, size=order))
+            tensor = _with_duplicates(rng, shape, int(rng.integers(1, 120)))
+            mode_order = tuple(rng.permutation(order).tolist())
+            expected = CsfTensor.from_coo(tensor, mode_order)
+            for chunk in (1, 3, tensor.nnz + 5):
+                got = streaming_csf(tensor, mode_order, chunk_nnz=chunk)
+                _assert_csf_identical(got, expected)
+
+    def test_mmap_source(self, rng, tmp_path):
+        tensor = CooTensor.random((40, 25, 18), 400, rng=rng)
+        path = tmp_path / "t.bin"
+        write_coo(tensor, path, chunk_nnz=57)
+        with open_bin(path) as mm:
+            got = streaming_csf(mm, (2, 0, 1))
+        _assert_csf_identical(got, CsfTensor.from_coo(tensor, (2, 0, 1)))
+
+    def test_empty_tensor(self):
+        got = streaming_csf(CooTensor.empty((8, 6)))
+        expected = CsfTensor.from_coo(CooTensor.empty((8, 6)))
+        _assert_csf_identical(got, expected)
+
+    def test_bad_mode_order_rejected(self, rng):
+        tensor = CooTensor.random((5, 5, 5), 10, rng=rng)
+        with pytest.raises(ModeError):
+            streaming_csf(tensor, (0, 0, 1))
+        with pytest.raises(ModeError):
+            streaming_csf(tensor, (0, 1, 3))

@@ -1,0 +1,363 @@
+"""Serving-tier benchmark; emits ``BENCH_serving.json``.
+
+Measures the asyncio tensor server (:mod:`repro.serving`) end to end:
+the server runs as a **separate process** (``repro.cli serve``) so the
+client-side JSON and socket work never competes with the server's GIL,
+and traffic is driven from sharded client threads, each with its own
+event loop.
+
+* **client sweep** — a power-law request mix replayed at 1, 8, and 64
+  concurrent clients, batched vs unbatched, reporting throughput and
+  client-side p50/p99 latency;
+* **batching headline** — at 64 clients the batched server must clear
+  ``MIN_BATCH_SPEEDUP``x the unbatched throughput (median of
+  ``RATIO_REPS`` paired runs).  The unbatched baseline dispatches every
+  request as its own executor round-trip; batching amortizes the
+  dispatch *and* fuses compatible MTTKRP/TTM requests into one
+  column-concatenated kernel call;
+* **bit-identity** — every batched run's ``result_digest`` map must
+  equal the unbatched run's, which makes the speedup a free lunch:
+  same bytes, fewer kernel calls.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` replays a small mix at 8 clients, asserts digests match
+and the metrics endpoint is sane, and writes no JSON (the CI leg).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.serving import (
+    fetch_metrics,
+    percentile,
+    powerlaw_requests,
+    request_once,
+    run_traffic,
+)
+
+#: Synthetic registry: hotness order, sized so fusion's fixed-cost
+#: amortization (plan lookup, operand setup, dispatch) dominates.
+TENSORS = (
+    ("hot", "40x35x30:3000:1"),
+    ("warm", "30x25x20:1500:2"),
+    ("cold", "25x20x15:800:3"),
+)
+
+#: Decomposition-driven mix: fusable kernels dominate, one hot mode.
+MIX = dict(
+    alpha=2.0,
+    seed=1,
+    kernel_weights=(("MTTKRP", 0.75), ("TTM", 0.20), ("TTV", 0.05)),
+    ranks=(2, 2, 4),
+    modes=(0,),
+)
+
+CLIENTS = (1, 8, 64)
+REQUESTS_PER_CLIENT = 90
+MAX_REQUESTS = 6000
+RATIO_REPS = 3  # paired batched/unbatched runs at the headline point
+WARMUP_REQUESTS = 400
+CLIENT_SHARDS = 4  # client threads, each its own event loop
+
+MAX_BATCH = 64
+BATCH_WINDOW = 0.003
+EXECUTOR_THREADS = 2
+
+SMOKE_CLIENTS = 8
+SMOKE_REQUESTS = 150
+
+#: Acceptance: batched vs unbatched throughput at 64 clients.
+MIN_BATCH_SPEEDUP = 2.0
+
+READY_TIMEOUT = 30.0
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServerProcess:
+    """A ``repro.cli serve`` child on ephemeral ports."""
+
+    def __init__(self, *, batch):
+        self.port = _free_port()
+        self.metrics_port = _free_port()
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(self.port),
+            "--metrics-port", str(self.metrics_port),
+            "--preload", "",
+            "--rate", "1e9", "--burst", "1e9",
+            "--max-batch", str(MAX_BATCH),
+            "--threads", str(EXECUTOR_THREADS),
+            "--batch-window", str(BATCH_WINDOW if batch else 0.0),
+        ]
+        for name, spec in TENSORS:
+            cmd += ["--synthetic", f"{name}={spec}"]
+        if not batch:
+            cmd.append("--no-batch")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH", "")])
+        )
+        self.proc = subprocess.Popen(
+            cmd, env=env, stderr=subprocess.PIPE, text=True
+        )
+
+    def wait_ready(self):
+        deadline = time.monotonic() + READY_TIMEOUT
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early:\n{self.proc.stderr.read()}"
+                )
+            try:
+                response = request_once(
+                    "127.0.0.1", self.port, {"op": "ping"}, timeout=1
+                )
+                if response.get("pong"):
+                    return self
+            except OSError:
+                time.sleep(0.05)
+        self.stop()
+        raise RuntimeError("server never became ready")
+
+    def metrics(self):
+        return fetch_metrics("127.0.0.1", self.metrics_port)
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        if self.proc.stderr is not None:
+            self.proc.stderr.close()
+
+    def __enter__(self):
+        return self.wait_ready()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+def drive(port, requests, concurrency):
+    """Replay ``requests`` through sharded client threads.
+
+    Each shard is a thread running its own event loop, so the client
+    side scales past a single loop's throughput and the server process
+    is the only thing being measured.
+    """
+    shards = min(CLIENT_SHARDS, concurrency)
+    per_shard = concurrency // shards
+    chunks = [list(requests[i::shards]) for i in range(shards)]
+    summaries = [None] * shards
+
+    def worker(i):
+        summaries[i] = asyncio.run(
+            run_traffic(
+                "127.0.0.1", port, chunks[i], concurrency=per_shard
+            )
+        )
+
+    began = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(shards)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - began
+
+    completed = sum(s["completed"] for s in summaries)
+    latencies = [x for s in summaries for x in s["latencies_seconds"]]
+    digests = {}
+    for summary in summaries:
+        digests.update(summary["digests"])
+    assert completed == len(requests), (
+        f"only {completed}/{len(requests)} requests completed"
+    )
+    return {
+        "requests": len(requests),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": completed / elapsed,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p99_seconds": percentile(latencies, 0.99),
+        "digests": digests,
+    }
+
+
+def measure(requests, concurrency, *, batch):
+    """One fresh server process, warmed up, then a timed replay."""
+    with ServerProcess(batch=batch) as server:
+        warmup = requests[: min(WARMUP_REQUESTS, max(1, len(requests) // 4))]
+        drive(server.port, warmup, min(16, max(1, concurrency)))
+        summary = drive(server.port, requests, concurrency)
+        metrics = server.metrics()
+    summary["mean_batch_size"] = metrics["mean_batch_size"]
+    summary["fused_requests_total"] = metrics["fused_requests_total"]
+    summary["plan_cache_hit_rate"] = metrics["plan_cache"]["hit_rate"]
+    return summary
+
+
+def _tensor_specs():
+    return [{"name": name, "order": 3} for name, _ in TENSORS]
+
+
+def _strip(summary):
+    """Drop the digest map before the summary lands in the JSON."""
+    return {k: v for k, v in summary.items() if k != "digests"}
+
+
+def bench_client_sweep():
+    """Batched vs unbatched at each concurrency level."""
+    sweep = {}
+    for concurrency in CLIENTS:
+        count = min(MAX_REQUESTS, REQUESTS_PER_CLIENT * concurrency)
+        requests = powerlaw_requests(_tensor_specs(), count, **MIX)
+        reps = RATIO_REPS if concurrency == max(CLIENTS) else 1
+        pairs = []
+        for _ in range(reps):
+            batched = measure(requests, concurrency, batch=True)
+            unbatched = measure(requests, concurrency, batch=False)
+            assert batched["digests"] == unbatched["digests"], (
+                f"batched digests diverged at {concurrency} clients"
+            )
+            pairs.append((batched, unbatched))
+        by_ratio = sorted(
+            pairs,
+            key=lambda p: p[0]["throughput_rps"] / p[1]["throughput_rps"],
+        )
+        batched, unbatched = by_ratio[len(by_ratio) // 2]
+        median = batched["throughput_rps"] / unbatched["throughput_rps"]
+        ratios = sorted(
+            b["throughput_rps"] / u["throughput_rps"] for b, u in pairs
+        )
+        sweep[str(concurrency)] = {
+            "batched": _strip(batched),
+            "unbatched": _strip(unbatched),
+            "speedup": median,
+            "speedup_reps": ratios,
+            "digests_identical": True,
+        }
+        print(
+            f"clients={concurrency}: batched "
+            f"{batched['throughput_rps']:.0f} rps "
+            f"(p50 {batched['latency_p50_seconds']*1e3:.1f} ms, "
+            f"p99 {batched['latency_p99_seconds']*1e3:.1f} ms, "
+            f"mean batch {batched['mean_batch_size']:.1f}), unbatched "
+            f"{unbatched['throughput_rps']:.0f} rps -> {median:.2f}x"
+        )
+    return sweep
+
+
+def smoke():
+    """CI leg: one small batched/unbatched pair plus metrics sanity."""
+    requests = powerlaw_requests(_tensor_specs(), SMOKE_REQUESTS, **MIX)
+    with ServerProcess(batch=True) as server:
+        summary = drive(server.port, requests, SMOKE_CLIENTS)
+        metrics = server.metrics()
+    assert len(summary["digests"]) == SMOKE_REQUESTS
+    assert metrics["responses_by_status"].get("200", 0) >= SMOKE_REQUESTS
+    assert metrics["queue_depth"] == 0
+    assert metrics["batches_total"] >= 1
+    assert set(metrics["plan_cache"]["by_kind"]) >= {"mode_sort"}
+    for stats in metrics["latency"].values():
+        assert stats["p50_seconds"] <= stats["p99_seconds"]
+
+    with ServerProcess(batch=False) as server:
+        baseline = drive(server.port, requests, SMOKE_CLIENTS)
+    assert summary["digests"] == baseline["digests"], (
+        "batched digests diverged from unbatched"
+    )
+    print(
+        f"smoke ok: {SMOKE_REQUESTS} requests at {SMOKE_CLIENTS} clients, "
+        f"batched {summary['throughput_rps']:.0f} rps vs unbatched "
+        f"{baseline['throughput_rps']:.0f} rps, digests identical"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small batched/unbatched pair, sanity asserts, no JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        print("smoke run: no JSON written")
+        return
+
+    results = {
+        "config": {
+            "tensors": {name: spec for name, spec in TENSORS},
+            "mix": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in MIX.items()
+            },
+            "clients": list(CLIENTS),
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "ratio_reps": RATIO_REPS,
+            "max_batch": MAX_BATCH,
+            "batch_window_seconds": BATCH_WINDOW,
+            "executor_threads": EXECUTOR_THREADS,
+            "client_shards": CLIENT_SHARDS,
+            "cpu_count": os.cpu_count(),
+        },
+        "clients": bench_client_sweep(),
+    }
+
+    top = str(max(CLIENTS))
+    headline_ratio = results["clients"][top]["speedup"]
+    results["headline"] = {
+        "what": (
+            "batched vs unbatched serving throughput at "
+            f"{top} clients (median of {RATIO_REPS})"
+        ),
+        "batched_vs_unbatched_64": headline_ratio,
+        "meets_min_speedup": bool(headline_ratio >= MIN_BATCH_SPEEDUP),
+        "min_speedup": MIN_BATCH_SPEEDUP,
+        "mean_batch_size_64": results["clients"][top]["batched"][
+            "mean_batch_size"
+        ],
+        "digests_identical": all(
+            level["digests_identical"]
+            for level in results["clients"].values()
+        ),
+    }
+    head = results["headline"]
+    print(
+        f"headline: batched/unbatched at {top} clients "
+        f"{head['batched_vs_unbatched_64']:.2f}x "
+        f"(meets >= {MIN_BATCH_SPEEDUP}x: {head['meets_min_speedup']})"
+    )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

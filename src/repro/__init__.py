@@ -37,6 +37,7 @@ from . import (
     perf,
     platforms,
     roofline,
+    serving,
 )
 from .apps import cp_als, orthogonal_decomposition, power_iteration
 from .bench import BenchmarkHarness, BenchResult, run_experiment

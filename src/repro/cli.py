@@ -272,6 +272,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio tensor server: NDJSON kernel requests with "
+        "batching, per-client quotas, and a JSON metrics endpoint",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7070,
+        help="request port (default 7070; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=7071,
+        help="metrics HTTP port (default 7071; -1 disables the endpoint)",
+    )
+    serve.add_argument(
+        "--preload", default="r1", metavar="KEYS",
+        help="comma-separated dataset registry keys to realize in RAM "
+        "(default r1)",
+    )
+    serve.add_argument(
+        "--bin", action="append", default=[], metavar="NAME=PATH",
+        help="register an mmap REPROBIN file (repeatable)",
+    )
+    serve.add_argument(
+        "--synthetic", action="append", default=[],
+        metavar="NAME=IxJxK:NNZ[:SEED]",
+        help="register a random in-RAM COO tensor (repeatable); e.g. "
+        "hot=40x35x30:3000:1",
+    )
+    serve.add_argument(
+        "--scale-divisor", type=int, default=DEFAULT_SCALE_DIVISOR,
+        help="dataset down-scaling divisor for --preload entries",
+    )
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="quota tokens per second per client")
+    serve.add_argument("--burst", type=float, default=100.0,
+                       help="quota bucket capacity per client")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="max requests fused into one kernel batch")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="disable batching (unbatched baseline)")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       help="seconds to linger for co-batchable requests")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="executor threads running kernel batches")
+    serve.add_argument("--kernel-threads", type=int, default=1,
+                       help="intra-kernel threads per batch")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admitted-job queue cap (503 past it)")
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None, metavar="S",
+        help="shut down gracefully after S seconds (default: run until "
+        "SIGINT/SIGTERM)",
+    )
     return parser
 
 
@@ -693,6 +748,106 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings or report.parse_errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+    import signal
+
+    from .serving import ServerConfig, TensorRegistry, TensorServer
+
+    registry = TensorRegistry()
+    for key in [k.strip() for k in args.preload.split(",") if k.strip()]:
+        spec = get_dataset(key)
+        tensor = spec.realize(args.scale_divisor)
+        registry.add_ram(key, tensor, source=f"dataset:{spec.name}")
+        print(
+            f"loaded {key} ({spec.name}): shape {tensor.shape}, "
+            f"nnz {tensor.nnz}",
+            file=sys.stderr,
+        )
+    for item in args.bin:
+        name, _, path = item.partition("=")
+        if not name or not path:
+            print(f"error: --bin wants NAME=PATH, got {item!r}", file=sys.stderr)
+            return 2
+        entry = registry.add_mmap(name, path)
+        print(
+            f"mapped {name} ({path}): shape {entry.shape}, nnz {entry.nnz}",
+            file=sys.stderr,
+        )
+    for item in args.synthetic:
+        import numpy as np
+
+        from .formats import CooTensor
+
+        name, _, spec_str = item.partition("=")
+        try:
+            shape_str, nnz_str, *seed_part = spec_str.split(":")
+            shape = tuple(int(d) for d in shape_str.split("x"))
+            nnz = int(nnz_str)
+            seed = int(seed_part[0]) if seed_part else 0
+        except ValueError:
+            print(
+                f"error: --synthetic wants NAME=IxJxK:NNZ[:SEED], got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        tensor = CooTensor.random(shape, nnz, rng=np.random.default_rng(seed))
+        registry.add_ram(name, tensor, source=f"synthetic:{spec_str}")
+        print(
+            f"generated {name}: shape {tensor.shape}, nnz {tensor.nnz}",
+            file=sys.stderr,
+        )
+    if len(registry) == 0:
+        print("error: nothing to serve (--preload and --bin empty)", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=None if args.metrics_port < 0 else args.metrics_port,
+        rate=args.rate,
+        burst=args.burst,
+        max_batch=args.max_batch,
+        batch=not args.no_batch,
+        batch_window=args.batch_window,
+        executor_threads=args.threads,
+        kernel_threads=args.kernel_threads,
+        max_queue=args.max_queue,
+    )
+
+    async def serve() -> None:
+        server = TensorServer(registry, config)
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port}", file=sys.stderr)
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-POSIX
+                pass
+        if args.serve_seconds is not None:
+            loop.call_later(args.serve_seconds, stop.set)
+        await stop.wait()
+        print("draining...", file=sys.stderr)
+        await server.stop()
+        print(
+            json_module.dumps(server.metrics.snapshot(), indent=1),
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(serve())
+    finally:
+        registry.close_all()
+    print("shutdown complete", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -702,6 +857,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "features":
         return _cmd_features(args)
     if args.command == "tune":

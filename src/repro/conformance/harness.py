@@ -436,6 +436,59 @@ def _run_jit_tolerance(tensor: CooTensor, config: Dict[str, Any]) -> Optional[st
     return None
 
 
+def _run_serving_batch(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """Batched (fused) serving execution must equal sequential, bitwise.
+
+    Builds a small request mix against the tensor — several ranks and
+    seeds of one kernel, so the batching layer fuses them into a single
+    column-concatenated kernel call — and requires every per-request
+    output (and its wire digest) to be bit-identical to the same job
+    executed through the unbatched single-request path.
+    """
+    from ..serving.batching import KernelJob, execute_group, group_jobs
+    from ..serving.protocol import result_digest
+    from ..serving.registry import TensorRegistry
+
+    kernel = config["kernel"]
+    variant = config.get("variant", "coo")
+    rank = int(config.get("rank", 4))
+    seed = int(config.get("seed", 0))
+    registry = TensorRegistry()
+    entry = registry.add_ram("conformance", tensor, source="fuzz")
+    jobs = [
+        KernelJob(
+            entry=entry,
+            kernel=kernel,
+            mode=int(config.get("mode", 0)),
+            rank=r,
+            seed=seed + i,
+            variant=variant,
+            block_size=config.get("block_size") if variant == "hicoo" else None,
+        )
+        for i, r in enumerate((rank, max(1, rank // 2), rank + 1, rank))
+    ]
+    groups = group_jobs(jobs, max_batch=len(jobs))
+    batched = [o for g in groups for o in execute_group(g, batch=True)]
+    sequential = [o for g in groups for o in execute_group(g, batch=False)]
+    flat_jobs = [j for g in groups for j in g]
+    for i, (job, b, s) in enumerate(zip(flat_jobs, batched, sequential)):
+        if b.error is not None or s.error is not None:
+            return (
+                f"serving_batch {kernel} job {i} errored: "
+                f"{b.error or s.error}"
+            )
+        label = (
+            f"serving_batch {variant}-{kernel} job {i} "
+            f"(rank {job.rank}) batched vs sequential"
+        )
+        message = _exact_mismatch(b.result, s.result, label)
+        if message:
+            return message
+        if b.digest != s.digest or b.digest != result_digest(s.result):
+            return f"{label}: wire digests differ"
+    return None
+
+
 _RUNNERS = {
     "roundtrip": _run_roundtrip,
     "kernel_oracle": _run_kernel_oracle,
@@ -444,6 +497,7 @@ _RUNNERS = {
     "cache_exact": _run_cache_exact,
     "auto_dispatch": _run_auto_dispatch,
     "jit_tolerance": _run_jit_tolerance,
+    "serving_batch": _run_serving_batch,
 }
 
 
@@ -535,6 +589,11 @@ def enumerate_checks(
         if kernel in MODE_KERNELS:
             checks.append({"check": "auto_dispatch", "format": "COO", **base})
             checks.append({"check": "jit_tolerance", "format": "COO", **base})
+        if kernel in ("MTTKRP", "TTM"):
+            for variant in ("coo", "hicoo"):
+                checks.append(
+                    {"check": "serving_batch", "variant": variant, **base}
+                )
         for fmt in ("COO", "HiCOO"):
             checks.append({"check": "kernel_oracle", "format": fmt, **base})
             checks.append({"check": "cache_exact", "format": fmt, **base})
@@ -560,6 +619,11 @@ def describe_check(config: Dict[str, Any]) -> str:
         return f"auto_dispatch {config.get('kernel', '')} (serial vs auto)"
     if kind == "jit_tolerance":
         return f"jit_tolerance {config.get('kernel', '')} (compiled vs numpy/oracle)"
+    if kind == "serving_batch":
+        return (
+            f"serving_batch {config.get('variant', 'coo')}-"
+            f"{config.get('kernel', '')} (fused vs sequential)"
+        )
     label = f"{kind} {config.get('format', '')}-{config.get('kernel', '')}"
     if kind == "parallel_exact":
         label += f" x{config.get('threads')} {config.get('schedule')}"

@@ -26,6 +26,14 @@ Design points:
   the module-level :func:`invalidate`) first.
 * Hit/miss counters are kept per plan kind, so tests and benchmarks can
   assert "the warm path issued no re-sort".
+* The cache is thread-safe: every structural mutation and lookup holds
+  one re-entrant lock, sized for the serving tier's executor threads
+  hammering the same tensors concurrently.  Plan *builders* run outside
+  the lock — a slow build must not block unrelated lookups — so two
+  threads racing a cold ``(kind, key)`` may both build; the insert is
+  last-write-wins and both products are identical by construction
+  (builders are deterministic functions of the tensor), so neither
+  thread can observe a torn or stale plan.
 * The module-level enable flag (:func:`set_cache_enabled`,
   :func:`cache_disabled`) turns every plan helper into a no-op, which
   restores the seed's one-shot behavior — benchmarks use it as the
@@ -34,6 +42,7 @@ Design points:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -89,14 +98,36 @@ class CacheStats:
 class PlanCache:
     """Memoize kernel plans per (tensor identity, kind, key)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, token_capacity: int = TOKEN_LRU_CAPACITY) -> None:
+        if token_capacity < 1:
+            raise ValueError("token_capacity must be at least 1")
         self._plans: "weakref.WeakKeyDictionary[Any, Dict[Tuple[str, Hashable], Any]]"
         self._plans = weakref.WeakKeyDictionary()
         self._token_plans: "OrderedDict[Hashable, Dict[Tuple[str, Hashable], Any]]"
         self._token_plans = OrderedDict()
+        self._token_capacity = int(token_capacity)
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
         self._invalidations = 0
+        self._lock = threading.RLock()
+
+    @property
+    def token_capacity(self) -> int:
+        """How many token-keyed (on-disk) tensors keep plans at once."""
+        return self._token_capacity
+
+    def set_token_capacity(self, capacity: int) -> None:
+        """Resize the token LRU; excess least-recently-used files drop.
+
+        The serving tier raises this when it hosts more concurrent
+        mmap-backed tenants than the default capacity.
+        """
+        if capacity < 1:
+            raise ValueError("token_capacity must be at least 1")
+        with self._lock:
+            self._token_capacity = int(capacity)
+            while len(self._token_plans) > self._token_capacity:
+                self._token_plans.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Store resolution (object identity vs file-state token)
@@ -107,7 +138,7 @@ class PlanCache:
         return getattr(tensor, "plan_cache_token", None)
 
     def _lookup(self, tensor: Any) -> Optional[Dict[Tuple[str, Hashable], Any]]:
-        """The tensor's plan dict, or ``None`` (never creates one)."""
+        """The tensor's plan dict, or ``None`` (caller holds the lock)."""
         token = self._token_of(tensor)
         if token is not None:
             per = self._token_plans.get(token)
@@ -120,14 +151,14 @@ class PlanCache:
             return None
 
     def _ensure(self, tensor: Any) -> Optional[Dict[Tuple[str, Hashable], Any]]:
-        """The tensor's plan dict, created if needed; ``None`` if unstorable."""
+        """The tensor's plan dict, created if needed (caller holds the lock)."""
         token = self._token_of(tensor)
         if token is not None:
             per = self._token_plans.get(token)
             if per is None:
                 per = {}
                 self._token_plans[token] = per
-                while len(self._token_plans) > TOKEN_LRU_CAPACITY:
+                while len(self._token_plans) > self._token_capacity:
                     self._token_plans.popitem(last=False)
             else:
                 self._token_plans.move_to_end(token)
@@ -157,26 +188,33 @@ class PlanCache:
         Tensors that cannot be weak-referenced are never stored; the plan
         is built fresh (counted as a miss) so callers need no fallback.
         Tensors exposing ``plan_cache_token`` are stored under the token.
+
+        The builder runs *outside* the lock: concurrent cold lookups may
+        both build, and the insert is last-write-wins — safe because
+        builders are deterministic, so the racers' plans are equal.
         """
-        per_tensor = self._lookup(tensor)
-        if per_tensor is not None:
-            plan = per_tensor.get((kind, key))
-            if plan is not None:
-                self._hits[kind] = self._hits.get(kind, 0) + 1
-                return plan
-        self._misses[kind] = self._misses.get(kind, 0) + 1
+        with self._lock:
+            per_tensor = self._lookup(tensor)
+            if per_tensor is not None:
+                plan = per_tensor.get((kind, key))
+                if plan is not None:
+                    self._hits[kind] = self._hits.get(kind, 0) + 1
+                    return plan
+            self._misses[kind] = self._misses.get(kind, 0) + 1
         plan = builder()
-        per_tensor = self._ensure(tensor)
-        if per_tensor is not None:
-            per_tensor[(kind, key)] = plan
+        with self._lock:
+            per_tensor = self._ensure(tensor)
+            if per_tensor is not None:
+                per_tensor[(kind, key)] = plan
         return plan
 
     def peek(self, tensor: Any, kind: str, key: Hashable) -> Optional[Any]:
         """Return the cached plan without building or counting anything."""
-        per_tensor = self._lookup(tensor)
-        if per_tensor is None:
-            return None
-        return per_tensor.get((kind, key))
+        with self._lock:
+            per_tensor = self._lookup(tensor)
+            if per_tensor is None:
+                return None
+            return per_tensor.get((kind, key))
 
     # ------------------------------------------------------------------
     # Invalidation and plan transfer
@@ -187,18 +225,19 @@ class PlanCache:
 
         Call this after mutating a tensor's arrays in place.
         """
-        token = self._token_of(tensor)
-        if token is not None:
-            per_tensor = self._token_plans.pop(token, None)
-        else:
-            try:
-                per_tensor = self._plans.pop(tensor, None)
-            except TypeError:
+        with self._lock:
+            token = self._token_of(tensor)
+            if token is not None:
+                per_tensor = self._token_plans.pop(token, None)
+            else:
+                try:
+                    per_tensor = self._plans.pop(tensor, None)
+                except TypeError:
+                    return 0
+            if per_tensor is None:
                 return 0
-        if per_tensor is None:
-            return 0
-        self._invalidations += len(per_tensor)
-        return len(per_tensor)
+            self._invalidations += len(per_tensor)
+            return len(per_tensor)
 
     def evict(self, tensor: Any, kind: str, key: Hashable) -> bool:
         """Drop one ``(kind, key)`` plan for ``tensor``; was it present?
@@ -207,15 +246,17 @@ class PlanCache:
         their per-range ``"ooc_chunk"`` plans without discarding the
         tensor's other plans.
         """
-        per_tensor = self._lookup(tensor)
-        if per_tensor is None:
-            return False
-        return per_tensor.pop((kind, key), None) is not None
+        with self._lock:
+            per_tensor = self._lookup(tensor)
+            if per_tensor is None:
+                return False
+            return per_tensor.pop((kind, key), None) is not None
 
     def clear(self) -> None:
         """Drop every plan for every tensor (counters are kept)."""
-        self._plans.clear()
-        self._token_plans.clear()
+        with self._lock:
+            self._plans.clear()
+            self._token_plans.clear()
 
     def adopt(self, child: Any, parent: Any) -> int:
         """Share the parent's *structural* plans with ``child``.
@@ -226,19 +267,20 @@ class PlanCache:
         :data:`VALUE_BEARING_KINDS` are never transferred.  Returns the
         number of plans shared.
         """
-        source = self._lookup(parent)
-        if not source:
-            return 0
-        shared = {
-            k: plan for k, plan in source.items() if k[0] in STRUCTURAL_KINDS
-        }
-        if not shared:
-            return 0
-        per_child = self._ensure(child)
-        if per_child is None:
-            return 0
-        per_child.update(shared)
-        return len(shared)
+        with self._lock:
+            source = self._lookup(parent)
+            if not source:
+                return 0
+            shared = {
+                k: plan for k, plan in source.items() if k[0] in STRUCTURAL_KINDS
+            }
+            if not shared:
+                return 0
+            per_child = self._ensure(child)
+            if per_child is None:
+                return 0
+            per_child.update(shared)
+            return len(shared)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -246,37 +288,41 @@ class PlanCache:
 
     def hits(self, kind: Optional[str] = None) -> int:
         """Total hits, or hits for one plan kind."""
-        if kind is not None:
-            return self._hits.get(kind, 0)
-        return sum(self._hits.values())
+        with self._lock:
+            if kind is not None:
+                return self._hits.get(kind, 0)
+            return sum(self._hits.values())
 
     def misses(self, kind: Optional[str] = None) -> int:
         """Total misses, or misses for one plan kind."""
-        if kind is not None:
-            return self._misses.get(kind, 0)
-        return sum(self._misses.values())
+        with self._lock:
+            if kind is not None:
+                return self._misses.get(kind, 0)
+            return sum(self._misses.values())
 
     def stats(self) -> CacheStats:
         """A snapshot of counters and current occupancy."""
-        kinds = sorted(set(self._hits) | set(self._misses))
-        by_kind = {
-            k: (self._hits.get(k, 0), self._misses.get(k, 0)) for k in kinds
-        }
-        entries = sum(len(v) for v in self._plans.values())
-        entries += sum(len(v) for v in self._token_plans.values())
-        return CacheStats(
-            hits=self.hits(),
-            misses=self.misses(),
-            entries=entries,
-            tensors=len(self._plans) + len(self._token_plans),
-            by_kind=by_kind,
-        )
+        with self._lock:
+            kinds = sorted(set(self._hits) | set(self._misses))
+            by_kind = {
+                k: (self._hits.get(k, 0), self._misses.get(k, 0)) for k in kinds
+            }
+            entries = sum(len(v) for v in self._plans.values())
+            entries += sum(len(v) for v in self._token_plans.values())
+            return CacheStats(
+                hits=sum(self._hits.values()),
+                misses=sum(self._misses.values()),
+                entries=entries,
+                tensors=len(self._plans) + len(self._token_plans),
+                by_kind=by_kind,
+            )
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (cached plans are kept)."""
-        self._hits.clear()
-        self._misses.clear()
-        self._invalidations = 0
+        with self._lock:
+            self._hits.clear()
+            self._misses.clear()
+            self._invalidations = 0
 
 
 # ----------------------------------------------------------------------

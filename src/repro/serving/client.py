@@ -1,0 +1,148 @@
+"""Clients for the serving protocol: an asyncio class + sync helpers.
+
+:class:`ServingClient` is what the traffic generator, benchmark, and
+tests use — one TCP connection, sequential request/response.  The sync
+helpers (:func:`request_once`, :func:`fetch_metrics`) exist for CLI
+probes and test assertions that don't want an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from .protocol import MAX_LINE_BYTES, encode_message
+
+
+class ServingError(Exception):
+    """A non-200 response, with the server's status code attached."""
+
+    def __init__(self, response: Dict[str, Any]) -> None:
+        super().__init__(response.get("error", "request failed"))
+        self.status = int(response.get("status", 0))
+        self.retry_after = response.get("retry_after")
+        self.response = response
+
+
+class ServingClient:
+    """One NDJSON connection to a :class:`TensorServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServingClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES + 2
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request object; return the raw response object."""
+        assert self._reader is not None and self._writer is not None, (
+            "client not connected"
+        )
+        self._writer.write(encode_message(request))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    async def kernel(
+        self,
+        tensor: str,
+        kernel: str,
+        *,
+        mode: int = 0,
+        rank: int = 8,
+        seed: int = 0,
+        variant: str = "coo",
+        block_size: Optional[int] = None,
+        request_id: Any = None,
+        check: bool = True,
+    ) -> Dict[str, Any]:
+        """One kernel request; raises :class:`ServingError` on non-200.
+
+        ``check=False`` returns error responses instead of raising (the
+        traffic generator counts 429s rather than treating them as
+        failures).
+        """
+        response = await self.call(
+            {
+                "op": "kernel",
+                "id": request_id,
+                "tensor": tensor,
+                "kernel": kernel,
+                "mode": mode,
+                "rank": rank,
+                "seed": seed,
+                "variant": variant,
+                "block_size": block_size,
+            }
+        )
+        if check and not response.get("ok"):
+            raise ServingError(response)
+        return response
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.call({"op": "ping"})
+
+    async def list_tensors(self) -> Dict[str, Any]:
+        return await self.call({"op": "list"})
+
+
+def request_once(
+    host: str, port: int, request: Dict[str, Any], *, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """Blocking single request over a throwaway socket (tests, probes)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_message(request))
+        chunks = []
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    data = b"".join(chunks)
+    if not data:
+        raise ConnectionError("server closed the connection without replying")
+    return json.loads(data.splitlines()[0].decode("utf-8"))
+
+
+def fetch_metrics(
+    host: str, port: int, *, path: str = "/metrics", timeout: float = 10.0
+) -> Dict[str, Any]:
+    """Blocking GET against the metrics endpoint; parsed JSON body."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+    finally:
+        conn.close()
+    if response.status != 200:
+        raise ServingError({"status": response.status, "error": body.decode()})
+    return json.loads(body.decode("utf-8"))

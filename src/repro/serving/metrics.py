@@ -1,0 +1,142 @@
+"""Server-side metrics: counters, latency percentiles, cache health.
+
+One :class:`ServerMetrics` instance is shared by the asyncio loop and
+the executor threads, so every mutation takes the lock.  Latencies are
+kept in bounded per-kernel reservoirs (the most recent
+:data:`RESERVOIR_SIZE` samples) and summarized with nearest-rank
+percentiles — enough fidelity for p50/p99 without unbounded growth.
+
+:meth:`ServerMetrics.snapshot` is the JSON body the metrics endpoint
+serves; its schema is documented in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..perf.parallel import last_parallel_report
+from ..perf.plan_cache import PlanCache, get_plan_cache
+
+#: Most recent latency samples kept per kernel.
+RESERVOIR_SIZE = 4096
+
+
+def percentile(samples: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 1])."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class ServerMetrics:
+    """Thread-safe counters and reservoirs for one server process."""
+
+    def __init__(self, cache: Optional[PlanCache] = None) -> None:
+        self._cache = cache
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests_total = 0
+        self._responses_by_status: Dict[int, int] = {}
+        self._batches_total = 0
+        self._batched_requests_total = 0
+        self._fused_requests_total = 0
+        self._latency: Dict[str, Deque[float]] = {}
+        self._queue_depth_fn: Callable[[], int] = lambda: 0
+        self._inflight_fn: Callable[[], int] = lambda: 0
+
+    # ------------------------------------------------------------------
+    # Recording (loop and executor threads)
+    # ------------------------------------------------------------------
+
+    def bind_gauges(
+        self,
+        queue_depth: Callable[[], int],
+        inflight: Callable[[], int],
+    ) -> None:
+        """Attach the server's live queue-depth and in-flight gauges."""
+        self._queue_depth_fn = queue_depth
+        self._inflight_fn = inflight
+
+    def record_request(self) -> None:
+        with self._lock:
+            self._requests_total += 1
+
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self._responses_by_status[status] = (
+                self._responses_by_status.get(status, 0) + 1
+            )
+
+    def record_batch(self, size: int, *, fused: bool) -> None:
+        with self._lock:
+            self._batches_total += 1
+            self._batched_requests_total += size
+            if fused:
+                self._fused_requests_total += size
+
+    def record_latency(self, kernel: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._latency.get(kernel)
+            if reservoir is None:
+                reservoir = deque(maxlen=RESERVOIR_SIZE)
+                self._latency[kernel] = reservoir
+            reservoir.append(float(seconds))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The metrics document served over HTTP (see docs/serving.md)."""
+        cache = self._cache if self._cache is not None else get_plan_cache()
+        stats = cache.stats()
+        report = last_parallel_report()
+        with self._lock:
+            latency = {
+                kernel: {
+                    "count": len(samples),
+                    "p50_seconds": percentile(list(samples), 0.50),
+                    "p99_seconds": percentile(list(samples), 0.99),
+                }
+                for kernel, samples in sorted(self._latency.items())
+            }
+            body: Dict[str, Any] = {
+                "uptime_seconds": time.monotonic() - self._started,
+                "requests_total": self._requests_total,
+                "responses_by_status": {
+                    str(code): count
+                    for code, count in sorted(self._responses_by_status.items())
+                },
+                "batches_total": self._batches_total,
+                "batched_requests_total": self._batched_requests_total,
+                "fused_requests_total": self._fused_requests_total,
+                "mean_batch_size": (
+                    self._batched_requests_total / self._batches_total
+                    if self._batches_total
+                    else None
+                ),
+                "latency": latency,
+            }
+        body["queue_depth"] = int(self._queue_depth_fn())
+        body["inflight_batches"] = int(self._inflight_fn())
+        body["plan_cache"] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "entries": stats.entries,
+            "tensors": stats.tensors,
+            "by_kind": {
+                kind: {"hits": h, "misses": m}
+                for kind, (h, m) in stats.by_kind.items()
+            },
+        }
+        body["partition_imbalance"] = (
+            report.measured_imbalance if report is not None else None
+        )
+        body["parallel_workers"] = report.workers if report is not None else None
+        return body

@@ -1,0 +1,180 @@
+"""Wire protocol for the tensor serving tier.
+
+Requests and responses are newline-delimited JSON objects (NDJSON) over
+a plain TCP stream.  A kernel request names a registered tensor and the
+kernel parameters; the server regenerates the dense operands
+deterministically from ``(kernel, mode, rank, seed)`` via
+:func:`repro.core.registry.make_operands`, so the wire never carries
+arrays.  Responses carry a SHA-256 digest of the result
+(:func:`result_digest`) instead of the result itself, which keeps
+payloads tiny while still letting clients assert bit-identity against a
+local computation.
+
+Error handling borrows HTTP status semantics so quota and overload
+signals are unambiguous:
+
+====  =================  ===========================================
+code  name               meaning
+====  =================  ===========================================
+400   bad_request        malformed JSON or invalid fields
+404   not_found          tensor name not in the registry
+413   payload_too_large  request line exceeded :data:`MAX_LINE_BYTES`
+429   quota_exceeded     token bucket empty; ``retry_after`` seconds
+500   internal           kernel execution raised
+503   overloaded         queue full or server draining
+====  =================  ===========================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.analysis import KERNELS
+from ..perf.dispatch import VARIANTS
+
+#: Hard cap on one request line; longer lines are rejected with 413 and
+#: the connection is closed (the framing is unrecoverable past this).
+MAX_LINE_BYTES = 64 * 1024
+
+#: Largest dense rank a request may ask for (bounds operand memory).
+MAX_RANK = 64
+
+#: Request operations the server understands.
+OPS = ("kernel", "ping", "list")
+
+#: Sparse-result attributes folded into :func:`result_digest`, in fixed
+#: order.  Matches the attribute tuple the conformance harness's exact
+#: comparator walks.
+_SPARSE_ATTRS = ("indices", "values", "bptr", "binds", "einds", "cinds")
+
+
+class ProtocolError(Exception):
+    """A request the server refuses, with an HTTP-style status code."""
+
+    def __init__(
+        self, code: int, message: str, *, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.code = int(code)
+        self.retry_after = retry_after
+
+    def to_response(self, request_id: Optional[Any] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "id": request_id,
+            "ok": False,
+            "status": self.code,
+            "error": str(self),
+        }
+        if self.retry_after is not None:
+            body["retry_after"] = round(float(self.retry_after), 6)
+        return body
+
+
+def encode_message(obj: Dict[str, Any]) -> bytes:
+    """One NDJSON frame: compact JSON plus the terminating newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`ProtocolError` (400/413)."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(413, f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(400, f"malformed request: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(400, "request must be a JSON object")
+    return obj
+
+
+def _require_int(obj: Dict[str, Any], key: str, default: int, lo: int, hi: int) -> int:
+    value = obj.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(400, f"{key!r} must be an integer")
+    if not lo <= value <= hi:
+        raise ProtocolError(400, f"{key!r} must be in [{lo}, {hi}]")
+    return value
+
+
+def validate_request(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a decoded request; raises :class:`ProtocolError` (400).
+
+    Kernel requests come back with exactly the fields the batching layer
+    keys on: ``tensor``, ``kernel``, ``mode``, ``rank``, ``seed``,
+    ``variant``, ``block_size``.
+    """
+    op = obj.get("op", "kernel")
+    if op not in OPS:
+        raise ProtocolError(400, f"unknown op {op!r}; use one of {OPS}")
+    normalized: Dict[str, Any] = {"op": op, "id": obj.get("id")}
+    if op != "kernel":
+        return normalized
+    tensor = obj.get("tensor")
+    if not isinstance(tensor, str) or not tensor:
+        raise ProtocolError(400, "'tensor' must be a non-empty string")
+    kernel = obj.get("kernel")
+    if not isinstance(kernel, str) or kernel.upper() not in KERNELS:
+        raise ProtocolError(
+            400, f"'kernel' must be one of {KERNELS}, got {kernel!r}"
+        )
+    variant = obj.get("variant", "coo")
+    if not isinstance(variant, str) or variant.lower() not in VARIANTS:
+        raise ProtocolError(
+            400, f"'variant' must be one of {VARIANTS}, got {variant!r}"
+        )
+    block_size = obj.get("block_size")
+    if block_size is not None:
+        if isinstance(block_size, bool) or not isinstance(block_size, int):
+            raise ProtocolError(400, "'block_size' must be an integer or null")
+        if not 1 <= block_size <= 1024:
+            raise ProtocolError(400, "'block_size' must be in [1, 1024]")
+    normalized.update(
+        tensor=tensor,
+        kernel=kernel.upper(),
+        mode=_require_int(obj, "mode", 0, 0, 15),
+        rank=_require_int(obj, "rank", 8, 1, MAX_RANK),
+        seed=_require_int(obj, "seed", 0, 0, 2**31 - 1),
+        variant=variant.lower(),
+        block_size=block_size,
+    )
+    return normalized
+
+
+def result_digest(result: Any) -> str:
+    """SHA-256 over a kernel result's exact bytes.
+
+    Dense arrays hash ``(dtype, shape, C-order bytes)``; sparse results
+    hash the type name, shape, and every array attribute the exact
+    conformance comparator walks, so two results share a digest iff that
+    comparator would call them identical.
+    """
+    h = hashlib.sha256()
+
+    def add_array(tag: str, arr: np.ndarray) -> None:
+        a = np.ascontiguousarray(arr)
+        h.update(tag.encode())
+        h.update(str(a.dtype).encode())
+        h.update(repr(a.shape).encode())
+        h.update(a.tobytes())
+
+    if isinstance(result, np.ndarray):
+        add_array("dense", result)
+        return h.hexdigest()
+    h.update(type(result).__name__.encode())
+    shape = getattr(result, "shape", None)
+    if shape is not None:
+        h.update(repr(tuple(int(s) for s in shape)).encode())
+    for attr in ("dense_modes", "block_size"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            h.update(f"{attr}={value!r}".encode())
+    for attr in _SPARSE_ATTRS:
+        value = getattr(result, attr, None)
+        if value is not None:
+            add_array(attr, np.asarray(value))
+    return h.hexdigest()

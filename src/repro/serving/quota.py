@@ -1,0 +1,97 @@
+"""Per-client token-bucket quotas for the serving tier.
+
+Each client (keyed by whatever identifier the server chooses — here the
+peer address) gets an independent bucket refilled at ``rate`` tokens per
+second up to ``burst``.  A request costs one token; an empty bucket
+yields a 429-style rejection carrying ``retry_after``, the seconds until
+one token will have accrued, so well-behaved clients can back off
+precisely instead of hammering.
+
+The clock is injectable for tests; everything is guarded by one lock so
+the asyncio loop and executor threads can share a manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, Tuple
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Take ``tokens`` if available; ``(ok, retry_after_seconds)``.
+
+        ``retry_after`` is 0 on success, otherwise the time until the
+        deficit will have refilled.
+        """
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True, 0.0
+        deficit = tokens - self._tokens
+        return False, deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+class QuotaManager:
+    """Lazily-created per-client buckets behind one lock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[Hashable, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, client: Hashable, tokens: float = 1.0) -> Tuple[bool, float]:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[client] = bucket
+            return bucket.try_acquire(tokens)
+
+    def forget(self, client: Hashable) -> None:
+        """Drop a client's bucket (e.g. when its connection closes)."""
+        with self._lock:
+            self._buckets.pop(client, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,173 @@
+"""Registry of tensors a serving process has loaded.
+
+The server owns one :class:`TensorRegistry` holding both in-RAM
+:class:`~repro.formats.coo.CooTensor` objects (realized dataset entries
+or parsed files) and mmap-backed
+:class:`~repro.io.binfile.MmapCooTensor` handles over ``REPROBIN``
+files.  Lookups are lock-guarded because kernel batches execute on
+executor threads while the asyncio loop admits new requests.
+
+:func:`check_invariants` is the ``repro fuzz``-style validator the
+fault-injection tests call after every abuse scenario: it returns a
+list of violation strings (empty == consistent) instead of raising, so
+a single sweep reports every problem at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..formats.coo import CooTensor
+from ..io.binfile import MmapCooTensor, open_bin
+from ..perf.plan_cache import PlanCache, get_plan_cache
+
+
+@dataclass
+class TensorEntry:
+    """One registered tensor: the handle plus immutable metadata."""
+
+    name: str
+    tensor: Any
+    kind: str  # "ram" | "mmap"
+    source: str
+    shape: Tuple[int, ...]
+    nnz: int
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "source": self.source,
+            "shape": list(self.shape),
+            "nnz": self.nnz,
+        }
+
+
+class TensorRegistry:
+    """Named tensors shared by every connection of one server."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, TensorEntry] = {}
+        self._lock = threading.RLock()
+
+    def add_ram(self, name: str, tensor: CooTensor, *, source: str = "ram") -> TensorEntry:
+        entry = TensorEntry(
+            name=name,
+            tensor=tensor,
+            kind="ram",
+            source=source,
+            shape=tuple(int(s) for s in tensor.shape),
+            nnz=int(tensor.nnz),
+        )
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"tensor {name!r} already registered")
+            self._entries[name] = entry
+        return entry
+
+    def add_mmap(self, name: str, path: str, *, verify: bool = False) -> TensorEntry:
+        handle = open_bin(path, verify=verify)
+        entry = TensorEntry(
+            name=name,
+            tensor=handle,
+            kind="mmap",
+            source=str(path),
+            shape=tuple(int(s) for s in handle.shape),
+            nnz=int(handle.nnz),
+        )
+        with self._lock:
+            if name in self._entries:
+                handle.close()
+                raise ValueError(f"tensor {name!r} already registered")
+            self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> Optional[TensorEntry]:
+        with self._lock:
+            return self._entries.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [e.describe() for e in self._entries.values()]
+
+    def remove(self, name: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            return False
+        if entry.kind == "mmap":
+            entry.tensor.close()
+        return True
+
+    def close_all(self) -> None:
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            if entry.kind == "mmap":
+                entry.tensor.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+
+def check_invariants(
+    registry: TensorRegistry, cache: Optional[PlanCache] = None
+) -> List[str]:
+    """Validate registry + plan cache consistency; [] means healthy.
+
+    Mirrors the fuzz harness's style: every violation is collected as a
+    message rather than raised, so fault-injection tests can assert
+    ``check_invariants(...) == []`` after each abuse scenario.
+    """
+    cache = cache if cache is not None else get_plan_cache()
+    problems: List[str] = []
+    for entry in registry.describe():
+        name = entry["name"]
+        live = registry.get(name)
+        if live is None:
+            problems.append(f"{name}: vanished between describe() and get()")
+            continue
+        if tuple(entry["shape"]) != live.shape:
+            problems.append(f"{name}: metadata shape drifted from entry")
+        if live.nnz < 0:
+            problems.append(f"{name}: negative nnz {live.nnz}")
+        if len(live.shape) != live.order:
+            problems.append(f"{name}: order {live.order} != len(shape)")
+        tensor = live.tensor
+        if live.kind == "mmap":
+            if getattr(tensor, "_closed", False):
+                problems.append(f"{name}: mmap handle closed while registered")
+            elif int(tensor.nnz) != live.nnz:
+                problems.append(f"{name}: mmap nnz drifted from registration")
+        else:
+            if not isinstance(tensor, CooTensor):
+                problems.append(
+                    f"{name}: ram entry holds {type(tensor).__name__}"
+                )
+            elif tensor.indices.shape[1] != tensor.values.shape[0]:
+                problems.append(f"{name}: indices/values length mismatch")
+    stats = cache.stats()
+    if stats.hits < 0 or stats.misses < 0:
+        problems.append("plan cache: negative hit/miss counters")
+    if stats.entries < 0 or stats.tensors < 0:
+        problems.append("plan cache: negative occupancy")
+    for kind, (hits, misses) in stats.by_kind.items():
+        if hits < 0 or misses < 0:
+            problems.append(f"plan cache[{kind}]: negative counters")
+    return problems

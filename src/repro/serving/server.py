@@ -1,0 +1,439 @@
+"""Asyncio tensor server: admission, batching dispatcher, metrics.
+
+One :class:`TensorServer` owns a :class:`~repro.serving.registry.TensorRegistry`,
+a job queue, a small :class:`~concurrent.futures.ThreadPoolExecutor` for
+the CPU-bound kernel batches, and two listeners:
+
+* the **request port** speaks the NDJSON protocol of
+  :mod:`repro.serving.protocol`; each connection is served
+  request-by-request (pipelining across connections, not within one);
+* the **metrics port** speaks just enough HTTP/1.1 to serve
+  ``GET /metrics`` (the :meth:`ServerMetrics.snapshot` JSON) and
+  ``GET /healthz``.
+
+Batching falls out of backpressure: the dispatcher only drains the
+queue when an executor slot is free, so while every slot is busy,
+compatible requests pile up and leave as one fused group.  Admission
+applies per-client token buckets (429 + ``retry_after``) and a global
+queue cap (503) *before* enqueueing, so overload is rejected cheaply.
+
+Graceful shutdown (:meth:`TensorServer.stop`) stops accepting new
+connections, fails queued-but-unstarted jobs fast with 503, waits for
+in-flight batches to complete and deliver their responses, then closes
+the executor and both listeners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Set
+
+from ..perf.parallel import parallel_config
+from . import batching
+from .batching import JobOutcome, KernelJob
+from .metrics import ServerMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    encode_message,
+    validate_request,
+)
+from .quota import QuotaManager
+from .registry import TensorRegistry
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for one serving process (see docs/serving.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    metrics_port: Optional[int] = 0  # None = metrics endpoint disabled
+    rate: float = 200.0  # quota tokens per second per client
+    burst: float = 100.0  # quota bucket capacity
+    max_batch: int = 32  # jobs per executed group
+    batch: bool = True  # False = unbatched baseline (groups of 1)
+    batch_window: float = 0.0  # seconds to linger for co-batchable requests
+    executor_threads: int = 2  # concurrent kernel batches
+    kernel_threads: int = 1  # intra-kernel threads per batch
+    max_queue: int = 1024  # admitted-but-unstarted job cap (503 past it)
+
+
+class _Job:
+    """A queued kernel job plus the future its connection awaits."""
+
+    __slots__ = ("kernel_job", "future")
+
+    def __init__(self, kernel_job: KernelJob, future: "asyncio.Future[JobOutcome]"):
+        self.kernel_job = kernel_job
+        self.future = future
+
+
+class TensorServer:
+    """A long-lived serving process over one tensor registry."""
+
+    def __init__(
+        self,
+        registry: TensorRegistry,
+        config: Optional[ServerConfig] = None,
+        *,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.metrics = metrics or ServerMetrics()
+        self.quotas = QuotaManager(self.config.rate, self.config.burst)
+        self._pending: Deque[_Job] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._inflight: Set[asyncio.Task] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._started = False
+        self.metrics.bind_gauges(
+            lambda: len(self._pending), lambda: len(self._inflight)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Any:
+        """The bound ``(host, port)`` of the request listener."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> Optional[Any]:
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.executor_threads)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics, self.config.host, self.config.metrics_port
+            )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: reject new work, drain in-flight batches."""
+        if not self._started or self._draining:
+            return
+        self._draining = True
+        assert self._server is not None and self._wakeup is not None
+        self._server.close()
+        # Queued-but-unstarted jobs fail fast; admitted connections get
+        # their 503 response before the socket closes under them.
+        while self._pending:
+            job = self._pending.popleft()
+            if not job.future.done():
+                job.future.set_result(
+                    JobOutcome(error=ProtocolError(503, "server shutting down"))
+                )
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Run until ``stop_event`` fires, then stop gracefully."""
+        await stop_event.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Admission (asyncio loop)
+    # ------------------------------------------------------------------
+
+    def _admit(self, request: Dict[str, Any], client: Any) -> "asyncio.Future[JobOutcome]":
+        """Validate, apply quota + queue cap, enqueue; raises ProtocolError."""
+        assert self._loop is not None and self._wakeup is not None
+        if self._draining:
+            raise ProtocolError(503, "server shutting down")
+        ok, retry_after = self.quotas.try_acquire(client)
+        if not ok:
+            raise ProtocolError(
+                429, "client quota exceeded", retry_after=retry_after
+            )
+        if len(self._pending) >= self.config.max_queue:
+            raise ProtocolError(503, "job queue full")
+        entry = self.registry.get(request["tensor"])
+        if entry is None:
+            raise ProtocolError(404, f"unknown tensor {request['tensor']!r}")
+        batching.check_job(entry, request)
+        kernel_job = KernelJob(
+            entry=entry,
+            kernel=request["kernel"],
+            mode=request["mode"],
+            rank=request["rank"],
+            seed=request["seed"],
+            variant=request["variant"],
+            block_size=request["block_size"],
+            request_id=request.get("id"),
+            client=client,
+        )
+        future: "asyncio.Future[JobOutcome]" = self._loop.create_future()
+        self._pending.append(_Job(kernel_job, future))
+        self._wakeup.set()
+        return future
+
+    # ------------------------------------------------------------------
+    # Dispatcher (asyncio loop + executor threads)
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None and self._slots is not None
+        while True:
+            if not self._pending:
+                if self._draining:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            # Hold off draining until an executor slot frees up: while
+            # every slot is busy, compatible requests accumulate and
+            # leave as one fused group.
+            await self._slots.acquire()
+            if (
+                self.config.batch
+                and self.config.batch_window > 0
+                and not self._draining
+                and (len(self._pending) > 1 or self._inflight)
+            ):
+                # Micro-batching window: linger briefly so co-batchable
+                # requests arriving back-to-back join this drain.  A
+                # lone request on an idle server skips the linger — the
+                # window only pays when traffic is already overlapping.
+                await asyncio.sleep(self.config.batch_window)
+            if not self._pending:
+                self._slots.release()
+                continue
+            jobs = list(self._pending)
+            self._pending.clear()
+            # With batching off, every job dispatches alone — the
+            # baseline pays one executor round-trip per request.
+            groups = batching.group_jobs(
+                [j.kernel_job for j in jobs],
+                self.config.max_batch if self.config.batch else 1,
+            )
+            by_identity = {id(j.kernel_job): j for j in jobs}
+            member_groups = [
+                [by_identity[id(kj)] for kj in group] for group in groups
+            ]
+            if self.config.batch:
+                # Dispatch batching: the whole drain rides one executor
+                # round-trip — groups run back-to-back on the thread.
+                task = asyncio.create_task(self._run_groups(member_groups))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+                continue
+            first = True
+            for members in member_groups:
+                if not first:
+                    await self._slots.acquire()
+                first = False
+                task = asyncio.create_task(self._run_groups([members]))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    async def _run_groups(self, member_groups: List[List[_Job]]) -> None:
+        """Run one executor call covering every group in the drain."""
+        assert self._loop is not None and self._pool is not None
+        assert self._slots is not None
+        groups = [[m.kernel_job for m in members] for members in member_groups]
+        try:
+            outcome_lists = await self._loop.run_in_executor(
+                self._pool, self._execute, groups
+            )
+        except Exception as exc:  # noqa: BLE001 — executor failure → 500s
+            err = ProtocolError(500, f"{type(exc).__name__}: {exc}")
+            outcome_lists = [
+                [JobOutcome(error=err) for _ in group] for group in groups
+            ]
+        finally:
+            self._slots.release()
+        now = time.monotonic()
+        for members, outcomes in zip(member_groups, outcome_lists):
+            fused = any(o.fused for o in outcomes)
+            self.metrics.record_batch(len(outcomes), fused=fused)
+            for member, outcome in zip(members, outcomes):
+                if outcome.error is None:
+                    self.metrics.record_latency(
+                        member.kernel_job.kernel,
+                        now - member.kernel_job.submitted,
+                    )
+                if not member.future.done():
+                    member.future.set_result(outcome)
+
+    def _execute(self, groups: List[List[KernelJob]]) -> List[List[JobOutcome]]:
+        """Executor-thread entry: pin the intra-kernel thread count."""
+        with parallel_config(num_threads=self.config.kernel_threads):
+            return [
+                batching.execute_group(group, batch=self.config.batch)
+                for group in groups
+            ]
+
+    # ------------------------------------------------------------------
+    # Request connections
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client = writer.get_extra_info("peername")
+        client_key = client[0] if isinstance(client, tuple) else str(client)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # line exceeded the stream limit: framing is gone
+                    await self._send(
+                        writer, ProtocolError(413, "request line too long").to_response()
+                    )
+                    self.metrics.record_response(413)
+                    break
+                if not line:
+                    break  # client closed
+                if not line.strip():
+                    continue
+                await self._handle_request_line(line, writer, client_key)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; any in-flight job still completes
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request_line(
+        self, line: bytes, writer: asyncio.StreamWriter, client_key: Any
+    ) -> None:
+        self.metrics.record_request()
+        request_id = None
+        try:
+            raw = decode_request(line)
+            request_id = raw.get("id")
+            request = validate_request(raw)
+            if request["op"] == "ping":
+                await self._send(
+                    writer, {"id": request_id, "ok": True, "status": 200, "pong": True}
+                )
+                self.metrics.record_response(200)
+                return
+            if request["op"] == "list":
+                await self._send(
+                    writer,
+                    {
+                        "id": request_id,
+                        "ok": True,
+                        "status": 200,
+                        "tensors": self.registry.describe(),
+                    },
+                )
+                self.metrics.record_response(200)
+                return
+            future = self._admit(request, client_key)
+        except ProtocolError as exc:
+            self.metrics.record_response(exc.code)
+            await self._send(writer, exc.to_response(request_id))
+            return
+        outcome = await future
+        if outcome.error is not None:
+            self.metrics.record_response(outcome.error.code)
+            await self._send(writer, outcome.error.to_response(request_id))
+            return
+        self.metrics.record_response(200)
+        await self._send(
+            writer,
+            {
+                "id": request_id,
+                "ok": True,
+                "status": 200,
+                "result_digest": outcome.digest,
+                "batch_size": outcome.batch_size,
+                "fused": outcome.fused,
+            },
+        )
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, body: Dict[str, Any]) -> None:
+        try:
+            writer.write(encode_message(body))
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # client disconnected mid-response; nothing to unwind
+
+    # ------------------------------------------------------------------
+    # Metrics connections (minimal HTTP/1.1)
+    # ------------------------------------------------------------------
+
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path.startswith("/healthz"):
+                payload = json.dumps(
+                    {"ok": not self._draining, "draining": self._draining}
+                ).encode()
+            else:
+                payload = json.dumps(self.metrics.snapshot(), indent=1).encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + payload
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,174 @@
+"""Synthetic power-law traffic for the serving tier.
+
+Multi-tenant kernel traffic is famously skewed: a few hot tensors take
+most of the requests.  :func:`powerlaw_requests` reproduces that shape
+with the same inverse-CDF trick :mod:`repro.generators.powerlaw` uses
+for nonzero coordinates — tensor *i* (hotness rank ``i + 1``) is drawn
+with probability proportional to ``(i + 1) ** -alpha`` — which is what
+makes request batching pay off: compatible requests against the head
+tensors arrive close together.
+
+:func:`run_traffic` replays a request list through ``concurrency``
+:class:`~repro.serving.client.ServingClient` connections sharing one
+work queue, collecting per-request latency and status counts.  It is
+the engine behind ``benchmarks/bench_serving.py`` and the CI smoke leg.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .client import ServingClient
+from .metrics import percentile
+
+#: Default kernel mix: MTTKRP-heavy, like the decomposition-driven
+#: workloads the paper's suite targets.
+DEFAULT_KERNEL_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("MTTKRP", 0.55),
+    ("TTM", 0.20),
+    ("TTV", 0.15),
+    ("TS", 0.06),
+    ("TEW", 0.04),
+)
+
+DEFAULT_RANKS = (2, 4, 8)
+
+
+def _powerlaw_cdf(count: int, alpha: float) -> np.ndarray:
+    weights = np.arange(1, count + 1, dtype=np.float64) ** -float(alpha)
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+def powerlaw_requests(
+    tensors: Sequence[Dict[str, Any]],
+    count: int,
+    *,
+    alpha: float = 1.5,
+    seed: int = 0,
+    kernel_weights: Sequence[Tuple[str, float]] = DEFAULT_KERNEL_WEIGHTS,
+    ranks: Sequence[int] = DEFAULT_RANKS,
+    variant: str = "coo",
+    seeds: int = 4,
+    modes: Optional[Sequence[int]] = None,
+) -> List[Dict[str, Any]]:
+    """Build ``count`` kernel requests with a power-law tensor mix.
+
+    ``tensors`` entries need ``name``, ``order``, and optionally
+    ``kernels`` (restricting what that tensor serves — mmap entries
+    pass the out-of-core kernel list).  Listing order is hotness order.
+    ``modes`` restricts which modes are requested (decomposition-driven
+    traffic hammers the mode currently being factorized); by default
+    every mode of each tensor is equally likely.  Entries are wrapped
+    into each tensor's valid mode range.
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor")
+    rng = np.random.default_rng(seed)
+    tensor_cdf = _powerlaw_cdf(len(tensors), alpha)
+    tensor_picks = np.searchsorted(tensor_cdf, rng.random(count), side="right")
+    kernel_names = [k for k, _ in kernel_weights]
+    kernel_probs = np.asarray([w for _, w in kernel_weights], dtype=np.float64)
+    kernel_probs = kernel_probs / kernel_probs.sum(dtype=np.float64)
+    kernel_picks = rng.choice(len(kernel_names), size=count, p=kernel_probs)
+    requests: List[Dict[str, Any]] = []
+    for i in range(count):
+        spec = tensors[int(tensor_picks[i])]
+        kernel = kernel_names[int(kernel_picks[i])]
+        allowed = spec.get("kernels")
+        if allowed and kernel not in allowed:
+            kernel = allowed[int(kernel_picks[i]) % len(allowed)]
+        if modes:
+            mode = int(modes[int(rng.integers(0, len(modes)))]) % spec["order"]
+        else:
+            mode = int(rng.integers(0, spec["order"]))
+        requests.append(
+            {
+                "op": "kernel",
+                "id": i,
+                "tensor": spec["name"],
+                "kernel": kernel,
+                "mode": mode,
+                "rank": int(ranks[int(rng.integers(0, len(ranks)))]),
+                "seed": int(rng.integers(0, seeds)),
+                "variant": variant,
+                "block_size": None,
+            }
+        )
+    return requests
+
+
+async def run_traffic(
+    host: str,
+    port: int,
+    requests: Sequence[Dict[str, Any]],
+    *,
+    concurrency: int = 8,
+    retry_on_quota: bool = True,
+    max_retries: int = 50,
+) -> Dict[str, Any]:
+    """Replay ``requests`` through ``concurrency`` connections.
+
+    Returns per-status counts, wall time, throughput, and client-side
+    p50/p99 latency; ``digests`` maps request id → ``result_digest``
+    for bit-identity assertions.
+    """
+    queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+    for request in requests:
+        queue.put_nowait(dict(request))
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    digests: Dict[Any, Optional[str]] = {}
+    retries = 0
+
+    async def worker() -> None:
+        nonlocal retries
+        async with ServingClient(host, port) as client:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                attempts = 0
+                while True:
+                    begin = time.monotonic()
+                    response = await client.call(request)
+                    status = int(response.get("status", 0))
+                    if (
+                        status == 429
+                        and retry_on_quota
+                        and attempts < max_retries
+                    ):
+                        attempts += 1
+                        retries += 1
+                        statuses[429] = statuses.get(429, 0) + 1
+                        await asyncio.sleep(
+                            float(response.get("retry_after") or 0.01)
+                        )
+                        continue
+                    break
+                latencies.append(time.monotonic() - begin)
+                statuses[status] = statuses.get(status, 0) + 1
+                if status == 200:
+                    digests[request.get("id")] = response.get("result_digest")
+
+    began = time.monotonic()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    elapsed = time.monotonic() - began
+    completed = statuses.get(200, 0)
+    return {
+        "requests": len(requests),
+        "completed": completed,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "quota_retries": retries,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": completed / elapsed if elapsed > 0 else None,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p99_seconds": percentile(latencies, 0.99),
+        "latencies_seconds": latencies,
+        "digests": digests,
+    }

@@ -1,0 +1,223 @@
+"""End-to-end tests for the asyncio tensor server.
+
+Each test spins a real server on an ephemeral port inside
+``asyncio.run`` (no event-loop plugin needed), talks the NDJSON
+protocol through :class:`ServingClient`, and checks responses against
+local computations — the wire only ever carries digests, so equality of
+digests is equality of result bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_operands
+from repro.formats import CooTensor
+from repro.perf import dispatch
+from repro.perf.plan_cache import fresh_cache
+from repro.serving import (
+    ServerConfig,
+    ServingClient,
+    ServingError,
+    TensorRegistry,
+    TensorServer,
+    check_invariants,
+    fetch_metrics,
+    powerlaw_requests,
+    result_digest,
+    run_traffic,
+)
+
+pytestmark = pytest.mark.serving
+
+
+@contextlib.asynccontextmanager
+async def serving(tensor, config=None, name="t"):
+    registry = TensorRegistry()
+    registry.add_ram(name, tensor)
+    server = TensorServer(registry, config or ServerConfig())
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+        assert check_invariants(registry) == []
+
+
+def _tensor(seed=0, shape=(25, 20, 16), nnz=800):
+    return CooTensor.random(shape, nnz, rng=np.random.default_rng(seed))
+
+
+def test_kernel_response_digest_matches_local():
+    tensor = _tensor()
+
+    async def scenario():
+        async with serving(tensor) as server:
+            host, port = server.address
+            async with ServingClient(host, port) as client:
+                response = await client.kernel(
+                    "t", "MTTKRP", mode=1, rank=4, seed=3
+                )
+        return response
+
+    with fresh_cache():
+        response = asyncio.run(scenario())
+        operands = make_operands(tensor, "MTTKRP", mode=1, rank=4, seed=3)
+        local = dispatch.mttkrp(
+            tensor, list(operands.factors), 1, variant="coo"
+        )
+    assert response["ok"] and response["status"] == 200
+    assert response["result_digest"] == result_digest(local)
+
+
+def test_ping_list_and_unknown_tensor():
+    tensor = _tensor()
+
+    async def scenario():
+        async with serving(tensor) as server:
+            host, port = server.address
+            async with ServingClient(host, port) as client:
+                pong = await client.ping()
+                listing = await client.list_tensors()
+                with pytest.raises(ServingError) as excinfo:
+                    await client.kernel("nope", "TTV")
+        return pong, listing, excinfo.value
+
+    pong, listing, error = asyncio.run(scenario())
+    assert pong["pong"] is True
+    assert [t["name"] for t in listing["tensors"]] == ["t"]
+    assert error.status == 404
+
+
+def test_quota_rejection_carries_retry_after():
+    tensor = _tensor()
+    config = ServerConfig(rate=1.0, burst=2)
+
+    async def scenario():
+        async with serving(tensor, config) as server:
+            host, port = server.address
+            async with ServingClient(host, port) as client:
+                responses = [
+                    await client.kernel("t", "TTV", rank=2, check=False)
+                    for _ in range(5)
+                ]
+        return responses
+
+    responses = asyncio.run(scenario())
+    statuses = [r["status"] for r in responses]
+    assert statuses.count(200) == 2  # exactly the burst allowance
+    rejected = [r for r in responses if r["status"] == 429]
+    assert rejected and all(r["retry_after"] > 0 for r in rejected)
+
+
+def test_batched_traffic_digests_match_unbatched():
+    """The same power-law mix digests identically with batching on/off."""
+    tensor = _tensor(seed=5)
+    tensors = [{"name": "t", "order": 3}]
+    requests = powerlaw_requests(tensors, 60, seed=11)
+
+    async def replay(batch):
+        config = ServerConfig(
+            batch=batch, rate=10_000.0, burst=10_000.0, executor_threads=2
+        )
+        async with serving(tensor, config) as server:
+            host, port = server.address
+            return await run_traffic(host, port, requests, concurrency=8)
+
+    with fresh_cache():
+        batched = asyncio.run(replay(True))
+    with fresh_cache():
+        unbatched = asyncio.run(replay(False))
+    assert batched["completed"] == unbatched["completed"] == 60
+    assert batched["digests"] == unbatched["digests"]
+
+
+def test_metrics_endpoint_schema():
+    tensor = _tensor(seed=9)
+    config = ServerConfig(rate=10_000.0, burst=10_000.0)
+
+    async def scenario():
+        async with serving(tensor, config) as server:
+            host, port = server.address
+            requests = powerlaw_requests([{"name": "t", "order": 3}], 30, seed=2)
+            await run_traffic(host, port, requests, concurrency=4)
+            mhost, mport = server.metrics_address
+            loop = asyncio.get_running_loop()
+            body = await loop.run_in_executor(None, fetch_metrics, mhost, mport)
+            health = await loop.run_in_executor(
+                None, lambda: fetch_metrics(mhost, mport, path="/healthz")
+            )
+        return body, health
+
+    body, health = asyncio.run(scenario())
+    assert health["ok"] is True
+    assert body["requests_total"] >= 30
+    assert body["responses_by_status"].get("200", 0) == 30
+    assert body["queue_depth"] == 0
+    assert body["batches_total"] >= 1
+    assert body["plan_cache"]["hits"] >= 0
+    assert body["plan_cache"]["misses"] >= 0
+    assert set(body["plan_cache"]["by_kind"]) >= {"mode_sort"}
+    for stats in body["latency"].values():
+        assert stats["count"] >= 1
+        assert stats["p50_seconds"] <= stats["p99_seconds"]
+    assert "partition_imbalance" in body
+
+
+def test_graceful_shutdown_drains_inflight():
+    """stop() while requests are queued: every request gets 200 or 503."""
+    tensor = _tensor(seed=3, shape=(40, 35, 30), nnz=4000)
+    config = ServerConfig(
+        rate=10_000.0, burst=10_000.0, executor_threads=1, max_batch=4
+    )
+
+    async def scenario():
+        async with serving(tensor, config) as server:
+            host, port = server.address
+
+            async def one(i):
+                async with ServingClient(host, port) as client:
+                    return await client.kernel(
+                        "t", "MTTKRP", rank=8, seed=i, check=False
+                    )
+
+            tasks = [asyncio.create_task(one(i)) for i in range(12)]
+            # Wait until every request reached the server (so shutdown
+            # genuinely races the queue) plus a tick for the dispatcher
+            # to move the first drain in flight.
+            while server.metrics.snapshot()["requests_total"] < 12:
+                await asyncio.sleep(0.002)
+            await asyncio.sleep(0.002)
+            await server.stop()
+            responses = await asyncio.gather(*tasks)
+        return responses
+
+    responses = asyncio.run(scenario())
+    statuses = sorted({r["status"] for r in responses})
+    assert set(statuses) <= {200, 503}
+    assert 200 in statuses  # in-flight work was drained, not dropped
+    completed = [r for r in responses if r["status"] == 200]
+    assert all(r["result_digest"] for r in completed)
+
+
+def test_serve_cli_runs_and_shuts_down(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "serve",
+            "--port", "0",
+            "--metrics-port", "0",
+            "--preload", "r1",
+            "--scale-divisor", "4096",
+            "--serve-seconds", "0.2",
+        ]
+    )
+    err = capsys.readouterr().err
+    assert code == 0
+    assert "serving on" in err
+    assert "shutdown complete" in err

@@ -1,0 +1,297 @@
+"""Concurrency stress: plan cache, shared mmap handles, token rewrites.
+
+The serving tier is the first consumer that hits the plan cache from
+multiple executor threads at once, so these tests hammer the hot paths
+with raw threads plus asyncio tasks and assert nobody ever observes a
+torn or stale plan.  The token-LRU test in particular regresses a real
+race the serving work surfaced: ``_lookup``'s ``get`` + ``move_to_end``
+could interleave with ``_ensure``'s eviction ``popitem`` and raise
+``KeyError`` (or resurrect an evicted entry) before the cache took a
+lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.formats import CooTensor
+from repro.io import open_bin, write_coo
+from repro.perf import ooc
+from repro.perf.plan_cache import PlanCache, fresh_cache
+from repro.perf.plans import build_mode_sort_plan, mode_sort_plan
+from repro.serving import (
+    KernelJob,
+    ServerConfig,
+    TensorRegistry,
+    TensorServer,
+    execute_group,
+    powerlaw_requests,
+    result_digest,
+    run_traffic,
+)
+
+pytestmark = pytest.mark.serving
+
+THREADS = 8
+ROUNDS = 300
+
+
+class _TokenTensor:
+    """A stand-in for an mmap handle: plans key on the token."""
+
+    def __init__(self, token):
+        self.plan_cache_token = ("stress", token)
+
+
+def _run_threads(worker, count=THREADS):
+    errors = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except Exception as exc:  # noqa: BLE001 — collected for the assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+def test_token_lru_eviction_race():
+    """Tiny token LRU + many tenants: lookups must never throw or tear.
+
+    With more live tokens than capacity, every miss evicts the LRU tail
+    while other threads are mid-lookup on it — the exact interleaving
+    that corrupted the unlocked OrderedDict (``KeyError`` out of
+    ``move_to_end``).  The shrunken GIL switch interval widens the race
+    window enough that the unlocked cache fails this test reliably.
+    """
+    import sys
+
+    cache = PlanCache(token_capacity=2)
+    tenants = [_TokenTensor(i) for i in range(6)]
+
+    def worker(tid):
+        rng = np.random.default_rng(tid)
+        for _ in range(ROUNDS * 10):
+            tenant = tenants[int(rng.integers(0, len(tenants)))]
+            plan = cache.get(
+                tenant,
+                "mode_sort",
+                0,
+                lambda t=tenant: {"token": t.plan_cache_token},
+            )
+            # A torn read would hand back another tenant's plan.
+            assert plan["token"] == tenant.plan_cache_token
+
+    interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        errors = _run_threads(worker)
+    finally:
+        sys.setswitchinterval(interval)
+    assert errors == []
+    assert cache.stats().tensors <= 2
+
+
+def test_token_capacity_resize_under_load():
+    cache = PlanCache(token_capacity=8)
+    tenants = [_TokenTensor(i) for i in range(8)]
+    stop = threading.Event()
+
+    def churn(tid):
+        rng = np.random.default_rng(tid)
+        while not stop.is_set():
+            tenant = tenants[int(rng.integers(0, len(tenants)))]
+            cache.get(tenant, "fiber_partition", tid, dict)
+
+    threads = [
+        threading.Thread(target=churn, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        for capacity in (4, 1, 6, 2):
+            cache.set_token_capacity(capacity)
+            assert cache.stats().tensors >= 0
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert cache.stats().tensors <= 2
+    assert cache.token_capacity == 2
+
+
+def test_mode_sort_plan_never_torn_across_threads(tensor3):
+    """Threads racing the same tensor/mode all see one coherent plan."""
+    with fresh_cache():
+        reference = build_mode_sort_plan(tensor3, 1)
+        observed = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            for _ in range(50):
+                plan = mode_sort_plan(tensor3, 1)
+                with lock:
+                    observed.append(plan)
+
+        errors = _run_threads(worker)
+        assert errors == []
+        for plan in observed:
+            assert np.array_equal(plan.perm, reference.perm)
+
+
+def test_server_hammering_same_tensor_under_sanitizer(monkeypatch):
+    """N asyncio tasks + executor threads, REPRO_SANITIZE=1: one digest."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    tensor = CooTensor.random((30, 24, 20), 1500, rng=np.random.default_rng(4))
+    registry = TensorRegistry()
+    entry = registry.add_ram("hot", tensor)
+    with fresh_cache():
+        (baseline,) = execute_group(
+            [
+                KernelJob(
+                    entry=entry,
+                    kernel="MTTKRP",
+                    mode=1,
+                    rank=8,
+                    seed=0,
+                    variant="coo",
+                    block_size=None,
+                )
+            ],
+            batch=False,
+        )
+
+        async def scenario():
+            server = TensorServer(
+                registry,
+                ServerConfig(
+                    rate=1e4, burst=1e4, executor_threads=4, kernel_threads=2
+                ),
+            )
+            await server.start()
+            host, port = server.address
+            requests = [
+                {
+                    "op": "kernel",
+                    "id": i,
+                    "tensor": "hot",
+                    "kernel": "MTTKRP",
+                    "mode": 1,
+                    "rank": 8,
+                    "seed": 0,
+                    "variant": "coo",
+                    "block_size": None,
+                }
+                for i in range(32)
+            ]
+            summary = await run_traffic(host, port, requests, concurrency=16)
+            await server.stop()
+            return summary
+
+        summary = asyncio.run(scenario())
+    assert summary["completed"] == 32
+    digests = set(summary["digests"].values())
+    assert digests == {baseline.digest}
+
+
+def test_mixed_traffic_under_sanitizer(monkeypatch):
+    """The full suite invariant: sanitize mode changes nothing observable."""
+    tensor = CooTensor.random((22, 18, 15), 700, rng=np.random.default_rng(6))
+    registry = TensorRegistry()
+    registry.add_ram("t", tensor)
+    requests = powerlaw_requests([{"name": "t", "order": 3}], 40, seed=8)
+
+    async def replay():
+        server = TensorServer(
+            registry, ServerConfig(rate=1e4, burst=1e4, executor_threads=3)
+        )
+        await server.start()
+        host, port = server.address
+        summary = await run_traffic(host, port, requests, concurrency=8)
+        await server.stop()
+        return summary["digests"]
+
+    with fresh_cache():
+        plain = asyncio.run(replay())
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    with fresh_cache():
+        sanitized = asyncio.run(replay())
+    assert plain == sanitized
+
+
+def test_mmap_release_pages_racing_read_range(tmp_path):
+    """Readers sharing one handle stay correct while pages are dropped."""
+    tensor = CooTensor.random((40, 30, 20), 5000, rng=np.random.default_rng(1))
+    path = tmp_path / "t.bin"
+    write_coo(tensor, path, chunk_nnz=512)
+    with open_bin(path) as handle:
+        ref_idx, ref_vals = handle.read_range(0, handle.nnz)
+        ref_idx, ref_vals = np.array(ref_idx), np.array(ref_vals)
+        stop = threading.Event()
+
+        def dropper(_tid):
+            while not stop.is_set():
+                handle.release_pages()
+
+        def reader(tid):
+            rng = np.random.default_rng(tid)
+            for _ in range(60):
+                e0 = int(rng.integers(0, handle.nnz - 1))
+                e1 = int(rng.integers(e0 + 1, handle.nnz + 1))
+                idx, vals = handle.read_range(e0, e1)
+                assert np.array_equal(idx, ref_idx[:, e0:e1])
+                assert np.array_equal(vals, ref_vals[e0:e1])
+
+        drop_thread = threading.Thread(target=dropper, args=(0,))
+        drop_thread.start()
+        try:
+            errors = _run_threads(reader, count=4)
+        finally:
+            stop.set()
+            drop_thread.join()
+        assert errors == []
+
+
+def test_plan_cache_token_path_under_file_rewrite(tmp_path):
+    """Rewriting a served file must yield a fresh token, never stale plans."""
+    rng = np.random.default_rng(2)
+    first = CooTensor.random((20, 16, 12), 900, rng=rng)
+    second = CooTensor.random((20, 16, 12), 900, rng=rng)
+    path = tmp_path / "t.bin"
+    factors = None
+    with fresh_cache() as cache:
+        write_coo(first, path)
+        with open_bin(path) as handle:
+            token_before = handle.plan_cache_token
+            from repro.core.registry import make_operands
+
+            factors = list(
+                make_operands(handle, "MTTKRP", mode=0, rank=4, seed=0).factors
+            )
+            warm = ooc.mttkrp(handle, factors, 0)
+            assert cache.stats().entries > 0
+        # Simulate a deploy: the file is rewritten while the server runs.
+        write_coo(second, path)
+        with open_bin(path) as handle:
+            token_after = handle.plan_cache_token
+            assert token_after != token_before
+            # No plan keyed on the new token yet: clean miss, no reuse.
+            assert cache.peek(handle, "ooc_chunk", (0, 0, handle.nnz)) is None
+            rewritten = ooc.mttkrp(handle, factors, 0)
+    with fresh_cache():
+        write_coo(second, tmp_path / "fresh.bin")
+        with open_bin(tmp_path / "fresh.bin") as handle:
+            expected = ooc.mttkrp(handle, factors, 0)
+    assert result_digest(rewritten) == result_digest(expected)
+    assert result_digest(rewritten) != result_digest(warm)

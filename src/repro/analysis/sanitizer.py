@@ -34,6 +34,11 @@ Ownership kinds
 ``("rows", targets)``
     The task writes ``out[targets[unit_lo:unit_hi]]`` — an indirection
     through sorted target rows (MTTKRP's segmented scatter).
+``("row_blocks", targets, block_size)``
+    The task writes the ``block_size`` output rows starting at
+    ``targets[u] * block_size`` for each owned unit ``u`` (clipped to
+    the array) — the HiCOO ownership plan's window grain, where each
+    unit is one output-mode block window.
 """
 
 from __future__ import annotations
@@ -107,10 +112,19 @@ def _owned_rows(
     elif isinstance(kind, tuple) and len(kind) == 2 and kind[0] == "rows":
         targets = np.asarray(kind[1])
         mask[targets[unit_lo:unit_hi]] = True
+    elif (
+        isinstance(kind, tuple) and len(kind) == 3 and kind[0] == "row_blocks"
+    ):
+        targets = np.asarray(kind[1])
+        block = int(kind[2])
+        bases = targets[unit_lo:unit_hi].astype(np.int64) * block
+        rows = (bases[:, None] + np.arange(block, dtype=np.int64)).reshape(-1)
+        mask[rows[rows < array.shape[0]]] = True
     else:
         raise ValueError(
             f"unknown output ownership kind {kind!r}; use 'element', "
-            f"'unit', or ('rows', targets)"
+            f"'unit', ('rows', targets), or "
+            f"('row_blocks', targets, block_size)"
         )
     return mask
 

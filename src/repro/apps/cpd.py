@@ -74,6 +74,16 @@ def _gram_hadamard(factors: Sequence[np.ndarray], skip: int) -> np.ndarray:
     return v
 
 
+def _stored_hadamard(grams: Sequence[np.ndarray], skip: int) -> np.ndarray:
+    """Hadamard product of maintained Gram matrices, excluding ``skip``."""
+    rank = grams[0].shape[0]
+    v = np.ones((rank, rank), dtype=np.float64)
+    for m, g in enumerate(grams):
+        if m != skip:
+            v *= g
+    return v
+
+
 def _tensor_norm(tensor: CooTensor) -> float:
     return float(np.linalg.norm(tensor.values.astype(np.float64)))
 
@@ -107,6 +117,7 @@ def cp_als(
     initial_factors: Optional[Sequence[np.ndarray]] = None,
     num_threads: Optional[int] = None,
     schedule: Optional[str] = None,
+    fused_gram: Optional[bool] = None,
 ) -> CpdResult:
     """Sparse CP-ALS driven by the suite's MTTKRP kernel.
 
@@ -127,6 +138,22 @@ def cp_als(
     :mod:`repro.perf.ooc`, so resident memory stays bounded by the
     out-of-core budget plus the factor matrices.  The out-of-core path
     is COO-only — ``use_hicoo`` and ``variant`` raise ``ValueError``.
+
+    ``fused_gram=True`` routes each mode update through the compiled
+    fused MTTKRP+Gram kernel (:func:`repro.perf.jit.mttkrp_gram_coo`),
+    which produces the MTTKRP result *and* its Gram matrix in one pass
+    over the nonzeros; the updated factor's Gram is then recovered
+    algebraically (``P.T @ G @ P``) instead of recomputed, eliminating
+    one ``factor.T @ factor`` per mode per sweep.  The fused MTTKRP
+    output is bit-identical to the unfused kernel; the Gram is
+    accumulated in float64 inside the kernel, so factors agree with the
+    unfused sweep to floating-point tolerance rather than bitwise.
+    Modes the fused kernel declines (no compiler, ``REPRO_JIT=0``,
+    unsupported specialization) silently fall back to the unfused
+    update.  ``fused_gram`` requires the plain in-memory COO path and
+    raises ``ValueError`` with ``use_hicoo``/``variant``/out-of-core
+    tensors.  The default (``None``) keeps fusion off, preserving
+    bit-reproducible sweeps.
     """
     from ..io.binfile import MmapCooTensor
     from ..perf import ooc
@@ -136,6 +163,12 @@ def cp_als(
         raise ValueError(
             "out-of-core CP-ALS supports only the COO kernel; "
             "use_hicoo/variant are unavailable for mmap-backed tensors"
+        )
+    fused = bool(fused_gram)
+    if fused and (out_of_core or use_hicoo or variant is not None):
+        raise ValueError(
+            "fused_gram requires the plain in-memory COO path; it is "
+            "unavailable with use_hicoo, variant, or mmap-backed tensors"
         )
     rng = np.random.default_rng(seed)
     if initial_factors is not None:
@@ -178,9 +211,28 @@ def cp_als(
     # time as each mode is updated — not all N factors N times per sweep.
     f32 = [f.astype(VALUE_DTYPE) for f in factors]
     last = tensor.order - 1
+    # Fused mode maintains every factor's Gram matrix across the sweep
+    # so V comes from the stored Grams and the updated factor's Gram is
+    # recovered from the kernel's fused output instead of recomputed.
+    grams = [f.T @ f for f in factors] if fused else None
     with parallel_config(num_threads=num_threads, schedule=schedule):
         for _sweep in range(max_sweeps):
             for mode in range(tensor.order):
+                fused_result = None
+                if fused:
+                    from ..perf import jit
+
+                    fused_result = jit.mttkrp_gram_coo(tensor, f32, mode)
+                if fused_result is not None:
+                    out, gram_out = fused_result
+                    m_new = out.astype(np.float64)  # repro: ignore[dtype]
+                    p = np.linalg.pinv(_stored_hadamard(grams, mode))
+                    factors[mode] = m_new @ p
+                    # Gram of the updated factor, algebraically:
+                    # (M P).T (M P) = P.T (M.T M) P = P.T G P.
+                    grams[mode] = p.T @ gram_out @ p
+                    f32[mode] = factors[mode].astype(VALUE_DTYPE)
+                    continue
                 if configs is not None:
                     from ..perf.dispatch import mttkrp as mttkrp_dispatch
 
@@ -193,9 +245,15 @@ def cp_als(
                     m_new = ooc.mttkrp(tensor, f32, mode).astype(np.float64)  # repro: ignore[dtype]
                 else:
                     m_new = mttkrp_coo(tensor, f32, mode).astype(np.float64)
-                gram = _gram_hadamard(factors, mode)
+                gram = (
+                    _gram_hadamard(factors, mode)
+                    if grams is None
+                    else _stored_hadamard(grams, mode)
+                )
                 factors[mode] = m_new @ np.linalg.pinv(gram)
                 f32[mode] = factors[mode].astype(VALUE_DTYPE)
+                if grams is not None:
+                    grams[mode] = factors[mode].T @ factors[mode]
             # Sparse fit evaluation with the raw (unnormalized) factors.
             # The last mode's MTTKRP already contracted every other mode,
             # so <X, model> is just its elementwise product with that

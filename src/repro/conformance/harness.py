@@ -41,6 +41,13 @@ Check kinds
     tolerance comparison — compiled accumulation order may legitimately
     differ in the last ulps, so this is never bit-exact.  Passes
     trivially when no compiler is available or ``REPRO_JIT=0``.
+``jit_parallel``
+    Run the in-kernel multithreaded compiled variants (``*_jit_mt``,
+    one ctypes call driving a C thread team) at a requested thread
+    count and schedule, and require the output to be **bit-identical**
+    to the serial compiled kernel (the ownership partition's guarantee)
+    and tolerance-equal to the numpy baseline.  Passes trivially when
+    the compiled backend is unavailable.
 """
 
 from __future__ import annotations
@@ -436,6 +443,78 @@ def _run_jit_tolerance(tensor: CooTensor, config: Dict[str, Any]) -> Optional[st
     return None
 
 
+def _run_jit_parallel(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """In-kernel multithreaded compiled kernels vs their serial twins.
+
+    The ``*_jit_mt`` entry points hand the whole chunk table to a C
+    thread team in one ctypes call; the output-ownership partition makes
+    that race-free, so the parallel result must be *bit-identical* to
+    the serial compiled kernel at any thread count and schedule.  The
+    parallel thresholds are forced to zero so the team actually runs on
+    fuzz-sized tensors.  Passes trivially when the compiled backend is
+    unavailable (no compiler, ``REPRO_JIT=0``) or a specialization
+    declines — fallback correctness is covered by the dispatch checks.
+    """
+    from ..perf import jit
+    from ..perf.plans import hicoo_for
+
+    if not jit.jit_available():
+        return None
+    kernel = config["kernel"]
+    mode = int(config.get("mode", 0))
+    threads = int(config.get("threads", 2))
+    schedule = config.get("schedule", "static")
+    operands = _operands(tensor, config)
+    baseline = _execute(tensor, config, operands, tensor_format="COO")
+    pairs: List[Tuple[str, Any, Any]] = []
+    with parallel_config(num_threads=1):
+        if kernel == "MTTKRP":
+            serial = jit.mttkrp_coo(tensor, list(operands.factors), mode)
+            hicoo = hicoo_for(tensor, int(config.get("block_size", 8)))
+            serial_h = jit.mttkrp_hicoo(hicoo, list(operands.factors), mode)
+        elif kernel == "TTV":
+            serial = jit.ttv_coo(tensor, operands.vector, mode)
+        else:
+            serial = jit.ttm_coo(tensor, operands.matrix, mode)
+    with parallel_config(
+        num_threads=threads,
+        schedule=schedule,
+        min_parallel_nnz=0,
+        min_nnz_per_thread=0,
+    ):
+        if kernel == "MTTKRP":
+            if serial is not None:
+                mt = jit.mttkrp_coo_mt(tensor, list(operands.factors), mode)
+                pairs.append(("coo_jit_mt-MTTKRP", serial, mt))
+            if serial_h is not None:
+                mt = jit.mttkrp_hicoo_mt(hicoo, list(operands.factors), mode)
+                pairs.append(("hicoo_jit_mt-MTTKRP", serial_h, mt))
+        elif kernel == "TTV":
+            if serial is not None:
+                mt = jit.ttv_coo_mt(tensor, operands.vector, mode)
+                pairs.append(("coo_jit_mt-TTV", serial, mt))
+        else:
+            if serial is not None:
+                mt = jit.ttm_coo_mt(tensor, operands.matrix, mode)
+                pairs.append(("coo_jit_mt-TTM", serial, mt))
+    for label, serial_out, mt_out in pairs:
+        if mt_out is None:
+            continue  # specialization declined; the serial twin covers it
+        message = _exact_mismatch(
+            serial_out,
+            mt_out,
+            f"{label} serial vs in-kernel x{threads} {schedule}",
+        )
+        if message is not None:
+            return message
+        message = _tolerance_mismatch(
+            mt_out, baseline, f"{label} disagrees with the numpy COO baseline"
+        )
+        if message is not None:
+            return message
+    return None
+
+
 def _run_serving_batch(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
     """Batched (fused) serving execution must equal sequential, bitwise.
 
@@ -497,6 +576,7 @@ _RUNNERS = {
     "cache_exact": _run_cache_exact,
     "auto_dispatch": _run_auto_dispatch,
     "jit_tolerance": _run_jit_tolerance,
+    "jit_parallel": _run_jit_parallel,
     "serving_batch": _run_serving_batch,
 }
 
@@ -589,6 +669,16 @@ def enumerate_checks(
         if kernel in MODE_KERNELS:
             checks.append({"check": "auto_dispatch", "format": "COO", **base})
             checks.append({"check": "jit_tolerance", "format": "COO", **base})
+            for t in threads:
+                checks.append(
+                    {
+                        "check": "jit_parallel",
+                        "format": "COO",
+                        "threads": int(t),
+                        "schedule": schedule,
+                        **base,
+                    }
+                )
         if kernel in ("MTTKRP", "TTM"):
             for variant in ("coo", "hicoo"):
                 checks.append(
@@ -619,6 +709,12 @@ def describe_check(config: Dict[str, Any]) -> str:
         return f"auto_dispatch {config.get('kernel', '')} (serial vs auto)"
     if kind == "jit_tolerance":
         return f"jit_tolerance {config.get('kernel', '')} (compiled vs numpy/oracle)"
+    if kind == "jit_parallel":
+        return (
+            f"jit_parallel {config.get('kernel', '')} "
+            f"x{config.get('threads')} {config.get('schedule')} "
+            f"(in-kernel team vs serial)"
+        )
     if kind == "serving_batch":
         return (
             f"serving_batch {config.get('variant', 'coo')}-"

@@ -38,7 +38,7 @@ import numpy as np
 
 from ..errors import PastaError
 from .cachedir import machine_signature  # noqa: F401 — re-exported API
-from .parallel import last_parallel_report
+from .parallel import get_min_nnz_per_thread, get_num_threads, last_parallel_report
 from .partition import POLICIES, POLICY_DYNAMIC
 from .plan_cache import cache_enabled, get_plan_cache
 from .timing import budgeted_min_seconds
@@ -60,10 +60,16 @@ CSF_KERNELS = ("MTTKRP", "TTV")
 #: exactly like the numpy COO kernels, so it spans every tuned kernel;
 #: ``hicoo_jit`` is the literal blocked Algorithm 3 loop nest, which
 #: exists for MTTKRP only and runs serial (blocks sharing an output
-#: window would race under a block partition).
+#: window would race under a block partition).  The ``*_jit_mt``
+#: variants run the same compiled bodies *inside* a C thread team — one
+#: ctypes call per kernel invocation — with ``hicoo_jit_mt`` using the
+#: ownership partition (windows grouped by output block row) that makes
+#: the blocked nest safe to parallelize.
 JIT_VARIANT_KERNELS = {
     "coo_jit": ("MTTKRP", "TTV", "TTM"),
     "hicoo_jit": ("MTTKRP",),
+    "coo_jit_mt": ("MTTKRP", "TTV", "TTM"),
+    "hicoo_jit_mt": ("MTTKRP",),
 }
 
 ENV_CACHE = "REPRO_TUNE_CACHE"
@@ -94,6 +100,15 @@ _SORT_SECONDS_PER_KEY = 2.0e-8  # per (mode, nonzero) key of a rebuild sort
 #: full-array sweeps.  The probe stage measures the real ratio.
 _JIT_MODEL_SPEEDUP = 3.0
 _JIT_CALL_SECONDS = 2.0e-6  # ctypes marshalling overhead per call
+#: Parallel-efficiency factors for compiled kernels: the fraction of an
+#: extra worker's capacity that turns into speedup.  In-kernel teams
+#: (``*_jit_mt``) share one address space with no interpreter in the
+#: loop, so they scale near-linearly; per-chunk ctypes calls from Python
+#: threads (``coo_jit`` at T>1) serialize on marshalling and the chunk
+#: loop, so most of each extra worker is lost.
+_MT_THREAD_EFFICIENCY = 0.85
+_CHUNK_THREAD_EFFICIENCY = 0.45
+_TEAM_SPAWN_SECONDS = 1.0e-5  # per extra thread, C team spawn/join
 
 
 @dataclass(frozen=True)
@@ -269,7 +284,13 @@ def _as_coo(tensor: Any):
 
 
 def _thread_candidates(max_threads: Optional[int] = None) -> Tuple[int, ...]:
-    limit = max_threads if max_threads is not None else (os.cpu_count() or 1)
+    if max_threads is None:
+        # Respect an ambient REPRO_NUM_THREADS above the visible core
+        # count: an oversubscribed-on-purpose run (or a cgroup-limited
+        # container) should still see multithreaded candidates.
+        limit = max(os.cpu_count() or 1, get_num_threads())
+    else:
+        limit = max_threads
     limit = max(1, int(limit))
     out = [1]
     t = 2
@@ -318,7 +339,11 @@ def _jit_candidates(
     ``coo_jit`` spans the full thread/policy grid — the ctypes call
     releases the GIL, so it is precisely the variant where extra workers
     pay off.  ``hicoo_jit`` is serial-only, like ``csf``, but sweeps the
-    block size the blocked loop nest is generated for.
+    block size the blocked loop nest is generated for.  The ``*_jit_mt``
+    variants only exist multithreaded (their T=1 execution is exactly
+    the serial ``*_jit`` candidate): ``coo_jit_mt`` sweeps the full
+    thread/policy grid, ``hicoo_jit_mt`` additionally sweeps the block
+    size because the ownership partition's window count depends on it.
     """
     from . import jit
 
@@ -335,6 +360,19 @@ def _jit_candidates(
     if kernel in JIT_VARIANT_KERNELS["hicoo_jit"]:
         for block in BLOCK_SIZES:
             configs.append(TuneConfig("hicoo_jit", block, 1, POLICY_DYNAMIC))
+    if kernel in JIT_VARIANT_KERNELS["coo_jit_mt"]:
+        for t in threads:
+            if t == 1:
+                continue
+            for policy in POLICIES:
+                configs.append(TuneConfig("coo_jit_mt", None, t, policy))
+    if kernel in JIT_VARIANT_KERNELS["hicoo_jit_mt"]:
+        for block in BLOCK_SIZES:
+            for t in threads:
+                if t == 1:
+                    continue
+                for policy in POLICIES:
+                    configs.append(TuneConfig("hicoo_jit_mt", block, t, policy))
     return configs
 
 
@@ -402,7 +440,10 @@ def _modeled_candidate_seconds(
     coo: Any, features: Any, kernel: str, mode: int, rank: int, config: TuneConfig
 ) -> float:
     is_jit = config.variant in JIT_VARIANT_KERNELS
-    base_variant = config.variant.removesuffix("_jit") if is_jit else config.variant
+    is_mt = config.variant.endswith("_jit_mt")
+    base_variant = config.variant
+    if is_jit:
+        base_variant = base_variant.removesuffix("_mt").removesuffix("_jit")
     schedule = _base_schedule(coo, kernel, mode, rank, base_variant)
     order = coo.order
     nnz = coo.nnz
@@ -412,12 +453,25 @@ def _modeled_candidate_seconds(
         # Block metadata stream (binds + bptr) minus the einds savings of
         # storing 1-byte element indices instead of 4-byte coordinates.
         extra = (4.0 * order + 8.0) * _est_blocks(features, block) - 3.0 * order * nnz
-    seconds = modeled_seconds(schedule, config.num_threads, extra)
     if is_jit:
         # Same traffic/flops as the numpy variant, minus the interpreter
         # orchestration the fused loop eliminates.  Compile cost is not
         # modeled: the object cache makes it a once-per-machine event.
+        seconds = modeled_seconds(schedule, 1, extra)
         seconds = seconds / _JIT_MODEL_SPEEDUP + _JIT_CALL_SECONDS
+        t = max(1, int(config.num_threads))
+        if t > 1:
+            # In-kernel teams amortize one spawn over the whole kernel
+            # and scale near-linearly; per-chunk ctypes calls pay the
+            # Python dispatch loop and marshalling per chunk.
+            eff = _MT_THREAD_EFFICIENCY if is_mt else _CHUNK_THREAD_EFFICIENCY
+            overhead = _TEAM_SPAWN_SECONDS if is_mt else _DISPATCH_SECONDS
+            seconds = (
+                seconds * schedule.load_imbalance(t) / (1.0 + (t - 1) * eff)
+                + (t - 1) * overhead
+            )
+    else:
+        seconds = modeled_seconds(schedule, config.num_threads, extra)
     if config.variant == "csf":
         # csf_for_mode rebuilds the fiber tree on every kernel call; the
         # lexsort over (order, nnz) keys is a real per-call cost.
@@ -611,6 +665,25 @@ def tune(
             _LAST_TUNING_REPORT = report
             return report
 
+    notes: Dict[str, Any] = {}
+    candidates = candidate_configs(kernel, max_threads=max_threads)
+    cutover = get_min_nnz_per_thread()
+    if cutover > 0:
+        # Parallel cutover: a candidate that would leave each worker
+        # fewer than ``cutover`` nonzeros is a predicted loser (thread
+        # overhead swamps the shrunken per-worker share) — drop it so
+        # small tensors fall back to serial without wasting probes.
+        kept = tuple(
+            config
+            for config in candidates
+            if config.num_threads <= 1
+            or features.nnz >= config.num_threads * cutover
+        )
+        if len(kept) < len(candidates):
+            notes["cutover_dropped"] = len(candidates) - len(kept)
+            notes["min_nnz_per_thread"] = cutover
+            candidates = kept
+
     ranked = sorted(
         (
             CandidateReport(
@@ -619,7 +692,7 @@ def tune(
                     coo, features, kernel, mode, rank, config
                 ),
             )
-            for config in candidate_configs(kernel, max_threads=max_threads)
+            for config in candidates
         ),
         key=lambda cand: cand.modeled_seconds,
     )
@@ -662,6 +735,7 @@ def tune(
         cache_hit=None,
         budget_ms=budget_ms,
         top_k=top_k,
+        notes=notes,
     )
     if disk_on and probes_run:
         _disk_store(

@@ -13,17 +13,37 @@ both concerns so the two subsystems cannot drift apart:
   tuning cache always has;
 * :func:`machine_signature` is the host fingerprint persisted next to
   every cached artifact, so entries never leak across architectures,
-  Python versions, or numpy builds.
+  Python versions, or numpy builds;
+* :func:`toolchain_info` probes the C toolchain once per process —
+  compiler identity (name plus a hash of its ``--version`` banner) and
+  whether ``-fopenmp`` links — and folds both into the signature, so
+  compiled objects and persisted tuning decisions invalidate when the
+  compiler is upgraded or OpenMP support appears/disappears.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import platform
+import shutil
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
+from typing import Optional, Tuple
 
 import numpy as np
+
+#: Source for the OpenMP link probe: touching ``omp_get_max_threads``
+#: forces the compiler to actually resolve the OpenMP runtime, not just
+#: accept the flag.
+_OMP_PROBE_SOURCE = (
+    "#include <omp.h>\n"
+    "int repro_omp_probe(void) { return omp_get_max_threads(); }\n"
+)
+
+_toolchain_memo: Optional[Tuple[str, bool]] = None
 
 
 def cache_root() -> Path:
@@ -50,13 +70,80 @@ def cache_subdir(name: str) -> Path:
     return path
 
 
+def _probe_openmp(cc: str) -> bool:
+    """True when ``cc`` can compile and link an OpenMP translation unit."""
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-omp-") as tmp:
+            c_path = Path(tmp) / "probe.c"
+            c_path.write_text(_OMP_PROBE_SOURCE)
+            proc = subprocess.run(
+                [
+                    cc,
+                    "-fopenmp",
+                    "-shared",
+                    "-fPIC",
+                    "-o",
+                    str(Path(tmp) / "probe.so"),
+                    str(c_path),
+                ],
+                capture_output=True,
+                timeout=60,
+            )
+            return proc.returncode == 0
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def toolchain_info() -> Tuple[str, bool]:
+    """``(compiler_identity, openmp_available)``, probed once per process.
+
+    The identity is the compiler basename plus a short hash of the first
+    line of ``--version`` output, so a toolchain upgrade (same path, new
+    binary) changes the signature.  ``("nocc", False)`` when no compiler
+    is on PATH.  Tests that monkeypatch ``shutil.which`` must call
+    :func:`reset_toolchain` (``jit.build.reset`` does so).
+    """
+    global _toolchain_memo
+    if _toolchain_memo is not None:
+        return _toolchain_memo
+    cc = shutil.which("gcc") or shutil.which("cc")
+    if cc is None:
+        _toolchain_memo = ("nocc", False)
+        return _toolchain_memo
+    try:
+        proc = subprocess.run(
+            [cc, "--version"], capture_output=True, timeout=30
+        )
+        banner = proc.stdout.decode("utf-8", "replace").splitlines()
+        first = banner[0] if banner else ""
+    except (OSError, subprocess.SubprocessError):
+        first = ""
+    digest = hashlib.sha1(first.encode("utf-8")).hexdigest()[:8]
+    identity = f"{Path(cc).name}-{digest}"
+    _toolchain_memo = (identity, _probe_openmp(cc))
+    return _toolchain_memo
+
+
+def openmp_available() -> bool:
+    """True when the probed toolchain supports ``-fopenmp``."""
+    return toolchain_info()[1]
+
+
+def reset_toolchain() -> None:
+    """Drop the toolchain memo (tests monkeypatching ``shutil.which``)."""
+    global _toolchain_memo
+    _toolchain_memo = None
+
+
 def machine_signature() -> str:
     """Coarse host identity baked into every persisted cache entry."""
+    identity, openmp = toolchain_info()
     return "-".join(
         [
             platform.machine() or "unknown",
             f"{os.cpu_count() or 1}cpu",
             f"py{sys.version_info.major}.{sys.version_info.minor}",
             f"np{np.__version__}",
+            f"{identity}+omp" if openmp else identity,
         ]
     )

@@ -2,7 +2,9 @@
 
 Generic :func:`mttkrp` / :func:`ttv` / :func:`ttm` entry points that
 accept a *variant* — ``"coo"``, ``"hicoo"``, ``"csf"``, a compiled
-``"coo_jit"`` / ``"hicoo_jit"`` (see :mod:`repro.perf.jit`), an explicit
+``"coo_jit"`` / ``"hicoo_jit"``, an in-kernel multithreaded
+``"coo_jit_mt"`` / ``"hicoo_jit_mt"`` (see :mod:`repro.perf.jit`), an
+explicit
 :class:`~repro.perf.autotune.TuneConfig`, or ``"auto"`` to delegate the
 choice to the autotuner.  The auto path and a direct invocation of the
 winning configuration execute byte-identical code (:func:`run_config` is
@@ -24,12 +26,28 @@ from ..errors import PastaError
 from .autotune import CSF_KERNELS, TUNED_KERNELS, TuneConfig, decide
 from .parallel import get_num_threads, get_schedule, parallel_config
 
-VARIANTS = ("auto", "coo", "hicoo", "csf", "coo_jit", "hicoo_jit")
+VARIANTS = (
+    "auto",
+    "coo",
+    "hicoo",
+    "csf",
+    "coo_jit",
+    "hicoo_jit",
+    "coo_jit_mt",
+    "hicoo_jit_mt",
+)
 
-#: Numpy twin of each compiled variant: ``run_config`` downgrades to it
-#: when the JIT declines (no compiler, ``REPRO_JIT=0``, unsupported
-#: specialization), so stale cached tuning decisions stay runnable.
-JIT_FALLBACK = {"coo_jit": "coo", "hicoo_jit": "hicoo"}
+#: Downgrade target of each compiled variant when the JIT declines (no
+#: compiler, ``REPRO_JIT=0``, unsupported specialization), so stale
+#: cached tuning decisions stay runnable.  The multithreaded variants
+#: chain: ``coo_jit_mt -> coo_jit -> coo`` (an ``_mt`` config on a
+#: JIT-less machine lands on numpy after two steps).
+JIT_FALLBACK = {
+    "coo_jit_mt": "coo_jit",
+    "hicoo_jit_mt": "hicoo_jit",
+    "coo_jit": "coo",
+    "hicoo_jit": "hicoo",
+}
 
 VariantLike = Union[str, TuneConfig]
 
@@ -91,7 +109,7 @@ def resolve_config(
                 f"kernel {kernel!r} has no {name} implementation"
             )
     policy, _ = get_schedule()
-    if name in ("hicoo", "hicoo_jit"):
+    if name in ("hicoo", "hicoo_jit", "hicoo_jit_mt"):
         from ..formats.hicoo import DEFAULT_BLOCK_SIZE, check_block_size
 
         block = check_block_size(block_size or DEFAULT_BLOCK_SIZE)
@@ -122,6 +140,22 @@ def run_config(
             factors = operands.factors
             if factors is None:
                 raise PastaError("MTTKRP dispatch needs factor matrices")
+            if variant == "coo_jit_mt":
+                from . import jit
+
+                result = jit.mttkrp_coo_mt(coo, list(factors), mode)
+                if result is not None:
+                    return result
+                variant = "coo_jit"
+            if variant == "hicoo_jit_mt":
+                from . import jit
+
+                result = jit.mttkrp_hicoo_mt(
+                    _hicoo(coo, config), list(factors), mode
+                )
+                if result is not None:
+                    return result
+                variant = "hicoo_jit"
             if variant == "coo_jit":
                 from . import jit
 
@@ -129,7 +163,7 @@ def run_config(
                 if result is not None:
                     return result
                 variant = "coo"
-            elif variant == "hicoo_jit":
+            if variant == "hicoo_jit":
                 from . import jit
 
                 result = jit.mttkrp_hicoo(
@@ -153,6 +187,13 @@ def run_config(
         elif kernel == "TTV":
             if operands.vector is None:
                 raise PastaError("TTV dispatch needs a vector operand")
+            if variant == "coo_jit_mt":
+                from . import jit
+
+                result = jit.ttv_coo_mt(coo, operands.vector, mode)
+                if result is not None:
+                    return result
+                variant = "coo_jit"
             if variant == "coo_jit":
                 from . import jit
 
@@ -177,6 +218,13 @@ def run_config(
         elif kernel == "TTM":
             if operands.matrix is None:
                 raise PastaError("TTM dispatch needs a matrix operand")
+            if variant == "coo_jit_mt":
+                from . import jit
+
+                result = jit.ttm_coo_mt(coo, operands.matrix, mode)
+                if result is not None:
+                    return result
+                variant = "coo_jit"
             if variant == "coo_jit":
                 from . import jit
 

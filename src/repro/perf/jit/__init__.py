@@ -29,7 +29,18 @@ from .build import (
     object_cache_dir,
     reset,
 )
-from .kernels import mttkrp_coo, mttkrp_hicoo, tew_values, ttm_coo, ttv_coo
+from .kernels import (
+    mttkrp_coo,
+    mttkrp_coo_mt,
+    mttkrp_gram_coo,
+    mttkrp_hicoo,
+    mttkrp_hicoo_mt,
+    tew_values,
+    ttm_coo,
+    ttm_coo_mt,
+    ttv_coo,
+    ttv_coo_mt,
+)
 
 __all__ = [
     "ENV_JIT",
@@ -42,8 +53,13 @@ __all__ = [
     "object_cache_dir",
     "reset",
     "mttkrp_coo",
+    "mttkrp_coo_mt",
+    "mttkrp_gram_coo",
     "mttkrp_hicoo",
+    "mttkrp_hicoo_mt",
     "tew_values",
     "ttm_coo",
+    "ttm_coo_mt",
     "ttv_coo",
+    "ttv_coo_mt",
 ]

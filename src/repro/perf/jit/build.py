@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
+from .. import cachedir
 from ..cachedir import cache_subdir, machine_signature
 
 #: Set to ``0``/``false``/``off``/``no`` to force the numpy path even
@@ -37,7 +38,20 @@ ENV_JIT_CACHE = "REPRO_JIT_CACHE"
 
 _FALSY = {"0", "false", "off", "no"}
 
-_CFLAGS = ("-O3", "-shared", "-fPIC", "-fno-math-errno")
+_BASE_CFLAGS = ("-O3", "-shared", "-fPIC", "-fno-math-errno")
+
+
+def compile_flags() -> tuple:
+    """Compiler flags for this host's toolchain.
+
+    ``-fopenmp`` when the probe in :mod:`repro.perf.cachedir` links an
+    OpenMP TU (the generated team runner then uses ``#pragma omp
+    parallel``), otherwise ``-pthread`` for the hand-rolled pthreads
+    team the same sources fall back to under ``#ifndef _OPENMP``.
+    """
+    if cachedir.openmp_available():
+        return _BASE_CFLAGS + ("-fopenmp",)
+    return _BASE_CFLAGS + ("-pthread",)
 
 # Process-local memo: function name -> ctypes function (or None when a
 # previous attempt failed).  Loaded libraries are pinned separately so
@@ -78,6 +92,7 @@ def reset() -> None:
     _fallback_dir = None
     _functions.clear()
     _libraries.clear()
+    cachedir.reset_toolchain()
 
 
 def object_cache_dir() -> Path:
@@ -128,7 +143,7 @@ def _compile(source: str, out_path: Path) -> bool:
             handle.write(source)
         tmp_so = Path(c_path).with_suffix(".so.tmp")
         proc = subprocess.run(
-            [cc, *_CFLAGS, "-o", str(tmp_so), c_path],
+            [cc, *compile_flags(), "-o", str(tmp_so), c_path],
             capture_output=True,
             timeout=120,
         )

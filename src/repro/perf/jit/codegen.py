@@ -21,11 +21,22 @@ literally in the signatures.
 Every generator returns ``(function_name, c_source)``; the build layer
 hashes the source, so two calls asking for the same specialization reuse
 one shared object.
+
+In-kernel parallelism: every translation unit also exports a
+``<name>_par`` entry that takes the *entire* chunk table from
+:mod:`repro.perf.partition` (``num_chunks + 1`` absolute unit bounds),
+the thread count, and the schedule kind, and runs the serial loop nest
+over those chunks on an in-process thread team — ``#pragma omp
+parallel`` when the toolchain probe found OpenMP, a hand-rolled
+pthreads team otherwise.  Chunks own disjoint output units (the same
+ownership declarations the write sanitizer checks), so the team needs
+no atomics and every thread interleaving produces bit-identical output.
+One ctypes call per kernel invocation replaces one call per chunk.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, List, Optional, Tuple
 
 _PRELUDE = """\
 #include <stdint.h>
@@ -35,6 +46,160 @@ typedef double f64;
 typedef int32_t i32;
 typedef int64_t i64;
 typedef uint8_t u8;
+"""
+
+# The thread team shared by every ``_par`` entry point.  Schedule kind
+# 0 is the executor's static policy (chunk c runs on thread c mod T, so
+# work shares are a pure function of the chunk table and thread count);
+# any other kind is a pull queue (dynamic and guided — the decreasing
+# chunk sizes of guided are already baked into the bounds).  Chunks own
+# disjoint output units, so scheduling only changes timing, never
+# results.
+_TEAM_RUNNER = """\
+
+typedef void (*repro_chunk_fn)(void *ctx, i64 chunk);
+
+typedef struct {
+    repro_chunk_fn run;
+    void *ctx;
+    i64 num_chunks;
+    i64 num_threads;
+    i32 sched; /* 0 = static round-robin, otherwise pull queue */
+    i64 next;
+} repro_team;
+
+static void repro_team_member(repro_team *team, i64 tid)
+{
+    if (team->sched == 0) {
+        for (i64 c = tid; c < team->num_chunks; c += team->num_threads)
+            team->run(team->ctx, c);
+    } else {
+        for (;;) {
+            i64 c = __atomic_fetch_add(&team->next, 1, __ATOMIC_RELAXED);
+            if (c >= team->num_chunks)
+                break;
+            team->run(team->ctx, c);
+        }
+    }
+}
+
+#if defined(_OPENMP)
+#include <omp.h>
+
+static void repro_team_run(repro_team *team)
+{
+    #pragma omp parallel num_threads((int)team->num_threads)
+    {
+        /* The runtime may grant fewer threads than requested; stride
+           over the logical tids so every static share still runs. */
+        i64 granted = (i64)omp_get_num_threads();
+        for (i64 tid = (i64)omp_get_thread_num();
+             tid < team->num_threads; tid += granted)
+            repro_team_member(team, tid);
+    }
+}
+
+#else
+#include <pthread.h>
+
+typedef struct {
+    repro_team *team;
+    i64 tid;
+} repro_team_slot;
+
+static void *repro_team_thread(void *arg)
+{
+    repro_team_slot *slot = (repro_team_slot *)arg;
+    repro_team_member(slot->team, slot->tid);
+    return 0;
+}
+
+#define REPRO_MAX_HELPERS 255
+
+static void repro_team_run(repro_team *team)
+{
+    pthread_t threads[REPRO_MAX_HELPERS];
+    repro_team_slot slots[REPRO_MAX_HELPERS];
+    i64 helpers = 0;
+    if (team->num_threads > REPRO_MAX_HELPERS + 1)
+        team->num_threads = REPRO_MAX_HELPERS + 1;
+    for (i64 tid = 1; tid < team->num_threads; ++tid) {
+        slots[helpers].team = team;
+        slots[helpers].tid = tid;
+        if (pthread_create(&threads[helpers], 0, repro_team_thread,
+                           &slots[helpers]) != 0)
+            break;
+        ++helpers;
+    }
+    repro_team_member(team, 0);
+    /* Cover the shares of helpers that failed to spawn: static shares
+       depend only on the logical tid, and the pull queue just drains. */
+    for (i64 tid = helpers + 1; tid < team->num_threads; ++tid)
+        repro_team_member(team, tid);
+    for (i64 h = 0; h < helpers; ++h)
+        pthread_join(threads[h], 0);
+}
+#endif
+"""
+
+
+def _parallel_entry(
+    name: str,
+    params: List[Tuple[str, str]],
+    overrides: Optional[Dict[str, str]] = None,
+) -> str:
+    """Emit the ctx struct, chunk trampoline, and ``<name>_par`` entry.
+
+    ``params`` lists the serial function's tail parameters (everything
+    after the ``(u0, u1)`` unit range) as ``(c_type, name)`` pairs.
+    ``overrides`` maps a parameter name to the expression the trampoline
+    should pass instead of the stored field — used by the fused Gram
+    kernel to hand each chunk its own partial-result slab (``a`` is the
+    ctx pointer and ``c`` the chunk index in that expression).
+    """
+    overrides = dict(overrides or {})
+    fields = "\n".join(
+        f"    {ctype.replace('restrict ', '')}{pname};"
+        for ctype, pname in params
+    )
+    call_args = ", ".join(
+        overrides.get(pname, f"a->{pname}") for _, pname in params
+    )
+    sig_params = ",\n".join(
+        f"                 {ctype}{pname}" for ctype, pname in params
+    )
+    ctx_init = "\n".join(
+        f"    ctx.{pname} = {pname};" for _, pname in params
+    )
+    return f"""
+typedef struct {{
+    const i64 *chunk_bounds;
+{fields}
+}} {name}_ctx;
+
+static void {name}_chunk(void *p, i64 c)
+{{
+    {name}_ctx *a = ({name}_ctx *)p;
+    {name}(a->chunk_bounds[c], a->chunk_bounds[c + 1],
+           {call_args});
+}}
+
+void {name}_par(i64 num_chunks, const i64 *restrict chunk_bounds,
+                 i64 num_threads, i32 sched,
+{sig_params})
+{{
+    {name}_ctx ctx;
+    ctx.chunk_bounds = chunk_bounds;
+{ctx_init}
+    repro_team team;
+    team.run = {name}_chunk;
+    team.ctx = &ctx;
+    team.num_chunks = num_chunks;
+    team.num_threads = num_threads < 1 ? 1 : num_threads;
+    team.sched = sched;
+    team.next = 0;
+    repro_team_run(&team);
+}}
 """
 
 
@@ -100,6 +265,17 @@ void {name}(i64 u0, i64 u1,
     }}
 }}
 """
+    source += _TEAM_RUNNER + _parallel_entry(
+        name,
+        [
+            ("const i64 *restrict ", "seg_offsets"),
+            ("const i32 *restrict ", "targets"),
+            ("const f32 *restrict ", "vals"),
+            *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
+            *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
+            ("f32 *restrict ", "out"),
+        ],
+    )
     return name, source
 
 
@@ -110,7 +286,9 @@ def mttkrp_hicoo_source(order: int, rank: int) -> Tuple[str, str]:
     mode last*, and ``order - 1`` factors for the non-output modes in the
     same ascending order as the index pairs.  The output array is
     ``double`` — blocks sharing an output window accumulate into it
-    directly, which is also why this variant stays serial.
+    directly, which is why this variant stays serial; the parallel form
+    is :func:`mttkrp_hicoo_owned_source`, which regroups blocks by
+    output window first.
     """
     order = _check_order(order, minimum=2)
     rank = _check_rank(rank)
@@ -157,6 +335,158 @@ void {name}(i64 b0, i64 b1,
     return name, source
 
 
+def mttkrp_hicoo_owned_source(order: int, rank: int) -> Tuple[str, str]:
+    """Ownership-partitioned HiCOO MTTKRP: windows of blocks, any thread.
+
+    The ownership plan (:func:`repro.perf.plans.build_hicoo_ownership_plan`)
+    groups blocks by their output-mode block coordinate with a *stable*
+    sort, so within each output window blocks keep their Morton order and
+    the ``double`` accumulation per output row happens in exactly the
+    serial kernel's order — parallel results are bit-identical.  The unit
+    of work is one window; windows own disjoint ``block_size`` output row
+    ranges, which is the atomic-free guarantee the sanitizer's
+    ``row_blocks`` ownership kind checks.
+
+    Arguments are the plain HiCOO kernel's plus ``win_ptr`` (window ->
+    position range) and ``block_perm`` (position -> block id); the unit
+    range ``(w0, w1)`` indexes windows rather than raw blocks.
+    """
+    order = _check_order(order, minimum=2)
+    rank = _check_rank(rank)
+    k = order - 1
+    name = f"repro_mttkrp_hicoo_own_o{order}_r{rank}"
+    bind_args = ", ".join(
+        f"const i32 *restrict binds{m}, const u8 *restrict einds{m}"
+        for m in range(order)
+    )
+    fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
+    bases = "\n".join(
+        f"            const i64 base{m} = (i64)binds{m}[b] * block_size;"
+        for m in range(order)
+    )
+    gather = "\n".join(
+        f"                const f32 *restrict row{m} = "
+        f"fac{m} + (base{m} + (i64)einds{m}[e]) * {rank};"
+        for m in range(k)
+    )
+    product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    source = f"""{_PRELUDE}
+void {name}(i64 w0, i64 w1,
+            const i64 *restrict win_ptr,
+            const i64 *restrict block_perm,
+            const i64 *restrict bptr,
+            i64 block_size,
+            const f32 *restrict vals,
+            {bind_args},
+            {fac_args},
+            f64 *restrict out)
+{{
+    for (i64 w = w0; w < w1; ++w) {{
+        for (i64 p = win_ptr[w]; p < win_ptr[w + 1]; ++p) {{
+            const i64 b = block_perm[p];
+            const i64 lo = bptr[b];
+            const i64 hi = bptr[b + 1];
+{bases}
+            for (i64 e = lo; e < hi; ++e) {{
+{gather}
+                const f64 v = (f64)vals[e];
+                f64 *restrict orow =
+                    out + (base{k} + (i64)einds{k}[e]) * {rank};
+                for (int r = 0; r < {rank}; ++r)
+                    orow[r] += v * {product};
+            }}
+        }}
+    }}
+}}
+"""
+    params = [
+        ("const i64 *restrict ", "win_ptr"),
+        ("const i64 *restrict ", "block_perm"),
+        ("const i64 *restrict ", "bptr"),
+        ("i64 ", "block_size"),
+        ("const f32 *restrict ", "vals"),
+    ]
+    for m in range(order):
+        params.append(("const i32 *restrict ", f"binds{m}"))
+        params.append(("const u8 *restrict ", f"einds{m}"))
+    params.extend(("const f32 *restrict ", f"fac{m}") for m in range(k))
+    params.append(("f64 *restrict ", "out"))
+    source += _TEAM_RUNNER + _parallel_entry(name, params)
+    return name, source
+
+
+def mttkrp_coo_gram_source(order: int, rank: int) -> Tuple[str, str]:
+    """Fused COO MTTKRP + Gram of the output, for the CP-ALS inner loop.
+
+    Identical to :func:`mttkrp_coo_source` — bit-for-bit the same
+    ``out`` — plus each segment's stored float32 output row is folded
+    into a ``rank x rank`` double Gram accumulator before moving on,
+    while the row is still in registers.  Every output row belongs to
+    exactly one segment, so the sum over segments is exactly
+    ``out.T @ out`` (rows no segment touches are zero and contribute
+    nothing).  The ``_par`` entry gives each chunk a private Gram slab
+    (``grams`` is ``num_chunks x rank x rank``); the caller reduces the
+    slabs, keeping the parallel region atomic-free.
+    """
+    order = _check_order(order, minimum=2)
+    rank = _check_rank(rank)
+    k = order - 1
+    name = f"repro_mttkrp_coo_gram_o{order}_r{rank}"
+    idx_args = ", ".join(f"const i32 *restrict idx{m}" for m in range(k))
+    fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
+    gather = "\n".join(
+        f"            const f32 *restrict row{m} = "
+        f"fac{m} + (i64)idx{m}[e] * {rank};"
+        for m in range(k)
+    )
+    product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    source = f"""{_PRELUDE}
+void {name}(i64 u0, i64 u1,
+            const i64 *restrict seg_offsets,
+            const i32 *restrict targets,
+            const f32 *restrict vals,
+            {idx_args},
+            {fac_args},
+            f32 *restrict out,
+            f64 *restrict gram)
+{{
+    for (i64 s = u0; s < u1; ++s) {{
+        f64 acc[{rank}] = {{0.0}};
+        const i64 lo = seg_offsets[s];
+        const i64 hi = seg_offsets[s + 1];
+        for (i64 e = lo; e < hi; ++e) {{
+{gather}
+            const f64 v = (f64)vals[e];
+            for (int r = 0; r < {rank}; ++r)
+                acc[r] += v * {product};
+        }}
+        f32 *restrict orow = out + (i64)targets[s] * {rank};
+        for (int r = 0; r < {rank}; ++r)
+            orow[r] = (f32)acc[r];
+        for (int r1 = 0; r1 < {rank}; ++r1) {{
+            const f64 g1 = (f64)orow[r1];
+            for (int r2 = 0; r2 < {rank}; ++r2)
+                gram[r1 * {rank} + r2] += g1 * (f64)orow[r2];
+        }}
+    }}
+}}
+"""
+    source += _TEAM_RUNNER + _parallel_entry(
+        name,
+        [
+            ("const i64 *restrict ", "seg_offsets"),
+            ("const i32 *restrict ", "targets"),
+            ("const f32 *restrict ", "vals"),
+            *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
+            *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
+            ("f32 *restrict ", "out"),
+            ("f64 *restrict ", "grams"),
+        ],
+        overrides={"grams": f"a->grams + c * {rank * rank}"},
+    )
+    return name, source
+
+
 def ttv_source() -> Tuple[str, str]:
     """Fiber-grain TTV: one double reduction per fiber, any order.
 
@@ -182,6 +512,16 @@ void {name}(i64 u0, i64 u1,
     }}
 }}
 """
+    source += _TEAM_RUNNER + _parallel_entry(
+        name,
+        [
+            ("const i64 *restrict ", "fptr"),
+            ("const f32 *restrict ", "vals"),
+            ("const i32 *restrict ", "prod_idx"),
+            ("const f32 *restrict ", "vec"),
+            ("f64 *restrict ", "sums"),
+        ],
+    )
     return name, source
 
 
@@ -212,6 +552,16 @@ void {name}(i64 u0, i64 u1,
     }}
 }}
 """
+    source += _TEAM_RUNNER + _parallel_entry(
+        name,
+        [
+            ("const i64 *restrict ", "fptr"),
+            ("const f32 *restrict ", "vals"),
+            ("const i32 *restrict ", "prod_idx"),
+            ("const f32 *restrict ", "mat"),
+            ("f64 *restrict ", "rows"),
+        ],
+    )
     return name, source
 
 
@@ -239,4 +589,12 @@ void {name}(i64 e0, i64 e1,
         out[e] = x[e] {TEW_OPS[op]} y[e];
 }}
 """
+    source += _TEAM_RUNNER + _parallel_entry(
+        name,
+        [
+            ("const f32 *restrict ", "x"),
+            ("const f32 *restrict ", "y"),
+            ("f32 *restrict ", "out"),
+        ],
+    )
     return name, source

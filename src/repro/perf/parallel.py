@@ -58,6 +58,11 @@ from .partition import (
 #: calls finish in microseconds and chunk dispatch would dominate.
 DEFAULT_MIN_PARALLEL_NNZ = 8192
 
+#: Sentinel distinguishing "leave unchanged" from an explicit ``None``
+#: in :func:`parallel_config` (``min_nnz_per_thread=None`` meaningfully
+#: restores per-thread tracking of the absolute threshold).
+_UNSET = object()
+
 
 def _env_int(name: str, default: int) -> int:
     try:
@@ -72,6 +77,27 @@ if _POLICY not in ("static", "dynamic", "guided"):
     _POLICY = POLICY_DYNAMIC
 _CHUNK_UNITS: Optional[int] = None
 _MIN_PARALLEL_NNZ = max(0, _env_int("REPRO_PARALLEL_MIN_NNZ", DEFAULT_MIN_PARALLEL_NNZ))
+
+
+def _env_optional_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return None
+
+
+#: Minimum nonzeros each would-be worker must receive before the kernel
+#: goes parallel.  ``None`` tracks ``_MIN_PARALLEL_NNZ`` — the knob
+#: that cured the 0.98x two-thread regression in ``BENCH_parallel.json``
+#: without adding a second default to tune: 2 threads need 2x the serial
+#: threshold, 8 threads 8x, and undersized inputs get a *reduced* worker
+#: count rather than a binary serial fallback.
+_MIN_NNZ_PER_THREAD: Optional[int] = _env_optional_int(
+    "REPRO_PARALLEL_MIN_NNZ_PER_THREAD"
+)
 
 
 # ----------------------------------------------------------------------
@@ -130,17 +156,67 @@ def set_min_parallel_nnz(min_nnz: int) -> int:
     return previous
 
 
+def get_min_nnz_per_thread() -> int:
+    """Nonzeros each worker must receive before a kernel parallelizes.
+
+    Defaults to tracking :func:`get_min_parallel_nnz`, so forcing
+    ``min_parallel_nnz=0`` (tests, conformance checks) also disables the
+    per-thread gate unless it was pinned explicitly.
+    """
+    if _MIN_NNZ_PER_THREAD is not None:
+        return _MIN_NNZ_PER_THREAD
+    return _MIN_PARALLEL_NNZ
+
+
+def set_min_nnz_per_thread(min_nnz: Optional[int]) -> Optional[int]:
+    """Pin (or with ``None``, unpin) the per-thread threshold.
+
+    Returns the previous *raw* setting (``None`` when it was tracking
+    the absolute threshold) so callers can restore it exactly.
+    """
+    global _MIN_NNZ_PER_THREAD
+    previous = _MIN_NNZ_PER_THREAD
+    if min_nnz is None:
+        _MIN_NNZ_PER_THREAD = None
+    else:
+        min_nnz = int(min_nnz)
+        if min_nnz < 0:
+            raise ValueError(f"min_nnz must be non-negative, got {min_nnz}")
+        _MIN_NNZ_PER_THREAD = min_nnz
+    return previous
+
+
+def max_parallel_workers(total_elements: int) -> int:
+    """Worker count the cutover model allows for this input size.
+
+    ``total // per_thread`` workers, clamped to the configured thread
+    count — an input big enough for 3 productive workers on an 8-thread
+    config runs with 3, and one below ``2x`` the per-thread threshold
+    returns 1 (serial).  A zero per-thread threshold disables the gate.
+    """
+    if _NUM_THREADS <= 1:
+        return 1
+    per_thread = get_min_nnz_per_thread()
+    if per_thread <= 0:
+        return _NUM_THREADS
+    return max(1, min(_NUM_THREADS, int(total_elements) // per_thread))
+
+
 @contextmanager
 def parallel_config(
     num_threads: Optional[int] = None,
     schedule: Optional[str] = None,
     chunk_units: Optional[int] = None,
     min_parallel_nnz: Optional[int] = None,
+    min_nnz_per_thread: Any = _UNSET,
 ) -> Iterator[None]:
     """Run a block under a temporary parallel configuration.
 
     ``None`` leaves a knob unchanged, so apps can forward their own
     optional ``num_threads=``/``schedule=`` arguments straight through.
+    The one exception is ``min_nnz_per_thread``, where ``None`` is a
+    meaningful setting (track the absolute threshold) — omit the
+    argument to leave it alone.
     """
     prev_threads = set_num_threads(num_threads) if num_threads is not None else None
     prev_schedule = (
@@ -153,6 +229,12 @@ def parallel_config(
         if min_parallel_nnz is not None
         else None
     )
+    restore_per_thread = min_nnz_per_thread is not _UNSET
+    prev_per_thread = (
+        set_min_nnz_per_thread(min_nnz_per_thread)
+        if restore_per_thread
+        else None
+    )
     try:
         yield
     finally:
@@ -162,6 +244,8 @@ def parallel_config(
             set_schedule(*prev_schedule)
         if prev_min is not None:
             set_min_parallel_nnz(prev_min)
+        if restore_per_thread:
+            set_min_nnz_per_thread(prev_per_thread)
 
 
 # ----------------------------------------------------------------------
@@ -416,6 +500,7 @@ def want_parallel(total_elements: int) -> bool:
     return (
         _NUM_THREADS > 1
         and total_elements >= max(1, _MIN_PARALLEL_NNZ)
+        and max_parallel_workers(total_elements) > 1
         and not _in_parallel_region()
     )
 
@@ -446,7 +531,7 @@ def kernel_chunk_plan(
         num_units = total
     if num_units <= 1 or not want_parallel(total):
         return None
-    workers = min(_NUM_THREADS, num_units)
+    workers = min(max_parallel_workers(total), num_units)
     if element_offsets is None:
         return build_element_chunk_plan(total, workers, _POLICY, _CHUNK_UNITS)
     return chunk_plan_for(

@@ -44,6 +44,7 @@ KIND_GHICOO_FIBER = "ghicoo_fiber_sort"
 KIND_GHICOO_BUILD = "ghicoo_build"
 KIND_HICOO_BUILD = "hicoo_build"
 KIND_EXPANDED_COO = "expanded_coo"
+KIND_HICOO_OWNERSHIP = "hicoo_ownership"
 
 _CooLike = Union[CooTensor, HicooTensor]
 
@@ -370,6 +371,96 @@ def hicoo_for(
         KIND_HICOO_BUILD,
         int(block_size),
         lambda: HicooTensor.from_coo(tensor, block_size),
+    )
+
+
+class HicooOwnershipPlan:
+    """Output-ownership regrouping of HiCOO blocks for one mode.
+
+    Groups a HiCOO tensor's blocks by their ``mode`` block coordinate
+    ("output window") so every window's blocks write a disjoint
+    ``block_size`` range of output rows — the atomic-free decomposition
+    the multithreaded compiled MTTKRP runs on.  The grouping sort is
+    *stable*: within a window, blocks keep their Morton order, so the
+    per-row double accumulation order matches the serial kernel exactly
+    and parallel results are bit-identical.
+
+    ``block_perm[win_ptr[w]:win_ptr[w + 1]]`` are the block ids of
+    window ``w``; ``element_offsets`` holds cumulative nonzero counts
+    per window (the partitioner's load model); ``window_targets`` the
+    output-mode block coordinate of each window (the sanitizer's
+    ownership declaration).
+    """
+
+    __slots__ = (
+        "mode",
+        "block_perm",
+        "win_ptr",
+        "element_offsets",
+        "window_targets",
+    )
+
+    def __init__(
+        self,
+        mode: int,
+        block_perm: np.ndarray,
+        win_ptr: np.ndarray,
+        element_offsets: np.ndarray,
+        window_targets: np.ndarray,
+    ) -> None:
+        self.mode = mode
+        self.block_perm = block_perm
+        self.win_ptr = win_ptr
+        self.element_offsets = element_offsets
+        self.window_targets = window_targets
+
+    @property
+    def num_windows(self) -> int:
+        """Number of distinct output windows (parallel work units)."""
+        return int(self.win_ptr.shape[0]) - 1
+
+
+def build_hicoo_ownership_plan(
+    tensor: HicooTensor, mode: int
+) -> HicooOwnershipPlan:
+    """Build the ownership plan for one output mode, uncached."""
+    mode = mode % tensor.order
+    keys = tensor.binds[mode].astype(np.int64)
+    num_blocks = int(keys.shape[0])
+    if num_blocks == 0:
+        zero = np.zeros(1, dtype=np.int64)
+        return HicooOwnershipPlan(
+            mode,
+            np.empty(0, dtype=np.int64),
+            zero,
+            zero.copy(),
+            np.empty(0, dtype=np.int64),
+        )
+    perm = np.argsort(keys, kind="stable").astype(np.int64)
+    sorted_keys = keys[perm]
+    boundary = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(np.concatenate(([True], boundary)))
+    win_ptr = np.concatenate([starts, [num_blocks]]).astype(np.int64)
+    counts = tensor.nnz_per_block().astype(np.int64)
+    csum = np.concatenate([[0], np.cumsum(counts[perm])]).astype(np.int64)
+    element_offsets = csum[win_ptr]
+    return HicooOwnershipPlan(
+        mode, perm, win_ptr, element_offsets, sorted_keys[starts]
+    )
+
+
+def hicoo_ownership_plan(
+    tensor: HicooTensor, mode: int, *, cache: Optional[PlanCache] = None
+) -> Optional[HicooOwnershipPlan]:
+    """Cached ownership plan, or ``None`` when caching is disabled."""
+    if not cache_enabled():
+        return None
+    mode = mode % tensor.order
+    return _cache(cache).get(
+        tensor,
+        KIND_HICOO_OWNERSHIP,
+        mode,
+        lambda: build_hicoo_ownership_plan(tensor, mode),
     )
 
 

@@ -88,22 +88,32 @@ class TestCandidates:
     def test_mttkrp_space(self):
         from repro.perf import jit
 
-        configs = candidate_configs("MTTKRP")
+        configs = candidate_configs("MTTKRP", max_threads=4)
         variants = {c.variant for c in configs}
         expected = {"coo", "hicoo", "csf"}
         if jit.jit_available():
-            expected |= {"coo_jit", "hicoo_jit"}
+            expected |= {"coo_jit", "hicoo_jit", "coo_jit_mt", "hicoo_jit_mt"}
         assert variants == expected
         blocks = {c.block_size for c in configs if c.variant == "hicoo"}
         assert blocks == set(BLOCK_SIZES)
         assert all(c.num_threads >= 1 for c in configs)
+        # The in-kernel multithreaded variants only exist at T>1 (their
+        # T=1 execution is exactly the serial *_jit candidate) and the
+        # hicoo one sweeps the block size of its ownership partition.
+        mt = [c for c in configs if c.variant.endswith("_jit_mt")]
+        if jit.jit_available():
+            assert mt and all(c.num_threads > 1 for c in mt)
+            mt_blocks = {
+                c.block_size for c in mt if c.variant == "hicoo_jit_mt"
+            }
+            assert mt_blocks == set(BLOCK_SIZES)
 
     def test_jit_variants_absent_when_disabled(self, monkeypatch):
         from repro.perf import jit
 
         monkeypatch.setenv(jit.ENV_JIT, "0")
-        configs = candidate_configs("MTTKRP")
-        assert all(not c.variant.endswith("_jit") for c in configs)
+        configs = candidate_configs("MTTKRP", max_threads=4)
+        assert all("_jit" not in c.variant for c in configs)
 
     def test_ttm_has_no_csf(self):
         assert all(c.variant != "csf" for c in candidate_configs("TTM"))

@@ -32,6 +32,7 @@ class TestEnumerateChecks:
             "cache_exact",
             "auto_dispatch",
             "jit_tolerance",
+            "jit_parallel",
             "serving_batch",
         }
         kernels = {c["kernel"] for c in checks if "kernel" in c}

@@ -1,0 +1,601 @@
+"""Tests for in-kernel multithreaded JIT execution (``*_jit_mt``).
+
+The ``*_jit_mt`` entry points hand the entire chunk table to a C thread
+team in a single ctypes call.  The contract under test here:
+
+- bit-identical outputs to the serial compiled kernels at every thread
+  count and schedule (the output-ownership partition's guarantee);
+- green under ``REPRO_SANITIZE=1`` (checked-serial delegation, plus the
+  dedicated row-block ownership path for the HiCOO variant);
+- the full fallback chain (``*_jit_mt`` → ``*_jit`` → numpy) when the
+  toolchain is hidden or the JIT is disabled;
+- the fused MTTKRP+Gram kernel, its CP-ALS wiring, and the parallel
+  cutover heuristic that keeps small tensors serial;
+- the toolchain identity + OpenMP availability components of the
+  machine signature.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.mttkrp import mttkrp_coo as np_mttkrp_coo
+from repro.core.mttkrp import mttkrp_hicoo as np_mttkrp_hicoo
+from repro.core.ttm import ttm_coo as np_ttm_coo
+from repro.core.ttv import ttv_coo as np_ttv_coo
+from repro.formats import CooTensor, HicooTensor
+from repro.perf import cachedir, dispatch, jit
+from repro.perf.jit import build
+from repro.perf.parallel import (
+    get_min_nnz_per_thread,
+    get_min_parallel_nnz,
+    kernel_chunk_plan,
+    max_parallel_workers,
+    parallel_config,
+    set_min_nnz_per_thread,
+    want_parallel,
+)
+from repro.perf.partition import POLICIES
+
+RTOL = ATOL = 1e-3
+
+THREAD_SWEEP = (1, 2, 4, 8)
+
+requires_compiler = pytest.mark.skipif(
+    (shutil.which("gcc") is None and shutil.which("cc") is None)
+    or os.environ.get("REPRO_JIT", "1").strip().lower()
+    in ("0", "false", "off", "no"),
+    reason="no C compiler on PATH or REPRO_JIT=0",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_jit_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(build.ENV_JIT_CACHE, str(tmp_path / "jit-cache"))
+    build.reset()
+    yield
+    build.reset()
+
+
+@pytest.fixture
+def tensor2(rng):
+    return CooTensor.random((60, 45), 700, rng=rng)
+
+
+def make_factors(shape, rank, rng):
+    return [
+        rng.uniform(0.5, 1.5, size=(size, rank)).astype(np.float32)
+        for size in shape
+    ]
+
+
+def _assert_same_output(a, b):
+    """Bit-identical comparison across dense and sparse kernel outputs."""
+    assert type(a) is type(b)
+    if isinstance(a, np.ndarray):
+        assert np.array_equal(a, b)
+        return
+    for attr in ("indices", "values", "bptr", "binds", "einds"):
+        left = getattr(a, attr, None)
+        right = getattr(b, attr, None)
+        if left is None and right is None:
+            continue
+        assert np.array_equal(left, right), attr
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness: thread sweep x schedule sweep vs the serial JIT kernels
+# ----------------------------------------------------------------------
+
+
+@requires_compiler
+class TestBitExactness:
+    @pytest.mark.parametrize("threads", THREAD_SWEEP)
+    @pytest.mark.parametrize("schedule", POLICIES)
+    def test_mttkrp_coo_exact(self, tensor3, factors3, threads, schedule):
+        with parallel_config(num_threads=1):
+            serial = jit.mttkrp_coo(tensor3, factors3, 1)
+        assert serial is not None
+        with parallel_config(
+            num_threads=threads, schedule=schedule, min_parallel_nnz=0
+        ):
+            mt = jit.mttkrp_coo_mt(tensor3, factors3, 1)
+        assert mt is not None
+        assert np.array_equal(serial, mt)
+
+    @pytest.mark.parametrize("threads", THREAD_SWEEP)
+    @pytest.mark.parametrize("schedule", POLICIES)
+    def test_mttkrp_hicoo_exact(self, tensor3, factors3, threads, schedule):
+        hicoo = HicooTensor.from_coo(tensor3, 8)
+        with parallel_config(num_threads=1):
+            serial = jit.mttkrp_hicoo(hicoo, factors3, 0)
+        assert serial is not None
+        with parallel_config(
+            num_threads=threads, schedule=schedule, min_parallel_nnz=0
+        ):
+            mt = jit.mttkrp_hicoo_mt(hicoo, factors3, 0)
+        assert mt is not None
+        assert np.array_equal(serial, mt)
+
+    @pytest.mark.parametrize("threads", THREAD_SWEEP)
+    def test_ttv_exact(self, tensor3, factors3, threads):
+        v = factors3[1][:, 0].copy()
+        with parallel_config(num_threads=1):
+            serial = jit.ttv_coo(tensor3, v, 1)
+        assert serial is not None
+        with parallel_config(num_threads=threads, min_parallel_nnz=0):
+            mt = jit.ttv_coo_mt(tensor3, v, 1)
+        assert mt is not None
+        _assert_same_output(serial, mt)
+
+    @pytest.mark.parametrize("threads", THREAD_SWEEP)
+    def test_ttm_exact(self, tensor3, factors3, threads):
+        with parallel_config(num_threads=1):
+            serial = jit.ttm_coo(tensor3, factors3[2], 2)
+        assert serial is not None
+        with parallel_config(num_threads=threads, min_parallel_nnz=0):
+            mt = jit.ttm_coo_mt(tensor3, factors3[2], 2)
+        assert mt is not None
+        _assert_same_output(serial, mt)
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_orders_2_to_4_match_numpy(self, order, rng, request):
+        if order == 2:
+            tensor = request.getfixturevalue("tensor2")
+        else:
+            tensor = request.getfixturevalue(f"tensor{order}")
+        factors = make_factors(tensor.shape, 8, rng)
+        for mode in range(order):
+            reference = np_mttkrp_coo(tensor, factors, mode)
+            with parallel_config(num_threads=4, min_parallel_nnz=0):
+                mt = jit.mttkrp_coo_mt(tensor, factors, mode)
+            assert mt is not None
+            np.testing.assert_allclose(mt, reference, rtol=RTOL, atol=ATOL)
+
+    def test_hicoo_mt_matches_numpy_hicoo(self, tensor3, factors3):
+        # Bit-identity holds against the serial *compiled* kernel (see
+        # test_mttkrp_hicoo_exact); against the vectorized numpy HiCOO
+        # kernel the accumulation order differs, so tolerance only.
+        hicoo = HicooTensor.from_coo(tensor3, 8)
+        reference = np_mttkrp_hicoo(hicoo, factors3, 0)
+        with parallel_config(num_threads=4, min_parallel_nnz=0):
+            mt = jit.mttkrp_hicoo_mt(hicoo, factors3, 0)
+        assert mt is not None
+        np.testing.assert_allclose(mt, reference, rtol=RTOL, atol=ATOL)
+
+    def test_ttv_ttm_match_numpy(self, tensor4, rng):
+        factors = make_factors(tensor4.shape, 6, rng)
+        v = factors[1][:, 0].copy()
+        ttv_ref = np_ttv_coo(tensor4, v, 1)
+        ttm_ref = np_ttm_coo(tensor4, factors[2], 2)
+        with parallel_config(num_threads=4, min_parallel_nnz=0):
+            ttv_mt = jit.ttv_coo_mt(tensor4, v, 1)
+            ttm_mt = jit.ttm_coo_mt(tensor4, factors[2], 2)
+        assert ttv_mt is not None and ttm_mt is not None
+        assert ttv_ref.allclose(ttv_mt, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(
+            ttm_mt.values, ttm_ref.values, rtol=RTOL, atol=ATOL
+        )
+
+
+# ----------------------------------------------------------------------
+# Sanitizer
+# ----------------------------------------------------------------------
+
+
+@requires_compiler
+class TestSanitizer:
+    def test_mt_kernels_green_and_exact_under_sanitizer(
+        self, tensor3, factors3, monkeypatch
+    ):
+        with parallel_config(num_threads=1):
+            serial = jit.mttkrp_coo(tensor3, factors3, 0)
+        hicoo = HicooTensor.from_coo(tensor3, 8)
+        with parallel_config(num_threads=1):
+            serial_h = jit.mttkrp_hicoo(hicoo, factors3, 0)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with parallel_config(num_threads=4, min_parallel_nnz=0):
+            mt = jit.mttkrp_coo_mt(tensor3, factors3, 0)
+            mt_h = jit.mttkrp_hicoo_mt(hicoo, factors3, 0)
+            ttv_mt = jit.ttv_coo_mt(tensor3, factors3[1][:, 0].copy(), 1)
+        assert mt is not None and np.array_equal(serial, mt)
+        assert mt_h is not None and np.array_equal(serial_h, mt_h)
+        assert ttv_mt is not None
+
+
+# ----------------------------------------------------------------------
+# Fallback chain: jit_mt -> jit -> numpy
+# ----------------------------------------------------------------------
+
+
+class TestFallbackChain:
+    def test_mt_kernels_return_none_without_toolchain(
+        self, monkeypatch, tensor3, factors3
+    ):
+        monkeypatch.setattr(shutil, "which", lambda name: None)
+        build.reset()
+        with parallel_config(num_threads=4, min_parallel_nnz=0):
+            assert jit.mttkrp_coo_mt(tensor3, factors3, 0) is None
+            assert jit.ttv_coo_mt(tensor3, factors3[1][:, 0], 1) is None
+            assert jit.ttm_coo_mt(tensor3, factors3[2], 2) is None
+            hicoo = HicooTensor.from_coo(tensor3, 8)
+            assert jit.mttkrp_hicoo_mt(hicoo, factors3, 0) is None
+            assert jit.mttkrp_gram_coo(tensor3, factors3, 0) is None
+
+    def test_dispatch_falls_back_to_numpy_without_toolchain(
+        self, monkeypatch, tensor3, factors3
+    ):
+        reference = np_mttkrp_coo(tensor3, factors3, 0)
+        monkeypatch.setattr(shutil, "which", lambda name: None)
+        build.reset()
+        out = dispatch.mttkrp(tensor3, factors3, 0, variant="coo_jit_mt")
+        assert np.array_equal(out, reference)
+
+    def test_dispatch_falls_back_when_disabled(
+        self, monkeypatch, tensor3, factors3
+    ):
+        monkeypatch.setenv(jit.ENV_JIT, "0")
+        build.reset()
+        reference = np_mttkrp_hicoo(
+            HicooTensor.from_coo(tensor3, 8), factors3, 0
+        )
+        out = dispatch.mttkrp(
+            tensor3, factors3, 0, variant="hicoo_jit_mt", block_size=8
+        )
+        assert np.array_equal(out, reference)
+
+    @requires_compiler
+    def test_pthread_path_when_openmp_unavailable(
+        self, monkeypatch, tensor3, factors3
+    ):
+        # Force the no-OpenMP toolchain: kernels recompile with -pthread
+        # and the hand-rolled team must stay bit-exact.
+        monkeypatch.setattr(cachedir, "_probe_openmp", lambda cc: False)
+        build.reset()
+        assert not cachedir.openmp_available()
+        assert "-pthread" in build.compile_flags()
+        assert "-fopenmp" not in build.compile_flags()
+        with parallel_config(num_threads=1):
+            serial = jit.mttkrp_coo(tensor3, factors3, 0)
+        with parallel_config(num_threads=4, min_parallel_nnz=0):
+            mt = jit.mttkrp_coo_mt(tensor3, factors3, 0)
+        assert serial is not None and mt is not None
+        assert np.array_equal(serial, mt)
+
+
+# ----------------------------------------------------------------------
+# Dispatch and autotuner integration
+# ----------------------------------------------------------------------
+
+
+@requires_compiler
+class TestDispatchIntegration:
+    def test_variants_enumerate_mt(self):
+        assert "coo_jit_mt" in dispatch.VARIANTS
+        assert "hicoo_jit_mt" in dispatch.VARIANTS
+        assert dispatch.JIT_FALLBACK["coo_jit_mt"] == "coo_jit"
+        assert dispatch.JIT_FALLBACK["hicoo_jit_mt"] == "hicoo_jit"
+
+    def test_explicit_mt_variant_matches_direct_call(self, tensor3, factors3):
+        with parallel_config(
+            num_threads=4, schedule="static", min_parallel_nnz=0
+        ):
+            direct = jit.mttkrp_coo_mt(tensor3, factors3, 0)
+            dispatched = dispatch.mttkrp(
+                tensor3, factors3, 0, variant="coo_jit_mt"
+            )
+        assert direct is not None
+        assert np.array_equal(direct, dispatched)
+
+    def test_hicoo_mt_rejects_unsupported_kernel(self, tensor3, factors3):
+        from repro.errors import PastaError
+
+        with pytest.raises(PastaError, match="no hicoo_jit_mt"):
+            dispatch.ttm(tensor3, factors3[2], 2, variant="hicoo_jit_mt")
+
+    def test_auto_candidate_space_includes_mt(self):
+        from repro.perf.autotune import candidate_configs
+
+        variants = {c.variant for c in candidate_configs("MTTKRP", max_threads=4)}
+        assert {"coo_jit_mt", "hicoo_jit_mt"} <= variants
+
+    def test_thread_candidates_respect_ambient_threads(self):
+        from repro.perf.autotune import candidate_configs
+
+        with parallel_config(num_threads=8):
+            configs = candidate_configs("MTTKRP")
+        assert max(c.num_threads for c in configs) == 8
+
+    def test_auto_selects_mt_and_matches_direct(self, rng):
+        # Model-only tuning on a tensor big enough that the parallel
+        # model term dominates: the winner must be an in-kernel mt
+        # config, and variant="auto" must equal the direct call bitwise.
+        from repro.perf.autotune import disk_cache_disabled, tune
+
+        tensor = CooTensor.random((80, 70, 60), 60_000, rng=rng)
+        factors = make_factors(tensor.shape, 8, rng)
+        with parallel_config(num_threads=8, min_parallel_nnz=0):
+            with disk_cache_disabled():
+                report = tune(
+                    tensor, "MTTKRP", rank=8, probe=False, use_disk_cache=False
+                )
+                chosen = report.chosen
+                assert chosen.variant.endswith("_jit_mt")
+                auto = dispatch.mttkrp(
+                    tensor, factors, 0, variant="auto", probe=False
+                )
+                direct = dispatch.run_config(
+                    tensor,
+                    "MTTKRP",
+                    chosen,
+                    __import__(
+                        "repro.core.registry", fromlist=["KernelOperands"]
+                    ).KernelOperands(factors=tuple(factors)),
+                    mode=0,
+                )
+        assert np.array_equal(auto, direct)
+
+
+# ----------------------------------------------------------------------
+# Fused MTTKRP+Gram
+# ----------------------------------------------------------------------
+
+
+@requires_compiler
+class TestFusedGram:
+    def test_fused_out_bit_equals_unfused(self, tensor3, factors3):
+        with parallel_config(num_threads=1):
+            unfused = jit.mttkrp_coo(tensor3, factors3, 0)
+            fused = jit.mttkrp_gram_coo(tensor3, factors3, 0)
+        assert fused is not None
+        out, gram = fused
+        assert np.array_equal(out, unfused)
+        reference = out.astype(np.float64).T @ out.astype(np.float64)
+        np.testing.assert_allclose(gram, reference, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("threads", (2, 4, 8))
+    def test_parallel_fused_out_exact_gram_close(
+        self, tensor3, factors3, threads
+    ):
+        with parallel_config(num_threads=1):
+            serial = jit.mttkrp_gram_coo(tensor3, factors3, 0)
+        with parallel_config(
+            num_threads=threads, schedule="static", min_parallel_nnz=0
+        ):
+            parallel = jit.mttkrp_gram_coo(tensor3, factors3, 0)
+        assert serial is not None and parallel is not None
+        # The MTTKRP output is bit-identical (ownership partition); the
+        # Gram reduces per-chunk slabs, so it is tolerance-equal only.
+        assert np.array_equal(serial[0], parallel[0])
+        np.testing.assert_allclose(serial[1], parallel[1], rtol=1e-9, atol=1e-9)
+
+    def test_cp_als_fused_matches_unfused(self):
+        from repro.apps import cp_als, random_low_rank_tensor
+
+        x = random_low_rank_tensor((30, 25, 20), 3, seed=2)
+        base = cp_als(x, 3, max_sweeps=60, tolerance=1e-9, seed=2)
+        fused = cp_als(
+            x, 3, max_sweeps=60, tolerance=1e-9, seed=2, fused_gram=True
+        )
+        assert fused.final_fit == pytest.approx(base.final_fit, abs=1e-6)
+        np.testing.assert_allclose(
+            base.reconstruct_dense(),
+            fused.reconstruct_dense(),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_cp_als_fused_rejects_other_paths(self):
+        from repro.apps import cp_als, random_low_rank_tensor
+
+        x = random_low_rank_tensor((10, 9, 8), 2, seed=1)
+        with pytest.raises(ValueError, match="fused_gram"):
+            cp_als(x, 2, fused_gram=True, use_hicoo=True)
+        with pytest.raises(ValueError, match="fused_gram"):
+            cp_als(x, 2, fused_gram=True, variant="coo")
+
+    def test_cp_als_fused_survives_jit_off(self, monkeypatch):
+        from repro.apps import cp_als, random_low_rank_tensor
+
+        monkeypatch.setenv(jit.ENV_JIT, "0")
+        build.reset()
+        x = random_low_rank_tensor((15, 12, 10), 2, seed=7)
+        result = cp_als(x, 2, max_sweeps=40, tolerance=1e-9, seed=7, fused_gram=True)
+        assert result.final_fit > 0.999
+
+
+# ----------------------------------------------------------------------
+# Parallel cutover heuristic
+# ----------------------------------------------------------------------
+
+
+class TestCutover:
+    def test_default_tracks_min_parallel_nnz(self):
+        assert get_min_nnz_per_thread() == get_min_parallel_nnz()
+
+    def test_knob_get_set_restore(self):
+        previous = set_min_nnz_per_thread(4096)
+        try:
+            assert get_min_nnz_per_thread() == 4096
+        finally:
+            set_min_nnz_per_thread(previous)
+        assert get_min_nnz_per_thread() == get_min_parallel_nnz()
+
+    def test_env_parsing(self, monkeypatch):
+        from repro.perf.parallel import _env_optional_int
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_NNZ_PER_THREAD", "777")
+        assert _env_optional_int("REPRO_PARALLEL_MIN_NNZ_PER_THREAD") == 777
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_NNZ_PER_THREAD", "junk")
+        assert _env_optional_int("REPRO_PARALLEL_MIN_NNZ_PER_THREAD") is None
+        monkeypatch.delenv("REPRO_PARALLEL_MIN_NNZ_PER_THREAD")
+        assert _env_optional_int("REPRO_PARALLEL_MIN_NNZ_PER_THREAD") is None
+
+    def test_parallel_config_scopes_the_knob(self):
+        with parallel_config(min_nnz_per_thread=123):
+            assert get_min_nnz_per_thread() == 123
+        assert get_min_nnz_per_thread() == get_min_parallel_nnz()
+
+    def test_max_parallel_workers_scales_with_size(self):
+        with parallel_config(num_threads=8, min_nnz_per_thread=1000):
+            assert max_parallel_workers(500) == 1
+            assert max_parallel_workers(2_500) == 2
+            assert max_parallel_workers(100_000) == 8
+
+    def test_want_parallel_respects_per_thread_floor(self):
+        # 2-thread static at ~1x on BENCH_parallel's small configs is
+        # exactly the regression this gate exists for: nnz above the
+        # absolute floor but below 2x the per-thread floor stays serial.
+        with parallel_config(
+            num_threads=2, min_parallel_nnz=1000, min_nnz_per_thread=8000
+        ):
+            assert not want_parallel(10_000)
+        with parallel_config(
+            num_threads=2, min_parallel_nnz=1000, min_nnz_per_thread=4000
+        ):
+            assert want_parallel(10_000)
+
+    def test_chunk_plan_workers_clamped(self, tensor3):
+        with parallel_config(
+            num_threads=8, min_parallel_nnz=100, min_nnz_per_thread=200
+        ):
+            chunks = kernel_chunk_plan(
+                tensor3, grain="nonzero", total_elements=tensor3.nnz
+            )
+        # 600 nnz at 200 nnz/thread supports at most 3 workers.
+        assert chunks is not None
+        assert chunks.workers == 3
+
+    @requires_compiler
+    def test_tune_drops_subcutover_parallel_candidates(self, tensor3):
+        from repro.perf.autotune import tune
+
+        previous = set_min_nnz_per_thread(10_000)
+        try:
+            report = tune(
+                tensor3,
+                "MTTKRP",
+                probe=False,
+                use_disk_cache=False,
+                max_threads=4,
+            )
+        finally:
+            set_min_nnz_per_thread(previous)
+        assert all(c.config.num_threads == 1 for c in report.candidates)
+        assert report.chosen.num_threads == 1
+        assert report.notes["cutover_dropped"] > 0
+        assert report.notes["min_nnz_per_thread"] == 10_000
+
+
+# ----------------------------------------------------------------------
+# Toolchain identity in the machine signature
+# ----------------------------------------------------------------------
+
+
+class TestToolchainSignature:
+    def test_signature_carries_toolchain_component(self):
+        identity, openmp = cachedir.toolchain_info()
+        signature = cachedir.machine_signature()
+        expected = f"{identity}+omp" if openmp else identity
+        assert signature.endswith(f"-{expected}")
+        assert isinstance(openmp, bool)
+
+    def test_nocc_when_no_compiler(self, monkeypatch):
+        monkeypatch.setattr(shutil, "which", lambda name: None)
+        cachedir.reset_toolchain()
+        identity, openmp = cachedir.toolchain_info()
+        assert identity == "nocc"
+        assert openmp is False
+        assert cachedir.machine_signature().endswith("-nocc")
+        cachedir.reset_toolchain()
+
+    def test_toolchain_info_is_memoized(self, monkeypatch):
+        cachedir.reset_toolchain()
+        first = cachedir.toolchain_info()
+        calls = []
+
+        def counting_which(name):
+            calls.append(name)
+            return None
+
+        monkeypatch.setattr(shutil, "which", counting_which)
+        assert cachedir.toolchain_info() == first
+        assert calls == []  # memo hit: no re-probe
+
+    @requires_compiler
+    def test_compile_flags_match_probe(self):
+        cachedir.reset_toolchain()
+        flags = build.compile_flags()
+        if cachedir.openmp_available():
+            assert "-fopenmp" in flags
+        else:
+            assert "-pthread" in flags
+
+
+# ----------------------------------------------------------------------
+# Conformance check kind
+# ----------------------------------------------------------------------
+
+
+class TestConformanceCheck:
+    def test_enumerated_for_mode_kernels(self, tensor3):
+        from repro.conformance.harness import MODE_KERNELS, enumerate_checks
+
+        checks = enumerate_checks(tensor3, seed=0)
+        jp = [c for c in checks if c["check"] == "jit_parallel"]
+        assert {c["kernel"] for c in jp} == set(MODE_KERNELS)
+        assert all(c["threads"] > 1 for c in jp)
+
+    def test_describe(self):
+        from repro.conformance.harness import describe_check
+
+        label = describe_check(
+            {
+                "check": "jit_parallel",
+                "kernel": "MTTKRP",
+                "threads": 2,
+                "schedule": "static",
+            }
+        )
+        assert "jit_parallel" in label and "x2" in label
+
+    @requires_compiler
+    @pytest.mark.parametrize("schedule", POLICIES)
+    def test_passes_on_random_tensor(self, tensor3, schedule):
+        from repro.conformance.harness import run_check
+
+        for kernel in ("MTTKRP", "TTV", "TTM"):
+            config = {
+                "check": "jit_parallel",
+                "format": "COO",
+                "kernel": kernel,
+                "mode": 1,
+                "rank": 4,
+                "block_size": 8,
+                "seed": 0,
+                "threads": 2,
+                "schedule": schedule,
+            }
+            assert run_check(tensor3, config) is None
+
+    def test_trivially_passes_without_toolchain(self, monkeypatch, tensor3):
+        from repro.conformance.harness import run_check
+
+        monkeypatch.setattr(shutil, "which", lambda name: None)
+        build.reset()
+        config = {
+            "check": "jit_parallel",
+            "format": "COO",
+            "kernel": "MTTKRP",
+            "mode": 0,
+            "rank": 4,
+            "block_size": 8,
+            "seed": 0,
+            "threads": 2,
+            "schedule": "static",
+        }
+        assert run_check(tensor3, config) is None

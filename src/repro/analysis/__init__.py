@@ -11,6 +11,10 @@ Two halves of one contract checker:
   mode for the parallel executor that verifies what the linter cannot
   prove statically: that each chunk task writes exactly the output
   region it owns.
+* ``repro kernelcheck`` (:mod:`.kernelcheck`) — a static verifier for
+  the *generated C* the JIT compiles, proving disjoint writes,
+  in-bounds/in-width indexing, and serial/parallel store equivalence
+  from the effect summaries codegen emits alongside each kernel.
 """
 
 from .baseline import (
@@ -29,6 +33,12 @@ from .engine import (
     lint_source,
     rule_catalog,
     suppressed_lines,
+)
+from .kernelcheck import (
+    KernelCheckReport,
+    RULES as KERNELCHECK_RULES,
+    check_artifact,
+    check_kernels,
 )
 from .findings import (
     SEVERITIES,
@@ -52,6 +62,8 @@ __all__ = [
     "BASELINE_VERSION",
     "BaselineError",
     "Finding",
+    "KERNELCHECK_RULES",
+    "KernelCheckReport",
     "LintContext",
     "LintReport",
     "OverlappingWriteError",
@@ -64,6 +76,8 @@ __all__ = [
     "SanitizerError",
     "all_rules",
     "apply_baseline",
+    "check_artifact",
+    "check_kernels",
     "checked_task",
     "iter_python_files",
     "lint_paths",

@@ -7,8 +7,12 @@ output slice owned by its units.  Nothing enforced that at the source
 level — one stray ``np.add.at`` on a shared array, or a write indexed by
 something other than the chunk bounds, reintroduces a data race the
 conformance fuzzer can only catch probabilistically.  This rule finds
-the task functions statically (any function passed as the task argument
-of a ``run_chunks(...)`` call) and flags, inside their bodies:
+the task functions statically — any callable passed to a dispatcher:
+the task argument of ``run_chunks(...)``, the function handed to an
+executor via ``loop.run_in_executor(pool, fn, ...)`` (the serving
+tier's kernel-thread hop), or ``pool.submit(fn, ...)`` — resolving
+lambdas, local ``def``s, and ``self._method`` references — and flags,
+inside their bodies:
 
 * ``np.add.at`` — unordered scatter onto a shared output;
 * subscript writes to *closure* arrays whose index expression mentions
@@ -38,8 +42,9 @@ from .findings import SEVERITY_ERROR
 
 RULE = "parallel-write"
 DESCRIPTION = (
-    "writes in parallel chunk tasks that bypass the output-ownership "
-    "protocol (np.add.at, non-chunk-derived indices, plan-cache mutation)"
+    "writes in dispatched parallel tasks (run_chunks, run_in_executor, "
+    "submit) that bypass the output-ownership protocol (np.add.at, "
+    "non-chunk-derived indices, plan-cache mutation)"
 )
 
 #: Plan-cache entry points that must never run from worker context.
@@ -51,26 +56,62 @@ _CACHE_CALLS = {
     "fresh_cache",
 }
 
+#: Dispatcher call leaf -> positional index of the callable it runs on
+#: another thread.  ``run_chunks(plan, task, ...)`` and
+#: ``loop.run_in_executor(pool, fn, ...)`` carry it second;
+#: ``pool.submit(fn, ...)`` first.  Anything dispatched through these
+#: runs concurrently with the caller, so its writes fall under the
+#: ownership protocol — this resolution replaced the old blanket
+#: ``SCOPED_ALLOWANCES`` carve-out for ``/perf/jit/``.
+_DISPATCH_CALLS = {
+    "run_chunks": 1,
+    "run_in_executor": 1,
+    "submit": 0,
+}
+
 
 def _task_functions(ctx: LintContext) -> List[ast.AST]:
-    """Functions passed as the task argument of ``run_chunks`` calls."""
+    """Callables dispatched onto worker threads, where resolvable."""
     tasks: List[ast.AST] = []
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
         name = dotted_name(node.func)
-        if name is None or name.split(".")[-1] != "run_chunks":
+        if name is None:
             continue
-        if len(node.args) < 2:
+        index = _DISPATCH_CALLS.get(name.split(".")[-1])
+        if index is None or len(node.args) < index + 1:
             continue
-        task_arg = node.args[1]
+        task_arg = node.args[index]
         if isinstance(task_arg, ast.Lambda):
             tasks.append(task_arg)
         elif isinstance(task_arg, ast.Name):
             resolved = _resolve_local_def(ctx, node, task_arg.id)
             if resolved is not None:
                 tasks.append(resolved)
+        elif isinstance(task_arg, ast.Attribute):
+            resolved = _resolve_method(ctx, node, task_arg)
+            if resolved is not None:
+                tasks.append(resolved)
     return tasks
+
+
+def _resolve_method(
+    ctx: LintContext, call: ast.Call, attr: ast.Attribute
+) -> Optional[ast.FunctionDef]:
+    """Resolve a ``self._method`` task to its def in the enclosing class."""
+    if not (isinstance(attr.value, ast.Name) and attr.value.id == "self"):
+        return None
+    for scope in ctx.ancestors(call):
+        if isinstance(scope, ast.ClassDef):
+            for stmt in scope.body:
+                if (
+                    isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == attr.attr
+                ):
+                    return stmt
+            return None
+    return None
 
 
 def _resolve_local_def(

@@ -273,6 +273,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
 
+    kcheck = sub.add_parser(
+        "kernelcheck",
+        help="static verification of generated C kernels: write-range "
+        "disjointness, extent/width bounds, serial-vs-parallel store "
+        "equivalence",
+    )
+    kcheck.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document instead of text lines",
+    )
+    kcheck.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="tolerate findings recorded in this baseline file; "
+        "fail only on new ones",
+    )
+    kcheck.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    kcheck.add_argument(
+        "--orders", default=None, metavar="O1,O2",
+        help="comma-separated tensor orders to check (default: 2,3,4)",
+    )
+    kcheck.add_argument(
+        "--ranks", default=None, metavar="R1,R2",
+        help="comma-separated factor ranks to check (default: 1,4,32)",
+    )
+    kcheck.add_argument(
+        "--list-kernels", action="store_true",
+        help="print the kernel matrix that would be checked and exit",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the asyncio tensor server: NDJSON kernel requests with "
@@ -496,6 +528,7 @@ def _cmd_jit_cache(args: argparse.Namespace) -> int:
     rows = [
         {
             "object": path.name,
+            "profile": jit.entry_profile(path),
             "size (KiB)": f"{size / 1024:.1f}",
             "built": datetime.fromtimestamp(mtime).strftime("%Y-%m-%d %H:%M:%S"),
         }
@@ -748,6 +781,82 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings or report.parse_errors else 0
 
 
+def _cmd_kernelcheck(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis import (
+        BaselineError,
+        apply_baseline,
+        check_kernels,
+        load_baseline,
+        write_baseline,
+    )
+
+    def _parse_ints(spec: Optional[str], what: str) -> Optional[tuple]:
+        if spec is None:
+            return None
+        try:
+            values = tuple(int(v) for v in spec.split(",") if v.strip())
+        except ValueError:
+            print(f"error: --{what} wants comma-separated ints, got {spec!r}",
+                  file=sys.stderr)
+            raise
+        return values or None
+
+    try:
+        orders = _parse_ints(args.orders, "orders")
+        ranks = _parse_ints(args.ranks, "ranks")
+    except ValueError:
+        return 2
+
+    if args.list_kernels:
+        from .perf.jit import codegen
+
+        for artifact in codegen.registered_artifacts(
+            orders=orders or codegen.REGISTERED_ORDERS,
+            ranks=ranks or codegen.REGISTERED_RANKS,
+        ):
+            print(artifact.name)
+        return 0
+
+    report = check_kernels(orders=orders, ranks=ranks)
+    findings = report.findings
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline needs --baseline FILE", file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, findings)
+        print(f"wrote baseline {args.baseline} with {count} finding(s)")
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, baseline)
+
+    if args.as_json:
+        payload = {
+            "kernels": report.kernels,
+            "findings": [f.to_dict() for f in findings],
+            "baselined": baselined,
+        }
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        print(
+            f"{len(findings)} finding(s) in {report.kernels} kernel(s)"
+            f" ({baselined} baselined)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json as json_module
@@ -857,6 +966,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "kernelcheck":
+        return _cmd_kernelcheck(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "features":

@@ -51,16 +51,28 @@ def tensor_from_payload(payload: Dict[str, Any]) -> CooTensor:
 
 @dataclass
 class Reproducer:
-    """One corpus entry: a tensor plus the check it must keep passing."""
+    """One corpus entry: a tensor plus the check it must keep passing.
+
+    ``jit_build`` records the JIT build profile that was active when the
+    failure was found (``release``, ``sanitize``, ``tsan``); replay
+    restores it so a bug only reproducible under an instrumented build
+    is re-run under that build.
+    """
 
     tensor: CooTensor
     config: Dict[str, Any]
     failure: str
     spec: Optional[Dict[str, Any]] = None
     path: Optional[str] = None
+    jit_build: Optional[str] = None
 
     def replay(self) -> Optional[str]:
         """Re-run the stored check; ``None`` means the bug stays fixed."""
+        if self.jit_build is not None:
+            from ..perf.jit import build
+
+            with build.profile_override(self.jit_build):
+                return run_check(self.tensor, self.config)
         return run_check(self.tensor, self.config)
 
 
@@ -79,11 +91,14 @@ def save_reproducer(
     config: Dict[str, Any],
     failure: str,
     spec: Optional[Dict[str, Any]] = None,
+    jit_build: Optional[str] = None,
 ) -> str:
     """Write one reproducer file; returns its path.
 
     The directory is created on first failure, and saving the same
-    (tensor, config) pair twice is idempotent.
+    (tensor, config) pair twice is idempotent — ``_entry_digest`` hashes
+    only the tensor and check config, so recording the build profile
+    does not change an entry's identity.
     """
     payload = {
         "format_version": FORMAT_VERSION,
@@ -92,6 +107,8 @@ def save_reproducer(
         "tensor": tensor_to_payload(tensor),
         "spec": spec,
     }
+    if jit_build is not None:
+        payload["jit_build"] = jit_build
     corpus_dir = Path(corpus_dir)
     corpus_dir.mkdir(parents=True, exist_ok=True)
     path = corpus_dir / f"repro-{_entry_digest(payload)}.json"
@@ -116,6 +133,7 @@ def load_reproducer(path: Union[str, Path]) -> Reproducer:
         failure=payload.get("failure", ""),
         spec=payload.get("spec"),
         path=str(path),
+        jit_build=payload.get("jit_build"),
     )
 
 

@@ -183,12 +183,15 @@ def _run_iteration(
         final_message = run_check(shrunk.tensor, config) or message
         corpus_path = None
         if corpus_dir is not None:
+            from ..perf.jit import build
+
             corpus_path = save_reproducer(
                 corpus_dir,
                 shrunk.tensor,
                 config,
                 final_message,
                 spec=spec.to_dict(),
+                jit_build=build.build_profile(),
             )
         failure = FuzzFailure(
             iteration=iteration,

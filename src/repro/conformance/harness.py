@@ -48,6 +48,15 @@ Check kinds
     to the serial compiled kernel (the ownership partition's guarantee)
     and tolerance-equal to the numpy baseline.  Passes trivially when
     the compiled backend is unavailable.
+``jit_sanitize``
+    Re-run the ``jit_tolerance`` differential under the
+    sanitizer-instrumented JIT build profile
+    (``REPRO_JIT_BUILD=sanitize``: ASan + UBSan, ``-O1 -g``) so every
+    compiled kernel the fuzzer exercises also runs with memory and
+    undefined-behavior checking armed — a sanitizer abort or report
+    surfaces as a check failure.  Passes trivially when the compiled
+    backend is unavailable or the toolchain lacks sanitizer runtimes
+    (``profile_supported`` probes once per process).
 """
 
 from __future__ import annotations
@@ -515,6 +524,26 @@ def _run_jit_parallel(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str
     return None
 
 
+def _run_jit_sanitize(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
+    """The jit_tolerance differential under the sanitize build profile.
+
+    Compiles (or reuses from the profile-keyed object cache) every
+    applicable kernel with ASan + UBSan instrumentation and runs the
+    same compiled-vs-numpy/oracle comparison.  A sanitizer report means
+    the generated C has a real memory or UB defect that the tolerance
+    comparison alone could miss.  Passes trivially when the backend or
+    the sanitizer runtimes are unavailable.
+    """
+    from ..perf.jit import build
+
+    if not build.jit_enabled() or build.compiler_path() is None:
+        return None
+    with build.profile_override(build.PROFILE_SANITIZE):
+        if not build.profile_supported():
+            return None
+        return _run_jit_tolerance(tensor, config)
+
+
 def _run_serving_batch(tensor: CooTensor, config: Dict[str, Any]) -> Optional[str]:
     """Batched (fused) serving execution must equal sequential, bitwise.
 
@@ -577,6 +606,7 @@ _RUNNERS = {
     "auto_dispatch": _run_auto_dispatch,
     "jit_tolerance": _run_jit_tolerance,
     "jit_parallel": _run_jit_parallel,
+    "jit_sanitize": _run_jit_sanitize,
     "serving_batch": _run_serving_batch,
 }
 
@@ -669,6 +699,7 @@ def enumerate_checks(
         if kernel in MODE_KERNELS:
             checks.append({"check": "auto_dispatch", "format": "COO", **base})
             checks.append({"check": "jit_tolerance", "format": "COO", **base})
+            checks.append({"check": "jit_sanitize", "format": "COO", **base})
             for t in threads:
                 checks.append(
                     {
@@ -709,6 +740,11 @@ def describe_check(config: Dict[str, Any]) -> str:
         return f"auto_dispatch {config.get('kernel', '')} (serial vs auto)"
     if kind == "jit_tolerance":
         return f"jit_tolerance {config.get('kernel', '')} (compiled vs numpy/oracle)"
+    if kind == "jit_sanitize":
+        return (
+            f"jit_sanitize {config.get('kernel', '')} "
+            f"(compiled under ASan/UBSan vs numpy/oracle)"
+        )
     if kind == "jit_parallel":
         return (
             f"jit_parallel {config.get('kernel', '')} "

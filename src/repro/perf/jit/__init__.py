@@ -20,13 +20,22 @@ on one without.
 
 from .build import (
     ENV_JIT,
+    ENV_JIT_BUILD,
     ENV_JIT_CACHE,
+    PROFILE_RELEASE,
+    PROFILE_SANITIZE,
+    PROFILE_TSAN,
+    PROFILES,
+    build_profile,
     cache_entries,
     clear_cache,
     compiler_path,
+    entry_profile,
     jit_available,
     jit_enabled,
     object_cache_dir,
+    profile_override,
+    profile_supported,
     reset,
 )
 from .kernels import (
@@ -44,13 +53,22 @@ from .kernels import (
 
 __all__ = [
     "ENV_JIT",
+    "ENV_JIT_BUILD",
     "ENV_JIT_CACHE",
+    "PROFILE_RELEASE",
+    "PROFILE_SANITIZE",
+    "PROFILE_TSAN",
+    "PROFILES",
+    "build_profile",
     "cache_entries",
     "clear_cache",
     "compiler_path",
+    "entry_profile",
     "jit_available",
     "jit_enabled",
     "object_cache_dir",
+    "profile_override",
+    "profile_supported",
     "reset",
     "mttkrp_coo",
     "mttkrp_coo_mt",

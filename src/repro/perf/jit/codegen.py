@@ -20,7 +20,14 @@ literally in the signatures.
 
 Every generator returns ``(function_name, c_source)``; the build layer
 hashes the source, so two calls asking for the same specialization reuse
-one shared object.
+one shared object.  The ``*_artifact`` variants additionally return a
+:class:`repro.perf.jit.effects.EffectSummary` describing every loop,
+local index definition, and load/store the kernel performs.  Summary
+and source are built from the *same* snippet helpers (:func:`_loop`,
+:func:`_gather_offset`, :func:`_store_offset`, :func:`_blocked_offset`),
+so they cannot drift independently — a mutation to a helper changes both
+the emitted C and the claims :mod:`repro.analysis.kernelcheck` must
+verify, which is exactly how the planted-bug drills work.
 
 In-kernel parallelism: every translation unit also exports a
 ``<name>_par`` entry that takes the *entire* chunk table from
@@ -38,6 +45,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .effects import (
+    CAP_BLOCK,
+    CAP_COUNT,
+    CAP_I32,
+    Access,
+    Def,
+    EffectSummary,
+    KernelArtifact,
+    Loop,
+    Param,
+)
+
 _PRELUDE = """\
 #include <stdint.h>
 
@@ -47,6 +66,37 @@ typedef int32_t i32;
 typedef int64_t i64;
 typedef uint8_t u8;
 """
+
+
+def _loop(width: str, var: str, lo, hi) -> str:
+    """The canonical loop header every generated nest uses.
+
+    Shared between the C source and nothing else (the effect summary
+    records ``lo``/``hi`` separately), so a mutated comparator here is
+    source-only drift that kernelcheck must detect by re-parsing the C.
+    """
+    return f"for ({width} {var} = {lo}; {var} < {hi}; ++{var})"
+
+
+def _gather_offset(index: str, scale) -> str:
+    """Offset of a gathered row: ``(i64)index * scale`` (load side)."""
+    return f"(i64){index} * {scale}"
+
+
+def _store_offset(index: str, scale) -> str:
+    """Offset of an owned output row: ``(i64)index * scale`` (store side).
+
+    Used for both the C source and the summary's store access, so a
+    mutation here (dropping the cast, adding a stray term) lands in the
+    compiled kernel *and* in the claim kernelcheck verifies.
+    """
+    return f"(i64){index} * {scale}"
+
+
+def _blocked_offset(base: str, eind: str, scale) -> str:
+    """HiCOO row offset: ``(base + (i64)eind) * scale``."""
+    return f"({base} + (i64){eind}) * {scale}"
+
 
 # The thread team shared by every ``_par`` entry point.  Schedule kind
 # 0 is the executor's static policy (chunk c runs on thread c mod T, so
@@ -219,7 +269,15 @@ def _check_rank(rank: int) -> int:
     return rank
 
 
-def mttkrp_coo_source(order: int, rank: int) -> Tuple[str, str]:
+def _unit_params(lo: str, hi: str, count: str) -> Tuple[Param, Param]:
+    """The ``(u0, u1)`` unit-range scalars bounded by the unit count."""
+    return (
+        Param(lo, "i64", value_min="0", value_max=count),
+        Param(hi, "i64", value_min="0", value_max=count),
+    )
+
+
+def mttkrp_coo_artifact(order: int, rank: int) -> KernelArtifact:
     """Segmented COO MTTKRP over a mode-sort plan, one call per chunk.
 
     The caller passes the ``order - 1`` non-target index rows and factor
@@ -236,7 +294,7 @@ def mttkrp_coo_source(order: int, rank: int) -> Tuple[str, str]:
     fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
     gather = "\n".join(
         f"            const f32 *restrict row{m} = "
-        f"fac{m} + (i64)idx{m}[e] * {rank};"
+        f"fac{m} + {_gather_offset(f'idx{m}[e]', rank)};"
         for m in range(k)
     )
     product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
@@ -249,37 +307,138 @@ void {name}(i64 u0, i64 u1,
             {fac_args},
             f32 *restrict out)
 {{
-    for (i64 s = u0; s < u1; ++s) {{
+    {_loop("i64", "s", "u0", "u1")} {{
         f64 acc[{rank}] = {{0.0}};
         const i64 lo = seg_offsets[s];
         const i64 hi = seg_offsets[s + 1];
-        for (i64 e = lo; e < hi; ++e) {{
+        {_loop("i64", "e", "lo", "hi")} {{
 {gather}
             const f64 v = (f64)vals[e];
-            for (int r = 0; r < {rank}; ++r)
+            {_loop("int", "r", "0", rank)}
                 acc[r] += v * {product};
         }}
-        f32 *restrict orow = out + (i64)targets[s] * {rank};
-        for (int r = 0; r < {rank}; ++r)
+        f32 *restrict orow = out + {_store_offset("targets[s]", rank)};
+        {_loop("int", "r", "0", rank)}
             orow[r] = (f32)acc[r];
     }}
 }}
 """
-    source += _TEAM_RUNNER + _parallel_entry(
-        name,
-        [
-            ("const i64 *restrict ", "seg_offsets"),
-            ("const i32 *restrict ", "targets"),
-            ("const f32 *restrict ", "vals"),
-            *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
-            *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
-            ("f32 *restrict ", "out"),
-        ],
+    par_params = [
+        ("const i64 *restrict ", "seg_offsets"),
+        ("const i32 *restrict ", "targets"),
+        ("const f32 *restrict ", "vals"),
+        *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
+        *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
+        ("f32 *restrict ", "out"),
+    ]
+    source += _TEAM_RUNNER + _parallel_entry(name, par_params)
+    symbols = {"num_units": CAP_COUNT, "nnz": CAP_COUNT, "out_rows": CAP_I32}
+    symbols.update({f"dim{m}": CAP_I32 for m in range(k)})
+    effects = EffectSummary(
+        kernel="mttkrp_coo",
+        name=name,
+        order=order,
+        rank=rank,
+        unit_var="s",
+        symbols=symbols,
+        params=(
+            *_unit_params("u0", "u1", "num_units"),
+            Param("seg_offsets", "const i64 *", extent="num_units + 1",
+                  value_min="0", value_max="nnz", props=("nondecreasing",)),
+            Param("targets", "const i32 *", extent="num_units",
+                  value_min="0", value_max="out_rows - 1",
+                  props=("strictly_increasing",)),
+            Param("vals", "const f32 *", extent="nnz"),
+            *(Param(f"idx{m}", "const i32 *", extent="nnz",
+                    value_min="0", value_max=f"dim{m} - 1")
+              for m in range(k)),
+            *(Param(f"fac{m}", "const f32 *", extent=f"dim{m} * {rank}")
+              for m in range(k)),
+            Param("out", "f32 *", extent=f"out_rows * {rank}"),
+        ),
+        loops=(
+            Loop("s", "u0", "u1"),
+            Loop("e", "lo", "hi"),
+            Loop("r", "0", str(rank), "int"),
+        ),
+        defs=(
+            Def("lo", "seg_offsets[s]"),
+            Def("hi", "seg_offsets[s + 1]"),
+        ),
+        accesses=(
+            Access("seg_offsets", "s", 1, "load"),
+            Access("seg_offsets", "s + 1", 1, "load"),
+            Access("targets", "s", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            *(Access(f"idx{m}", "e", 1, "load") for m in range(k)),
+            *(Access(f"fac{m}", _gather_offset(f"idx{m}[e]", rank),
+                     rank, "load") for m in range(k)),
+            Access("out", _store_offset("targets[s]", rank), rank, "store"),
+        ),
+        ownership=("rows", "targets"),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in par_params),
     )
-    return name, source
+    return KernelArtifact(name, source, effects)
 
 
-def mttkrp_hicoo_source(order: int, rank: int) -> Tuple[str, str]:
+def mttkrp_coo_source(order: int, rank: int) -> Tuple[str, str]:
+    artifact = mttkrp_coo_artifact(order, rank)
+    return artifact.name, artifact.source
+
+
+mttkrp_coo_source.__doc__ = mttkrp_coo_artifact.__doc__
+
+
+def _hicoo_symbols(order: int) -> Dict[str, int]:
+    symbols = {"nblocks": CAP_COUNT, "nnz": CAP_COUNT, "block_size": CAP_BLOCK}
+    symbols.update({f"dim{m}": CAP_I32 for m in range(order)})
+    return symbols
+
+
+def _hicoo_params(order: int, rank: int) -> Tuple[Param, ...]:
+    """The shared HiCOO tail: bptr, block_size, vals, pairs, facs, out.
+
+    Pair ``m == order - 1`` is the output mode (the kernels take pairs
+    output-mode-last); ``einds`` values are u8 block-local coordinates,
+    which is where the ``block_size <= 256`` cap comes from.
+    """
+    k = order - 1
+    return (
+        Param("bptr", "const i64 *", extent="nblocks + 1",
+              value_min="0", value_max="nnz", props=("nondecreasing",)),
+        Param("block_size", "i64", value_min="1", value_max="block_size"),
+        Param("vals", "const f32 *", extent="nnz"),
+        *(param
+          for m in range(order)
+          for param in (
+              Param(f"binds{m}", "const i32 *", extent="nblocks",
+                    value_min="0", value_max=f"dim{m} - 1",
+                    props=("window_row",) if m == k else ()),
+              Param(f"einds{m}", "const u8 *", extent="nnz",
+                    value_min="0", value_max="block_size - 1"),
+          )),
+        *(Param(f"fac{m}", "const f32 *", extent=f"dim{m} * {rank}")
+          for m in range(k)),
+        Param("out", "f64 *", extent=f"dim{k} * {rank}"),
+    )
+
+
+def _hicoo_pairs(order: int) -> Tuple[Tuple[str, str, str, str], ...]:
+    """The format invariant kernelcheck may assume for blocked indexing.
+
+    ``out`` and the factors are *not* padded to a block-size multiple,
+    so ``binds[b] * block_size + einds[e]`` is only in bounds because
+    the format never stores a nonzero outside the tensor: the pair sum
+    is at most ``dim - 1`` by construction of the HiCOO conversion.
+    """
+    return tuple(
+        (f"binds{m}", "block_size", f"einds{m}", f"dim{m} - 1")
+        for m in range(order)
+    )
+
+
+def mttkrp_hicoo_artifact(order: int, rank: int) -> KernelArtifact:
     """Blocked HiCOO MTTKRP (Algorithm 3 shape), serial over blocks.
 
     Argument convention: ``order`` (binds, einds) pairs with the *output
@@ -300,15 +459,17 @@ def mttkrp_hicoo_source(order: int, rank: int) -> Tuple[str, str]:
     )
     fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
     bases = "\n".join(
-        f"        const i64 base{m} = (i64)binds{m}[b] * block_size;"
+        f"        const i64 base{m} = "
+        f"{_gather_offset(f'binds{m}[b]', 'block_size')};"
         for m in range(order)
     )
     gather = "\n".join(
         f"            const f32 *restrict row{m} = "
-        f"fac{m} + (base{m} + (i64)einds{m}[e]) * {rank};"
+        f"fac{m} + {_blocked_offset(f'base{m}', f'einds{m}[e]', rank)};"
         for m in range(k)
     )
     product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    store = _blocked_offset(f"base{k}", f"einds{k}[e]", rank)
     source = f"""{_PRELUDE}
 void {name}(i64 b0, i64 b1,
             const i64 *restrict bptr,
@@ -318,24 +479,66 @@ void {name}(i64 b0, i64 b1,
             {fac_args},
             f64 *restrict out)
 {{
-    for (i64 b = b0; b < b1; ++b) {{
+    {_loop("i64", "b", "b0", "b1")} {{
         const i64 lo = bptr[b];
         const i64 hi = bptr[b + 1];
 {bases}
-        for (i64 e = lo; e < hi; ++e) {{
+        {_loop("i64", "e", "lo", "hi")} {{
 {gather}
             const f64 v = (f64)vals[e];
-            f64 *restrict orow = out + (base{k} + (i64)einds{k}[e]) * {rank};
-            for (int r = 0; r < {rank}; ++r)
+            f64 *restrict orow = out + {store};
+            {_loop("int", "r", "0", rank)}
                 orow[r] += v * {product};
         }}
     }}
 }}
 """
-    return name, source
+    effects = EffectSummary(
+        kernel="mttkrp_hicoo",
+        name=name,
+        order=order,
+        rank=rank,
+        unit_var="b",
+        symbols=_hicoo_symbols(order),
+        params=(
+            *_unit_params("b0", "b1", "nblocks"),
+            *_hicoo_params(order, rank),
+        ),
+        loops=(
+            Loop("b", "b0", "b1"),
+            Loop("e", "lo", "hi"),
+            Loop("r", "0", str(rank), "int"),
+        ),
+        defs=(
+            Def("lo", "bptr[b]"),
+            Def("hi", "bptr[b + 1]"),
+            *(Def(f"base{m}", _gather_offset(f"binds{m}[b]", "block_size"))
+              for m in range(order)),
+        ),
+        accesses=(
+            Access("bptr", "b", 1, "load"),
+            Access("bptr", "b + 1", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            *(Access(f"fac{m}",
+                     _blocked_offset(f"base{m}", f"einds{m}[e]", rank),
+                     rank, "load") for m in range(k)),
+            Access("out", store, rank, "store"),
+        ),
+        ownership=("serial",),
+        pairs=_hicoo_pairs(order),
+    )
+    return KernelArtifact(name, source, effects)
 
 
-def mttkrp_hicoo_owned_source(order: int, rank: int) -> Tuple[str, str]:
+def mttkrp_hicoo_source(order: int, rank: int) -> Tuple[str, str]:
+    artifact = mttkrp_hicoo_artifact(order, rank)
+    return artifact.name, artifact.source
+
+
+mttkrp_hicoo_source.__doc__ = mttkrp_hicoo_artifact.__doc__
+
+
+def mttkrp_hicoo_owned_artifact(order: int, rank: int) -> KernelArtifact:
     """Ownership-partitioned HiCOO MTTKRP: windows of blocks, any thread.
 
     The ownership plan (:func:`repro.perf.plans.build_hicoo_ownership_plan`)
@@ -361,15 +564,17 @@ def mttkrp_hicoo_owned_source(order: int, rank: int) -> Tuple[str, str]:
     )
     fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
     bases = "\n".join(
-        f"            const i64 base{m} = (i64)binds{m}[b] * block_size;"
+        f"            const i64 base{m} = "
+        f"{_gather_offset(f'binds{m}[b]', 'block_size')};"
         for m in range(order)
     )
     gather = "\n".join(
         f"                const f32 *restrict row{m} = "
-        f"fac{m} + (base{m} + (i64)einds{m}[e]) * {rank};"
+        f"fac{m} + {_blocked_offset(f'base{m}', f'einds{m}[e]', rank)};"
         for m in range(k)
     )
     product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    store = _blocked_offset(f"base{k}", f"einds{k}[e]", rank)
     source = f"""{_PRELUDE}
 void {name}(i64 w0, i64 w1,
             const i64 *restrict win_ptr,
@@ -381,18 +586,18 @@ void {name}(i64 w0, i64 w1,
             {fac_args},
             f64 *restrict out)
 {{
-    for (i64 w = w0; w < w1; ++w) {{
-        for (i64 p = win_ptr[w]; p < win_ptr[w + 1]; ++p) {{
+    {_loop("i64", "w", "w0", "w1")} {{
+        {_loop("i64", "p", "win_ptr[w]", "win_ptr[w + 1]")} {{
             const i64 b = block_perm[p];
             const i64 lo = bptr[b];
             const i64 hi = bptr[b + 1];
 {bases}
-            for (i64 e = lo; e < hi; ++e) {{
+            {_loop("i64", "e", "lo", "hi")} {{
 {gather}
                 const f64 v = (f64)vals[e];
                 f64 *restrict orow =
-                    out + (base{k} + (i64)einds{k}[e]) * {rank};
-                for (int r = 0; r < {rank}; ++r)
+                    out + {store};
+                {_loop("int", "r", "0", rank)}
                     orow[r] += v * {product};
             }}
         }}
@@ -412,10 +617,66 @@ void {name}(i64 w0, i64 w1,
     params.extend(("const f32 *restrict ", f"fac{m}") for m in range(k))
     params.append(("f64 *restrict ", "out"))
     source += _TEAM_RUNNER + _parallel_entry(name, params)
-    return name, source
+    symbols = _hicoo_symbols(order)
+    symbols["num_windows"] = CAP_COUNT
+    effects = EffectSummary(
+        kernel="mttkrp_hicoo_owned",
+        name=name,
+        order=order,
+        rank=rank,
+        unit_var="w",
+        symbols=symbols,
+        params=(
+            *_unit_params("w0", "w1", "num_windows"),
+            Param("win_ptr", "const i64 *", extent="num_windows + 1",
+                  value_min="0", value_max="nblocks",
+                  props=("nondecreasing",)),
+            Param("block_perm", "const i64 *", extent="nblocks",
+                  value_min="0", value_max="nblocks - 1"),
+            *_hicoo_params(order, rank),
+        ),
+        loops=(
+            Loop("w", "w0", "w1"),
+            Loop("p", "win_ptr[w]", "win_ptr[w + 1]"),
+            Loop("e", "lo", "hi"),
+            Loop("r", "0", str(rank), "int"),
+        ),
+        defs=(
+            Def("b", "block_perm[p]"),
+            Def("lo", "bptr[b]"),
+            Def("hi", "bptr[b + 1]"),
+            *(Def(f"base{m}", _gather_offset(f"binds{m}[b]", "block_size"))
+              for m in range(order)),
+        ),
+        accesses=(
+            Access("win_ptr", "w", 1, "load"),
+            Access("win_ptr", "w + 1", 1, "load"),
+            Access("block_perm", "p", 1, "load"),
+            Access("bptr", "b", 1, "load"),
+            Access("bptr", "b + 1", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            *(Access(f"fac{m}",
+                     _blocked_offset(f"base{m}", f"einds{m}[e]", rank),
+                     rank, "load") for m in range(k)),
+            Access("out", store, rank, "store"),
+        ),
+        ownership=("row_blocks", f"binds{k}", "block_size"),
+        pairs=_hicoo_pairs(order),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in params),
+    )
+    return KernelArtifact(name, source, effects)
 
 
-def mttkrp_coo_gram_source(order: int, rank: int) -> Tuple[str, str]:
+def mttkrp_hicoo_owned_source(order: int, rank: int) -> Tuple[str, str]:
+    artifact = mttkrp_hicoo_owned_artifact(order, rank)
+    return artifact.name, artifact.source
+
+
+mttkrp_hicoo_owned_source.__doc__ = mttkrp_hicoo_owned_artifact.__doc__
+
+
+def mttkrp_coo_gram_artifact(order: int, rank: int) -> KernelArtifact:
     """Fused COO MTTKRP + Gram of the output, for the CP-ALS inner loop.
 
     Identical to :func:`mttkrp_coo_source` — bit-for-bit the same
@@ -436,10 +697,11 @@ def mttkrp_coo_gram_source(order: int, rank: int) -> Tuple[str, str]:
     fac_args = ", ".join(f"const f32 *restrict fac{m}" for m in range(k))
     gather = "\n".join(
         f"            const f32 *restrict row{m} = "
-        f"fac{m} + (i64)idx{m}[e] * {rank};"
+        f"fac{m} + {_gather_offset(f'idx{m}[e]', rank)};"
         for m in range(k)
     )
     product = " * ".join(f"(f64)row{m}[r]" for m in range(k))
+    gram_offset = f"r1 * {rank} + r2"
     source = f"""{_PRELUDE}
 void {name}(i64 u0, i64 u1,
             const i64 *restrict seg_offsets,
@@ -450,44 +712,103 @@ void {name}(i64 u0, i64 u1,
             f32 *restrict out,
             f64 *restrict gram)
 {{
-    for (i64 s = u0; s < u1; ++s) {{
+    {_loop("i64", "s", "u0", "u1")} {{
         f64 acc[{rank}] = {{0.0}};
         const i64 lo = seg_offsets[s];
         const i64 hi = seg_offsets[s + 1];
-        for (i64 e = lo; e < hi; ++e) {{
+        {_loop("i64", "e", "lo", "hi")} {{
 {gather}
             const f64 v = (f64)vals[e];
-            for (int r = 0; r < {rank}; ++r)
+            {_loop("int", "r", "0", rank)}
                 acc[r] += v * {product};
         }}
-        f32 *restrict orow = out + (i64)targets[s] * {rank};
-        for (int r = 0; r < {rank}; ++r)
+        f32 *restrict orow = out + {_store_offset("targets[s]", rank)};
+        {_loop("int", "r", "0", rank)}
             orow[r] = (f32)acc[r];
-        for (int r1 = 0; r1 < {rank}; ++r1) {{
+        {_loop("int", "r1", "0", rank)} {{
             const f64 g1 = (f64)orow[r1];
-            for (int r2 = 0; r2 < {rank}; ++r2)
-                gram[r1 * {rank} + r2] += g1 * (f64)orow[r2];
+            {_loop("int", "r2", "0", rank)}
+                gram[{gram_offset}] += g1 * (f64)orow[r2];
         }}
     }}
 }}
 """
-    source += _TEAM_RUNNER + _parallel_entry(
-        name,
-        [
-            ("const i64 *restrict ", "seg_offsets"),
-            ("const i32 *restrict ", "targets"),
-            ("const f32 *restrict ", "vals"),
-            *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
-            *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
-            ("f32 *restrict ", "out"),
-            ("f64 *restrict ", "grams"),
-        ],
-        overrides={"grams": f"a->grams + c * {rank * rank}"},
+    par_params = [
+        ("const i64 *restrict ", "seg_offsets"),
+        ("const i32 *restrict ", "targets"),
+        ("const f32 *restrict ", "vals"),
+        *(("const i32 *restrict ", f"idx{m}") for m in range(k)),
+        *(("const f32 *restrict ", f"fac{m}") for m in range(k)),
+        ("f32 *restrict ", "out"),
+        ("f64 *restrict ", "grams"),
+    ]
+    overrides = {"grams": f"a->grams + c * {rank * rank}"}
+    source += _TEAM_RUNNER + _parallel_entry(name, par_params, overrides)
+    symbols = {"num_units": CAP_COUNT, "nnz": CAP_COUNT, "out_rows": CAP_I32}
+    symbols.update({f"dim{m}": CAP_I32 for m in range(k)})
+    effects = EffectSummary(
+        kernel="mttkrp_coo_gram",
+        name=name,
+        order=order,
+        rank=rank,
+        unit_var="s",
+        symbols=symbols,
+        params=(
+            *_unit_params("u0", "u1", "num_units"),
+            Param("seg_offsets", "const i64 *", extent="num_units + 1",
+                  value_min="0", value_max="nnz", props=("nondecreasing",)),
+            Param("targets", "const i32 *", extent="num_units",
+                  value_min="0", value_max="out_rows - 1",
+                  props=("strictly_increasing",)),
+            Param("vals", "const f32 *", extent="nnz"),
+            *(Param(f"idx{m}", "const i32 *", extent="nnz",
+                    value_min="0", value_max=f"dim{m} - 1")
+              for m in range(k)),
+            *(Param(f"fac{m}", "const f32 *", extent=f"dim{m} * {rank}")
+              for m in range(k)),
+            Param("out", "f32 *", extent=f"out_rows * {rank}"),
+            Param("gram", "f64 *", extent=str(rank * rank)),
+        ),
+        loops=(
+            Loop("s", "u0", "u1"),
+            Loop("e", "lo", "hi"),
+            Loop("r", "0", str(rank), "int"),
+            Loop("r1", "0", str(rank), "int"),
+            Loop("r2", "0", str(rank), "int"),
+        ),
+        defs=(
+            Def("lo", "seg_offsets[s]"),
+            Def("hi", "seg_offsets[s + 1]"),
+        ),
+        accesses=(
+            Access("seg_offsets", "s", 1, "load"),
+            Access("seg_offsets", "s + 1", 1, "load"),
+            Access("targets", "s", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            *(Access(f"idx{m}", "e", 1, "load") for m in range(k)),
+            *(Access(f"fac{m}", _gather_offset(f"idx{m}[e]", rank),
+                     rank, "load") for m in range(k)),
+            Access("out", _store_offset("targets[s]", rank), rank, "store"),
+            Access("gram", gram_offset, 1, "store",
+                   slab=("grams", rank * rank)),
+        ),
+        ownership=("rows", "targets"),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in par_params),
+        par_overrides=overrides,
     )
-    return name, source
+    return KernelArtifact(name, source, effects)
 
 
-def ttv_source() -> Tuple[str, str]:
+def mttkrp_coo_gram_source(order: int, rank: int) -> Tuple[str, str]:
+    artifact = mttkrp_coo_gram_artifact(order, rank)
+    return artifact.name, artifact.source
+
+
+mttkrp_coo_gram_source.__doc__ = mttkrp_coo_gram_artifact.__doc__
+
+
+def ttv_artifact() -> KernelArtifact:
     """Fiber-grain TTV: one double reduction per fiber, any order.
 
     Order never appears — the fiber plan already isolated the product
@@ -502,33 +823,76 @@ void {name}(i64 u0, i64 u1,
             const f32 *restrict vec,
             f64 *restrict sums)
 {{
-    for (i64 f = u0; f < u1; ++f) {{
+    {_loop("i64", "f", "u0", "u1")} {{
         f64 acc = 0.0;
         const i64 lo = fptr[f];
         const i64 hi = fptr[f + 1];
-        for (i64 e = lo; e < hi; ++e)
+        {_loop("i64", "e", "lo", "hi")}
             acc += (f64)vals[e] * (f64)vec[prod_idx[e]];
         sums[f] = acc;
     }}
 }}
 """
-    source += _TEAM_RUNNER + _parallel_entry(
-        name,
-        [
-            ("const i64 *restrict ", "fptr"),
-            ("const f32 *restrict ", "vals"),
-            ("const i32 *restrict ", "prod_idx"),
-            ("const f32 *restrict ", "vec"),
-            ("f64 *restrict ", "sums"),
-        ],
+    par_params = [
+        ("const i64 *restrict ", "fptr"),
+        ("const f32 *restrict ", "vals"),
+        ("const i32 *restrict ", "prod_idx"),
+        ("const f32 *restrict ", "vec"),
+        ("f64 *restrict ", "sums"),
+    ]
+    source += _TEAM_RUNNER + _parallel_entry(name, par_params)
+    effects = EffectSummary(
+        kernel="ttv",
+        name=name,
+        order=0,
+        rank=1,
+        unit_var="f",
+        symbols={"num_fibers": CAP_COUNT, "nnz": CAP_COUNT, "pdim": CAP_I32},
+        params=(
+            *_unit_params("u0", "u1", "num_fibers"),
+            Param("fptr", "const i64 *", extent="num_fibers + 1",
+                  value_min="0", value_max="nnz", props=("nondecreasing",)),
+            Param("vals", "const f32 *", extent="nnz"),
+            Param("prod_idx", "const i32 *", extent="nnz",
+                  value_min="0", value_max="pdim - 1"),
+            Param("vec", "const f32 *", extent="pdim"),
+            Param("sums", "f64 *", extent="num_fibers"),
+        ),
+        loops=(
+            Loop("f", "u0", "u1"),
+            Loop("e", "lo", "hi"),
+        ),
+        defs=(
+            Def("lo", "fptr[f]"),
+            Def("hi", "fptr[f + 1]"),
+        ),
+        accesses=(
+            Access("fptr", "f", 1, "load"),
+            Access("fptr", "f + 1", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            Access("vec", "prod_idx[e]", 1, "load"),
+            Access("sums", "f", 1, "store"),
+        ),
+        ownership=("unit",),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in par_params),
     )
-    return name, source
+    return KernelArtifact(name, source, effects)
 
 
-def ttm_source(rank: int) -> Tuple[str, str]:
+def ttv_source() -> Tuple[str, str]:
+    artifact = ttv_artifact()
+    return artifact.name, artifact.source
+
+
+ttv_source.__doc__ = ttv_artifact.__doc__
+
+
+def ttm_artifact(rank: int) -> KernelArtifact:
     """Fiber-grain TTM: accumulate ``value * U[i_n, :]`` rows per fiber."""
     rank = _check_rank(rank)
     name = f"repro_ttm_fiber_r{rank}"
+    row_offset = f"f * {rank}"
     source = f"""{_PRELUDE}
 void {name}(i64 u0, i64 u1,
             const i64 *restrict fptr,
@@ -537,39 +901,82 @@ void {name}(i64 u0, i64 u1,
             const f32 *restrict mat,
             f64 *restrict rows)
 {{
-    for (i64 f = u0; f < u1; ++f) {{
-        f64 *restrict orow = rows + f * {rank};
-        for (int r = 0; r < {rank}; ++r)
+    {_loop("i64", "f", "u0", "u1")} {{
+        f64 *restrict orow = rows + {row_offset};
+        {_loop("int", "r", "0", rank)}
             orow[r] = 0.0;
         const i64 lo = fptr[f];
         const i64 hi = fptr[f + 1];
-        for (i64 e = lo; e < hi; ++e) {{
+        {_loop("i64", "e", "lo", "hi")} {{
             const f64 v = (f64)vals[e];
-            const f32 *restrict mrow = mat + (i64)prod_idx[e] * {rank};
-            for (int r = 0; r < {rank}; ++r)
+            const f32 *restrict mrow = mat + {_gather_offset("prod_idx[e]", rank)};
+            {_loop("int", "r", "0", rank)}
                 orow[r] += v * (f64)mrow[r];
         }}
     }}
 }}
 """
-    source += _TEAM_RUNNER + _parallel_entry(
-        name,
-        [
-            ("const i64 *restrict ", "fptr"),
-            ("const f32 *restrict ", "vals"),
-            ("const i32 *restrict ", "prod_idx"),
-            ("const f32 *restrict ", "mat"),
-            ("f64 *restrict ", "rows"),
-        ],
+    par_params = [
+        ("const i64 *restrict ", "fptr"),
+        ("const f32 *restrict ", "vals"),
+        ("const i32 *restrict ", "prod_idx"),
+        ("const f32 *restrict ", "mat"),
+        ("f64 *restrict ", "rows"),
+    ]
+    source += _TEAM_RUNNER + _parallel_entry(name, par_params)
+    effects = EffectSummary(
+        kernel="ttm",
+        name=name,
+        order=0,
+        rank=rank,
+        unit_var="f",
+        symbols={"num_fibers": CAP_COUNT, "nnz": CAP_COUNT, "pdim": CAP_I32},
+        params=(
+            *_unit_params("u0", "u1", "num_fibers"),
+            Param("fptr", "const i64 *", extent="num_fibers + 1",
+                  value_min="0", value_max="nnz", props=("nondecreasing",)),
+            Param("vals", "const f32 *", extent="nnz"),
+            Param("prod_idx", "const i32 *", extent="nnz",
+                  value_min="0", value_max="pdim - 1"),
+            Param("mat", "const f32 *", extent=f"pdim * {rank}"),
+            Param("rows", "f64 *", extent=f"num_fibers * {rank}"),
+        ),
+        loops=(
+            Loop("f", "u0", "u1"),
+            Loop("e", "lo", "hi"),
+            Loop("r", "0", str(rank), "int"),
+        ),
+        defs=(
+            Def("lo", "fptr[f]"),
+            Def("hi", "fptr[f + 1]"),
+        ),
+        accesses=(
+            Access("fptr", "f", 1, "load"),
+            Access("fptr", "f + 1", 1, "load"),
+            Access("vals", "e", 1, "load"),
+            Access("mat", _gather_offset("prod_idx[e]", rank), rank, "load"),
+            Access("rows", row_offset, rank, "store"),
+        ),
+        ownership=("unit",),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in par_params),
     )
-    return name, source
+    return KernelArtifact(name, source, effects)
+
+
+def ttm_source(rank: int) -> Tuple[str, str]:
+    artifact = ttm_artifact(rank)
+    return artifact.name, artifact.source
+
+
+ttm_source.__doc__ = ttm_artifact.__doc__
 
 
 #: TEW operation name -> C infix operator.
 TEW_OPS = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
 
 
-def tew_source(op: str) -> Tuple[str, str]:
+def tew_artifact(op: str) -> KernelArtifact:
     """Elementwise float32 op over a nonzero range, specialized per op.
 
     Single-precision IEEE ``+ - * /`` are exactly defined, so the
@@ -585,16 +992,77 @@ void {name}(i64 e0, i64 e1,
             const f32 *restrict y,
             f32 *restrict out)
 {{
-    for (i64 e = e0; e < e1; ++e)
+    {_loop("i64", "e", "e0", "e1")}
         out[e] = x[e] {TEW_OPS[op]} y[e];
 }}
 """
-    source += _TEAM_RUNNER + _parallel_entry(
-        name,
-        [
-            ("const f32 *restrict ", "x"),
-            ("const f32 *restrict ", "y"),
-            ("f32 *restrict ", "out"),
-        ],
+    par_params = [
+        ("const f32 *restrict ", "x"),
+        ("const f32 *restrict ", "y"),
+        ("f32 *restrict ", "out"),
+    ]
+    source += _TEAM_RUNNER + _parallel_entry(name, par_params)
+    effects = EffectSummary(
+        kernel=f"tew_{op}",
+        name=name,
+        order=0,
+        rank=1,
+        unit_var="e",
+        symbols={"nnz": CAP_COUNT},
+        params=(
+            *_unit_params("e0", "e1", "nnz"),
+            Param("x", "const f32 *", extent="nnz"),
+            Param("y", "const f32 *", extent="nnz"),
+            Param("out", "f32 *", extent="nnz"),
+        ),
+        loops=(Loop("e", "e0", "e1"),),
+        accesses=(
+            Access("x", "e", 1, "load"),
+            Access("y", "e", 1, "load"),
+            Access("out", "e", 1, "store"),
+        ),
+        ownership=("element",),
+        par_name=f"{name}_par",
+        par_params=tuple(pname for _, pname in par_params),
     )
-    return name, source
+    return KernelArtifact(name, source, effects)
+
+
+def tew_source(op: str) -> Tuple[str, str]:
+    artifact = tew_artifact(op)
+    return artifact.name, artifact.source
+
+
+tew_source.__doc__ = tew_artifact.__doc__
+
+
+#: Orders and ranks kernelcheck verifies by default — the order 2..4
+#: span the paper's datasets use, at a small, a typical, and a large
+#: factor rank.
+REGISTERED_ORDERS = (2, 3, 4)
+REGISTERED_RANKS = (1, 4, 32)
+
+
+def registered_artifacts(
+    orders: Tuple[int, ...] = REGISTERED_ORDERS,
+    ranks: Tuple[int, ...] = REGISTERED_RANKS,
+) -> List[KernelArtifact]:
+    """Every kernel template instantiated over the verification matrix.
+
+    This is the population ``repro kernelcheck`` proves properties for:
+    each MTTKRP variant per (order, rank), TTM per rank, and the
+    order-independent TTV and TEW kernels once each.
+    """
+    artifacts: List[KernelArtifact] = []
+    for order in orders:
+        for rank in ranks:
+            artifacts.append(mttkrp_coo_artifact(order, rank))
+            artifacts.append(mttkrp_hicoo_artifact(order, rank))
+            artifacts.append(mttkrp_hicoo_owned_artifact(order, rank))
+            artifacts.append(mttkrp_coo_gram_artifact(order, rank))
+    for rank in ranks:
+        artifacts.append(ttm_artifact(rank))
+    artifacts.append(ttv_artifact())
+    for op in sorted(TEW_OPS):
+        artifacts.append(tew_artifact(op))
+    return artifacts

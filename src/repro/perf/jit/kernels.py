@@ -455,7 +455,7 @@ def mttkrp_gram_coo(
     _team_call(
         par_fn, chunks, offsets, targets, sorted_values, *tail, grams
     )
-    return out, grams.sum(axis=0)
+    return out, grams.sum(axis=0, dtype=np.float64)
 
 
 # ----------------------------------------------------------------------

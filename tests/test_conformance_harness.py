@@ -33,6 +33,7 @@ class TestEnumerateChecks:
             "auto_dispatch",
             "jit_tolerance",
             "jit_parallel",
+            "jit_sanitize",
             "serving_batch",
         }
         kernels = {c["kernel"] for c in checks if "kernel" in c}

@@ -434,18 +434,28 @@ class TestExpandedCooCaching:
 
 
 class TestLintAllowance:
+    """The blanket ``/perf/jit/`` lint carve-out is gone.
+
+    Generated-C safety is now proven by ``repro kernelcheck`` and the
+    dispatcher-resolving ``parallel-write`` rule, so the jit tree is
+    linted like any other path.
+    """
+
     VIOLATION = "import numpy as np\nout = np.zeros(x.shape)\n"
 
-    def test_jit_scope_suppresses_densify_and_dtype(self):
+    def test_jit_scope_no_longer_suppresses_findings(self):
         from repro.analysis import lint_source
 
         report = lint_source(
             self.VIOLATION, path="src/repro/perf/jit/kernels.py"
         )
-        assert not any(
-            f.rule in ("densify", "dtype") for f in report.findings
-        )
-        assert report.suppressed >= 1
+        assert any(f.rule == "densify" for f in report.findings)
+        assert report.suppressed == 0
+
+    def test_scoped_allowances_empty(self):
+        from repro.analysis.engine import SCOPED_ALLOWANCES
+
+        assert SCOPED_ALLOWANCES == ()
 
     def test_other_paths_keep_findings(self):
         from repro.analysis import lint_source

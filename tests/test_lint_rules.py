@@ -238,6 +238,74 @@ class TestParallelWriteRule:
         assert "parallel-write" not in rules_of(findings)
 
 
+class TestDispatcherResolution:
+    """Tasks reached through executor dispatchers, not just run_chunks.
+
+    These resolutions replaced the blanket ``/perf/jit/`` allowance:
+    the jit_mt and serving layers hand callables to
+    ``loop.run_in_executor`` and ``pool.submit``, and those callables
+    are held to the same ownership discipline.
+    """
+
+    def test_run_in_executor_local_def_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def dispatch(loop, pool, out):\n"
+            "    def job(u0, u1):\n"
+            "        np.add.at(out, targets, values)\n"
+            "    loop.run_in_executor(pool, job)\n"
+        )
+        findings = findings_for(source)
+        assert "parallel-write" in rules_of(findings)
+
+    def test_submit_lambda_flagged(self):
+        source = (
+            "def dispatch(pool, out):\n"
+            "    pool.submit(lambda: invalidate(tensor))\n"
+        )
+        findings = findings_for(source)
+        assert any(
+            f.rule == "parallel-write" and "plan-cache" in f.message
+            for f in findings
+        )
+
+    def test_self_method_task_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "class Server:\n"
+            "    def _execute(self, groups):\n"
+            "        np.add.at(self.out, targets, values)\n"
+            "    def dispatch(self, loop):\n"
+            "        loop.run_in_executor(self._pool, self._execute, groups)\n"
+        )
+        findings = findings_for(source)
+        assert "parallel-write" in rules_of(findings)
+
+    def test_self_method_owned_write_clean(self):
+        source = (
+            "class Server:\n"
+            "    def _execute(self, u0, u1):\n"
+            "        self.out[u0:u1] = 0.0\n"
+            "    def dispatch(self, loop):\n"
+            "        loop.run_in_executor(self._pool, self._execute, 0, 4)\n"
+        )
+        findings = findings_for(source)
+        assert "parallel-write" not in rules_of(findings)
+
+    def test_submit_without_callable_arg_ignored(self):
+        findings = findings_for("def f(pool):\n    pool.submit()\n")
+        assert "parallel-write" not in rules_of(findings)
+
+    def test_unresolvable_attribute_task_ignored(self):
+        # other.method (not self.*) cannot be resolved statically.
+        source = (
+            "def dispatch(loop, pool, other):\n"
+            "    loop.run_in_executor(pool, other.method, 1)\n"
+        )
+        findings = findings_for(source)
+        assert "parallel-write" not in rules_of(findings)
+
+
 # ----------------------------------------------------------------------
 # cache-invalidation hygiene
 # ----------------------------------------------------------------------
